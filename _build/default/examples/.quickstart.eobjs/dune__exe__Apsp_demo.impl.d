@@ -1,0 +1,1 @@
+examples/apsp_demo.ml: Dcdatalog Hashtbl List Printf Sys

@@ -1,0 +1,1 @@
+examples/apsp_demo.mli:

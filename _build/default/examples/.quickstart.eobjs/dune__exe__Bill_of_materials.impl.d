@@ -1,0 +1,1 @@
+examples/bill_of_materials.ml: Dcdatalog List Printf Result

@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: Dcdatalog List Printf Result

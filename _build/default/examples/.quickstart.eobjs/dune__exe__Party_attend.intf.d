@@ -1,0 +1,1 @@
+examples/party_attend.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dcdatalog Format List String

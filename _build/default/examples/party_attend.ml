@@ -1,0 +1,25 @@
+(* Who will attend the party? (paper Query 4)
+
+   Mutual recursion with a count aggregate: a person attends if they
+   organize the party, or if at least 3 of their friends attend.
+
+   Run with: dune exec examples/party_attend.exe *)
+
+module D = Dcdatalog
+
+let () =
+  let graph, organizers = D.Gen.friendship ~seed:9 ~people:500 ~avg_friends:8 ~organizers:5 in
+  let edb = D.Queries.attend_edb graph organizers in
+  let result =
+    match D.query D.Queries.attend.source ~edb with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let attendees = D.relation result "attend" in
+  Printf.printf "people: 500, organizers: %d, friendships: %d\n" (List.length organizers)
+    (D.Graph.edge_count graph);
+  Printf.printf "attendees at the fixpoint: %d\n" (List.length attendees);
+  (* the cascade: how many attendees have >= 3 attending friends *)
+  let counts = D.relation result "cnt" in
+  let cascade = List.filter (function [ _; n ] -> n >= 3 | _ -> false) counts in
+  Printf.printf "of which %d were pulled in by the 3-friends rule\n" (List.length cascade)

@@ -1,0 +1,28 @@
+(* Quickstart: transitive closure over a tiny edge relation.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let program = {|
+  % reachability: the transitive closure of arc
+  tc(X, Y) <- arc(X, Y).
+  tc(X, Y) <- tc(X, Z), arc(Z, Y).
+|}
+
+let () =
+  let prepared =
+    match Dcdatalog.prepare program with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  print_endline "Physical plan:";
+  print_endline (Dcdatalog.explain prepared);
+
+  let edb = [ ("arc", Dcdatalog.tuples [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 2; 5 ] ]) ] in
+  let result = Dcdatalog.run prepared ~edb () in
+
+  print_endline "tc:";
+  List.iter
+    (fun row -> print_endline ("  " ^ String.concat " -> " (List.map string_of_int row)))
+    (Dcdatalog.relation result "tc");
+
+  Format.printf "%a" Dcdatalog.Run_stats.pp result.stats

@@ -1,0 +1,1 @@
+lib/btree/bptree.ml: Array List Obj Printf

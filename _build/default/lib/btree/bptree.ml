@@ -1,0 +1,516 @@
+type key = int array
+
+let compare_key (a : key) (b : key) =
+  let la = Array.length a and lb = Array.length b in
+  let n = if la < lb then la else lb in
+  let rec loop i =
+    if i = n then compare la lb
+    else
+      let c = compare (Array.unsafe_get a i) (Array.unsafe_get b i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+type 'a leaf = {
+  mutable lkeys : key array;
+  mutable lvals : 'a array;
+  mutable ln : int;
+  mutable next : 'a leaf option;
+}
+
+type 'a internal = {
+  mutable ikeys : key array; (* separators; children.(i+1) holds keys >= ikeys.(i) *)
+  mutable ichildren : 'a node array;
+  mutable ik : int; (* number of separators; children count = ik + 1 *)
+}
+
+and 'a node =
+  | Leaf of 'a leaf
+  | Internal of 'a internal
+
+type 'a t = {
+  branching : int;
+  mutable root : 'a node;
+  mutable count : int;
+}
+
+let dummy_key : key = [||]
+
+let new_leaf b = { lkeys = Array.make b dummy_key; lvals = Array.make b (Obj.magic 0); ln = 0; next = None }
+
+let new_internal b =
+  { ikeys = Array.make b dummy_key; ichildren = Array.make (b + 1) (Obj.magic 0); ik = 0 }
+
+let create ?(branching = 32) () =
+  if branching < 4 then invalid_arg "Bptree.create: branching must be >= 4";
+  { branching; root = Leaf (new_leaf branching); count = 0 }
+
+let length t = t.count
+
+let is_empty t = t.count = 0
+
+(* Number of separators [<= k]: index of the child to descend into. *)
+let child_index node k =
+  let lo = ref 0 and hi = ref node.ik in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key node.ikeys.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Position of [k] in a leaf: [Ok i] if present at [i], [Error i] for the
+   insertion point. *)
+let leaf_search leaf k =
+  let lo = ref 0 and hi = ref leaf.ln in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare_key leaf.lkeys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  let i = !lo in
+  if i < leaf.ln && compare_key leaf.lkeys.(i) k = 0 then Ok i else Error i
+
+let rec find_leaf node k =
+  match node with
+  | Leaf l -> l
+  | Internal n -> find_leaf n.ichildren.(child_index n k) k
+
+let find_opt t k =
+  let l = find_leaf t.root k in
+  match leaf_search l k with
+  | Ok i -> Some l.lvals.(i)
+  | Error _ -> None
+
+let mem t k =
+  let l = find_leaf t.root k in
+  match leaf_search l k with Ok _ -> true | Error _ -> false
+
+(* --- insertion (preemptive splitting on the way down) --- *)
+
+let leaf_full t l = l.ln = t.branching
+
+let internal_full t n = n.ik = t.branching - 1
+
+(* Splits full leaf [l]; returns (separator, right sibling). *)
+let split_leaf t l =
+  let b = t.branching in
+  let left_n = b / 2 in
+  let right_n = b - left_n in
+  let r = new_leaf b in
+  Array.blit l.lkeys left_n r.lkeys 0 right_n;
+  Array.blit l.lvals left_n r.lvals 0 right_n;
+  Array.fill l.lkeys left_n right_n dummy_key;
+  Array.fill l.lvals left_n right_n (Obj.magic 0);
+  r.ln <- right_n;
+  l.ln <- left_n;
+  r.next <- l.next;
+  l.next <- Some r;
+  (r.lkeys.(0), r)
+
+(* Splits full internal [n]; returns (separator moved up, right sibling). *)
+let split_internal t n =
+  let mid = n.ik / 2 in
+  let sep = n.ikeys.(mid) in
+  let r = new_internal t.branching in
+  let right_keys = n.ik - mid - 1 in
+  Array.blit n.ikeys (mid + 1) r.ikeys 0 right_keys;
+  Array.blit n.ichildren (mid + 1) r.ichildren 0 (right_keys + 1);
+  Array.fill n.ikeys mid (n.ik - mid) dummy_key;
+  Array.fill n.ichildren (mid + 1) (n.ik - mid) (Obj.magic 0);
+  r.ik <- right_keys;
+  n.ik <- mid;
+  (sep, r)
+
+let insert_sep parent i sep child =
+  Array.blit parent.ikeys i parent.ikeys (i + 1) (parent.ik - i);
+  Array.blit parent.ichildren (i + 1) parent.ichildren (i + 2) (parent.ik - i);
+  parent.ikeys.(i) <- sep;
+  parent.ichildren.(i + 1) <- child;
+  parent.ik <- parent.ik + 1
+
+let split_root t =
+  match t.root with
+  | Leaf l when leaf_full t l ->
+    let sep, r = split_leaf t l in
+    let root = new_internal t.branching in
+    root.ikeys.(0) <- sep;
+    root.ichildren.(0) <- Leaf l;
+    root.ichildren.(1) <- Leaf r;
+    root.ik <- 1;
+    t.root <- Internal root
+  | Internal n when internal_full t n ->
+    let sep, r = split_internal t n in
+    let root = new_internal t.branching in
+    root.ikeys.(0) <- sep;
+    root.ichildren.(0) <- Internal n;
+    root.ichildren.(1) <- Internal r;
+    root.ik <- 1;
+    t.root <- Internal root
+  | _ -> ()
+
+let upsert t k f =
+  split_root t;
+  let rec descend node =
+    match node with
+    | Leaf l -> begin
+      match leaf_search l k with
+      | Ok i -> l.lvals.(i) <- f (Some l.lvals.(i))
+      | Error i ->
+        (* run the callback before touching the leaf: if it raises, the
+           tree must remain intact *)
+        let v = f None in
+        Array.blit l.lkeys i l.lkeys (i + 1) (l.ln - i);
+        Array.blit l.lvals i l.lvals (i + 1) (l.ln - i);
+        l.lkeys.(i) <- Array.copy k;
+        l.lvals.(i) <- v;
+        l.ln <- l.ln + 1;
+        t.count <- t.count + 1
+    end
+    | Internal n ->
+      let i = child_index n k in
+      let child = n.ichildren.(i) in
+      let child =
+        match child with
+        | Leaf l when leaf_full t l ->
+          let sep, r = split_leaf t l in
+          insert_sep n i sep (Leaf r);
+          if compare_key k sep >= 0 then Leaf r else child
+        | Internal c when internal_full t c ->
+          let sep, r = split_internal t c in
+          insert_sep n i sep (Internal r);
+          if compare_key k sep >= 0 then Internal r else child
+        | _ -> child
+      in
+      descend child
+  in
+  descend t.root
+
+let insert t k v = upsert t k (fun _ -> v)
+
+(* --- deletion (preemptive borrow/merge on the way down) --- *)
+
+let leaf_min t = t.branching / 2
+
+let internal_min t = (t.branching - 2) / 2 (* 2*min+1 <= b-1: preemptive merge cannot overflow *)
+
+let remove t k =
+  let removed = ref false in
+  let rec descend node =
+    match node with
+    | Leaf l -> begin
+      match leaf_search l k with
+      | Error _ -> ()
+      | Ok i ->
+        Array.blit l.lkeys (i + 1) l.lkeys i (l.ln - i - 1);
+        Array.blit l.lvals (i + 1) l.lvals i (l.ln - i - 1);
+        l.lkeys.(l.ln - 1) <- dummy_key;
+        l.lvals.(l.ln - 1) <- Obj.magic 0;
+        l.ln <- l.ln - 1;
+        t.count <- t.count - 1;
+        removed := true
+    end
+    | Internal n ->
+      let i = child_index n k in
+      let i = ensure_roomy n i in
+      descend n.ichildren.(i)
+  and ensure_roomy n i =
+    let child = n.ichildren.(i) in
+    let is_leaf = match child with Leaf _ -> true | Internal _ -> false in
+    let min_sz = if is_leaf then leaf_min t else internal_min t in
+    let size c = match c with Leaf l -> l.ln | Internal m -> m.ik in
+    if size child > min_sz then i
+    else if i > 0 && size n.ichildren.(i - 1) > min_sz then begin
+      borrow_left n i;
+      i
+    end
+    else if i < n.ik && size n.ichildren.(i + 1) > min_sz then begin
+      borrow_right n i;
+      i
+    end
+    else if i > 0 then merge_at n (i - 1)
+    else begin
+      ignore (merge_at n i);
+      i
+    end
+  and borrow_left n i =
+    match (n.ichildren.(i - 1), n.ichildren.(i)) with
+    | Leaf left, Leaf child ->
+      Array.blit child.lkeys 0 child.lkeys 1 child.ln;
+      Array.blit child.lvals 0 child.lvals 1 child.ln;
+      child.lkeys.(0) <- left.lkeys.(left.ln - 1);
+      child.lvals.(0) <- left.lvals.(left.ln - 1);
+      left.lkeys.(left.ln - 1) <- dummy_key;
+      left.lvals.(left.ln - 1) <- Obj.magic 0;
+      left.ln <- left.ln - 1;
+      child.ln <- child.ln + 1;
+      n.ikeys.(i - 1) <- child.lkeys.(0)
+    | Internal left, Internal child ->
+      Array.blit child.ikeys 0 child.ikeys 1 child.ik;
+      Array.blit child.ichildren 0 child.ichildren 1 (child.ik + 1);
+      child.ikeys.(0) <- n.ikeys.(i - 1);
+      child.ichildren.(0) <- left.ichildren.(left.ik);
+      n.ikeys.(i - 1) <- left.ikeys.(left.ik - 1);
+      left.ikeys.(left.ik - 1) <- dummy_key;
+      left.ichildren.(left.ik) <- Obj.magic 0;
+      left.ik <- left.ik - 1;
+      child.ik <- child.ik + 1
+    | _ -> assert false
+  and borrow_right n i =
+    match (n.ichildren.(i), n.ichildren.(i + 1)) with
+    | Leaf child, Leaf right ->
+      child.lkeys.(child.ln) <- right.lkeys.(0);
+      child.lvals.(child.ln) <- right.lvals.(0);
+      child.ln <- child.ln + 1;
+      Array.blit right.lkeys 1 right.lkeys 0 (right.ln - 1);
+      Array.blit right.lvals 1 right.lvals 0 (right.ln - 1);
+      right.lkeys.(right.ln - 1) <- dummy_key;
+      right.lvals.(right.ln - 1) <- Obj.magic 0;
+      right.ln <- right.ln - 1;
+      n.ikeys.(i) <- right.lkeys.(0)
+    | Internal child, Internal right ->
+      child.ikeys.(child.ik) <- n.ikeys.(i);
+      child.ichildren.(child.ik + 1) <- right.ichildren.(0);
+      child.ik <- child.ik + 1;
+      n.ikeys.(i) <- right.ikeys.(0);
+      Array.blit right.ikeys 1 right.ikeys 0 (right.ik - 1);
+      Array.blit right.ichildren 1 right.ichildren 0 right.ik;
+      right.ikeys.(right.ik - 1) <- dummy_key;
+      right.ichildren.(right.ik) <- Obj.magic 0;
+      right.ik <- right.ik - 1
+    | _ -> assert false
+  and merge_at n j =
+    (match (n.ichildren.(j), n.ichildren.(j + 1)) with
+    | Leaf left, Leaf right ->
+      Array.blit right.lkeys 0 left.lkeys left.ln right.ln;
+      Array.blit right.lvals 0 left.lvals left.ln right.ln;
+      left.ln <- left.ln + right.ln;
+      left.next <- right.next
+    | Internal left, Internal right ->
+      left.ikeys.(left.ik) <- n.ikeys.(j);
+      Array.blit right.ikeys 0 left.ikeys (left.ik + 1) right.ik;
+      Array.blit right.ichildren 0 left.ichildren (left.ik + 1) (right.ik + 1);
+      left.ik <- left.ik + 1 + right.ik
+    | _ -> assert false);
+    Array.blit n.ikeys (j + 1) n.ikeys j (n.ik - j - 1);
+    Array.blit n.ichildren (j + 2) n.ichildren (j + 1) (n.ik - j - 1);
+    n.ikeys.(n.ik - 1) <- dummy_key;
+    n.ichildren.(n.ik) <- Obj.magic 0;
+    n.ik <- n.ik - 1;
+    j
+  in
+  descend t.root;
+  (* collapse a root that lost all separators *)
+  (match t.root with
+  | Internal n when n.ik = 0 -> t.root <- n.ichildren.(0)
+  | _ -> ());
+  !removed
+
+(* --- traversal --- *)
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Internal n -> leftmost_leaf n.ichildren.(0)
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some l ->
+      for i = 0 to l.ln - 1 do
+        f l.lkeys.(i) l.lvals.(i)
+      done;
+      walk l.next
+  in
+  walk (Some (leftmost_leaf t.root))
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let iter_range t ~lo ~hi f =
+  let l = find_leaf t.root lo in
+  let start = match leaf_search l lo with Ok i -> i | Error i -> i in
+  let rec walk l i =
+    if i < l.ln then begin
+      let k = l.lkeys.(i) in
+      if compare_key k hi < 0 then begin
+        f k l.lvals.(i);
+        walk l (i + 1)
+      end
+    end
+    else match l.next with None -> () | Some l' -> walk l' 0
+  in
+  walk l start
+
+let prefix_matches prefix k =
+  let lp = Array.length prefix in
+  Array.length k >= lp
+  &&
+  let rec loop i = i = lp || (k.(i) = prefix.(i) && loop (i + 1)) in
+  loop 0
+
+let iter_prefix t ~prefix f =
+  let l = find_leaf t.root prefix in
+  let start = match leaf_search l prefix with Ok i -> i | Error i -> i in
+  let rec walk l i =
+    if i < l.ln then begin
+      let k = l.lkeys.(i) in
+      if prefix_matches prefix k then begin
+        f k l.lvals.(i);
+        walk l (i + 1)
+      end
+    end
+    else match l.next with None -> () | Some l' -> walk l' 0
+  in
+  walk l start
+
+let min_binding t =
+  let l = leftmost_leaf t.root in
+  if l.ln = 0 then None else Some (l.lkeys.(0), l.lvals.(0))
+
+let max_binding t =
+  let rec rightmost = function
+    | Leaf l -> l
+    | Internal n -> rightmost n.ichildren.(n.ik)
+  in
+  let l = rightmost t.root in
+  if l.ln = 0 then None else Some (l.lkeys.(l.ln - 1), l.lvals.(l.ln - 1))
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+(* --- bulk load --- *)
+
+let of_sorted ?(branching = 32) entries =
+  if branching < 4 then invalid_arg "Bptree.of_sorted";
+  let n = Array.length entries in
+  for i = 1 to n - 1 do
+    if compare_key (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
+      invalid_arg "Bptree.of_sorted: keys must be strictly increasing"
+  done;
+  let t = create ~branching () in
+  if n = 0 then t
+  else begin
+    (* Build the leaf level at ~3/4 fill, then internal levels on top.
+       The group count is clamped so that even spreading can neither
+       overflow capacity nor underflow the minimum fill (a single group
+       is always legal: it becomes the root or hangs under one). *)
+    let clamp_groups ~items ~target ~cap ~min_fill =
+      let lo = (items + cap - 1) / cap in
+      let hi = max 1 (items / min_fill) in
+      max lo (min hi (max 1 ((items + target - 1) / target)))
+    in
+    let per_leaf = max (branching / 2) (branching * 3 / 4) in
+    let nleaves =
+      clamp_groups ~items:n ~target:per_leaf ~cap:branching ~min_fill:(max 1 (branching / 2))
+    in
+    let leaves = Array.make nleaves (new_leaf branching) in
+    let pos = ref 0 in
+    for li = 0 to nleaves - 1 do
+      let l = new_leaf branching in
+      let remaining = n - !pos in
+      let leaves_left = nleaves - li in
+      (* spread remainder so no leaf underflows *)
+      let take = (remaining + leaves_left - 1) / leaves_left in
+      for j = 0 to take - 1 do
+        let k, v = entries.(!pos + j) in
+        l.lkeys.(j) <- Array.copy k;
+        l.lvals.(j) <- v
+      done;
+      l.ln <- take;
+      pos := !pos + take;
+      leaves.(li) <- l;
+      if li > 0 then leaves.(li - 1).next <- Some l
+    done;
+    (* minimum key of each node, used as separators one level up *)
+    let level = ref (Array.map (fun l -> (l.lkeys.(0), Leaf l)) leaves) in
+    let per_node = max ((branching + 1) / 2) (branching * 3 / 4) in
+    (* min children of a non-root internal node = internal_min + 1 *)
+    let min_children = ((branching - 2) / 2) + 1 in
+    while Array.length !level > 1 do
+      let cur = !level in
+      let m = Array.length cur in
+      let nparents = clamp_groups ~items:m ~target:per_node ~cap:branching ~min_fill:min_children in
+      let parents = Array.make nparents (dummy_key, Leaf (new_leaf branching)) in
+      let pos = ref 0 in
+      for pi = 0 to nparents - 1 do
+        let node = new_internal branching in
+        let remaining = m - !pos in
+        let parents_left = nparents - pi in
+        let take = (remaining + parents_left - 1) / parents_left in
+        for j = 0 to take - 1 do
+          let min_k, child = cur.(!pos + j) in
+          node.ichildren.(j) <- child;
+          if j > 0 then node.ikeys.(j - 1) <- min_k
+        done;
+        node.ik <- take - 1;
+        parents.(pi) <- (fst cur.(!pos), Internal node);
+        pos := !pos + take
+      done;
+      level := parents
+    done;
+    t.root <- snd (!level).(0);
+    t.count <- n;
+    t
+  end
+
+(* --- invariant checking --- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let counted = ref 0 in
+  let is_root n = n == t.root in
+  (* returns (depth, min_key, max_key) *)
+  let rec check node lo hi =
+    match node with
+    | Leaf l ->
+      if l.ln = 0 && not (is_root node) then fail "empty non-root leaf";
+      if (not (is_root node)) && l.ln < leaf_min t then
+        fail "leaf underflow: %d < %d" l.ln (leaf_min t);
+      if l.ln > t.branching then fail "leaf overflow";
+      for i = 0 to l.ln - 1 do
+        incr counted;
+        if i > 0 && compare_key l.lkeys.(i - 1) l.lkeys.(i) >= 0 then fail "leaf keys out of order";
+        (match lo with
+        | Some b when compare_key l.lkeys.(i) b < 0 -> fail "leaf key below lower bound"
+        | _ -> ());
+        match hi with
+        | Some b when compare_key l.lkeys.(i) b >= 0 -> fail "leaf key above upper bound"
+        | _ -> ()
+      done;
+      1
+    | Internal n ->
+      if n.ik < 1 then fail "internal node without separators";
+      if (not (is_root node)) && n.ik < internal_min t then
+        fail "internal underflow: %d < %d" n.ik (internal_min t);
+      if n.ik > t.branching - 1 then fail "internal overflow";
+      for i = 1 to n.ik - 1 do
+        if compare_key n.ikeys.(i - 1) n.ikeys.(i) >= 0 then fail "separators out of order"
+      done;
+      let depth = ref 0 in
+      for i = 0 to n.ik do
+        let lo_i = if i = 0 then lo else Some n.ikeys.(i - 1) in
+        let hi_i = if i = n.ik then hi else Some n.ikeys.(i) in
+        let d = check n.ichildren.(i) lo_i hi_i in
+        if i = 0 then depth := d
+        else if d <> !depth then fail "non-uniform depth"
+      done;
+      !depth + 1
+  in
+  ignore (check t.root None None);
+  if !counted <> t.count then fail "count mismatch: counted %d, recorded %d" !counted t.count;
+  (* the leaf chain must enumerate exactly the same number of keys in order *)
+  let chain = ref 0 in
+  let prev = ref None in
+  let rec walk = function
+    | None -> ()
+    | Some l ->
+      for i = 0 to l.ln - 1 do
+        (match !prev with
+        | Some p when compare_key p l.lkeys.(i) >= 0 -> fail "leaf chain out of order"
+        | _ -> ());
+        prev := Some l.lkeys.(i);
+        incr chain
+      done;
+      walk l.next
+  in
+  walk (Some (leftmost_leaf t.root));
+  if !chain <> t.count then fail "leaf chain length mismatch"

@@ -1,0 +1,71 @@
+(** B⁺-tree over composite integer keys (paper §3, Storage Layer).
+
+    The recursive relations of DCDatalog are indexed by a B⁺-tree on the
+    partition/join key; aggregates also use it to locate the current value
+    for a group key (§6.2.1).  Keys are [int array]s compared
+    lexicographically (shorter array = prefix = smaller when equal so
+    far), values are arbitrary.  All key arrays handed to the tree are
+    copied defensively on insert, so callers may reuse scratch buffers.
+
+    Not thread-safe: in the engine each worker owns the tree for its own
+    partition exclusively, which is precisely the design point of the
+    partitioned evaluation (§2.2) — no concurrent index needed. *)
+
+type 'a t
+
+type key = int array
+
+val compare_key : key -> key -> int
+(** Lexicographic order; a strict prefix sorts first. *)
+
+val create : ?branching:int -> unit -> 'a t
+(** [branching] is the max number of children of an internal node
+    (default 32). @raise Invalid_argument if [branching < 4]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> key -> 'a -> unit
+(** [insert t k v] maps [k] to [v], replacing any previous binding. *)
+
+val upsert : 'a t -> key -> ('a option -> 'a) -> unit
+(** [upsert t k f] binds [k] to [f (find_opt t k)] with a single
+    descent.  This is the primitive behind monotone aggregate merging:
+    [f] receives the current aggregate for the group key and returns the
+    merged one. *)
+
+val find_opt : 'a t -> key -> 'a option
+
+val mem : 'a t -> key -> bool
+
+val remove : 'a t -> key -> bool
+(** [remove t k] deletes the binding if present; returns whether a
+    binding was removed.  Rebalances (borrow/merge) to keep all nodes at
+    least half full. *)
+
+val iter : 'a t -> (key -> 'a -> unit) -> unit
+(** In ascending key order. *)
+
+val fold : 'a t -> init:'acc -> f:('acc -> key -> 'a -> 'acc) -> 'acc
+
+val iter_range : 'a t -> lo:key -> hi:key -> (key -> 'a -> unit) -> unit
+(** All bindings with [lo <= k < hi], ascending. *)
+
+val iter_prefix : 'a t -> prefix:key -> (key -> 'a -> unit) -> unit
+(** All bindings whose key starts with [prefix], ascending. *)
+
+val min_binding : 'a t -> (key * 'a) option
+
+val max_binding : 'a t -> (key * 'a) option
+
+val to_list : 'a t -> (key * 'a) list
+
+val of_sorted : ?branching:int -> (key * 'a) array -> 'a t
+(** Bulk load from a strictly-sorted array of distinct keys; O(n).
+    @raise Invalid_argument if the input is not strictly sorted. *)
+
+val check_invariants : 'a t -> unit
+(** Asserts structural invariants (key order, node fill, uniform leaf
+    depth, leaf chain consistency).  For tests. @raise Failure on
+    violation. *)

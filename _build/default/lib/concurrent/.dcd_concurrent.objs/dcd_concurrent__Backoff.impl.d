@@ -1,0 +1,1 @@
+lib/concurrent/backoff.ml: Domain Unix

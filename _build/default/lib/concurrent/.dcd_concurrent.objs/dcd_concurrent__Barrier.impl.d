@@ -1,0 +1,1 @@
+lib/concurrent/barrier.ml: Condition Mutex

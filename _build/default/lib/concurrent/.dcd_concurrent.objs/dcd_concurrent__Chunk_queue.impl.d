@@ -1,0 +1,1 @@
+lib/concurrent/chunk_queue.ml: Array Atomic Obj

@@ -1,0 +1,1 @@
+lib/concurrent/domain_pool.ml: Array Domain

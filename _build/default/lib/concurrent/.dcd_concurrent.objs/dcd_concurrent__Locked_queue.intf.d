@@ -1,0 +1,1 @@
+lib/concurrent/locked_queue.mli:

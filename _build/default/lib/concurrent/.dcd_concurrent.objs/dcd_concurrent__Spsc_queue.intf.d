@@ -1,0 +1,1 @@
+lib/concurrent/spsc_queue.mli:

@@ -1,0 +1,1 @@
+lib/concurrent/termination.mli:

@@ -1,0 +1,23 @@
+type t = {
+  spin_limit : int;
+  max_sleep : float;
+  mutable spins : int;
+  mutable sleep : float;
+}
+
+let create ?(spin_limit = 64) ?(max_sleep = 1e-3) () =
+  { spin_limit; max_sleep; spins = 0; sleep = 1e-6 }
+
+let once t =
+  if t.spins < t.spin_limit then begin
+    t.spins <- t.spins + 1;
+    Domain.cpu_relax ()
+  end
+  else begin
+    Unix.sleepf t.sleep;
+    t.sleep <- min t.max_sleep (t.sleep *. 2.)
+  end
+
+let reset t =
+  t.spins <- 0;
+  t.sleep <- 1e-6

@@ -1,0 +1,19 @@
+(** Escalating backoff for polling loops.
+
+    Starts with cheap [Domain.cpu_relax] spins and escalates to short
+    sleeps.  On oversubscribed machines (more domains than cores) pure
+    spinning starves the very workers one is waiting for, so escalation
+    to [sleepf] matters for correctness of the measurements, not just
+    politeness. *)
+
+type t
+
+val create : ?spin_limit:int -> ?max_sleep:float -> unit -> t
+(** [spin_limit] spins before the first sleep (default 64); [max_sleep]
+    caps the sleep duration in seconds (default 1e-3). *)
+
+val once : t -> unit
+(** Performs one wait step and escalates the internal state. *)
+
+val reset : t -> unit
+(** Back to the cheap-spin phase; call after useful work was found. *)

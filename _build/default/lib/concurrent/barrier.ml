@@ -1,0 +1,56 @@
+exception Poisoned
+
+type t = {
+  parties : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable arrived : int;
+  mutable generation : int;
+  mutable poisoned : bool;
+}
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier.create";
+  {
+    parties;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    arrived = 0;
+    generation = 0;
+    poisoned = false;
+  }
+
+let await t =
+  Mutex.lock t.mutex;
+  if t.poisoned then begin
+    Mutex.unlock t.mutex;
+    raise Poisoned
+  end;
+  let gen = t.generation in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    t.arrived <- 0;
+    t.generation <- gen + 1;
+    Condition.broadcast t.cond
+  end
+  else
+    while t.generation = gen && not t.poisoned do
+      Condition.wait t.cond t.mutex
+    done;
+  let poisoned = t.poisoned in
+  Mutex.unlock t.mutex;
+  if poisoned then raise Poisoned
+
+let poison t =
+  Mutex.lock t.mutex;
+  t.poisoned <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let is_poisoned t =
+  Mutex.lock t.mutex;
+  let p = t.poisoned in
+  Mutex.unlock t.mutex;
+  p
+
+let parties t = t.parties

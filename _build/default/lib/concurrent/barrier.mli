@@ -1,0 +1,32 @@
+(** Reusable n-party barrier for the [Global] coordination strategy.
+
+    Sense-reversing, blocking on a condition variable rather than
+    spinning, because the whole point of the paper's comparison is the
+    time workers spend idle at the barrier — a spin barrier would burn a
+    core while "idle" and distort measurements on oversubscribed
+    machines. *)
+
+type t
+
+exception Poisoned
+(** Raised by {!await} (in every waiter, current and future) once the
+    barrier has been {!poison}ed — a participant died and the round can
+    never complete. *)
+
+val create : int -> t
+(** [create n] is a barrier for [n] parties. @raise Invalid_argument if
+    [n < 1]. *)
+
+val await : t -> unit
+(** Blocks until all [n] parties have called [await] in the current
+    generation, then releases them all. Reusable for further rounds.
+    @raise Poisoned if the barrier is or becomes poisoned. *)
+
+val poison : t -> unit
+(** Marks the barrier broken and wakes every waiter with {!Poisoned}.
+    Called by a worker that is about to die with an exception, so its
+    peers do not block forever waiting for it. Idempotent. *)
+
+val is_poisoned : t -> bool
+
+val parties : t -> int

@@ -1,0 +1,76 @@
+type 'a node = {
+  arr : 'a array;
+  committed : int Atomic.t; (* elements of [arr] published by the producer *)
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  chunk : int;
+  mutable head : 'a node; (* consumer cursor *)
+  mutable head_idx : int; (* consumed elements within [head] *)
+  mutable tail : 'a node; (* producer cursor *)
+  pushed : int Atomic.t;
+  popped : int Atomic.t;
+}
+
+let make_node chunk =
+  { arr = Array.make chunk (Obj.magic 0); committed = Atomic.make 0; next = Atomic.make None }
+
+let create ?(chunk = 256) () =
+  if chunk < 1 then invalid_arg "Chunk_queue.create";
+  let n = make_node chunk in
+  { chunk; head = n; head_idx = 0; tail = n; pushed = Atomic.make 0; popped = Atomic.make 0 }
+
+let push t x =
+  let node = t.tail in
+  let i = Atomic.get node.committed in
+  if i < t.chunk then begin
+    Array.unsafe_set node.arr i x;
+    (* Release store: publishes arr.(i) to the consumer. *)
+    Atomic.set node.committed (i + 1)
+  end
+  else begin
+    let fresh = make_node t.chunk in
+    fresh.arr.(0) <- x;
+    Atomic.set fresh.committed 1;
+    (* Publish the new node only after its first element is committed. *)
+    Atomic.set node.next (Some fresh);
+    t.tail <- fresh
+  end;
+  Atomic.incr t.pushed
+
+let rec try_pop t =
+  let node = t.head in
+  let committed = Atomic.get node.committed in
+  if t.head_idx < committed then begin
+    let x = Array.unsafe_get node.arr t.head_idx in
+    Array.unsafe_set node.arr t.head_idx (Obj.magic 0);
+    t.head_idx <- t.head_idx + 1;
+    Atomic.incr t.popped;
+    Some x
+  end
+  else if committed = t.chunk then
+    match Atomic.get node.next with
+    | Some next ->
+      t.head <- next;
+      t.head_idx <- 0;
+      try_pop t
+    | None -> None
+  else None
+
+let drain t f =
+  let n = ref 0 in
+  let rec loop () =
+    match try_pop t with
+    | Some x ->
+      f x;
+      incr n;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  !n
+
+let size t = max 0 (Atomic.get t.pushed - Atomic.get t.popped)
+
+let is_empty t = size t = 0

@@ -1,0 +1,30 @@
+(** Unbounded single-producer single-consumer queue.
+
+    A linked list of fixed-size chunks.  The producer owns the tail chunk
+    and publishes elements by bumping the chunk's atomic committed count;
+    the consumer owns the head chunk and follows [next] links once a full
+    chunk is consumed.  Used for the DWS message buffers when delta
+    batches can exceed any fixed ring capacity: unlike {!Spsc_queue} a
+    push can never fail, so a producing worker never blocks on a slow
+    consumer (which would reintroduce the coordination stall DWS is
+    designed to remove). *)
+
+type 'a t
+
+val create : ?chunk:int -> unit -> 'a t
+(** [chunk] is the chunk capacity (default 256). *)
+
+val push : 'a t -> 'a -> unit
+(** Producer only. Never fails. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Consumer only. Pops all currently visible elements in FIFO order and
+    returns how many were consumed. *)
+
+val size : 'a t -> int
+(** Approximate occupancy (exact when producer and consumer are quiescent). *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,20 @@
+let run ~workers body =
+  if workers < 1 then invalid_arg "Domain_pool.run";
+  let results : 'a option array = Array.make workers None in
+  let errors : exn option array = Array.make workers None in
+  let wrap i () =
+    match body i with
+    | x -> results.(i) <- Some x
+    | exception e -> errors.(i) <- Some e
+  in
+  let domains = Array.init (workers - 1) (fun k -> Domain.spawn (wrap (k + 1))) in
+  wrap 0 ();
+  Array.iter Domain.join domains;
+  Array.iteri (fun _ e -> match e with Some exn -> raise exn | None -> ()) errors;
+  Array.map
+    (function
+      | Some x -> x
+      | None -> assert false)
+    results
+
+let recommended_workers () = max 1 (Domain.recommended_domain_count ())

@@ -1,0 +1,11 @@
+(** Fork–join execution of worker bodies on OCaml 5 domains. *)
+
+val run : workers:int -> (int -> 'a) -> 'a array
+(** [run ~workers body] executes [body i] for each worker index
+    [0 .. workers-1], worker 0 on the calling domain and the rest on
+    fresh domains, and returns the results indexed by worker.  If any
+    body raises, the first exception (by worker index) is re-raised
+    after all domains have been joined. *)
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)

@@ -1,0 +1,32 @@
+type 'a t = {
+  mutex : Mutex.t;
+  queue : 'a Queue.t;
+}
+
+let create () = { mutex = Mutex.create (); queue = Queue.create () }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | x ->
+    Mutex.unlock t.mutex;
+    x
+  | exception e ->
+    Mutex.unlock t.mutex;
+    raise e
+
+let push t x = with_lock t (fun () -> Queue.push x t.queue)
+
+let try_pop t = with_lock t (fun () -> Queue.take_opt t.queue)
+
+let drain t f =
+  with_lock t (fun () ->
+      let n = Queue.length t.queue in
+      for _ = 1 to n do
+        f (Queue.pop t.queue)
+      done;
+      n)
+
+let size t = with_lock t (fun () -> Queue.length t.queue)
+
+let is_empty t = size t = 0

@@ -1,0 +1,19 @@
+(** Mutex-protected unbounded FIFO queue.
+
+    The coarse-grained alternative the paper's §6.1 argues against; kept
+    as the baseline for the SPSC-vs-lock ablation microbenchmark.  Safe
+    for any number of producers and consumers. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val try_pop : 'a t -> 'a option
+
+val drain : 'a t -> ('a -> unit) -> int
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,61 @@
+type 'a t = {
+  slots : 'a array;
+  mask : int;
+  head : int Atomic.t; (* next slot to pop; advanced by the consumer *)
+  tail : int Atomic.t; (* next slot to push; advanced by the producer *)
+}
+
+let next_pow2 n =
+  let rec loop p = if p >= n then p else loop (p * 2) in
+  loop 1
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc_queue.create";
+  let cap = next_pow2 capacity in
+  {
+    slots = Array.make cap (Obj.magic 0);
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    Array.unsafe_set t.slots (tail land t.mask) x;
+    (* Release store: publishes the slot write above to the consumer. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else begin
+    let i = head land t.mask in
+    let x = Array.unsafe_get t.slots i in
+    Array.unsafe_set t.slots i (Obj.magic 0);
+    Atomic.set t.head (head + 1);
+    Some x
+  end
+
+let drain t f =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  let n = tail - head in
+  for k = 0 to n - 1 do
+    let i = (head + k) land t.mask in
+    f (Array.unsafe_get t.slots i);
+    Array.unsafe_set t.slots i (Obj.magic 0)
+  done;
+  if n > 0 then Atomic.set t.head tail;
+  n
+
+let size t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let is_empty t = size t = 0

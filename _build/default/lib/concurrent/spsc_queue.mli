@@ -1,0 +1,38 @@
+(** Bounded single-producer single-consumer ring queue (paper §6.1).
+
+    The queue is a ring array whose head and tail are maintained with
+    atomic operations only — no locks.  Exactly one domain may call the
+    producer operations ([try_push]) and exactly one domain the consumer
+    operations ([try_pop], [drain]); this is the ownership discipline the
+    DWS message-buffer matrix [M_i^j] guarantees by construction, because
+    buffer (i, j) is written only by worker [j] and read only by worker
+    [i].
+
+    Publication safety: the element store is a plain array; visibility of
+    the element written at slot [t] is ensured because the producer's
+    atomic store of the tail index happens-before the consumer's atomic
+    load of it (OCaml memory model publication idiom). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] rounds [capacity] up to a power of two.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only. [false] when the ring is full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only. [None] when the ring is empty. *)
+
+val drain : 'a t -> ('a -> unit) -> int
+(** Consumer only. Pops everything currently visible, calling the
+    function on each element in FIFO order; returns the count. *)
+
+val size : 'a t -> int
+(** Snapshot of the current occupancy; exact only for the owning
+    endpoints, approximate for observers. *)
+
+val is_empty : 'a t -> bool

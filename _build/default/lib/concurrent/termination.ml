@@ -1,0 +1,47 @@
+type t = {
+  nworkers : int;
+  sent_total : int Atomic.t;
+  consumed_by : int Atomic.t array;
+  active : bool Atomic.t array;
+  active_count : int Atomic.t;
+}
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Termination.create";
+  {
+    nworkers = workers;
+    sent_total = Atomic.make 0;
+    consumed_by = Array.init workers (fun _ -> Atomic.make 0);
+    active = Array.init workers (fun _ -> Atomic.make true);
+    active_count = Atomic.make workers;
+  }
+
+let workers t = t.nworkers
+
+let sent t n = if n > 0 then ignore (Atomic.fetch_and_add t.sent_total n)
+
+let consumed t ~worker n = if n > 0 then ignore (Atomic.fetch_and_add t.consumed_by.(worker) n)
+
+let set_active t ~worker flag =
+  let cell = t.active.(worker) in
+  if Atomic.exchange cell flag <> flag then
+    if flag then ignore (Atomic.fetch_and_add t.active_count 1)
+    else ignore (Atomic.fetch_and_add t.active_count (-1))
+
+let is_active t ~worker = Atomic.get t.active.(worker)
+
+let total_sent t = Atomic.get t.sent_total
+
+let total_consumed t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.consumed_by
+
+let quiescent t =
+  if Atomic.get t.active_count <> 0 then false
+  else begin
+    let sent_before = Atomic.get t.sent_total in
+    let consumed = total_consumed t in
+    let sent_after = Atomic.get t.sent_total in
+    (* A stable snapshot: nothing was sent while we summed, every sent
+       tuple was consumed, and nobody woke up meanwhile. *)
+    sent_before = sent_after && consumed = sent_after && Atomic.get t.active_count = 0
+  end

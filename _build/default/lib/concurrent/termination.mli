@@ -1,0 +1,37 @@
+(** Global-fixpoint detection (paper §6.1).
+
+    The parallel evaluation terminates when (i) every worker is inactive
+    and (ii) every message buffer is empty.  Following the paper, (ii) is
+    checked with one global counter of tuples ever sent and per-worker
+    counters of tuples consumed: when the global sent count equals the sum
+    of consumed counts while all workers are idle, no tuple is in flight.
+
+    The two reads (sent, then consumed sum) are racy in isolation, so
+    [quiescent] re-reads the sent counter after summing and only reports
+    quiescence on a stable snapshot taken while all workers are inactive. *)
+
+type t
+
+val create : workers:int -> t
+
+val workers : t -> int
+
+val sent : t -> int -> unit
+(** [sent t n] records that [n] tuples entered some buffer. Any worker. *)
+
+val consumed : t -> worker:int -> int -> unit
+(** [consumed t ~worker n] records that worker [worker] drained [n]
+    tuples. Only worker [worker] may call this. *)
+
+val set_active : t -> worker:int -> bool -> unit
+(** Flips the worker's active flag (idempotent). *)
+
+val is_active : t -> worker:int -> bool
+
+val quiescent : t -> bool
+(** True iff a consistent snapshot shows all workers inactive and all
+    buffers drained — the global fixpoint. *)
+
+val total_sent : t -> int
+
+val total_consumed : t -> int

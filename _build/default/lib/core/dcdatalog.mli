@@ -1,0 +1,104 @@
+(** DCDatalog — a parallel Datalog engine for shared-memory multicore
+    machines.
+
+    OCaml reproduction of Wu, Wang & Zaniolo,
+    "Optimizing Parallel Recursive Datalog Evaluation on Multicore
+    Machines" (SIGMOD 2022).
+
+    {1 Quick start}
+
+    {[
+      let program = "tc(X, Y) <- arc(X, Y).  tc(X, Y) <- tc(X, Z), arc(Z, Y)." in
+      let prepared = Result.get_ok (Dcdatalog.prepare program) in
+      let edb = [ ("arc", Dcdatalog.tuples [ [1; 2]; [2; 3] ]) ] in
+      let result = Dcdatalog.run prepared ~edb () in
+      Dcdatalog.relation result "tc"   (* [(1,2); (1,3); (2,3)] *)
+    ]}
+
+    The engine supports linear, non-linear and mutual recursion, the
+    monotone aggregates min/max/count/sum inside recursion, stratified
+    negation outside recursion, and three parallel coordination
+    strategies — [Global] barriers, stale-synchronous [Ssp], and the
+    paper's dynamic weight-based strategy [Dws] (the default).
+
+    {1 Submodules}
+
+    The full machinery is re-exported for power users: [Ast]/[Parser]/
+    [Analysis]/[Pcg] (front end), [Logical]/[Physical] (planner),
+    [Parallel]/[Naive]/[Coord]/[Run_stats] (engines), and the
+    [Graph]/[Gen]/[Queries]/[Datasets] workload kit. *)
+
+module Ast = Dcd_datalog.Ast
+module Parser = Dcd_datalog.Parser
+module Analysis = Dcd_datalog.Analysis
+module Pcg = Dcd_datalog.Pcg
+module Logical = Dcd_planner.Logical
+module Physical = Dcd_planner.Physical
+module Coord = Dcd_engine.Coord
+module Parallel = Dcd_engine.Parallel
+module Naive = Dcd_engine.Naive
+module Run_stats = Dcd_engine.Run_stats
+module Catalog = Dcd_engine.Catalog
+module Rec_store = Dcd_engine.Rec_store
+module Graph = Dcd_workload.Graph
+module Gen = Dcd_workload.Gen
+module Queries = Dcd_workload.Queries
+module Datasets = Dcd_workload.Datasets
+module Loader = Dcd_workload.Loader
+module Tuple = Dcd_storage.Tuple
+module Vec = Dcd_util.Vec
+
+type prepared = {
+  source : string;
+  info : Analysis.info;
+  plan : Physical.t;
+}
+
+type config = Parallel.config = {
+  workers : int;
+  strategy : Coord.t;
+  store_opts : Rec_store.opts;
+  partial_agg : bool;
+  max_iterations : int;
+  exchange : Parallel.exchange;
+}
+
+val default_config : config
+
+val prepare : ?params:(string * int) list -> string -> (prepared, string) result
+(** Parses, analyzes and compiles a Datalog program.  [params] binds
+    symbolic constants (e.g. [("start", 42)] for the SSSP query) at
+    plan time. *)
+
+val run :
+  prepared ->
+  edb:(string * Tuple.t Vec.t) list ->
+  ?config:config ->
+  unit ->
+  Parallel.result
+(** Evaluates to the global fixpoint and returns the materialized
+    relations plus execution statistics. *)
+
+val query :
+  ?params:(string * int) list ->
+  ?config:config ->
+  string ->
+  edb:(string * Tuple.t Vec.t) list ->
+  (Parallel.result, string) result
+(** One-shot [prepare] + [run]. *)
+
+val relation : Parallel.result -> string -> int list list
+(** Tuples of a result relation as sorted lists (empty when absent) —
+    convenient for tests and small outputs.  For bulk access use
+    {!Parallel.relation_vec}. *)
+
+val relation_count : Parallel.result -> string -> int
+
+val tuples : int list list -> Tuple.t Vec.t
+(** EDB construction helper. *)
+
+val explain : prepared -> string
+(** The physical plan: strata, partition routes, join methods. *)
+
+val pcg_string : prepared -> root:string -> string
+(** The AND/OR tree (predicate connection graph) rooted at [root]. *)

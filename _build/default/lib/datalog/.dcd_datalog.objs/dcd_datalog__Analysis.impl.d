@@ -1,0 +1,1 @@
+lib/datalog/analysis.ml: Ast Hashtbl List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/datalog/analysis.mli: Ast

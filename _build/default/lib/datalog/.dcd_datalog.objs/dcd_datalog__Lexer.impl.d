@@ -1,0 +1,1 @@
+lib/datalog/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Array Ast Lexer List Option Printf

@@ -1,0 +1,1 @@
+lib/datalog/pcg.ml: Analysis Ast Format List Printf Set String

@@ -1,0 +1,1 @@
+lib/datalog/pcg.mli: Analysis Ast Format

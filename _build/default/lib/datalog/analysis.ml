@@ -1,0 +1,289 @@
+type recursion_kind =
+  | Nonrecursive
+  | Linear
+  | Nonlinear
+  | Mutual
+
+type stratum = {
+  preds : string list;
+  kind : recursion_kind;
+  base_rules : Ast.rule list;
+  recursive_rules : Ast.rule list;
+}
+
+type info = {
+  program : Ast.program;
+  strata : stratum list;
+  edb : string list;
+  idb : string list;
+  arities : (string * int) list;
+  aggregated : (string * (int * Ast.agg_kind)) list;
+}
+
+let recursion_kind_to_string = function
+  | Nonrecursive -> "nonrecursive"
+  | Linear -> "linear"
+  | Nonlinear -> "nonlinear"
+  | Mutual -> "mutual"
+
+exception Static_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Static_error s)) fmt
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+(* --- arity collection --- *)
+
+let collect_arities (p : Ast.program) =
+  let add name arity where arities =
+    match Smap.find_opt name arities with
+    | None -> Smap.add name arity arities
+    | Some a when a = arity -> arities
+    | Some a -> fail "predicate %s used with arity %d and %d (%s)" name a arity where
+  in
+  List.fold_left
+    (fun arities (r : Ast.rule) ->
+      let arities = add r.head_pred (Ast.head_arity r) (Ast.rule_to_string r) arities in
+      List.fold_left
+        (fun arities lit ->
+          match lit with
+          | Ast.Pos a | Ast.Neg_lit a ->
+            add a.pred (List.length a.args) (Ast.rule_to_string r) arities
+          | Ast.Cmp _ -> arities)
+        arities r.body)
+    Smap.empty p.rules
+
+(* --- safety --- *)
+
+let check_safety (r : Ast.rule) =
+  let bound = ref Sset.empty in
+  let bind v = bound := Sset.add v !bound in
+  List.iter
+    (function
+      | Ast.Pos a -> List.iter (fun t -> List.iter bind (Ast.vars_of_term t)) a.Ast.args
+      | Ast.Neg_lit _ | Ast.Cmp _ -> ())
+    r.body;
+  (* assignment chains: X = expr with all of expr's vars bound binds X *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (function
+        | Ast.Cmp (Ast.Eq, lhs, rhs) ->
+          let try_bind target source =
+            match target with
+            | Ast.Term (Ast.Var x) when not (Sset.mem x !bound) ->
+              if List.for_all (fun v -> Sset.mem v !bound) (Ast.vars_of_expr source) then begin
+                bind x;
+                changed := true
+              end
+            | _ -> ()
+          in
+          try_bind lhs rhs;
+          try_bind rhs lhs
+        | Ast.Cmp _ | Ast.Pos _ | Ast.Neg_lit _ -> ())
+      r.body
+  done;
+  let require where v =
+    if not (Sset.mem v !bound) then
+      fail "unsafe rule: variable %s in %s is not bound by any positive body atom (%s)" v where
+        (Ast.rule_to_string r)
+  in
+  List.iter (fun arg -> List.iter (require "head") (Ast.vars_of_head_arg arg)) r.head_args;
+  List.iter
+    (function
+      | Ast.Neg_lit a ->
+        List.iter (fun t -> List.iter (require "negated atom") (Ast.vars_of_term t)) a.Ast.args
+      | Ast.Cmp (_, lhs, rhs) ->
+        List.iter (require "comparison") (Ast.vars_of_expr lhs @ Ast.vars_of_expr rhs)
+      | Ast.Pos _ -> ())
+    r.body
+
+(* --- dependency graph and Tarjan SCC --- *)
+
+let dependency_graph (p : Ast.program) =
+  List.fold_left
+    (fun g (r : Ast.rule) ->
+      let deps =
+        List.filter_map
+          (function Ast.Pos a | Ast.Neg_lit a -> Some a.Ast.pred | Ast.Cmp _ -> None)
+          r.body
+      in
+      let old = match Smap.find_opt r.head_pred g with Some l -> l | None -> [] in
+      Smap.add r.head_pred (deps @ old) g)
+    Smap.empty p.rules
+
+(* Tarjan's algorithm; emits SCCs dependencies-first, which is exactly
+   the bottom-up evaluation order of strata. *)
+let sccs graph all_preds =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    let succs = match Smap.find_opt v graph with Some l -> l | None -> [] in
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      succs;
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) all_preds;
+  List.rev !out
+
+(* --- aggregate well-formedness --- *)
+
+let collect_aggregates (p : Ast.program) =
+  List.fold_left
+    (fun aggs (r : Ast.rule) ->
+      let this =
+        try Ast.agg_of_rule r
+        with Invalid_argument _ ->
+          fail "rule has multiple aggregates in its head (%s)" (Ast.rule_to_string r)
+      in
+      match (Smap.find_opt r.head_pred aggs, this) with
+      | None, None -> aggs
+      | None, Some a -> (
+        (* reject if an earlier rule for this pred had no aggregate *)
+        match
+          List.find_opt
+            (fun (r' : Ast.rule) ->
+              String.equal r'.head_pred r.head_pred && Ast.agg_of_rule r' = None)
+            p.rules
+        with
+        | Some r' ->
+          fail "predicate %s mixes aggregate and plain heads (%s)" r.head_pred
+            (Ast.rule_to_string r')
+        | None -> Smap.add r.head_pred a aggs)
+      | Some _, None ->
+        fail "predicate %s mixes aggregate and plain heads (%s)" r.head_pred
+          (Ast.rule_to_string r)
+      | Some a, Some a' ->
+        if a <> a' then
+          fail "predicate %s has inconsistent aggregates across rules" r.head_pred;
+        aggs)
+    Smap.empty p.rules
+
+(* --- putting it together --- *)
+
+let stratum_rules (p : Ast.program) members =
+  let member_set = Sset.of_list members in
+  let mine = List.filter (fun (r : Ast.rule) -> Sset.mem r.head_pred member_set) p.rules in
+  List.partition
+    (fun (r : Ast.rule) ->
+      not
+        (List.exists
+           (fun (a : Ast.atom) -> Sset.mem a.pred member_set)
+           (Ast.body_atoms r)))
+    mine
+
+let classify members recursive_rules =
+  let member_set = Sset.of_list members in
+  if recursive_rules = [] then Nonrecursive
+  else if List.length members > 1 then Mutual
+  else
+    let nonlinear =
+      List.exists
+        (fun (r : Ast.rule) ->
+          let rec_atoms =
+            List.filter (fun (a : Ast.atom) -> Sset.mem a.pred member_set) (Ast.body_atoms r)
+          in
+          List.length rec_atoms >= 2)
+        recursive_rules
+    in
+    if nonlinear then Nonlinear else Linear
+
+let check_negation_stratified (p : Ast.program) scc_of_pred =
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter
+        (function
+          | Ast.Neg_lit a ->
+            if Smap.find_opt a.Ast.pred scc_of_pred = Smap.find_opt r.head_pred scc_of_pred
+            then
+              fail "negation of %s inside its own recursion is not supported (%s)" a.Ast.pred
+                (Ast.rule_to_string r)
+          | Ast.Pos _ | Ast.Cmp _ -> ())
+        r.body)
+    p.rules
+
+let analyze (p : Ast.program) =
+  try
+    let arities = collect_arities p in
+    List.iter check_safety p.rules;
+    let aggs = collect_aggregates p in
+    let heads = List.map (fun (r : Ast.rule) -> r.head_pred) p.rules in
+    let head_set = Sset.of_list heads in
+    let all_preds = Smap.bindings arities |> List.map fst in
+    let edb = List.filter (fun pr -> not (Sset.mem pr head_set)) all_preds in
+    let idb = List.filter (fun pr -> Sset.mem pr head_set) all_preds in
+    let graph = dependency_graph p in
+    let components = sccs graph all_preds in
+    let scc_of_pred =
+      List.fold_left
+        (fun m (i, comp) -> List.fold_left (fun m pr -> Smap.add pr i m) m comp)
+        Smap.empty
+        (List.mapi (fun i c -> (i, c)) components)
+    in
+    check_negation_stratified p scc_of_pred;
+    let strata =
+      List.filter_map
+        (fun members ->
+          let members = List.sort String.compare members in
+          let base_rules, recursive_rules = stratum_rules p members in
+          if base_rules = [] && recursive_rules = [] then None (* pure EDB component *)
+          else begin
+            (* a single pred with a self-loop is recursive even if
+               stratum_rules put everything in [recursive_rules] *)
+            let kind = classify members recursive_rules in
+            (if kind <> Nonrecursive then
+               List.iter
+                 (fun (r : Ast.rule) ->
+                   List.iter
+                     (function
+                       | Ast.Neg_lit a when List.mem a.Ast.pred members ->
+                         fail "negation inside recursion (%s)" (Ast.rule_to_string r)
+                       | _ -> ())
+                     r.body)
+                 recursive_rules);
+            Some { preds = members; kind; base_rules; recursive_rules }
+          end)
+        components
+    in
+    Ok
+      {
+        program = p;
+        strata;
+        edb;
+        idb;
+        arities = Smap.bindings arities;
+        aggregated = Smap.bindings aggs;
+      }
+  with Static_error msg -> Error msg
+
+let stratum_of_pred info pred = List.find_opt (fun s -> List.mem pred s.preds) info.strata
+
+let is_recursive_atom stratum (a : Ast.atom) = List.mem a.pred stratum.preds

@@ -1,0 +1,45 @@
+(** Static analysis of Datalog programs (paper §3, Query Processor).
+
+    Builds the predicate dependency graph, computes its strongly
+    connected components (Tarjan) to obtain an evaluation order of
+    strata, classifies each stratum's recursion (paper §4.3), and
+    performs the safety / stratification / aggregate well-formedness
+    checks that the planner relies on. *)
+
+type recursion_kind =
+  | Nonrecursive
+  | Linear (** single recursive predicate, one recursive atom per rule body *)
+  | Nonlinear (** some rule has ≥ 2 recursive atoms (e.g. APSP) *)
+  | Mutual (** ≥ 2 predicates recurring through each other (e.g. Attend) *)
+
+type stratum = {
+  preds : string list; (** SCC members, deterministically ordered *)
+  kind : recursion_kind;
+  base_rules : Ast.rule list;
+      (** rules for these heads with no body atom in this stratum *)
+  recursive_rules : Ast.rule list;
+}
+
+type info = {
+  program : Ast.program;
+  strata : stratum list; (** bottom-up evaluation order *)
+  edb : string list; (** predicates with no defining rules *)
+  idb : string list;
+  arities : (string * int) list;
+  aggregated : (string * (int * Ast.agg_kind)) list;
+      (** aggregate head predicates with the aggregate position/kind *)
+}
+
+val analyze : Ast.program -> (info, string) result
+(** All static errors are reported as [Error msg]:
+    arity inconsistencies, unsafe rules (head or comparison variables
+    not bound by any positive body atom or assignment chain), negation
+    inside a recursive stratum, inconsistent or multiple aggregates,
+    and aggregates mixed with plain rules for the same predicate. *)
+
+val recursion_kind_to_string : recursion_kind -> string
+
+val stratum_of_pred : info -> string -> stratum option
+
+val is_recursive_atom : stratum -> Ast.atom -> bool
+(** Whether an atom refers to a predicate of this stratum. *)

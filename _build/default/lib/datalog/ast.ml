@@ -1,0 +1,160 @@
+type term =
+  | Var of string
+  | Int of int
+  | Sym of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+type expr =
+  | Term of term
+  | Binop of binop * expr * expr
+  | Neg of expr
+
+type cmp_op =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type agg_kind =
+  | Min
+  | Max
+  | Count
+  | Sum
+
+type head_arg =
+  | Plain of term
+  | Agg of agg_kind * term list
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type literal =
+  | Pos of atom
+  | Neg_lit of atom
+  | Cmp of cmp_op * expr * expr
+
+type rule = {
+  head_pred : string;
+  head_args : head_arg list;
+  body : literal list;
+}
+
+type program = {
+  rules : rule list;
+}
+
+let vars_of_term = function
+  | Var v -> [ v ]
+  | Int _ | Sym _ -> []
+
+let rec vars_of_expr = function
+  | Term t -> vars_of_term t
+  | Binop (_, a, b) -> vars_of_expr a @ vars_of_expr b
+  | Neg e -> vars_of_expr e
+
+let vars_of_atom a = List.concat_map vars_of_term a.args
+
+let vars_of_literal = function
+  | Pos a | Neg_lit a -> vars_of_atom a
+  | Cmp (_, a, b) -> vars_of_expr a @ vars_of_expr b
+
+let vars_of_head_arg = function
+  | Plain t -> vars_of_term t
+  | Agg (_, ts) -> List.concat_map vars_of_term ts
+
+let body_atoms r =
+  List.filter_map (function Pos a -> Some a | Neg_lit _ | Cmp _ -> None) r.body
+
+let head_arity r = List.length r.head_args
+
+let is_fact r =
+  r.body = [] && List.for_all (fun arg -> vars_of_head_arg arg = []) r.head_args
+
+let agg_of_rule r =
+  let aggs =
+    List.filteri (fun _ arg -> match arg with Agg _ -> true | Plain _ -> false)
+      r.head_args
+  in
+  match aggs with
+  | [] -> None
+  | [ _ ] ->
+    let rec find i = function
+      | [] -> assert false
+      | Agg (k, _) :: _ -> (i, k)
+      | Plain _ :: rest -> find (i + 1) rest
+    in
+    Some (find 0 r.head_args)
+  | _ -> invalid_arg "agg_of_rule: multiple aggregates in one head"
+
+(* --- pretty printing --- *)
+
+let pp_term fmt = function
+  | Var v -> Format.pp_print_string fmt v
+  | Int i -> Format.pp_print_int fmt i
+  | Sym s -> Format.pp_print_string fmt s
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let rec pp_expr fmt = function
+  | Term t -> pp_term fmt t
+  | Binop (op, a, b) -> Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Neg e -> Format.fprintf fmt "(-%a)" pp_expr e
+
+let cmp_str = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let agg_str = function
+  | Min -> "min"
+  | Max -> "max"
+  | Count -> "count"
+  | Sum -> "sum"
+
+let pp_terms fmt ts =
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_term fmt ts
+
+let pp_atom fmt a = Format.fprintf fmt "%s(%a)" a.pred pp_terms a.args
+
+let pp_head_arg fmt = function
+  | Plain t -> pp_term fmt t
+  | Agg (k, [ t ]) -> Format.fprintf fmt "%s<%a>" (agg_str k) pp_term t
+  | Agg (k, ts) -> Format.fprintf fmt "%s<(%a)>" (agg_str k) pp_terms ts
+
+let pp_literal fmt = function
+  | Pos a -> pp_atom fmt a
+  | Neg_lit a -> Format.fprintf fmt "!%a" pp_atom a
+  | Cmp (op, a, b) -> Format.fprintf fmt "%a %s %a" pp_expr a (cmp_str op) pp_expr b
+
+let pp_rule fmt r =
+  let pp_head_args fmt args =
+    Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_head_arg fmt args
+  in
+  if r.body = [] then Format.fprintf fmt "%s(%a)." r.head_pred pp_head_args r.head_args
+  else
+    Format.fprintf fmt "%s(%a) <- %a." r.head_pred pp_head_args r.head_args
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_literal)
+      r.body
+
+let pp_program fmt p =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_rule fmt p.rules
+
+let rule_to_string r = Format.asprintf "%a" pp_rule r

@@ -1,0 +1,99 @@
+(** Abstract syntax of DCDatalog programs (paper §2.1).
+
+    Conventions follow classical Datalog: identifiers starting with an
+    uppercase letter (or [_]) are variables, lowercase identifiers are
+    symbolic constants (interned to integers at compile time, or bound
+    as runtime parameters like [start] in the SSSP query), and integer
+    literals are themselves.  Aggregates ([min]/[max]/[count]/[sum])
+    may appear only in rule heads and may be used freely in recursion —
+    the engine evaluates them with monotone semantics (§4.3, §6.2). *)
+
+type term =
+  | Var of string
+  | Int of int
+  | Sym of string (** lowercase symbolic constant or runtime parameter *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+type expr =
+  | Term of term
+  | Binop of binop * expr * expr
+  | Neg of expr
+
+type cmp_op =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type agg_kind =
+  | Min
+  | Max
+  | Count
+  | Sum
+
+type head_arg =
+  | Plain of term
+  | Agg of agg_kind * term list
+      (** [Agg (Sum, [c1; ...; ck; v])]: value [v], contributor key
+          [c1..ck] (replaceable partial values, see {!Dcd_storage.Agg_table}).
+          [Count]: all terms form the contributor. [Min]/[Max]: single
+          value term. *)
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type literal =
+  | Pos of atom
+  | Neg_lit of atom (** stratified negation; rejected inside recursion *)
+  | Cmp of cmp_op * expr * expr
+      (** [Cmp (Eq, Term (Var x), e)] doubles as an assignment when [x]
+          is unbound — the planner decides. *)
+
+type rule = {
+  head_pred : string;
+  head_args : head_arg list;
+  body : literal list;
+}
+
+type program = {
+  rules : rule list;
+}
+
+val vars_of_term : term -> string list
+
+val vars_of_expr : expr -> string list
+
+val vars_of_literal : literal -> string list
+
+val vars_of_head_arg : head_arg -> string list
+
+val body_atoms : rule -> atom list
+(** Positive atoms of the body, in order. *)
+
+val head_arity : rule -> int
+
+val is_fact : rule -> bool
+(** A rule with an empty body and no variables. *)
+
+val agg_of_rule : rule -> (int * agg_kind) option
+(** Position and kind of the aggregate head argument, if any.
+    @raise Invalid_argument if a head has more than one aggregate. *)
+
+(** {1 Pretty printing} *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_literal : Format.formatter -> literal -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit
+val rule_to_string : rule -> string

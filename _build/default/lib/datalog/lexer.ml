@@ -1,0 +1,238 @@
+type token =
+  | IDENT of string
+  | UVAR of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | ARROW
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT_OP
+  | BANG
+  | EOF
+
+exception Lex_error of string
+
+type spanned = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | UVAR s -> Printf.sprintf "variable %s" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | ARROW -> "<-"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ -> "="
+  | NE -> "!="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT_OP -> "%%"
+  | BANG -> "!"
+  | EOF -> "end of input"
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let peek2 c = if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+    c.line <- c.line + 1;
+    c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.pos <- c.pos + 1
+
+let error c msg = raise (Lex_error (Printf.sprintf "line %d, col %d: %s" c.line c.col msg))
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident ch = is_ident_start ch || is_digit ch
+
+let rec skip_trivia c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_trivia c
+  | Some '%' when peek2 c <> Some '%' ->
+    while peek c <> None && peek c <> Some '\n' do
+      advance c
+    done;
+    skip_trivia c
+  | Some '/' when peek2 c = Some '/' ->
+    while peek c <> None && peek c <> Some '\n' do
+      advance c
+    done;
+    skip_trivia c
+  | Some '/' when peek2 c = Some '*' ->
+    advance c;
+    advance c;
+    let rec close () =
+      match peek c with
+      | None -> error c "unterminated comment"
+      | Some '*' when peek2 c = Some '/' ->
+        advance c;
+        advance c
+      | Some _ ->
+        advance c;
+        close ()
+    in
+    close ();
+    skip_trivia c
+  | _ -> ()
+
+let lex_word c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_ident ch | None -> false) do
+    advance c
+  done;
+  String.sub c.src start (c.pos - start)
+
+let lex_int c =
+  let start = c.pos in
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  int_of_string (String.sub c.src start (c.pos - start))
+
+let lex_string c =
+  advance c;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> error c "unterminated string literal"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance c;
+        loop ()
+      | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        loop ()
+      | None -> error c "unterminated escape")
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let next_token c =
+  skip_trivia c;
+  let line = c.line and col = c.col in
+  let mk tok = { tok; line; col } in
+  match peek c with
+  | None -> mk EOF
+  | Some ch when is_digit ch -> mk (INT (lex_int c))
+  | Some ch when is_ident_start ch ->
+    let w = lex_word c in
+    if (ch >= 'A' && ch <= 'Z') || ch = '_' then mk (UVAR w) else mk (IDENT w)
+  | Some '"' -> mk (STRING (lex_string c))
+  | Some '(' ->
+    advance c;
+    mk LPAREN
+  | Some ')' ->
+    advance c;
+    mk RPAREN
+  | Some ',' ->
+    advance c;
+    mk COMMA
+  | Some '.' ->
+    advance c;
+    mk DOT
+  | Some ':' when peek2 c = Some '-' ->
+    advance c;
+    advance c;
+    mk ARROW
+  | Some '<' when peek2 c = Some '-' ->
+    advance c;
+    advance c;
+    mk ARROW
+  | Some '<' when peek2 c = Some '=' ->
+    advance c;
+    advance c;
+    mk LE
+  | Some '<' ->
+    advance c;
+    mk LT
+  | Some '>' when peek2 c = Some '=' ->
+    advance c;
+    advance c;
+    mk GE
+  | Some '>' ->
+    advance c;
+    mk GT
+  | Some '=' ->
+    advance c;
+    mk EQ
+  | Some '!' when peek2 c = Some '=' ->
+    advance c;
+    advance c;
+    mk NE
+  | Some '!' ->
+    advance c;
+    mk BANG
+  | Some '+' ->
+    advance c;
+    mk PLUS
+  | Some '-' ->
+    advance c;
+    mk MINUS
+  | Some '*' ->
+    advance c;
+    mk STAR
+  | Some '/' ->
+    advance c;
+    mk SLASH
+  | Some '%' when peek2 c = Some '%' ->
+    advance c;
+    advance c;
+    mk PERCENT_OP
+  | Some ch -> error c (Printf.sprintf "unexpected character %C" ch)
+
+let tokenize src =
+  let c = { src; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let t = next_token c in
+    if t.tok = EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

@@ -1,0 +1,45 @@
+(** Tokenizer for Datalog source.
+
+    Comments run from [%] or [//] to end of line, or between [/*] and
+    [*/].  Identifiers beginning with an uppercase letter or [_] are
+    variables; lowercase identifiers are predicate names, symbolic
+    constants, or aggregate keywords depending on context (the parser
+    decides). *)
+
+type token =
+  | IDENT of string
+  | UVAR of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | ARROW (** [:-] or [<-] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT_OP (** the [mod] operator spelled [%%] *)
+  | BANG
+  | EOF
+
+exception Lex_error of string
+(** Message includes 1-based line and column. *)
+
+type spanned = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+val tokenize : string -> spanned list
+(** @raise Lex_error on malformed input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,258 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = {
+  toks : spanned array;
+  mutable pos : int;
+  mutable fresh : int; (* wildcard counter *)
+}
+
+let cur st = st.toks.(st.pos)
+
+let err st msg =
+  let s = cur st in
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d, col %d: %s (found %s)" s.line s.col msg (token_to_string s.tok)))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let eat st tok =
+  if (cur st).tok = tok then advance st
+  else err st (Printf.sprintf "expected %s" (token_to_string tok))
+
+let fresh_wildcard st =
+  let v = Printf.sprintf "_$%d" st.fresh in
+  st.fresh <- st.fresh + 1;
+  v
+
+let parse_term st =
+  match (cur st).tok with
+  | UVAR "_" ->
+    advance st;
+    Ast.Var (fresh_wildcard st)
+  | UVAR v ->
+    advance st;
+    Ast.Var v
+  | INT i ->
+    advance st;
+    Ast.Int i
+  | IDENT s ->
+    advance st;
+    Ast.Sym s
+  | STRING s ->
+    advance st;
+    Ast.Sym s
+  | MINUS -> (
+    advance st;
+    match (cur st).tok with
+    | INT i ->
+      advance st;
+      Ast.Int (-i)
+    | _ -> err st "expected integer after unary minus")
+  | _ -> err st "expected term"
+
+(* --- arithmetic expressions --- *)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec loop () =
+    match (cur st).tok with
+    | PLUS ->
+      advance st;
+      lhs := Ast.Binop (Ast.Add, !lhs, parse_multiplicative st);
+      loop ()
+    | MINUS ->
+      advance st;
+      lhs := Ast.Binop (Ast.Sub, !lhs, parse_multiplicative st);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    match (cur st).tok with
+    | STAR ->
+      advance st;
+      lhs := Ast.Binop (Ast.Mul, !lhs, parse_unary st);
+      loop ()
+    | SLASH ->
+      advance st;
+      lhs := Ast.Binop (Ast.Div, !lhs, parse_unary st);
+      loop ()
+    | PERCENT_OP ->
+      advance st;
+      lhs := Ast.Binop (Ast.Mod, !lhs, parse_unary st);
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  match (cur st).tok with
+  | MINUS ->
+    advance st;
+    Ast.Neg (parse_unary st)
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    eat st RPAREN;
+    e
+  | _ -> Ast.Term (parse_term st)
+
+(* --- atoms and literals --- *)
+
+let parse_term_list st =
+  let rec loop acc =
+    let t = parse_term st in
+    match (cur st).tok with
+    | COMMA ->
+      advance st;
+      loop (t :: acc)
+    | _ -> List.rev (t :: acc)
+  in
+  loop []
+
+let parse_atom_args st =
+  if (cur st).tok = LPAREN then begin
+    advance st;
+    let args = parse_term_list st in
+    eat st RPAREN;
+    args
+  end
+  else []
+
+let parse_atom st name =
+  { Ast.pred = name; args = parse_atom_args st }
+
+let cmp_of_token = function
+  | EQ -> Some Ast.Eq
+  | NE -> Some Ast.Ne
+  | LT -> Some Ast.Lt
+  | LE -> Some Ast.Le
+  | GT -> Some Ast.Gt
+  | GE -> Some Ast.Ge
+  | _ -> None
+
+let parse_literal st =
+  match (cur st).tok with
+  | BANG -> (
+    advance st;
+    match (cur st).tok with
+    | IDENT name ->
+      advance st;
+      Ast.Neg_lit (parse_atom st name)
+    | _ -> err st "expected predicate after '!'")
+  | IDENT name when st.toks.(st.pos + 1).tok = LPAREN ->
+    advance st;
+    Ast.Pos (parse_atom st name)
+  | _ -> (
+    let lhs = parse_expr st in
+    match cmp_of_token (cur st).tok with
+    | Some op ->
+      advance st;
+      let rhs = parse_expr st in
+      Ast.Cmp (op, lhs, rhs)
+    | None -> (
+      (* a bare 0-arity atom like [flag] *)
+      match lhs with
+      | Ast.Term (Ast.Sym name) -> Ast.Pos { Ast.pred = name; args = [] }
+      | _ -> err st "expected comparison operator"))
+
+(* --- heads --- *)
+
+let agg_kind_of_name = function
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | _ -> None
+
+let parse_head_arg st =
+  match (cur st).tok with
+  | IDENT name
+    when agg_kind_of_name name <> None && st.toks.(st.pos + 1).tok = LT -> (
+    let kind = Option.get (agg_kind_of_name name) in
+    advance st;
+    eat st LT;
+    let terms =
+      if (cur st).tok = LPAREN then begin
+        advance st;
+        let ts = parse_term_list st in
+        eat st RPAREN;
+        ts
+      end
+      else [ parse_term st ]
+    in
+    eat st GT;
+    match (kind, terms) with
+    | (Ast.Min | Ast.Max), _ :: _ :: _ ->
+      err st "min/max aggregate takes a single term"
+    | _ -> Ast.Agg (kind, terms))
+  | _ -> Ast.Plain (parse_term st)
+
+let parse_head st =
+  match (cur st).tok with
+  | IDENT name ->
+    advance st;
+    let args =
+      if (cur st).tok = LPAREN then begin
+        advance st;
+        let rec loop acc =
+          let a = parse_head_arg st in
+          match (cur st).tok with
+          | COMMA ->
+            advance st;
+            loop (a :: acc)
+          | _ -> List.rev (a :: acc)
+        in
+        let args = loop [] in
+        eat st RPAREN;
+        args
+      end
+      else []
+    in
+    (name, args)
+  | _ -> err st "expected rule head predicate"
+
+let parse_rule_inner st =
+  let head_pred, head_args = parse_head st in
+  let body =
+    if (cur st).tok = ARROW then begin
+      advance st;
+      let rec loop acc =
+        let l = parse_literal st in
+        match (cur st).tok with
+        | COMMA ->
+          advance st;
+          loop (l :: acc)
+        | _ -> List.rev (l :: acc)
+      in
+      loop []
+    end
+    else []
+  in
+  eat st DOT;
+  { Ast.head_pred; head_args; body }
+
+let make_state src = { toks = Array.of_list (tokenize src); pos = 0; fresh = 0 }
+
+let parse_program src =
+  let st = make_state src in
+  let rec loop acc =
+    if (cur st).tok = EOF then List.rev acc else loop (parse_rule_inner st :: acc)
+  in
+  { Ast.rules = loop [] }
+
+let parse_rule src =
+  let st = make_state src in
+  let r = parse_rule_inner st in
+  if (cur st).tok <> EOF then err st "trailing input after rule";
+  r

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for Datalog programs.
+
+    Grammar (informal):
+    {v
+    program  ::= rule*
+    rule     ::= head ((":-" | "<-") body)? "."
+    head     ::= ident ["(" head_arg ("," head_arg)* ")"]
+    head_arg ::= agg | term
+    agg      ::= ("min"|"max"|"count"|"sum") "<" agg_body ">"
+    agg_body ::= term | "(" term ("," term)* ")"
+    body     ::= literal ("," literal)*
+    literal  ::= "!" atom | atom | expr cmp expr
+    cmp      ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+    expr     ::= additive arithmetic over terms ("+ - * / %%")
+    term     ::= VARIABLE | integer | ident | string | "-" integer
+    v}
+
+    An uppercase/underscore-initial identifier is a variable; [_] is a
+    wildcard (each occurrence becomes a fresh variable).  Lowercase
+    identifiers in term position are symbolic constants (e.g. the
+    [start] parameter of SSSP). *)
+
+exception Parse_error of string
+(** Message includes 1-based line and column. *)
+
+val parse_program : string -> Ast.program
+(** @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_rule : string -> Ast.rule
+(** Parses a single rule (trailing dot required). *)

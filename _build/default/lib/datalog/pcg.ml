@@ -1,0 +1,71 @@
+type t =
+  | Or_pred of {
+      pred : string;
+      recursive : bool;
+      alternatives : and_node list;
+    }
+  | Edb_leaf of string
+  | Rec_ref of string
+
+and and_node = {
+  rule : Ast.rule;
+  children : t list;
+}
+
+module Sset = Set.Make (String)
+
+let of_program (info : Analysis.info) ~root =
+  if not (List.mem_assoc root info.arities) then
+    invalid_arg (Printf.sprintf "Pcg.of_program: unknown predicate %s" root);
+  let rules_for pred =
+    List.filter (fun (r : Ast.rule) -> String.equal r.head_pred pred) info.program.rules
+  in
+  let rec build pred ancestors =
+    if Sset.mem pred ancestors then Rec_ref pred
+    else if List.mem pred info.edb then Edb_leaf pred
+    else begin
+      let ancestors = Sset.add pred ancestors in
+      let recursive =
+        match Analysis.stratum_of_pred info pred with
+        | Some s -> s.kind <> Analysis.Nonrecursive
+        | None -> false
+      in
+      let alternatives =
+        List.map
+          (fun (r : Ast.rule) ->
+            let children =
+              List.map (fun (a : Ast.atom) -> build a.pred ancestors) (Ast.body_atoms r)
+            in
+            { rule = r; children })
+          (rules_for pred)
+      in
+      Or_pred { pred; recursive; alternatives }
+    end
+  in
+  build root Sset.empty
+
+let roots (info : Analysis.info) =
+  let referenced =
+    List.concat_map
+      (fun (r : Ast.rule) -> List.map (fun (a : Ast.atom) -> a.pred) (Ast.body_atoms r))
+      info.program.rules
+  in
+  List.filter (fun pred -> not (List.mem pred referenced)) info.idb
+
+let rec pp fmt = function
+  | Edb_leaf pred -> Format.fprintf fmt "edb:%s" pred
+  | Rec_ref pred -> Format.fprintf fmt "rec:%s" pred
+  | Or_pred { pred; recursive; alternatives } ->
+    Format.fprintf fmt "@[<v 2>OR %s%s" pred (if recursive then " (recursive)" else "");
+    List.iter
+      (fun alt ->
+        Format.fprintf fmt "@,@[<v 2>AND %s" (Ast.rule_to_string alt.rule);
+        List.iter (fun child -> Format.fprintf fmt "@,%a" pp child) alt.children;
+        Format.fprintf fmt "@]")
+      alternatives;
+    Format.fprintf fmt "@]"
+
+let rec size = function
+  | Edb_leaf _ | Rec_ref _ -> 1
+  | Or_pred { alternatives; _ } ->
+    1 + List.fold_left (fun acc alt -> acc + 1 + List.fold_left (fun a c -> a + size c) 0 alt.children) 0 alternatives

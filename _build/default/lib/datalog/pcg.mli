@@ -1,0 +1,32 @@
+(** Predicate Connection Graph as an AND/OR tree (paper §3, §5.1).
+
+    The OR level enumerates the alternative rules defining a predicate;
+    the AND level enumerates the body atoms of one rule.  Recursive
+    references back to an ancestor predicate are cut with {!Rec_ref}
+    markers, which is how the planner recognizes the fixpoint loops. *)
+
+type t =
+  | Or_pred of {
+      pred : string;
+      recursive : bool; (** belongs to a recursive stratum *)
+      alternatives : and_node list;
+    }
+  | Edb_leaf of string
+  | Rec_ref of string (** back edge to an ancestor OR node *)
+
+and and_node = {
+  rule : Ast.rule;
+  children : t list;
+}
+
+val of_program : Analysis.info -> root:string -> t
+(** The AND/OR tree rooted at predicate [root].
+    @raise Invalid_argument if [root] is unknown. *)
+
+val roots : Analysis.info -> string list
+(** Predicates no other rule depends on — the natural tree roots. *)
+
+val pp : Format.formatter -> t -> unit
+
+val size : t -> int
+(** Number of nodes, for diagnostics. *)

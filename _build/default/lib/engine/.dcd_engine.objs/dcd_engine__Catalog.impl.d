@@ -1,0 +1,1 @@
+lib/engine/catalog.ml: Dcd_storage Dcd_util List Printf

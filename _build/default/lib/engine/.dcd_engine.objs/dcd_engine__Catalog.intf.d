@@ -1,0 +1,1 @@
+lib/engine/catalog.mli: Dcd_storage Dcd_util

@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Dcd_planner Dcd_storage Dcd_util Physical

@@ -1,0 +1,1 @@
+lib/engine/exist_cache.ml: Dcd_storage Hashtbl

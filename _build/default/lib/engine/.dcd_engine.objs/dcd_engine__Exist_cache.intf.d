@@ -1,0 +1,1 @@
+lib/engine/exist_cache.mli: Dcd_storage

@@ -1,0 +1,1 @@
+lib/engine/naive.ml: Analysis Array Ast Dcd_datalog Dcd_planner Dcd_storage Dcd_util Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/engine/naive.mli: Ast Dcd_datalog

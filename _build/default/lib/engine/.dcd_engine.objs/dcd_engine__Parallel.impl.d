@@ -1,0 +1,1 @@
+lib/engine/parallel.ml: Array Atomic Catalog Coord Dcd_concurrent Dcd_datalog Dcd_planner Dcd_storage Dcd_util Eval Float Hashtbl List Option Physical Printf Qmodel Rec_store Run_stats String Unix

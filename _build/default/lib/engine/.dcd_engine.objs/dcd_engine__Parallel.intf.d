@@ -1,0 +1,1 @@
+lib/engine/parallel.mli: Catalog Coord Dcd_planner Dcd_storage Dcd_util Rec_store Run_stats

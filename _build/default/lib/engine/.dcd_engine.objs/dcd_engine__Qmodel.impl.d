@@ -1,0 +1,1 @@
+lib/engine/qmodel.ml: Array Dcd_util Float

@@ -1,0 +1,1 @@
+lib/engine/rec_store.ml: Array Ast Dcd_btree Dcd_datalog Dcd_storage Exist_cache Option

@@ -1,0 +1,1 @@
+lib/engine/rec_store.mli: Ast Dcd_datalog Dcd_storage

@@ -1,0 +1,1 @@
+lib/engine/run_stats.ml: Array Format List String

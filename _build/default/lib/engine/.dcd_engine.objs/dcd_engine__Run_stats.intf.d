@@ -1,0 +1,1 @@
+lib/engine/run_stats.mli: Format

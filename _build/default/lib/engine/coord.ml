@@ -1,0 +1,19 @@
+type dws_opts = {
+  tau_cap : float;
+  poll_interval : float;
+  decay : float;
+}
+
+let default_dws = { tau_cap = 0.01; poll_interval = 0.0002; decay = 0.98 }
+
+type t =
+  | Global
+  | Ssp of int
+  | Dws of dws_opts
+
+let dws = Dws default_dws
+
+let to_string = function
+  | Global -> "global"
+  | Ssp s -> Printf.sprintf "ssp(%d)" s
+  | Dws _ -> "dws"

@@ -1,0 +1,31 @@
+(** Coordination strategies for parallel semi-naive evaluation (paper §4).
+
+    - [Global]: Algorithm 1 — a barrier after every global iteration.
+      This is the DeALS-MC-style baseline; fast workers idle at the
+      barrier until the slowest finishes.
+    - [Ssp s]: the stale-synchronous extension — a worker may run up to
+      [s] local iterations ahead of the slowest active worker before
+      blocking.
+    - [Dws]: the paper's contribution (Algorithm 2) — no global
+      coordination at all; each worker decides locally, from the
+      queueing model ({!Qmodel}), whether to wait up to [τ_i] for its
+      pending delta to reach [ω_i] tuples or to proceed immediately. *)
+
+type dws_opts = {
+  tau_cap : float; (** hard cap on a single wait, seconds (deadlock-avoidance
+                       timeout of Algorithm 2, line 7) *)
+  poll_interval : float; (** sleep between re-checks while waiting, seconds *)
+  decay : float; (** per-iteration exponential forgetting of statistics *)
+}
+
+val default_dws : dws_opts
+
+type t =
+  | Global
+  | Ssp of int
+  | Dws of dws_opts
+
+val dws : t
+(** [Dws default_dws]. *)
+
+val to_string : t -> string

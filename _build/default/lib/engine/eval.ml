@@ -1,0 +1,106 @@
+open Dcd_planner
+module Tuple = Dcd_storage.Tuple
+module Hash_index = Dcd_storage.Hash_index
+module Vec = Dcd_util.Vec
+
+type context = {
+  base_iter : string -> (Tuple.t -> unit) -> unit;
+  base_index : string -> int array -> Hash_index.t;
+  rec_matches : pred:string -> route:int array -> key:int array -> (Tuple.t -> unit) -> unit;
+}
+
+type emit = tuple:Tuple.t -> contributor:Tuple.t -> unit
+
+exception Found
+
+let src_value regs = function
+  | Physical.Const c -> c
+  | Physical.Reg r -> Array.unsafe_get regs r
+
+let checks_pass regs (tup : Tuple.t) checks =
+  let n = Array.length checks in
+  let rec loop i =
+    i = n
+    ||
+    let col, src = Array.unsafe_get checks i in
+    tup.(col) = src_value regs src && loop (i + 1)
+  in
+  loop 0
+
+let apply_binds regs (tup : Tuple.t) binds =
+  Array.iter (fun (col, r) -> regs.(r) <- tup.(col)) binds
+
+let key_of regs key_src = Array.map (src_value regs) key_src
+
+let run (cr : Physical.compiled_rule) ctx ~scan ~emit =
+  let regs = Array.make (max 1 cr.nregs) 0 in
+  let nsteps = Array.length cr.steps in
+  let rec step k =
+    if k = nsteps then begin
+      let tuple = Array.map (src_value regs) cr.head.args in
+      let contributor =
+        match cr.head.agg with
+        | Some (_, _, contrib) when Array.length contrib > 0 -> Array.map (src_value regs) contrib
+        | _ -> [||]
+      in
+      emit ~tuple ~contributor
+    end
+    else begin
+      match Array.unsafe_get cr.steps k with
+      | Physical.Filter { op; lhs; rhs } -> (
+        match (Physical.eval_code lhs regs, Physical.eval_code rhs regs) with
+        | x, y -> if Physical.eval_cmp op x y then step (k + 1)
+        | exception Division_by_zero -> ())
+      | Physical.Compute { reg; code } -> (
+        match Physical.eval_code code regs with
+        | v ->
+          regs.(reg) <- v;
+          step (k + 1)
+        | exception Division_by_zero -> ())
+      | Physical.Lookup { rel; key_cols; key_src; binds; checks; negated; _ } -> (
+        (* binds first: a residual check may compare against a register
+           bound by this very tuple (within-atom variable repeats) *)
+        let on_match tup =
+          apply_binds regs tup binds;
+          if checks_pass regs tup checks then
+            if negated then raise Found else step (k + 1)
+        in
+        let iterate () =
+          match rel with
+          | Physical.R_rec { pred; route } ->
+            ctx.rec_matches ~pred ~route ~key:(key_of regs key_src) on_match
+          | Physical.R_base pred ->
+            if Array.length key_cols = 0 then ctx.base_iter pred on_match
+            else begin
+              let idx = ctx.base_index pred key_cols in
+              Hash_index.iter_matches idx (key_of regs key_src) on_match
+            end
+        in
+        if negated then begin
+          match iterate () with
+          | () -> step (k + 1) (* no match found: anti-join succeeds *)
+          | exception Found -> ()
+        end
+        else iterate ())
+    end
+  in
+  match scan with
+  | `Unit ->
+    (match cr.scan with
+    | Physical.S_unit -> step 0
+    | Physical.S_base _ | Physical.S_delta _ ->
+      invalid_arg "Eval.run: `Unit scan input for a rule that scans a relation");
+    1
+  | `Tuples batch ->
+    let binds, checks =
+      match cr.scan with
+      | Physical.S_base { binds; checks; _ } -> (binds, checks)
+      | Physical.S_delta { binds; checks; _ } -> (binds, checks)
+      | Physical.S_unit -> invalid_arg "Eval.run: tuple input for a unit-scan rule"
+    in
+    Vec.iter
+      (fun tup ->
+        apply_binds regs tup binds;
+        if checks_pass regs tup checks then step 0)
+      batch;
+    Vec.length batch

@@ -1,0 +1,36 @@
+(** Execution of one compiled rule over a batch of scan tuples.
+
+    This is the operator pipeline of the physical plan (paper §5.2):
+    the scan binds registers from each input tuple, [Lookup] steps probe
+    shared base indexes or the worker's partitioned recursive stores,
+    [Filter]/[Compute] steps evaluate compiled arithmetic, and every
+    complete binding is projected through the head and handed to [emit]
+    (the entry point of the Distribute operator).
+
+    Pure with respect to shared state: base relations are only read, and
+    recursive lookups go through the caller-supplied callback so each
+    worker only ever touches its own stores. *)
+
+open Dcd_planner
+
+type context = {
+  base_iter : string -> (Dcd_storage.Tuple.t -> unit) -> unit;
+      (** full scan of a shared base / lower-stratum relation *)
+  base_index : string -> int array -> Dcd_storage.Hash_index.t;
+      (** prebuilt shared hash index on the given key columns *)
+  rec_matches : pred:string -> route:int array -> key:int array -> (Dcd_storage.Tuple.t -> unit) -> unit;
+      (** matches in this worker's copy of a recursive relation *)
+}
+
+type emit = tuple:Dcd_storage.Tuple.t -> contributor:Dcd_storage.Tuple.t -> unit
+
+val run :
+  Physical.compiled_rule ->
+  context ->
+  scan:[ `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t | `Unit ] ->
+  emit:emit ->
+  int
+(** Runs the rule over the given scan input ([`Unit] for bodies without
+    positive atoms) and returns the number of scan tuples processed.
+    Arithmetic faults (division by zero) silently drop the binding, per
+    standard Datalog semantics for partial built-ins. *)

@@ -1,0 +1,26 @@
+(** Constant-time existence-check cache (paper §6.2.2).
+
+    At each semi-naive iteration the engine must decide, per candidate
+    tuple, whether the key already exists in the recursive table — an
+    O(log n) B⁺-tree probe.  This cache sits in front: a hash table from
+    key to the last-known aggregate value (or presence marker), checked
+    in O(1).  A hit with a value at least as good as the candidate lets
+    the engine drop the candidate without touching the index at all;
+    anything else falls through to the authoritative store, whose answer
+    refreshes the cache. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val find : t -> Dcd_storage.Tuple.t -> int option
+(** Last value cached for this key, if any. *)
+
+val put : t -> Dcd_storage.Tuple.t -> int -> unit
+
+val length : t -> int
+
+val hits : t -> int
+(** Number of [find]s answered from the cache (diagnostics). *)
+
+val misses : t -> int

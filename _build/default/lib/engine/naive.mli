@@ -1,0 +1,27 @@
+(** Naive reference interpreter — the testing oracle.
+
+    Evaluates a program by direct AST interpretation: every iteration
+    re-derives all rules against the current visible relations until
+    nothing changes.  No plans, no indexes, no partitioning, no deltas —
+    a completely independent code path from the parallel engine, which
+    is exactly what makes it a useful differential-testing oracle.
+
+    Aggregate semantics match the engine's monotone interpretation:
+    min/max keep the best value per group, count counts distinct
+    contributors, and sum keeps a replaceable partial value per
+    (group, contributor) — see {!Dcd_storage.Agg_table}.
+
+    Exponentially slower than the engine on purpose; use small inputs. *)
+
+open Dcd_datalog
+
+val run :
+  ?params:(string * int) list ->
+  ?max_iterations:int ->
+  Ast.program ->
+  edb:(string * int array list) list ->
+  (string * int array list) list
+(** All IDB relations at fixpoint, tuples sorted.  Symbolic constants
+    are interned with the same scheme as the compiled engine, so results
+    are comparable tuple-for-tuple when the same [params] are passed.
+    @raise Invalid_argument if the program fails static analysis. *)

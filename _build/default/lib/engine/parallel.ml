@@ -1,0 +1,591 @@
+open Dcd_planner
+module Ast = Dcd_datalog.Ast
+module Analysis = Dcd_datalog.Analysis
+module Tuple = Dcd_storage.Tuple
+module Relation = Dcd_storage.Relation
+module Partition = Dcd_storage.Partition
+module Vec = Dcd_util.Vec
+module Clock = Dcd_util.Clock
+module Chunk_queue = Dcd_concurrent.Chunk_queue
+module Barrier = Dcd_concurrent.Barrier
+module Termination = Dcd_concurrent.Termination
+module Backoff = Dcd_concurrent.Backoff
+module Domain_pool = Dcd_concurrent.Domain_pool
+
+type exchange =
+  | Spsc_exchange
+  | Locked_exchange
+
+type config = {
+  workers : int;
+  strategy : Coord.t;
+  store_opts : Rec_store.opts;
+  partial_agg : bool;
+  max_iterations : int;
+  exchange : exchange;
+}
+
+let default_config =
+  {
+    workers = min 4 (Domain_pool.recommended_workers ());
+    strategy = Coord.dws;
+    store_opts = Rec_store.default_opts;
+    partial_agg = true;
+    max_iterations = 0;
+    exchange = Spsc_exchange;
+  }
+
+type result = {
+  catalog : Catalog.t;
+  stats : Run_stats.t;
+}
+
+type msg = {
+  mcopy : int;
+  mtuple : Tuple.t;
+  mcontrib : Tuple.t;
+}
+
+type copy_info = {
+  ci_pred : string;
+  ci_route : int array;
+  ci_arity : int;
+  ci_agg : (int * Ast.agg_kind) option;
+}
+
+(* --- copy table construction --- *)
+
+let build_copies (sp : Physical.stratum_plan) =
+  let copies = ref [] in
+  List.iter
+    (fun (pp : Physical.pred_plan) ->
+      List.iter
+        (fun route ->
+          copies :=
+            { ci_pred = pp.pred; ci_route = route; ci_arity = pp.arity; ci_agg = pp.agg }
+            :: !copies)
+        pp.routes)
+    sp.pred_plans;
+  Array.of_list (List.rev !copies)
+
+let copy_id_fn copies pred route =
+  let n = Array.length copies in
+  let rec loop i =
+    if i = n then
+      invalid_arg (Printf.sprintf "no copy for %s under the requested route" pred)
+    else if String.equal copies.(i).ci_pred pred && copies.(i).ci_route = route then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let copies_of_pred copies pred =
+  let out = ref [] in
+  Array.iteri (fun i ci -> if String.equal ci.ci_pred pred then out := i :: !out) copies;
+  List.rev !out
+
+(* --- shared helpers --- *)
+
+let arity_of (plan : Physical.t) pred =
+  match List.assoc_opt pred plan.info.arities with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "unknown predicate %s" pred)
+
+(* Builds the hash indexes this stratum's base lookups will probe, before
+   any worker starts (the shared catalog is read-only during parallel
+   execution). *)
+let prebuild_indexes (plan : Physical.t) catalog (sp : Physical.stratum_plan) =
+  let note cr =
+    Array.iter
+      (fun step ->
+        match step with
+        | Physical.Lookup { rel = Physical.R_base pred; key_cols; _ }
+          when Array.length key_cols > 0 ->
+          let rel = Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred) in
+          ignore (Relation.ensure_index rel ~key_cols)
+        | Physical.Lookup _ | Physical.Filter _ | Physical.Compute _ -> ())
+      cr.Physical.steps;
+    (* scanned and nested-loop relations must at least exist *)
+    (match cr.Physical.scan with
+    | Physical.S_base { pred; _ } ->
+      ignore (Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred))
+    | Physical.S_delta _ | Physical.S_unit -> ());
+    Array.iter
+      (fun step ->
+        match step with
+        | Physical.Lookup { rel = Physical.R_base pred; _ } ->
+          ignore (Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred))
+        | Physical.Lookup _ | Physical.Filter _ | Physical.Compute _ -> ())
+      cr.Physical.steps
+  in
+  List.iter note sp.init_rules;
+  List.iter note sp.delta_rules
+
+let eval_context catalog rec_matches =
+  {
+    Eval.base_iter = (fun pred f -> Relation.iter f (Catalog.get catalog pred));
+    base_index =
+      (fun pred cols ->
+        match Relation.find_index (Catalog.get catalog pred) ~key_cols:cols with
+        | Some idx -> idx
+        | None ->
+          (* prebuild_indexes guarantees this cannot happen *)
+          assert false);
+    rec_matches;
+  }
+
+(* --- non-recursive strata: single-threaded --- *)
+
+let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config stats =
+  let t0 = Clock.now () in
+  prebuild_indexes plan catalog sp;
+  let copies = build_copies sp in
+  (* one store per stratum predicate (primary route only) *)
+  let stores =
+    Array.map
+      (fun ci ->
+        Rec_store.create ~arity:ci.ci_arity ~agg:ci.ci_agg ~route:ci.ci_route
+          ~opts:config.store_opts ())
+      copies
+  in
+  let store_of_pred pred =
+    match copies_of_pred copies pred with
+    | cid :: _ -> stores.(cid)
+    | [] -> invalid_arg (Printf.sprintf "nonrecursive stratum: unknown head %s" pred)
+  in
+  let ctx =
+    eval_context catalog (fun ~pred ~route ~key f ->
+        ignore route;
+        ignore key;
+        ignore f;
+        invalid_arg (Printf.sprintf "recursive lookup of %s in a non-recursive stratum" pred))
+  in
+  let ws = Run_stats.fresh_worker () in
+  List.iter
+    (fun (cr : Physical.compiled_rule) ->
+      let store = store_of_pred cr.head.hpred in
+      let emit ~tuple ~contributor =
+        ignore (Rec_store.merge store ~tuple ~contributor)
+      in
+      let processed =
+        match cr.scan with
+        | Physical.S_unit -> Eval.run cr ctx ~scan:`Unit ~emit
+        | Physical.S_base { pred; _ } ->
+          Eval.run cr ctx ~scan:(`Tuples (Relation.to_vec (Catalog.get catalog pred))) ~emit
+        | Physical.S_delta _ -> assert false
+      in
+      ws.tuples_processed <- ws.tuples_processed + processed)
+    sp.init_rules;
+  ws.iterations <- 1;
+  (* materialize *)
+  List.iter
+    (fun (pp : Physical.pred_plan) ->
+      let rel = Relation.create ~name:pp.pred ~arity:pp.arity in
+      Rec_store.iter (store_of_pred pp.pred) (fun tup -> ignore (Relation.add rel tup));
+      Catalog.add_relation catalog rel)
+    sp.pred_plans;
+  let wall = Clock.now () -. t0 in
+  ws.busy_time <- wall;
+  Run_stats.add_stratum stats
+    {
+      Run_stats.preds = sp.stratum.preds;
+      kind = Analysis.recursion_kind_to_string sp.stratum.kind;
+      wall;
+      workers = [| ws |];
+    }
+
+(* --- recursive strata: parallel --- *)
+
+let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config stats =
+  let t0 = Clock.now () in
+  prebuild_indexes plan catalog sp;
+  let n = config.workers in
+  let h = Partition.create ~workers:n in
+  let copies = build_copies sp in
+  let ncopies = Array.length copies in
+  let copy_id = copy_id_fn copies in
+  (* distribution targets per head predicate *)
+  let head_targets =
+    List.map (fun (pp : Physical.pred_plan) -> (pp.pred, copies_of_pred copies pp.pred))
+      sp.pred_plans
+  in
+  let stores =
+    Array.init n (fun _ ->
+        Array.map
+          (fun ci ->
+            Rec_store.create ~arity:ci.ci_arity ~agg:ci.ci_agg ~route:ci.ci_route
+              ~opts:config.store_opts ())
+          copies)
+  in
+  (* The message fabric: either the paper's SPSC matrix (M_i^j, §6.1) or
+     the lock-based alternative it argues against (one mutex-protected
+     multi-producer queue per destination) — kept for the ablation. *)
+  let module Locked_queue = Dcd_concurrent.Locked_queue in
+  let spsc_queues =
+    match config.exchange with
+    | Spsc_exchange ->
+      (* queues.(dest).(src): single producer [src], single consumer [dest] *)
+      Some (Array.init n (fun _ -> Array.init n (fun _ -> Chunk_queue.create ~chunk:512 ())))
+    | Locked_exchange -> None
+  in
+  let locked_queues =
+    match config.exchange with
+    | Locked_exchange -> Some (Array.init n (fun _ -> Locked_queue.create ()))
+    | Spsc_exchange -> None
+  in
+  let push_msg ~dest ~src m =
+    match (spsc_queues, locked_queues) with
+    | Some q, _ -> Chunk_queue.push q.(dest).(src) m
+    | None, Some q -> Locked_queue.push q.(dest) m
+    | None, None -> assert false
+  in
+  (* drains everything addressed to [dest]; calls [on_batch src count]
+     after each source's batch for the arrival statistics *)
+  let drain_msgs ~dest f on_batch =
+    match (spsc_queues, locked_queues) with
+    | Some q, _ ->
+      let total = ref 0 in
+      for j = 0 to n - 1 do
+        let cnt = Chunk_queue.drain q.(dest).(j) f in
+        if cnt > 0 then begin
+          on_batch j cnt;
+          total := !total + cnt
+        end
+      done;
+      !total
+    | None, Some q ->
+      let cnt = Locked_queue.drain q.(dest) f in
+      if cnt > 0 then on_batch 0 cnt;
+      cnt
+    | None, None -> assert false
+  in
+  let inbox_sizes ~dest =
+    match (spsc_queues, locked_queues) with
+    | Some q, _ -> Array.init n (fun j -> Chunk_queue.size q.(dest).(j))
+    | None, Some q -> Array.init n (fun j -> if j = 0 then Locked_queue.size q.(dest) else 0)
+    | None, None -> assert false
+  in
+  let term = Termination.create ~workers:n in
+  let barrier = Barrier.create n in
+  let failed = Atomic.make false in
+  let iter_counts = Array.init n (fun _ -> Atomic.make 0) in
+  let nonempty = Array.init n (fun _ -> Atomic.make false) in
+  let wstats = Array.init n (fun _ -> Run_stats.fresh_worker ()) in
+  (* shared scan sources for the init rules *)
+  let scan_sources =
+    List.filter_map
+      (fun (cr : Physical.compiled_rule) ->
+        match cr.scan with
+        | Physical.S_base { pred; _ } -> Some (pred, Relation.to_vec (Catalog.get catalog pred))
+        | Physical.S_delta _ | Physical.S_unit -> None)
+      sp.init_rules
+  in
+
+  let worker_body me =
+    let ws = wstats.(me) in
+    let my_stores = stores.(me) in
+    let deltas = Array.init ncopies (fun _ -> Vec.create ()) in
+    (* Per-iteration group index for aggregate copies: the Gather
+       operator emits ONE delta entry per changed group, holding the
+       current aggregate (paper Example 6.1).  Without this, a group
+       improved k times in one gather would be scanned k times, which
+       explodes quadratically on high-degree vertices. *)
+    let delta_groups =
+      Array.map
+        (fun ci ->
+          match ci.ci_agg with
+          | Some _ -> Some (Hashtbl.create 64 : (Tuple.t, int) Hashtbl.t)
+          | None -> None)
+        copies
+    in
+    let push_delta cid (fresh : Tuple.t) =
+      match delta_groups.(cid) with
+      | None -> Vec.push deltas.(cid) fresh
+      | Some groups -> (
+        let pos, _ = Option.get copies.(cid).ci_agg in
+        let group = Array.mapi (fun i v -> if i = pos then min_int else v) fresh in
+        match Hashtbl.find_opt groups group with
+        | Some idx -> Vec.set deltas.(cid) idx fresh
+        | None ->
+          Hashtbl.add groups group (Vec.length deltas.(cid));
+          Vec.push deltas.(cid) fresh)
+    in
+    let clear_deltas () =
+      Array.iter Vec.clear deltas;
+      Array.iter (function Some g -> Hashtbl.reset g | None -> ()) delta_groups
+    in
+    let qm = Qmodel.create ~producers:n () in
+    let outbuf = Array.init ncopies (fun _ -> Array.init n (fun _ -> Vec.create ())) in
+    let ctx =
+      eval_context catalog (fun ~pred ~route ~key f ->
+          Rec_store.iter_matches my_stores.(copy_id pred route) ~key f)
+    in
+    let emit_for pred =
+      let targets = List.assoc pred head_targets in
+      fun ~tuple ~contributor ->
+        List.iter
+          (fun cid ->
+            let dest = Partition.of_tuple h ~cols:copies.(cid).ci_route tuple in
+            Vec.push outbuf.(cid).(dest) (tuple, contributor))
+          targets
+    in
+    let flush_outgoing () =
+      for cid = 0 to ncopies - 1 do
+        let ci = copies.(cid) in
+        for dest = 0 to n - 1 do
+          let batch = outbuf.(cid).(dest) in
+          if not (Vec.is_empty batch) then begin
+            let send tuple contributor =
+              Termination.sent term 1;
+              ws.tuples_sent <- ws.tuples_sent + 1;
+              push_msg ~dest ~src:me { mcopy = cid; mtuple = tuple; mcontrib = contributor }
+            in
+            (match (config.partial_agg, ci.ci_agg) with
+            | true, Some (pos, ((Ast.Min | Ast.Max) as kind)) ->
+              (* partial aggregation: keep only the best candidate per
+                 group within this outgoing batch (paper §5.2.3) *)
+              let best : (Tuple.t, Tuple.t) Hashtbl.t = Hashtbl.create 16 in
+              Vec.iter
+                (fun (tuple, _) ->
+                  let group = Array.mapi (fun i v -> if i = pos then 0 else v) tuple in
+                  match Hashtbl.find_opt best group with
+                  | None -> Hashtbl.add best group tuple
+                  | Some cur ->
+                    let keep =
+                      if kind = Ast.Min then tuple.(pos) < cur.(pos) else tuple.(pos) > cur.(pos)
+                    in
+                    if keep then Hashtbl.replace best group tuple)
+                batch;
+              Hashtbl.iter (fun _ tuple -> send tuple [||]) best
+            | true, None ->
+              (* set semantics: drop duplicates within the batch *)
+              let seen : (Tuple.t, unit) Hashtbl.t = Hashtbl.create 16 in
+              Vec.iter
+                (fun (tuple, contributor) ->
+                  if not (Hashtbl.mem seen tuple) then begin
+                    Hashtbl.add seen tuple ();
+                    send tuple contributor
+                  end)
+                batch
+            | _ -> Vec.iter (fun (tuple, contributor) -> send tuple contributor) batch);
+            Vec.clear batch
+          end
+        done
+      done
+    in
+    let drain_and_merge () =
+      let total =
+        drain_msgs ~dest:me
+          (fun m ->
+            match
+              Rec_store.merge my_stores.(m.mcopy) ~tuple:m.mtuple ~contributor:m.mcontrib
+            with
+            | Some fresh -> push_delta m.mcopy fresh
+            | None -> ())
+          (fun j cnt -> Qmodel.record_arrival qm ~from:j ~now:(Clock.now ()) ~count:cnt)
+      in
+      if total > 0 then Termination.consumed term ~worker:me total;
+      total
+    in
+    let delta_size () = Array.fold_left (fun acc v -> acc + Vec.length v) 0 deltas in
+    let frozen () = config.max_iterations > 0 && ws.iterations >= config.max_iterations in
+    let emits =
+      List.map (fun (cr : Physical.compiled_rule) -> (cr, emit_for cr.head.hpred)) sp.delta_rules
+    in
+    let run_iteration () =
+      let t0 = Clock.now () in
+      let processed = ref 0 in
+      List.iter
+        (fun ((cr : Physical.compiled_rule), emit) ->
+          match cr.scan with
+          | Physical.S_delta { pred; route; _ } ->
+            let batch = deltas.(copy_id pred route) in
+            if not (Vec.is_empty batch) then
+              processed := !processed + Eval.run cr ctx ~scan:(`Tuples batch) ~emit
+          | Physical.S_base _ | Physical.S_unit -> assert false)
+        emits;
+      clear_deltas ();
+      flush_outgoing ();
+      let dt = Clock.now () -. t0 in
+      ws.busy_time <- ws.busy_time +. dt;
+      ws.tuples_processed <- ws.tuples_processed + !processed;
+      Qmodel.record_service qm ~tuples:!processed ~elapsed:dt;
+      ws.iterations <- ws.iterations + 1;
+      Atomic.incr iter_counts.(me)
+    in
+    let timed_wait f =
+      let t0 = Clock.now () in
+      f ();
+      ws.wait_time <- ws.wait_time +. (Clock.now () -. t0)
+    in
+    (* --- initialization: base rules over striped scans --- *)
+    List.iter
+      (fun (cr : Physical.compiled_rule) ->
+        let emit = emit_for cr.head.hpred in
+        match cr.scan with
+        | Physical.S_unit -> if me = 0 then ignore (Eval.run cr ctx ~scan:`Unit ~emit)
+        | Physical.S_base { pred; _ } ->
+          let src = List.assoc pred scan_sources in
+          let len = Vec.length src in
+          let stripe = Vec.create ~capacity:((len / n) + 1) () in
+          let k = ref me in
+          while !k < len do
+            Vec.push stripe (Vec.get src !k);
+            k := !k + n
+          done;
+          ws.tuples_processed <- ws.tuples_processed + Eval.run cr ctx ~scan:(`Tuples stripe) ~emit
+        | Physical.S_delta _ -> assert false)
+      sp.init_rules;
+    flush_outgoing ();
+
+    (* --- iteration loops per strategy --- *)
+    (match config.strategy with
+    | Coord.Global ->
+      let continue_ = ref true in
+      while !continue_ do
+        timed_wait (fun () -> Barrier.await barrier);
+        ignore (drain_and_merge ());
+        if frozen () then clear_deltas ();
+        Atomic.set nonempty.(me) (delta_size () > 0);
+        timed_wait (fun () -> Barrier.await barrier);
+        let any = Array.exists Atomic.get nonempty in
+        if not any then continue_ := false
+        else if Atomic.get nonempty.(me) then run_iteration ()
+      done
+    | Coord.Ssp s ->
+      let backoff = Backoff.create () in
+      let continue_ = ref true in
+      while !continue_ do
+        if Atomic.get failed then raise Dcd_concurrent.Barrier.Poisoned;
+        ignore (drain_and_merge ());
+        if frozen () then clear_deltas ();
+        if delta_size () = 0 then begin
+          Termination.set_active term ~worker:me false;
+          if Termination.quiescent term then continue_ := false
+          else timed_wait (fun () -> Backoff.once backoff)
+        end
+        else begin
+          Termination.set_active term ~worker:me true;
+          Backoff.reset backoff;
+          (* bounded staleness gate: at most [s] iterations ahead of the
+             slowest still-active worker *)
+          let min_active () =
+            let m = ref max_int in
+            for j = 0 to n - 1 do
+              if j = me || Termination.is_active term ~worker:j then
+                m := min !m (Atomic.get iter_counts.(j))
+            done;
+            !m
+          in
+          while Atomic.get iter_counts.(me) - min_active () > s do
+            timed_wait (fun () ->
+                Unix.sleepf 0.0002;
+                ignore (drain_and_merge ()))
+          done;
+          run_iteration ()
+        end
+      done
+    | Coord.Dws opts ->
+      let backoff = Backoff.create () in
+      let continue_ = ref true in
+      while !continue_ do
+        if Atomic.get failed then raise Dcd_concurrent.Barrier.Poisoned;
+        ignore (drain_and_merge ());
+        if frozen () then clear_deltas ();
+        if delta_size () = 0 then begin
+          Termination.set_active term ~worker:me false;
+          if Termination.quiescent term then continue_ := false
+          else timed_wait (fun () -> Backoff.once backoff)
+        end
+        else begin
+          Termination.set_active term ~worker:me true;
+          Backoff.reset backoff;
+          let buffer_sizes = inbox_sizes ~dest:me in
+          let decision = Qmodel.decide qm ~buffer_sizes in
+          let sz = delta_size () in
+          if float_of_int sz < decision.omega then begin
+            (* wait up to τ (capped) for the delta to reach ω, collecting
+               arriving tuples meanwhile; resume on timeout *)
+            let deadline = Clock.now () +. Float.min decision.tau opts.tau_cap in
+            let waiting = ref true in
+            while !waiting do
+              if Clock.now () >= deadline then waiting := false
+              else begin
+                timed_wait (fun () -> Unix.sleepf opts.poll_interval);
+                ignore (drain_and_merge ());
+                if float_of_int (delta_size ()) >= decision.omega then waiting := false
+              end
+            done
+          end;
+          run_iteration ();
+          Qmodel.decay qm opts.decay
+        end
+      done);
+    ()
+  in
+  (* Fault containment: if a worker dies (plan bug, arithmetic fault in a
+     hook, OOM), its peers must not wait for it forever — poison the
+     barrier and raise a flag the barrier-free strategies poll.  The
+     original exception propagates out of Domain_pool.run; peers that
+     die of the poisoning return quietly so it is not masked. *)
+  let worker me =
+    try worker_body me with
+    | Dcd_concurrent.Barrier.Poisoned -> ()
+    | e ->
+      Atomic.set failed true;
+      Barrier.poison barrier;
+      raise e
+  in
+  ignore (Domain_pool.run ~workers:n worker);
+
+  (* --- materialize the primary-route union into the catalog --- *)
+  List.iter
+    (fun (pp : Physical.pred_plan) ->
+      let primary = List.hd pp.routes in
+      let cid = copy_id pp.pred primary in
+      let rel = Relation.create ~name:pp.pred ~arity:pp.arity in
+      for w = 0 to n - 1 do
+        Rec_store.iter stores.(w).(cid) (fun tup -> ignore (Relation.add rel tup))
+      done;
+      Catalog.add_relation catalog rel)
+    sp.pred_plans;
+  Run_stats.add_stratum stats
+    {
+      Run_stats.preds = sp.stratum.preds;
+      kind = Analysis.recursion_kind_to_string sp.stratum.kind;
+      wall = Clock.now () -. t0;
+      workers = wstats;
+    }
+
+(* --- top level --- *)
+
+let run (plan : Physical.t) ~edb ~config =
+  if config.workers < 1 then invalid_arg "Parallel.run: workers must be >= 1";
+  let catalog = Catalog.create () in
+  let stats = Run_stats.create () in
+  let t0 = Clock.now () in
+  (* load the EDB *)
+  List.iter
+    (fun (name, tuples) ->
+      let arity =
+        match List.assoc_opt name plan.Physical.info.arities with
+        | Some a -> a
+        | None -> if Vec.is_empty tuples then 0 else Array.length (Vec.get tuples 0)
+      in
+      Catalog.load catalog ~name ~arity tuples)
+    edb;
+  List.iter
+    (fun pred -> ignore (Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred)))
+    plan.Physical.info.edb;
+  List.iter
+    (fun (sp : Physical.stratum_plan) ->
+      if sp.stratum.kind = Analysis.Nonrecursive then
+        eval_nonrecursive plan catalog sp config stats
+      else eval_recursive plan catalog sp config stats)
+    plan.Physical.strata;
+  stats.Run_stats.total_wall <- Clock.now () -. t0;
+  { catalog; stats }
+
+let relation_vec result name =
+  match Catalog.find result.catalog name with
+  | Some rel -> Relation.to_vec rel
+  | None -> Vec.create ()

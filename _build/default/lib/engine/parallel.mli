@@ -1,0 +1,64 @@
+(** Parallel bottom-up evaluation of a compiled program (paper §4, §6).
+
+    Strata are evaluated in dependency order.  Non-recursive strata run
+    single-threaded over the shared catalog.  Each recursive stratum is
+    evaluated by [workers] OCaml domains:
+
+    - every recursive predicate is partitioned across workers under each
+      of its plan routes ({!Rec_store});
+    - workers exchange delta tuples through a matrix of unbounded SPSC
+      queues [M_i^j] with atomic produce/consume counters for
+      global-fixpoint detection (§6.1);
+    - the iteration structure is controlled by the configured
+      {!Coord.t} strategy — [Global] barriers, [Ssp s] bounded
+      staleness, or [Dws] with the {!Qmodel} controller (Algorithm 2);
+    - the Distribute side optionally pre-combines min/max candidates per
+      group and deduplicates set tuples per outgoing batch (partial
+      aggregation, §5.2.3).
+
+    After a stratum reaches its global fixpoint, the union of its
+    primary-route partitions is materialized into the catalog, where
+    later strata (and the caller) read it. *)
+
+(** The tuple-exchange fabric between workers.  [Spsc_exchange] is the
+    paper's design (§6.1): a matrix of single-producer single-consumer
+    queues maintained with atomics only.  [Locked_exchange] is the
+    coarse-grained alternative the paper argues against — one
+    mutex-protected multi-producer queue per destination — kept so the
+    claim can be measured as an ablation. *)
+type exchange =
+  | Spsc_exchange
+  | Locked_exchange
+
+type config = {
+  workers : int;
+  strategy : Coord.t;
+  store_opts : Rec_store.opts;
+  partial_agg : bool;
+  max_iterations : int;
+      (** cap on local iterations per worker (0 = unbounded).  Needed
+          for programs whose aggregate fixpoint converges only
+          numerically (PageRank); also a safety net. *)
+  exchange : exchange;
+}
+
+val default_config : config
+(** 4 workers (or fewer if the machine recommends less), DWS, optimized
+    stores, partial aggregation on, unbounded iterations. *)
+
+type result = {
+  catalog : Catalog.t;
+  stats : Run_stats.t;
+}
+
+val run :
+  Dcd_planner.Physical.t ->
+  edb:(string * Dcd_storage.Tuple.t Dcd_util.Vec.t) list ->
+  config:config ->
+  result
+(** Evaluates the program over the given EDB.  Relation names absent
+    from [edb] but used as base tables evaluate as empty.
+    @raise Invalid_argument on arity mismatches in [edb]. *)
+
+val relation_vec : result -> string -> Dcd_storage.Tuple.t Dcd_util.Vec.t
+(** Tuples of a materialized relation (empty if the relation is absent). *)

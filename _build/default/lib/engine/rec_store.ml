@@ -1,0 +1,141 @@
+open Dcd_datalog
+module Tuple = Dcd_storage.Tuple
+module Agg_table = Dcd_storage.Agg_table
+module Bptree = Dcd_btree.Bptree
+
+type opts = {
+  agg_backend : Agg_table.backend;
+  use_cache : bool;
+}
+
+let default_opts = { agg_backend = Agg_table.Indexed; use_cache = true }
+
+let unoptimized_opts = { agg_backend = Agg_table.Scan; use_cache = false }
+
+let agg_kind_of_ast = function
+  | Ast.Min -> Agg_table.Min
+  | Ast.Max -> Agg_table.Max
+  | Ast.Count -> Agg_table.Count
+  | Ast.Sum -> Agg_table.Sum
+
+type store =
+  | Set of Tuple.t Bptree.t (* permuted tuple -> canonical tuple *)
+  | Agg of {
+      table : Agg_table.t; (* keyed by route-permuted group *)
+      kind : Ast.agg_kind;
+      value_pos : int;
+    }
+
+type t = {
+  arity : int;
+  (* canonical column ids in permuted (route-first) order; excludes the
+     aggregate value position for aggregate stores *)
+  order : int array;
+  store : store;
+  cache : Exist_cache.t option;
+}
+
+let permuted_order ~arity ~route ~skip =
+  let in_route c = Array.exists (fun r -> r = c) route in
+  let rest = ref [] in
+  for c = arity - 1 downto 0 do
+    if (not (in_route c)) && skip <> Some c then rest := c :: !rest
+  done;
+  Array.append route (Array.of_list !rest)
+
+let create ~arity ~agg ~route ~opts () =
+  let store, skip =
+    match agg with
+    | None -> (Set (Bptree.create ()), None)
+    | Some (value_pos, kind) ->
+      ( Agg
+          {
+            table =
+              Agg_table.create ~backend:opts.agg_backend ~kind:(agg_kind_of_ast kind)
+                ~group_arity:(arity - 1) ();
+            kind;
+            value_pos;
+          },
+        Some value_pos )
+  in
+  {
+    arity;
+    order = permuted_order ~arity ~route ~skip;
+    store;
+    cache = (if opts.use_cache then Some (Exist_cache.create ()) else None);
+  }
+
+let permute t (tuple : Tuple.t) = Array.map (fun c -> tuple.(c)) t.order
+
+(* Rebuilds a canonical tuple from a permuted group key and the
+   aggregate value. *)
+let canonical_of_group t group value value_pos =
+  let out = Array.make t.arity 0 in
+  Array.iteri (fun i c -> out.(c) <- group.(i)) t.order;
+  out.(value_pos) <- value;
+  out
+
+let absorbed_by_cache kind cached candidate =
+  match kind with
+  | Ast.Min -> candidate >= cached
+  | Ast.Max -> candidate <= cached
+  | Ast.Count | Ast.Sum -> false (* contributor dedup must still run *)
+
+let merge t ~tuple ~contributor =
+  match t.store with
+  | Set tree -> (
+    let key = permute t tuple in
+    match t.cache with
+    | Some cache when Exist_cache.find cache key <> None -> None
+    | _ ->
+      if Bptree.mem tree key then begin
+        (match t.cache with Some c -> Exist_cache.put c key 1 | None -> ());
+        None
+      end
+      else begin
+        Bptree.insert tree key tuple;
+        (match t.cache with Some c -> Exist_cache.put c key 1 | None -> ());
+        Some tuple
+      end)
+  | Agg { table; kind; value_pos } -> (
+    let group = permute t tuple in
+    let v = tuple.(value_pos) in
+    let cache_absorbs =
+      match t.cache with
+      | Some cache -> (
+        match Exist_cache.find cache group with
+        | Some cached -> absorbed_by_cache kind cached v
+        | None -> false)
+      | None -> false
+    in
+    if cache_absorbs then None
+    else begin
+      let contributor = if Array.length contributor = 0 then None else Some contributor in
+      match Agg_table.merge table ~group ?contributor v with
+      | None -> None (* cache entries are only refreshed on change: any
+                        cached value remains a sound monotone bound *)
+      | Some updated ->
+        (match t.cache with Some c -> Exist_cache.put c group updated | None -> ());
+        Some (canonical_of_group t group updated value_pos)
+    end)
+
+let iter_matches t ~key f =
+  match t.store with
+  | Set tree -> Bptree.iter_prefix tree ~prefix:key (fun _ tuple -> f tuple)
+  | Agg { table; value_pos; _ } ->
+    Agg_table.iter_prefix table ~prefix:key (fun group v ->
+        f (canonical_of_group t group v value_pos))
+
+let iter t f =
+  match t.store with
+  | Set tree -> Bptree.iter tree (fun _ tuple -> f tuple)
+  | Agg { table; value_pos; _ } ->
+    Agg_table.iter table (fun group v -> f (canonical_of_group t group v value_pos))
+
+let length t =
+  match t.store with
+  | Set tree -> Bptree.length tree
+  | Agg { table; _ } -> Agg_table.length table
+
+let cache_stats t =
+  Option.map (fun c -> (Exist_cache.hits c, Exist_cache.misses c)) t.cache

@@ -1,0 +1,51 @@
+(** One worker's partition of one route-copy of a recursive relation.
+
+    Recursive predicates are partitioned across workers by the hash of
+    their route columns (paper §2.2); non-linear recursion additionally
+    replicates a relation under several routes (§4.3), so the engine
+    materializes one [Rec_store.t] per (predicate, route, worker).
+
+    Internally the store is either a set relation — a B⁺-tree on the
+    route-permuted tuple, the paper's recursive-table index — or an
+    aggregate relation backed by {!Dcd_storage.Agg_table}.  All tuples
+    are exchanged and returned in the predicate's canonical column
+    order; the permutation needed to make the route columns a B⁺-tree
+    prefix is internal.
+
+    A store is owned by exactly one worker; no synchronization inside. *)
+
+open Dcd_datalog
+
+type opts = {
+  agg_backend : Dcd_storage.Agg_table.backend;
+      (** [Indexed] = paper-optimized merge; [Scan] = Table 4 "w/o" *)
+  use_cache : bool; (** §6.2.2 existence-check cache *)
+}
+
+val default_opts : opts
+
+val unoptimized_opts : opts
+
+type t
+
+val create :
+  arity:int -> agg:(int * Ast.agg_kind) option -> route:int array -> opts:opts -> unit -> t
+
+val merge : t -> tuple:Dcd_storage.Tuple.t -> contributor:Dcd_storage.Tuple.t -> Dcd_storage.Tuple.t option
+(** Folds one candidate (canonical order) into the store.  For
+    aggregate stores [contributor] carries the count/sum contributor
+    key ([[||]] otherwise).  Returns the canonical delta tuple when the
+    store changed — for aggregates this carries the {e updated}
+    aggregate value, which may differ from the candidate's. *)
+
+val iter_matches : t -> key:int array -> (Dcd_storage.Tuple.t -> unit) -> unit
+(** All current tuples whose route columns equal [key], canonical
+    order.  This is the recursive-relation side of an index join. *)
+
+val iter : t -> (Dcd_storage.Tuple.t -> unit) -> unit
+(** Full scan in unspecified order (used to collect final results). *)
+
+val length : t -> int
+
+val cache_stats : t -> (int * int) option
+(** (hits, misses) of the existence cache, if enabled. *)

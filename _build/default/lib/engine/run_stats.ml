@@ -1,0 +1,55 @@
+type worker = {
+  mutable iterations : int;
+  mutable tuples_processed : int;
+  mutable tuples_sent : int;
+  mutable wait_time : float;
+  mutable busy_time : float;
+}
+
+type stratum = {
+  preds : string list;
+  kind : string;
+  wall : float;
+  workers : worker array;
+}
+
+type t = {
+  mutable strata : stratum list;
+  mutable total_wall : float;
+}
+
+let create () = { strata = []; total_wall = 0. }
+
+let fresh_worker () =
+  { iterations = 0; tuples_processed = 0; tuples_sent = 0; wait_time = 0.; busy_time = 0. }
+
+let add_stratum t s = t.strata <- t.strata @ [ s ]
+
+let total_iterations t =
+  List.fold_left
+    (fun acc s -> acc + Array.fold_left (fun m w -> max m w.iterations) 0 s.workers)
+    0 t.strata
+
+let total_wait t =
+  List.fold_left
+    (fun acc s -> acc +. Array.fold_left (fun a w -> a +. w.wait_time) 0. s.workers)
+    0. t.strata
+
+let total_sent t =
+  List.fold_left
+    (fun acc s -> acc + Array.fold_left (fun a w -> a + w.tuples_sent) 0 s.workers)
+    0 t.strata
+
+let pp fmt t =
+  Format.fprintf fmt "total wall %.3fs, %d global iterations, %.3fs idle, %d tuples sent@."
+    t.total_wall (total_iterations t) (total_wait t) (total_sent t);
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  stratum {%s} (%s): %.3fs@." (String.concat "," s.preds) s.kind
+        s.wall;
+      Array.iteri
+        (fun i w ->
+          Format.fprintf fmt "    w%d: %d iters, %d in, %d out, busy %.3fs, idle %.3fs@." i
+            w.iterations w.tuples_processed w.tuples_sent w.busy_time w.wait_time)
+        s.workers)
+    t.strata

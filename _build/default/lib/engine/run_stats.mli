@@ -1,0 +1,43 @@
+(** Execution statistics collected by the parallel evaluator.
+
+    Used by the benchmark harness to report the quantities the paper's
+    figures are about: idle waiting time per worker under each
+    coordination strategy, local/global iteration counts, and message
+    volumes. *)
+
+type worker = {
+  mutable iterations : int; (** local iterations executed *)
+  mutable tuples_processed : int;
+  mutable tuples_sent : int;
+  mutable wait_time : float; (** seconds idle: barrier + DWS/SSP waits *)
+  mutable busy_time : float; (** seconds computing *)
+}
+
+type stratum = {
+  preds : string list;
+  kind : string;
+  wall : float;
+  workers : worker array;
+}
+
+type t = {
+  mutable strata : stratum list; (** in evaluation order *)
+  mutable total_wall : float;
+}
+
+val create : unit -> t
+
+val fresh_worker : unit -> worker
+
+val add_stratum : t -> stratum -> unit
+
+val total_iterations : t -> int
+(** Max local iteration count over workers, summed over strata — the
+    "global iterations" a barrier engine would have used. *)
+
+val total_wait : t -> float
+(** Total idle time across all workers and strata. *)
+
+val total_sent : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/planner/logical.ml: Analysis Ast Dcd_datalog Format List Printf Set String

@@ -1,0 +1,1 @@
+lib/planner/logical.mli: Analysis Ast Dcd_datalog Format

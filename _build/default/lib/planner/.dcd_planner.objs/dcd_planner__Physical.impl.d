@@ -1,0 +1,1 @@
+lib/planner/physical.ml: Analysis Array Ast Buffer Dcd_datalog Dcd_util Hashtbl List Logical Option Printf String

@@ -1,0 +1,1 @@
+lib/planner/physical.mli: Analysis Ast Dcd_datalog Dcd_util

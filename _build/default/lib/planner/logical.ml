@@ -1,0 +1,189 @@
+open Dcd_datalog
+
+type scan_kind =
+  | Scan_base of Ast.atom
+  | Scan_delta of {
+      atom : Ast.atom;
+      occurrence : int;
+    }
+  | Scan_unit
+
+type pipe_elem =
+  | L_join of {
+      atom : Ast.atom;
+      recursive : bool;
+    }
+  | L_neg of Ast.atom
+  | L_filter of Ast.cmp_op * Ast.expr * Ast.expr
+  | L_assign of string * Ast.expr
+
+type rule_pipeline = {
+  rule : Ast.rule;
+  scan : scan_kind;
+  pipeline : pipe_elem list;
+}
+
+module Sset = Set.Make (String)
+
+let recursive_occurrences stratum (r : Ast.rule) =
+  List.length
+    (List.filter (fun a -> Analysis.is_recursive_atom stratum a) (Ast.body_atoms r))
+
+(* Greedy linearization.  [remaining] holds unplaced literals; each step
+   emits the cheapest literal whose inputs are available. *)
+let order stratum (r : Ast.rule) ~delta_occurrence =
+  let is_rec a = Analysis.is_recursive_atom stratum a in
+  (* locate the scan literal *)
+  let scan, remaining =
+    match delta_occurrence with
+    | Some k ->
+      let count = ref (-1) in
+      let scan = ref None in
+      let rest =
+        List.filter
+          (fun lit ->
+            match (lit, !scan) with
+            | Ast.Pos a, None when is_rec a ->
+              incr count;
+              if !count = k then begin
+                scan := Some (Scan_delta { atom = a; occurrence = k });
+                false
+              end
+              else true
+            | _ -> true)
+          r.body
+      in
+      (match !scan with
+      | Some s -> (s, rest)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Logical.order: rule has no recursive occurrence %d (%s)" k
+             (Ast.rule_to_string r)))
+    | None -> (
+      (* base rule: scan the first positive atom if any *)
+      let rec split acc = function
+        | [] -> (Scan_unit, List.rev acc)
+        | Ast.Pos a :: rest when not (is_rec a) -> (Scan_base a, List.rev_append acc rest)
+        | lit :: rest -> split (lit :: acc) rest
+      in
+      split [] r.body)
+  in
+  let bound = ref Sset.empty in
+  let bind_atom (a : Ast.atom) =
+    List.iter (fun t -> List.iter (fun v -> bound := Sset.add v !bound) (Ast.vars_of_term t)) a.args
+  in
+  (match scan with
+  | Scan_base a | Scan_delta { atom = a; _ } -> bind_atom a
+  | Scan_unit -> ());
+  let all_bound vars = List.for_all (fun v -> Sset.mem v !bound) vars in
+  let assign_target lhs rhs =
+    (* [Some (x, e)] when the Eq literal can run as an assignment *)
+    match (lhs, rhs) with
+    | Ast.Term (Ast.Var x), e when (not (Sset.mem x !bound)) && all_bound (Ast.vars_of_expr e)
+      ->
+      Some (x, e)
+    | e, Ast.Term (Ast.Var x) when (not (Sset.mem x !bound)) && all_bound (Ast.vars_of_expr e)
+      ->
+      Some (x, e)
+    | _ -> None
+  in
+  let atom_score (a : Ast.atom) =
+    (* bound argument positions = usable index key columns *)
+    List.fold_left
+      (fun acc t ->
+        match t with
+        | Ast.Int _ | Ast.Sym _ -> acc + 1
+        | Ast.Var v -> if Sset.mem v !bound then acc + 1 else acc)
+      0 a.args
+  in
+  let rec place acc remaining =
+    if remaining = [] then Ok (List.rev acc)
+    else begin
+      (* 1. assignments, 2. filters, 3. negations, 4. best-scored atom *)
+      let ready_assign =
+        List.find_opt
+          (function
+            | Ast.Cmp (Ast.Eq, lhs, rhs) -> assign_target lhs rhs <> None
+            | _ -> false)
+          remaining
+      in
+      let ready_filter =
+        List.find_opt
+          (function
+            | Ast.Cmp (_, lhs, rhs) ->
+              all_bound (Ast.vars_of_expr lhs @ Ast.vars_of_expr rhs)
+            | _ -> false)
+          remaining
+      in
+      let ready_neg =
+        List.find_opt
+          (function
+            | Ast.Neg_lit a -> all_bound (List.concat_map Ast.vars_of_term a.Ast.args)
+            | _ -> false)
+          remaining
+      in
+      let best_atom =
+        List.fold_left
+          (fun best lit ->
+            match lit with
+            | Ast.Pos a -> (
+              let s = atom_score a in
+              match best with
+              | Some (_, s') when s' >= s -> best
+              | _ -> Some (lit, s))
+            | _ -> best)
+          None remaining
+      in
+      let chosen =
+        match (ready_assign, ready_filter, ready_neg, best_atom) with
+        | Some l, _, _, _ | None, Some l, _, _ | None, None, Some l, _ -> Some l
+        | None, None, None, Some (l, _) -> Some l
+        | None, None, None, None -> None
+      in
+      match chosen with
+      | None ->
+        Error
+          (Printf.sprintf "cannot order rule body (unbound comparison?): %s"
+             (Ast.rule_to_string r))
+      | Some lit ->
+        let remaining = List.filter (fun l -> l != lit) remaining in
+        let elem =
+          match lit with
+          | Ast.Pos a ->
+            bind_atom a;
+            L_join { atom = a; recursive = is_rec a }
+          | Ast.Neg_lit a -> L_neg a
+          | Ast.Cmp (Ast.Eq, lhs, rhs) -> (
+            match assign_target lhs rhs with
+            | Some (x, e) ->
+              bound := Sset.add x !bound;
+              L_assign (x, e)
+            | None -> L_filter (Ast.Eq, lhs, rhs))
+          | Ast.Cmp (op, lhs, rhs) -> L_filter (op, lhs, rhs)
+        in
+        place (elem :: acc) remaining
+    end
+  in
+  match place [] remaining with
+  | Error e -> Error e
+  | Ok pipeline -> Ok { rule = r; scan; pipeline }
+
+let pp fmt { rule; scan; pipeline } =
+  (match scan with
+  | Scan_base a -> Format.fprintf fmt "SCAN %s" a.Ast.pred
+  | Scan_delta { atom; occurrence } ->
+    Format.fprintf fmt "SCAN d.%s#%d" atom.Ast.pred occurrence
+  | Scan_unit -> Format.fprintf fmt "UNIT");
+  List.iter
+    (fun elem ->
+      match elem with
+      | L_join { atom; recursive } ->
+        Format.fprintf fmt " JOIN %s%s" (if recursive then "rec:" else "") atom.Ast.pred
+      | L_neg a -> Format.fprintf fmt " ANTIJOIN %s" a.Ast.pred
+      | L_filter (op, lhs, rhs) ->
+        Format.fprintf fmt " FILTER(%a)" Ast.pp_literal (Ast.Cmp (op, lhs, rhs))
+      | L_assign (x, e) -> Format.fprintf fmt " COMPUTE(%s := %a)" x Ast.pp_expr e)
+    pipeline;
+  Format.fprintf fmt " PROJECT %s" rule.Ast.head_pred
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,56 @@
+open Dcd_datalog
+
+(** Logical planning: ordering a rule body into a left-deep pipeline
+    (paper §5.1).
+
+    The optimizations applied here are the ones the paper calls out:
+    - the recursive (delta) occurrence is moved to the leftmost, outer
+      position of the join so the indexes on the other relations drive
+      the lookups;
+    - selections (comparison literals) are pushed down to the earliest
+      point at which their variables are bound;
+    - assignments ([X = expr] with [X] unbound) are placed as soon as
+      their inputs are available;
+    - remaining atoms are ordered greedily by the number of bound
+      argument positions, i.e. most selective index access first. *)
+
+type scan_kind =
+  | Scan_base of Ast.atom (** full scan of a base / lower-stratum relation *)
+  | Scan_delta of {
+      atom : Ast.atom;
+      occurrence : int; (** which recursive body occurrence is the delta *)
+    }
+  | Scan_unit (** body without positive atoms (e.g. SSSP's exit rule) *)
+
+type pipe_elem =
+  | L_join of {
+      atom : Ast.atom;
+      recursive : bool; (** same-stratum predicate: looked up in the local
+                            partitioned copy rather than a shared base index *)
+    }
+  | L_neg of Ast.atom
+  | L_filter of Ast.cmp_op * Ast.expr * Ast.expr
+  | L_assign of string * Ast.expr
+
+type rule_pipeline = {
+  rule : Ast.rule;
+  scan : scan_kind;
+  pipeline : pipe_elem list;
+}
+
+val order :
+  Analysis.stratum -> Ast.rule -> delta_occurrence:int option -> (rule_pipeline, string) result
+(** [order stratum rule ~delta_occurrence] linearizes the body.  For a
+    recursive rule, [delta_occurrence = Some k] designates the [k]-th
+    recursive body atom (0-based, counting only same-stratum atoms) as
+    the delta to scan; the semi-naive rewriting generates one pipeline
+    per occurrence.  [None] treats the rule as a base rule. *)
+
+val recursive_occurrences : Analysis.stratum -> Ast.rule -> int
+(** Number of same-stratum atoms in the body. *)
+
+val pp : Format.formatter -> rule_pipeline -> unit
+(** One-line rendering, e.g.
+    [SCAN δcc2 ⋈ arc[X] → σ(...) → π cc2(Y, min<Z>)]. *)
+
+val to_string : rule_pipeline -> string

@@ -1,0 +1,141 @@
+open Dcd_datalog
+
+(** Physical plans (paper §5.2).
+
+    A compiled rule is a register machine: the scan binds registers from
+    each delta (or base) tuple, each step refines the binding, and the
+    head projects registers into an output tuple handed to the
+    Distribute operator.  The Distribute/Gather operators themselves
+    live in the execution engine; the plan records everything they need:
+    the partition routes of every recursive predicate and the aggregate
+    specification of every head.
+
+    Symbolic constants are resolved at compile time — either to a
+    runtime parameter (e.g. [start] for SSSP) or to an interned symbol
+    id — so the hot loop never touches strings. *)
+
+type src =
+  | Const of int
+  | Reg of int
+
+(** Paper §5.2.1's three join implementations.  [Hash] and [Index] both
+    execute as index lookups (hash multimap for base relations, B⁺-tree
+    for recursive ones); the label records which heuristic case fired,
+    and [Nested_loop] scans the whole relation with residual checks. *)
+type join_method =
+  | Hash
+  | Index
+  | Nested_loop
+
+type rel_ref =
+  | R_base of string (** EDB or completed lower stratum: shared, read-only *)
+  | R_rec of {
+      pred : string;
+      route : int array; (** which partitioned copy to consult *)
+    }
+
+type code =
+  | C_const of int
+  | C_reg of int
+  | C_bin of Ast.binop * code * code
+  | C_neg of code
+
+type step =
+  | Lookup of {
+      rel : rel_ref;
+      method_ : join_method;
+      key_cols : int array; (** columns forming the lookup key *)
+      key_src : src array; (** value feeding each key column *)
+      binds : (int * int) array; (** (column, register) to bind on match *)
+      checks : (int * src) array; (** residual equality predicates *)
+      negated : bool; (** anti-join: succeed iff no match *)
+    }
+  | Filter of {
+      op : Ast.cmp_op;
+      lhs : code;
+      rhs : code;
+    }
+  | Compute of {
+      reg : int;
+      code : code;
+    }
+
+type scan_spec =
+  | S_base of {
+      pred : string;
+      binds : (int * int) array;
+      checks : (int * src) array;
+    }
+  | S_delta of {
+      pred : string;
+      route : int array; (** the copy whose owned delta this variant scans *)
+      binds : (int * int) array;
+      checks : (int * src) array;
+    }
+  | S_unit
+
+type head = {
+  hpred : string;
+  args : src array; (** full head tuple, including the aggregate position *)
+  agg : (int * Ast.agg_kind * src array) option;
+      (** (value position, kind, contributor sources) *)
+}
+
+type compiled_rule = {
+  source : Ast.rule;
+  logical : string; (** rendering of the ordered logical pipeline *)
+  nregs : int;
+  scan : scan_spec;
+  steps : step array;
+  head : head;
+}
+
+type pred_plan = {
+  pred : string;
+  arity : int;
+  agg : (int * Ast.agg_kind) option;
+  routes : int array list; (** partitioned copies to maintain; head tuples
+                               are distributed under every route *)
+}
+
+type stratum_plan = {
+  stratum : Analysis.stratum;
+  pred_plans : pred_plan list;
+  init_rules : compiled_rule list; (** base rules, evaluated once *)
+  delta_rules : compiled_rule list; (** one per (rule, recursive occurrence) *)
+}
+
+type t = {
+  info : Analysis.info;
+  symbols : Dcd_util.Symbol.table;
+  params : (string * int) list;
+  strata : stratum_plan list;
+}
+
+val compile : ?params:(string * int) list -> Analysis.info -> (t, string) result
+(** Orders every rule body (via {!Logical.order}), allocates registers,
+    selects join methods, and derives the partition routes of each
+    recursive predicate.  Fails with a message when a body cannot be
+    ordered or a recursive lookup's key cannot be colocated with the
+    scanned delta (a documented engine limitation). *)
+
+val eval_code : code -> int array -> int
+(** Evaluates compiled arithmetic against a register file.  Division and
+    modulo by zero raise [Division_by_zero]. *)
+
+val eval_cmp : Ast.cmp_op -> int -> int -> bool
+
+val base_relations_needed : t -> (string * int array) list
+(** Distinct (predicate, key columns) pairs for which the engine should
+    build shared hash indexes before execution. *)
+
+val explain : t -> string
+(** Human-readable plan: strata, routes, and each rule's pipeline with
+    join methods. *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the physical plan — the analog of the paper's
+    Figures 4 and 5: one cluster per stratum, one operator chain per
+    compiled rule (scan → joins/filters/computes → Distribute/Gather),
+    dashed edges for the inter-worker coordination performed by the
+    Distribute and Gather operators.  Pipe into [dot -Tsvg]. *)

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Dcd_engine Dcd_util Dcd_workload Float List

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Dcd_engine Dcd_workload

@@ -1,0 +1,75 @@
+(** Discrete-event simulator of parallel semi-naive evaluation under the
+    three coordination strategies, in {e virtual time}.
+
+    Why this exists: the paper's scheduling results (Figures 1, 3, 8,
+    9a) are properties of how Global / SSP / DWS interleave work across
+    many physical cores.  This reproduction runs in a 1-vCPU container,
+    where real domains cannot exhibit parallel speedup; the simulator
+    substitutes an idealized [workers]-core machine (see DESIGN.md §3).
+    It is not a shortcut model: it actually evaluates the monotone
+    fixpoint (label propagation / distance relaxation) tuple-by-tuple,
+    with the same ownership partitioning, message buffers, staleness
+    gates and DWS queueing controller as the real engine — only time is
+    virtual.  Figure 3 of the paper is itself exactly this kind of
+    time-unit simulation.
+
+    Virtual costs: processing a delta tuple costs [cost_per_tuple];
+    starting an iteration costs [iteration_overhead]; a barrier costs
+    every participant [barrier_cost] on top of the waiting; a message
+    becomes visible [send_latency] after it is sent.  The defaults give
+    round numbers comparable to the paper's worked example. *)
+
+type params = {
+  cost_per_tuple : float; (** per delta tuple merged/scanned *)
+  edge_cost : float; (** per index-join match produced (the fan-out term —
+                         this is what makes hub-owning workers stragglers) *)
+  iteration_overhead : float;
+  barrier_cost : float;
+  sync_exchange_cost : float; (** per tuple exchanged at a Global barrier:
+      the lock-serialized coordination cost of barrier engines (§6.1);
+      SSP/DWS exchange through SPSC queues and do not pay it *)
+  send_latency : float;
+}
+
+val default_params : params
+
+type spec
+(** A propagation workload: a monotone (vertex, value) fixpoint over a
+    graph, pre-partitioned over the workers. *)
+
+val cc : graph:Dcd_workload.Graph.t -> workers:int -> spec
+(** Connected components by min-label propagation (the paper's Query 2
+    on a symmetrized graph). *)
+
+val sssp : graph:Dcd_workload.Graph.t -> source:int -> workers:int -> spec
+(** Single-source shortest path by distance relaxation (Query 7). *)
+
+val bfs : graph:Dcd_workload.Graph.t -> source:int -> workers:int -> spec
+(** Unweighted reachability — a lighter workload for scalability sweeps. *)
+
+val custom_owner : spec -> owner:(int -> int) -> spec
+(** Overrides the vertex→worker assignment (default: hash partitioning).
+    Used to stage deliberately skewed examples such as the paper's
+    Figure 3. *)
+
+type outcome = {
+  makespan : float; (** virtual completion time of the slowest worker *)
+  busy : float array; (** per-worker virtual compute time *)
+  idle : float array; (** makespan − busy − overheads, per worker *)
+  iterations : int array; (** local iterations per worker *)
+  tuples_processed : int;
+  correct_values : int; (** number of vertices with a final value (sanity) *)
+  values : int option array; (** final value per vertex — compare against a
+      reference to check the simulated evaluation, not just its timing *)
+}
+
+val run : spec -> strategy:Dcd_engine.Coord.t -> params:params -> outcome
+(** Simulates the full evaluation under the strategy and returns virtual
+    timing.  Deterministic: same spec, strategy and params → same
+    outcome. *)
+
+val speedup_curve :
+  (workers:int -> spec) -> strategy:Dcd_engine.Coord.t -> params:params -> workers:int list ->
+  (int * float) list
+(** [(w, makespan(1) / makespan(w))] for each worker count — the shape
+    of Figure 9(a). *)

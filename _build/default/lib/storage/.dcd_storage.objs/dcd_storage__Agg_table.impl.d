@@ -1,0 +1,1 @@
+lib/storage/agg_table.ml: Array Dcd_btree Dcd_util Hashtbl Tuple Tuple_set

@@ -1,0 +1,1 @@
+lib/storage/agg_table.mli: Dcd_util Tuple

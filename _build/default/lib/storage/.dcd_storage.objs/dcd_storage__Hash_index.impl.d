@@ -1,0 +1,1 @@
+lib/storage/hash_index.ml: Dcd_util Hashtbl Tuple

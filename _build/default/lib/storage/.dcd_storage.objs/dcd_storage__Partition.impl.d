@@ -1,0 +1,1 @@
+lib/storage/partition.ml: Array Dcd_util

@@ -1,0 +1,1 @@
+lib/storage/partition.mli: Dcd_util Tuple

@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array Dcd_util Hash_index List Printf Tuple_set

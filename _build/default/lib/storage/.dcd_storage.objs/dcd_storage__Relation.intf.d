@@ -1,0 +1,1 @@
+lib/storage/relation.mli: Dcd_util Hash_index Tuple

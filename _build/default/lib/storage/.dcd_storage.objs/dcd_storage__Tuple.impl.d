@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Dcd_btree Format

@@ -1,0 +1,1 @@
+lib/storage/tuple_set.ml: Array Dcd_util Tuple

@@ -1,0 +1,1 @@
+lib/storage/tuple_set.mli: Dcd_util Tuple

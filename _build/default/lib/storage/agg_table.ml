@@ -1,0 +1,221 @@
+module Vec = Dcd_util.Vec
+module Bptree = Dcd_btree.Bptree
+
+type kind =
+  | Min
+  | Max
+  | Count
+  | Sum
+
+type backend =
+  | Indexed
+  | Scan
+
+type entry = {
+  gkey : Tuple.t;
+  mutable value : int;
+}
+
+type store =
+  | Tree of int Bptree.t
+  | Flat of entry Vec.t
+
+module Contrib_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  kind : kind;
+  group_arity : int;
+  store : store;
+  contribs : Tuple_set.t; (* (group ++ contributor) seen; Count only *)
+  partials : int Contrib_tbl.t; (* (group ++ contributor) -> value; Sum only *)
+}
+
+let create ?(backend = Indexed) ~kind ~group_arity () =
+  if group_arity < 0 then invalid_arg "Agg_table.create";
+  let store =
+    match backend with
+    | Indexed -> Tree (Bptree.create ())
+    | Scan -> Flat (Vec.create ())
+  in
+  { kind; group_arity; store; contribs = Tuple_set.create (); partials = Contrib_tbl.create 64 }
+
+let kind t = t.kind
+
+let group_arity t = t.group_arity
+
+let length t =
+  match t.store with
+  | Tree tree -> Bptree.length tree
+  | Flat v -> Vec.length v
+
+let find t group =
+  match t.store with
+  | Tree tree -> Bptree.find_opt tree group
+  | Flat v ->
+    let found = ref None in
+    Vec.iter (fun e -> if !found = None && Tuple.equal e.gkey group then found := Some e.value) v;
+    !found
+
+let better kind current candidate =
+  match kind with
+  | Min -> candidate < current
+  | Max -> candidate > current
+  | Count | Sum -> candidate <> 0 (* candidate is a non-zero delta to add *)
+
+(* Normalizes a candidate: applies contribution dedup/replacement and
+   converts Count/Sum candidates into additive deltas.  [None] =
+   absorbed.
+
+   Sum keeps the current partial value per (group, contributor) — the
+   paper's first PageRank index (§6.2.1) — so a changed contribution
+   adds only the difference to the aggregate.  Count keeps set
+   semantics: each (group, contributor) is counted exactly once. *)
+let normalize t ~group ~contributor v =
+  match t.kind with
+  | Min | Max ->
+    if contributor <> None then invalid_arg "Agg_table.merge: contributor not allowed for min/max";
+    Some v
+  | Count ->
+    let contributor =
+      match contributor with
+      | Some c -> c
+      | None -> invalid_arg "Agg_table.merge: contributor required for count"
+    in
+    if Tuple_set.add t.contribs (Array.append group contributor) then Some 1 else None
+  | Sum ->
+    let contributor =
+      match contributor with
+      | Some c -> c
+      | None -> invalid_arg "Agg_table.merge: contributor required for sum"
+    in
+    let key = Array.append group contributor in
+    let old = match Contrib_tbl.find_opt t.partials key with Some x -> x | None -> 0 in
+    if old = v && Contrib_tbl.mem t.partials key then None
+    else begin
+      Contrib_tbl.replace t.partials key v;
+      let delta = v - old in
+      if delta = 0 then None else Some delta
+    end
+
+let apply_tree t tree group v =
+  let changed = ref None in
+  Bptree.upsert tree group (fun current ->
+      match current with
+      | None ->
+        changed := Some v;
+        v
+      | Some cur ->
+        if better t.kind cur v then begin
+          let v' = match t.kind with Min | Max -> v | Count | Sum -> cur + v in
+          changed := Some v';
+          v'
+        end
+        else cur);
+  !changed
+
+let apply_flat t flat group v =
+  let entry = ref None in
+  Vec.iter (fun e -> if !entry = None && Tuple.equal e.gkey group then entry := Some e) flat;
+  match !entry with
+  | None ->
+    Vec.push flat { gkey = Array.copy group; value = v };
+    Some v
+  | Some e ->
+    if better t.kind e.value v then begin
+      (match t.kind with
+      | Min | Max -> e.value <- v
+      | Count | Sum -> e.value <- e.value + v);
+      Some e.value
+    end
+    else None
+
+let merge t ~group ?contributor v =
+  match normalize t ~group ~contributor v with
+  | None -> None
+  | Some v -> (
+    match t.store with
+    | Tree tree -> apply_tree t tree group v
+    | Flat flat -> apply_flat t flat group v)
+
+module Group_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let merge_batch t batch =
+  (* Combine candidates of the same group inside the batch first. *)
+  let combined : int Group_tbl.t = Group_tbl.create (Vec.length batch) in
+  Vec.iter
+    (fun (group, contributor, v) ->
+      match normalize t ~group ~contributor v with
+      | None -> ()
+      | Some v -> (
+        match Group_tbl.find_opt combined group with
+        | None -> Group_tbl.add combined group v
+        | Some cur -> (
+          match t.kind with
+          | Min -> if v < cur then Group_tbl.replace combined group v
+          | Max -> if v > cur then Group_tbl.replace combined group v
+          | Count | Sum -> Group_tbl.replace combined group (cur + v))))
+    batch;
+  let changed = Vec.create () in
+  (match t.store with
+  | Tree tree ->
+    Group_tbl.iter
+      (fun group v ->
+        match apply_tree t tree group v with
+        | Some v' -> Vec.push changed (group, v')
+        | None -> ())
+      combined
+  | Flat flat ->
+    (* The unoptimized path: one linear pass over the whole table per
+       batch (paper §6.2.1: "a linear scan on the deduplicated recursive
+       table ... is required"). *)
+    Vec.iter
+      (fun e ->
+        match Group_tbl.find_opt combined e.gkey with
+        | None -> ()
+        | Some v ->
+          Group_tbl.remove combined e.gkey;
+          if better t.kind e.value v then begin
+            (match t.kind with
+            | Min | Max -> e.value <- v
+            | Count | Sum -> e.value <- e.value + v);
+            Vec.push changed (e.gkey, e.value)
+          end)
+      flat;
+    Group_tbl.iter
+      (fun group v ->
+        Vec.push flat { gkey = Array.copy group; value = v };
+        Vec.push changed (group, v))
+      combined);
+  changed
+
+let iter t f =
+  match t.store with
+  | Tree tree -> Bptree.iter tree (fun k v -> f k v)
+  | Flat flat -> Vec.iter (fun e -> f e.gkey e.value) flat
+
+let prefix_matches prefix (k : Tuple.t) =
+  let lp = Array.length prefix in
+  Array.length k >= lp
+  &&
+  let rec loop i = i = lp || (k.(i) = prefix.(i) && loop (i + 1)) in
+  loop 0
+
+let iter_prefix t ~prefix f =
+  match t.store with
+  | Tree tree -> Bptree.iter_prefix tree ~prefix (fun k v -> f k v)
+  | Flat flat -> Vec.iter (fun e -> if prefix_matches prefix e.gkey then f e.gkey e.value) flat
+
+let to_vec t =
+  let out = Vec.create ~capacity:(length t) () in
+  iter t (fun k v -> Vec.push out (k, v));
+  out

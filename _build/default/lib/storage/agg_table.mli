@@ -1,0 +1,73 @@
+(** Monotone aggregate relations (paper §6.2.1).
+
+    An aggregate relation such as [cc2(Y, min⟨Z⟩)] stores, per group key
+    [Y], the current best aggregate value.  Merging a candidate value is
+    monotone: [min]/[max] only improve, [count]/[sum] only grow as new
+    distinct contributions arrive (set semantics — a contribution is
+    counted once, identified by its contributor key, which is how
+    Datalog's [count⟨X⟩]/[sum⟨(Y,K)⟩] remain well-defined in recursion).
+
+    Two backends implement the merge:
+    - [Indexed] — the paper's optimized path: a B⁺-tree on the group key
+      locates the current value in O(log n) and updates it in place.
+    - [Scan] — the unoptimized baseline used in the Table 4 ablation:
+      values live in an unsorted vector and merging a batch performs a
+      linear pass over the whole table.
+
+    The existence-check cache of §6.2.2 is layered on top by the engine
+    (see {!Dcd_engine.Exist_cache}). *)
+
+type kind =
+  | Min
+  | Max
+  | Count
+  | Sum
+
+type backend =
+  | Indexed
+  | Scan
+
+type t
+
+val create : ?backend:backend -> kind:kind -> group_arity:int -> unit -> t
+
+val kind : t -> kind
+
+val group_arity : t -> int
+
+val length : t -> int
+(** Number of groups present. *)
+
+val find : t -> Tuple.t -> int option
+(** Current aggregate value for a group key, if any.  O(log n) for
+    [Indexed], O(n) for [Scan]. *)
+
+val merge : t -> group:Tuple.t -> ?contributor:Tuple.t -> int -> int option
+(** [merge t ~group ?contributor v] folds candidate [v] into the group's
+    aggregate.  For [Count], [contributor] identifies the contribution
+    for set-semantics deduplication ([v] is ignored; each distinct
+    contributor adds 1).  For [Sum], the table keeps the current partial
+    value per (group, contributor) — the paper's first PageRank index —
+    and a new value for an existing contributor adjusts the sum by the
+    difference.  Returns [Some updated] when the stored aggregate
+    changed (the value to emit into the delta), [None] when the
+    candidate was absorbed.
+
+    @raise Invalid_argument if [contributor] is missing for [Count]/[Sum]
+    or supplied for [Min]/[Max]. *)
+
+val merge_batch : t -> (Tuple.t * Tuple.t option * int) Dcd_util.Vec.t -> (Tuple.t * int) Dcd_util.Vec.t
+(** Folds a batch of [(group, contributor, value)] candidates; returns
+    the changed [(group, new_value)] pairs (each group at most once, with
+    its final value).  For the [Scan] backend this is the linear-pass
+    merge of the ablation. *)
+
+val iter : t -> (Tuple.t -> int -> unit) -> unit
+(** All [(group, value)] pairs. Ascending group order for [Indexed];
+    unspecified order for [Scan]. *)
+
+val iter_prefix : t -> prefix:Tuple.t -> (Tuple.t -> int -> unit) -> unit
+(** All groups whose key starts with [prefix].  O(log n + matches) for
+    [Indexed] (B⁺-tree range), O(n) for [Scan]. *)
+
+val to_vec : t -> (Tuple.t * int) Dcd_util.Vec.t

@@ -1,0 +1,50 @@
+module Vec = Dcd_util.Vec
+
+module Key_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  cols : int array;
+  buckets : Tuple.t Vec.t Key_tbl.t;
+  mutable total : int;
+}
+
+let create ~key_cols = { cols = key_cols; buckets = Key_tbl.create 64; total = 0 }
+
+let key_cols t = t.cols
+
+let add t tup =
+  let key = Tuple.project tup t.cols in
+  let bucket =
+    match Key_tbl.find_opt t.buckets key with
+    | Some b -> b
+    | None ->
+      let b = Vec.create ~capacity:2 () in
+      Key_tbl.add t.buckets key b;
+      b
+  in
+  Vec.push bucket tup;
+  t.total <- t.total + 1
+
+let of_tuples ~key_cols tuples =
+  let t = create ~key_cols in
+  Vec.iter (add t) tuples;
+  t
+
+let iter_matches t key f =
+  match Key_tbl.find_opt t.buckets key with
+  | None -> ()
+  | Some bucket -> Vec.iter f bucket
+
+let count_matches t key =
+  match Key_tbl.find_opt t.buckets key with
+  | None -> 0
+  | Some bucket -> Vec.length bucket
+
+let length t = t.total
+
+let distinct_keys t = Key_tbl.length t.buckets

@@ -1,0 +1,30 @@
+(** Hash multimap from a key-column projection to tuples.
+
+    Built once per partition over each base relation on the join key of
+    the rules that scan it (paper Algorithm 1, line 3); the inner side of
+    every index join in the physical plan is either one of these or the
+    B⁺-tree of a recursive relation. *)
+
+type t
+
+val create : key_cols:int array -> t
+(** [key_cols] are the column positions forming the lookup key. *)
+
+val key_cols : t -> int array
+
+val add : t -> Tuple.t -> unit
+(** Appends [tup] to the bucket of its projected key. Duplicate tuples
+    are kept (the relation layer deduplicates). *)
+
+val of_tuples : key_cols:int array -> Tuple.t Dcd_util.Vec.t -> t
+
+val iter_matches : t -> Tuple.t -> (Tuple.t -> unit) -> unit
+(** [iter_matches idx key f] applies [f] to every tuple whose projection
+    equals [key] (a tuple of the same arity as [key_cols]). *)
+
+val count_matches : t -> Tuple.t -> int
+
+val length : t -> int
+(** Total number of indexed tuples. *)
+
+val distinct_keys : t -> int

@@ -1,0 +1,26 @@
+module Vec = Dcd_util.Vec
+
+type t = { workers : int }
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Partition.create";
+  { workers }
+
+let workers t = t.workers
+
+let mix k =
+  (* Fibonacci hashing: golden-ratio multiply, take high bits. *)
+  let h = k * 0x1E3779B97F4A7C15 in
+  (h lsr 17) land max_int
+
+let of_key t k = mix k mod t.workers
+
+let of_tuple t ~cols tup =
+  let h = ref 0 in
+  Array.iter (fun c -> h := mix (!h lxor tup.(c))) cols;
+  !h mod t.workers
+
+let split t batch ~cols =
+  let parts = Array.init t.workers (fun _ -> Vec.create ()) in
+  Vec.iter (fun tup -> Vec.push parts.(of_tuple t ~cols tup) tup) batch;
+  parts

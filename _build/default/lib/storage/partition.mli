@@ -1,0 +1,24 @@
+(** The discriminating hash function [H] (paper §2.2, Algorithm 1).
+
+    Splits the key domain into [workers] partitions.  Records of both
+    base and recursive tables are allocated to partitions by the hash of
+    their join-key value, so the same key always lands on the same
+    worker regardless of which relation it appears in. *)
+
+type t
+
+val create : workers:int -> t
+
+val workers : t -> int
+
+val of_key : t -> int -> int
+(** [of_key h k] is the owning worker of key value [k], in
+    [0 .. workers-1].  Fibonacci multiplicative hashing — resilient to
+    the sequential vertex ids synthetic generators produce. *)
+
+val of_tuple : t -> cols:int array -> Tuple.t -> int
+(** Owner of a tuple according to its key columns (the multi-column key
+    is mixed into a single hash). *)
+
+val split : t -> Tuple.t Dcd_util.Vec.t -> cols:int array -> Tuple.t Dcd_util.Vec.t array
+(** Partitions a batch of tuples by owner. *)

@@ -1,0 +1,47 @@
+module Vec = Dcd_util.Vec
+
+type t = {
+  name : string;
+  arity : int;
+  tuples : Tuple_set.t;
+  mutable indexes : (int array * Hash_index.t) list;
+}
+
+let create ~name ~arity =
+  if arity < 0 then invalid_arg "Relation.create";
+  { name; arity; tuples = Tuple_set.create (); indexes = [] }
+
+let name t = t.name
+
+let arity t = t.arity
+
+let length t = Tuple_set.length t.tuples
+
+let add t tup =
+  if Array.length tup <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.add: arity mismatch on %s (got %d, want %d)" t.name
+         (Array.length tup) t.arity);
+  let fresh = Tuple_set.add t.tuples tup in
+  if fresh then List.iter (fun (_, idx) -> Hash_index.add idx tup) t.indexes;
+  fresh
+
+let mem t tup = Tuple_set.mem t.tuples tup
+
+let iter f t = Tuple_set.iter f t.tuples
+
+let to_vec t = Tuple_set.to_vec t.tuples
+
+let find_index t ~key_cols =
+  List.find_map (fun (cols, idx) -> if cols = key_cols then Some idx else None) t.indexes
+
+let ensure_index t ~key_cols =
+  match find_index t ~key_cols with
+  | Some idx -> idx
+  | None ->
+    let idx = Hash_index.create ~key_cols in
+    Tuple_set.iter (Hash_index.add idx) t.tuples;
+    t.indexes <- (key_cols, idx) :: t.indexes;
+    idx
+
+let indexes t = t.indexes

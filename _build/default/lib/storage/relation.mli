@@ -1,0 +1,36 @@
+(** A stored relation (one partition's worth, or a whole EDB table).
+
+    Combines the deduplicating {!Tuple_set} with any number of hash
+    indexes that are maintained incrementally on insert.  Base relations
+    are loaded once and indexed on the join keys the planner requests;
+    recursive relations additionally keep a B⁺-tree (owned by the engine
+    layer, see {!Dcd_engine}). *)
+
+type t
+
+val create : name:string -> arity:int -> t
+
+val name : t -> string
+
+val arity : t -> int
+
+val length : t -> int
+
+val add : t -> Tuple.t -> bool
+(** Inserts; [true] iff new.  Indexes are updated only for new tuples.
+    @raise Invalid_argument on arity mismatch. *)
+
+val mem : t -> Tuple.t -> bool
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val to_vec : t -> Tuple.t Dcd_util.Vec.t
+
+val ensure_index : t -> key_cols:int array -> Hash_index.t
+(** Returns the hash index on [key_cols], building it from the current
+    contents on first request.  Indexes are identified by their exact
+    column list. *)
+
+val find_index : t -> key_cols:int array -> Hash_index.t option
+
+val indexes : t -> (int array * Hash_index.t) list

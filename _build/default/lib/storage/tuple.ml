@@ -1,0 +1,29 @@
+type t = int array
+
+let equal (a : t) (b : t) =
+  let la = Array.length a in
+  la = Array.length b
+  &&
+  let rec loop i = i = la || (Array.unsafe_get a i = Array.unsafe_get b i && loop (i + 1)) in
+  loop 0
+
+let hash (a : t) =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to Array.length a - 1 do
+    let x = Array.unsafe_get a i in
+    (* fold each int as 8 bytes' worth in two 32-bit halves *)
+    h := (!h lxor (x land 0xffffffff)) * 0x100000001b3;
+    h := (!h lxor (x lsr 32)) * 0x100000001b3
+  done;
+  !h land max_int
+
+let compare = Dcd_btree.Bptree.compare_key
+
+let project (tup : t) cols = Array.map (fun c -> tup.(c)) cols
+
+let pp fmt t =
+  Format.fprintf fmt "(";
+  Array.iteri (fun i x -> if i > 0 then Format.fprintf fmt ", %d" x else Format.fprintf fmt "%d" x) t;
+  Format.fprintf fmt ")"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,27 @@
+(** Tuples.
+
+    Every engine tuple is an [int array]; string constants are interned
+    through {!Dcd_util.Symbol} by the front end and fractional values are
+    carried as fixed-point integers by the programs that need them
+    (e.g. PageRank).  This keeps the hot paths free of boxing and
+    polymorphic comparison. *)
+
+type t = int array
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** FNV-1a over the elements; suitable for the open-addressing tables in
+    this library. *)
+
+val compare : t -> t -> int
+(** Lexicographic; same order as {!Dcd_btree.Bptree.compare_key}. *)
+
+val project : t -> int array -> t
+(** [project tup cols] is the sub-tuple of the listed column positions,
+    in the listed order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [(a, b, c)]. *)
+
+val to_string : t -> string

@@ -1,0 +1,74 @@
+module Vec = Dcd_util.Vec
+
+(* Slots hold either [empty_slot] or a tuple. The zero-length tuple is a
+   legal value, so we use a private physical sentinel instead. *)
+let empty_slot : Tuple.t = Array.make 0 0
+
+type t = {
+  mutable slots : Tuple.t array;
+  mutable mask : int;
+  mutable size : int;
+}
+
+let initial = 16
+
+let create ?(capacity = initial) () =
+  let rec pow2 p n = if p >= n then p else pow2 (p * 2) n in
+  let cap = pow2 initial capacity in
+  { slots = Array.make cap empty_slot; mask = cap - 1; size = 0 }
+
+let length t = t.size
+
+let probe slots mask tup =
+  let h = Tuple.hash tup in
+  let rec loop i =
+    let slot = Array.unsafe_get slots (i land mask) in
+    if slot == empty_slot || Tuple.equal slot tup then i land mask else loop (i + 1)
+  in
+  loop h
+
+let grow t =
+  let old = t.slots in
+  let cap = (t.mask + 1) * 2 in
+  t.slots <- Array.make cap empty_slot;
+  t.mask <- cap - 1;
+  Array.iter
+    (fun tup ->
+      if tup != empty_slot then begin
+        let i = probe t.slots t.mask tup in
+        t.slots.(i) <- tup
+      end)
+    old
+
+let add t tup =
+  if t.size * 4 >= (t.mask + 1) * 3 then grow t;
+  let i = probe t.slots t.mask tup in
+  if t.slots.(i) == empty_slot then begin
+    t.slots.(i) <- tup;
+    t.size <- t.size + 1;
+    true
+  end
+  else false
+
+let mem t tup =
+  let i = probe t.slots t.mask tup in
+  t.slots.(i) != empty_slot
+
+let iter f t =
+  Array.iter (fun tup -> if tup != empty_slot then f tup) t.slots
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun tup -> acc := f !acc tup) t;
+  !acc
+
+let to_vec t =
+  let v = Vec.create ~capacity:t.size () in
+  iter (fun tup -> Vec.push v tup) t;
+  v
+
+let clear t =
+  Array.fill t.slots 0 (t.mask + 1) empty_slot;
+  t.size <- 0
+
+let load_factor t = float_of_int t.size /. float_of_int (t.mask + 1)

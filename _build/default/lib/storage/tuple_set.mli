@@ -1,0 +1,31 @@
+(** Deduplicating tuple store.
+
+    An open-addressing hash set of tuples with linear probing.  This is
+    the backing store of every relation: semi-naive evaluation is all
+    about set difference ("is this tuple new?"), so [add] reports whether
+    the tuple was absent.  Deletion is deliberately unsupported — Datalog
+    relations only grow during bottom-up evaluation. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val add : t -> Tuple.t -> bool
+(** [add s tup] inserts [tup]; [true] iff it was not already present.
+    The array is stored as given (not copied) — callers must not mutate a
+    tuple after insertion. *)
+
+val mem : t -> Tuple.t -> bool
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+
+val to_vec : t -> Tuple.t Dcd_util.Vec.t
+
+val clear : t -> unit
+
+val load_factor : t -> float
+(** Diagnostics: occupancy of the probe table. *)

@@ -1,0 +1,1 @@
+lib/util/online_stats.mli:

@@ -1,0 +1,1 @@
+lib/util/report.ml: Array List Printf String Vec

@@ -1,0 +1,1 @@
+lib/util/symbol.ml: Hashtbl Printf Vec

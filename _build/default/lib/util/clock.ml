@@ -1,0 +1,14 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+type stopwatch = { mutable start : float }
+
+let stopwatch () = { start = now () }
+
+let elapsed sw = now () -. sw.start
+
+let restart sw = sw.start <- now ()

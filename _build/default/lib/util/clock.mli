@@ -1,0 +1,17 @@
+(** Wall-clock timing for benchmarks and the DWS service-rate statistics. *)
+
+val now : unit -> float
+(** Monotonic-enough wall time in seconds (sub-microsecond resolution). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns its elapsed wall time in seconds. *)
+
+type stopwatch
+
+val stopwatch : unit -> stopwatch
+(** A running stopwatch started at creation. *)
+
+val elapsed : stopwatch -> float
+(** Seconds since creation or the last [restart]. *)
+
+val restart : stopwatch -> unit

@@ -1,0 +1,43 @@
+type t = {
+  mutable n : float;
+  mutable mean : float;
+  mutable m2 : float;
+}
+
+let create () = { n = 0.; mean = 0.; m2 = 0. }
+
+let add t x =
+  t.n <- t.n +. 1.;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. t.n);
+  let delta2 = x -. t.mean in
+  t.m2 <- t.m2 +. (delta *. delta2)
+
+let count t = int_of_float t.n
+
+let mean t = if t.n = 0. then 0. else t.mean
+
+let variance t = if t.n < 2. then 0. else t.m2 /. t.n
+
+let stddev t = sqrt (variance t)
+
+let reset t =
+  t.n <- 0.;
+  t.mean <- 0.;
+  t.m2 <- 0.
+
+let decay t f =
+  if f <= 0. || f > 1. then invalid_arg "Online_stats.decay";
+  t.n <- t.n *. f;
+  t.m2 <- t.m2 *. f
+
+let merge a b =
+  if a.n = 0. then { n = b.n; mean = b.mean; m2 = b.m2 }
+  else if b.n = 0. then { n = a.n; mean = a.mean; m2 = a.m2 }
+  else begin
+    let n = a.n +. b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. b.n /. n) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. a.n *. b.n /. n) in
+    { n; mean; m2 }
+  end

@@ -1,0 +1,34 @@
+(** Online (single-pass) statistics.
+
+    Welford accumulators for mean and variance.  The DWS coordination
+    strategy maintains one accumulator per message buffer for tuple
+    inter-arrival times and one per worker for per-tuple service times
+    (paper §4.2, Equation 1). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** [add t x] folds observation [x] into the accumulator. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of observations so far; [0.] when empty. *)
+
+val variance : t -> float
+(** Population variance; [0.] with fewer than two observations. *)
+
+val stddev : t -> float
+
+val reset : t -> unit
+
+val decay : t -> float -> unit
+(** [decay t f] scales the effective observation count by [f] (0 < f <= 1),
+    giving exponential forgetting so the statistics track the current phase
+    of the fixpoint rather than its whole history. *)
+
+val merge : t -> t -> t
+(** [merge a b] is an accumulator equivalent to having seen both streams
+    (Chan et al. parallel combination). *)

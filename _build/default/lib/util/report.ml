@@ -1,0 +1,48 @@
+type t = {
+  title : string;
+  header : string list;
+  rows : string list Vec.t;
+}
+
+let create ~title ~header = { title; header; rows = Vec.create () }
+
+let add_row t row =
+  if List.length row > List.length t.header then
+    invalid_arg "Report.add_row: more cells than header columns";
+  Vec.push t.rows row
+
+let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let print t =
+  let ncols = List.length t.header in
+  let widths = Array.of_list (List.map String.length t.header) in
+  Vec.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) row)
+    t.rows;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule = String.make (max total (String.length t.title)) '-' in
+  let print_cells cells =
+    let cells = Array.of_list cells in
+    for i = 0 to ncols - 1 do
+      let cell = if i < Array.length cells then cells.(i) else "" in
+      if i = ncols - 1 then print_string cell else print_string (pad cell (widths.(i) + 2))
+    done;
+    print_newline ()
+  in
+  Printf.printf "\n%s\n%s\n" t.title rule;
+  print_cells t.header;
+  print_string rule;
+  print_newline ();
+  Vec.iter print_cells t.rows;
+  print_string rule;
+  print_newline ()
+
+let cell_time secs =
+  if secs < 0.01 then Printf.sprintf "%.4f" secs
+  else if secs < 1.0 then Printf.sprintf "%.3f" secs
+  else Printf.sprintf "%.2f" secs
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_speedup x = Printf.sprintf "%.2fx" x

@@ -1,0 +1,24 @@
+(** Plain-text tables for benchmark reports.
+
+    The bench harness prints each reproduced paper table/figure as an
+    aligned ASCII table; this module does the layout. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells print empty.
+    @raise Invalid_argument if a row is longer than the header. *)
+
+val print : t -> unit
+(** Renders the table to stdout with column alignment and a title rule. *)
+
+val cell_time : float -> string
+(** Formats a duration in seconds with 2–3 significant decimals, matching
+    the paper's tables. *)
+
+val cell_float : ?decimals:int -> float -> string
+
+val cell_speedup : float -> string
+(** e.g. ["3.42x"]. *)

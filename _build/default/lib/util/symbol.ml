@@ -1,0 +1,24 @@
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  names : string Vec.t;
+}
+
+let create () = { by_name = Hashtbl.create 64; names = Vec.create () }
+
+let intern tbl s =
+  match Hashtbl.find_opt tbl.by_name s with
+  | Some id -> id
+  | None ->
+    let id = Vec.length tbl.names in
+    Hashtbl.add tbl.by_name s id;
+    Vec.push tbl.names s;
+    id
+
+let name tbl id =
+  if id < 0 || id >= Vec.length tbl.names then
+    invalid_arg (Printf.sprintf "Symbol.name: unknown id %d" id);
+  Vec.get tbl.names id
+
+let mem tbl s = Hashtbl.mem tbl.by_name s
+
+let count tbl = Vec.length tbl.names

@@ -1,0 +1,22 @@
+(** String interning.
+
+    Engine tuples carry only integers; constants that appear as strings in
+    Datalog source are interned here.  Interning is global per [table] so
+    that a symbol id is meaningful across relations of one program run. *)
+
+type table
+
+val create : unit -> table
+
+val intern : table -> string -> int
+(** [intern tbl s] returns the unique id for [s], assigning a fresh one on
+    first sight.  Ids are dense, starting at 0. *)
+
+val name : table -> int -> string
+(** [name tbl id] is the string for [id].
+    @raise Invalid_argument if [id] was never assigned. *)
+
+val mem : table -> string -> bool
+
+val count : table -> int
+(** Number of distinct interned strings. *)

@@ -1,0 +1,123 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 0) () =
+  { data = (if capacity <= 0 then [||] else Array.make capacity (Obj.magic 0)); len = 0 }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (len %d)" i v.len)
+
+let get v i = check v i; Array.unsafe_get v.data i
+
+let set v i x = check v i; Array.unsafe_set v.data i x
+
+let grow v needed =
+  let cap = Array.length v.data in
+  let cap' = max needed (max 8 (cap * 2)) in
+  (* The dummy cells beyond [len] are never exposed: every read is bounds
+     checked against [len]. *)
+  let data' = Array.make cap' (Obj.magic 0) in
+  Array.blit v.data 0 data' 0 v.len;
+  v.data <- data'
+
+let push v x =
+  if v.len = Array.length v.data then grow v (v.len + 1);
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    let x = Array.unsafe_get v.data v.len in
+    Array.unsafe_set v.data v.len (Obj.magic 0);
+    Some x
+  end
+
+let clear v =
+  (* Drop references so the GC can reclaim elements. *)
+  Array.fill v.data 0 v.len (Obj.magic 0);
+  v.len <- 0
+
+let append dst src =
+  if src.len > 0 then begin
+    if dst.len + src.len > Array.length dst.data then grow dst (dst.len + src.len);
+    Array.blit src.data 0 dst.data dst.len src.len;
+    dst.len <- dst.len + src.len
+  end
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (Array.unsafe_get v.data i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (Array.unsafe_get v.data i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.len && (p (Array.unsafe_get v.data i) || loop (i + 1)) in
+  loop 0
+
+let map f v =
+  let out = create ~capacity:v.len () in
+  iter (fun x -> push out (f x)) v;
+  out
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = Array.unsafe_get v.data i in
+    if p x then begin
+      Array.unsafe_set v.data !j x;
+      incr j
+    end
+  done;
+  Array.fill v.data !j (v.len - !j) (Obj.magic 0);
+  v.len <- !j
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (Array.unsafe_get v.data i :: acc) in
+  loop (v.len - 1) []
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let of_list l = of_array (Array.of_list l)
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.len
+
+let swap_remove v i =
+  check v i;
+  let x = Array.unsafe_get v.data i in
+  let last = v.len - 1 in
+  Array.unsafe_set v.data i (Array.unsafe_get v.data last);
+  Array.unsafe_set v.data last (Obj.magic 0);
+  v.len <- last;
+  x
+
+let copy v = { data = Array.copy v.data; len = v.len }
+
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate";
+  Array.fill v.data n (v.len - n) (Obj.magic 0);
+  v.len <- n

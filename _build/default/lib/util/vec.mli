@@ -1,0 +1,68 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray]).
+
+    A [Vec.t] is a resizable array with amortized O(1) [push].  It is the
+    workhorse container for delta relations, message batches and join
+    outputs throughout the engine.  Not thread-safe; concurrent access is
+    mediated by the structures in {!Dcd_concurrent}. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty vector. [capacity] pre-allocates backing space. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. @raise Invalid_argument if out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces the [i]-th element. @raise Invalid_argument if out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x], growing the backing array if needed. *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, or [None] if empty. *)
+
+val clear : 'a t -> unit
+(** [clear v] resets the length to zero. Keeps the backing storage. *)
+
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes every element of [src] onto [dst]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** [filter_in_place p v] keeps only elements satisfying [p], preserving
+    order, without allocating a new vector. *)
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_array : 'a array -> 'a t
+
+val of_list : 'a list -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** [sort cmp v] sorts in place. *)
+
+val swap_remove : 'a t -> int -> 'a
+(** [swap_remove v i] removes index [i] in O(1) by moving the last element
+    into its place; returns the removed element.  Order is not preserved. *)
+
+val copy : 'a t -> 'a t
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] shortens [v] to [n] elements. @raise Invalid_argument
+    if [n] exceeds the current length. *)

@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Gen Graph Lazy List String

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Dcd_util Float Graph Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/workload/graph.ml: Array Dcd_util

@@ -1,0 +1,1 @@
+lib/workload/graph.mli: Dcd_storage Dcd_util

@@ -1,0 +1,1 @@
+lib/workload/loader.ml: Array Dcd_util Graph List Printf String

@@ -1,0 +1,1 @@
+lib/workload/loader.mli: Dcd_storage Dcd_util Graph

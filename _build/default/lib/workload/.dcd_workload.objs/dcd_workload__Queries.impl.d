@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Dcd_storage Dcd_util Graph List String

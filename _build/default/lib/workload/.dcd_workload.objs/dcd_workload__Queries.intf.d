@@ -1,0 +1,1 @@
+lib/workload/queries.mli: Dcd_storage Dcd_util Graph

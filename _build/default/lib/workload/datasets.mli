@@ -1,0 +1,55 @@
+(** Named benchmark datasets.
+
+    The paper's real-world graphs (Table 1: LiveJournal, Orkut, Arabic,
+    Twitter) are 0.5–11 GB downloads that a sealed container cannot
+    fetch and a single-core budget cannot chew through.  Per the
+    substitution policy in DESIGN.md we register deterministic RMAT
+    stand-ins with the standard social-network skew
+    (a, b, c = 0.57, 0.19, 0.19) at roughly 1/1000 of the original edge
+    counts, preserving the relative size ordering of the four datasets.
+    Degree skew drives partition imbalance, which is what the paper's
+    coordination strategies respond to, so the stand-ins exercise the
+    same phenomena.
+
+    All graphs are lazy: nothing is generated until first use.  Use
+    [scale_factor] (default 1.0) to shrink or grow every simulated
+    dataset uniformly, e.g. for quick smoke runs. *)
+
+type entry = {
+  name : string;
+  description : string;
+  graph : Graph.t Lazy.t;
+}
+
+val livejournal_sim : entry
+val orkut_sim : entry
+val arabic_sim : entry
+val twitter_sim : entry
+
+val real_world_sims : entry list
+(** The four stand-ins above, paper order. *)
+
+val tree11 : entry
+(** Stand-in for TREE-11 of §7.1.1 at height 7, degree 2–4: SG emits
+    all same-depth pairs, quadratic in the original's ~4M vertices. *)
+
+val g10k : entry
+(** The paper's G-10K, scaled to 1,200 vertices with the same edge
+    probability (SG on the original is a 32-core-minutes workload). *)
+
+val rmat : int -> Graph.t
+(** [rmat n]: the paper's RMAT-[n] family — about [n] vertices (rounded
+    up to a power of two) and [10 n] directed edges. *)
+
+val bom : int -> Graph.t * (int * int) list
+(** [bom n]: the paper's N-[n] Delivery tree with ~[n] vertices. *)
+
+val find : string -> entry option
+
+val all : entry list
+
+val set_scale_factor : float -> unit
+(** Multiplies the edge counts of all *_sim datasets generated after
+    this call.  For quick runs, e.g. [set_scale_factor 0.1]. *)
+
+val scale_factor : unit -> float

@@ -1,0 +1,160 @@
+module Rng = Dcd_util.Rng
+
+let rmat ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) ?(weights = 100) ~seed ~scale ~edges () =
+  if scale < 1 || scale > 30 then invalid_arg "Gen.rmat: scale out of range";
+  if a +. b +. c >= 1.0001 then invalid_arg "Gen.rmat: a + b + c must be < 1";
+  let n = 1 lsl scale in
+  let g = Graph.create ~n in
+  let rng = Rng.create seed in
+  let seen = Hashtbl.create (edges * 2) in
+  let sample () =
+    let u = ref 0 and v = ref 0 in
+    for _ = 1 to scale do
+      let r = Rng.float rng 1.0 in
+      let du, dv =
+        if r < a then (0, 0)
+        else if r < a +. b then (0, 1)
+        else if r < a +. b +. c then (1, 0)
+        else (1, 1)
+      in
+      u := (!u lsl 1) lor du;
+      v := (!v lsl 1) lor dv
+    done;
+    (!u, !v)
+  in
+  (* cap the retry budget so pathological parameters still terminate *)
+  let attempts = ref 0 in
+  let max_attempts = edges * 4 in
+  while Graph.edge_count g < edges && !attempts < max_attempts do
+    incr attempts;
+    let u, v = sample () in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      Graph.add_edge g ~w:(1 + Rng.int rng weights) u v
+    end
+  done;
+  g
+
+let gnp ?(weights = 100) ~seed ~n ~p () =
+  if p <= 0. || p >= 1. then invalid_arg "Gen.gnp: p must be in (0, 1)";
+  let g = Graph.create ~n in
+  let rng = Rng.create seed in
+  let log1mp = log (1. -. p) in
+  (* geometric skipping over the n*n adjacency cells *)
+  let total = n * n in
+  let pos = ref (-1) in
+  let continue_ = ref true in
+  while !continue_ do
+    let r = Rng.float rng 1.0 in
+    let skip = 1 + int_of_float (log (1. -. r) /. log1mp) in
+    pos := !pos + skip;
+    if !pos >= total then continue_ := false
+    else begin
+      let u = !pos / n and v = !pos mod n in
+      if u <> v then Graph.add_edge g ~w:(1 + Rng.int rng weights) u v
+    end
+  done;
+  g
+
+let random_tree ~seed ~height ~min_deg ~max_deg () =
+  if min_deg < 1 || max_deg < min_deg then invalid_arg "Gen.random_tree";
+  let rng = Rng.create seed in
+  let g = Graph.create ~n:0 in
+  let next = ref 1 in
+  let rec grow node level =
+    if level < height then begin
+      let deg = min_deg + Rng.int rng (max_deg - min_deg + 1) in
+      for _ = 1 to deg do
+        let child = !next in
+        incr next;
+        Graph.add_edge g node child;
+        grow child (level + 1)
+      done
+    end
+  in
+  grow 0 1;
+  g
+
+let bom_tree ~seed ~n () =
+  let rng = Rng.create seed in
+  let g = Graph.create ~n:0 in
+  let basic = ref [] in
+  let next = ref 1 in
+  let queue = Queue.create () in
+  Queue.push (0, 1) queue;
+  while (not (Queue.is_empty queue)) && !next < n do
+    let node, level = Queue.pop queue in
+    let children = 5 + Rng.int rng 6 in
+    (* leaf probability rises with depth: 0.2 .. 0.6 *)
+    let leaf_p = Float.min 0.6 (0.2 +. (0.05 *. float_of_int level)) in
+    let made_child = ref false in
+    for _ = 1 to children do
+      if !next < n then begin
+        let child = !next in
+        incr next;
+        Graph.add_edge g node child;
+        made_child := true;
+        if Rng.float rng 1.0 < leaf_p then basic := (child, 1 + Rng.int rng 30) :: !basic
+        else Queue.push (child, level + 1) queue
+      end
+    done;
+    if not !made_child then basic := (node, 1 + Rng.int rng 30) :: !basic
+  done;
+  (* everything left unexpanded is a leaf *)
+  Queue.iter (fun (node, _) -> basic := (node, 1 + Rng.int rng 30) :: !basic) queue;
+  (g, !basic)
+
+let chain ~n =
+  let g = Graph.create ~n in
+  for i = 0 to n - 2 do
+    Graph.add_edge g i (i + 1)
+  done;
+  g
+
+let cycle ~n =
+  let g = chain ~n in
+  if n > 1 then Graph.add_edge g (n - 1) 0;
+  g
+
+let star ~n =
+  let g = Graph.create ~n in
+  for i = 1 to n - 1 do
+    Graph.add_edge g 0 i
+  done;
+  g
+
+let components ~seed ~count ~size =
+  if size < 1 then invalid_arg "Gen.components";
+  let rng = Rng.create seed in
+  let g = Graph.create ~n:(count * size) in
+  for comp = 0 to count - 1 do
+    let base = comp * size in
+    (* random spanning structure keeps it connected *)
+    for v = 1 to size - 1 do
+      let u = Rng.int rng v in
+      Graph.add_edge g (base + u) (base + v);
+      Graph.add_edge g (base + v) (base + u)
+    done;
+    (* extra chords *)
+    for _ = 1 to size / 2 do
+      let u = Rng.int rng size and v = Rng.int rng size in
+      if u <> v then Graph.add_edge g (base + u) (base + v)
+    done
+  done;
+  g
+
+let friendship ~seed ~people ~avg_friends ~organizers =
+  let rng = Rng.create seed in
+  let g = Graph.create ~n:people in
+  let seen = Hashtbl.create (people * avg_friends) in
+  let target = people * avg_friends in
+  let tries = ref 0 in
+  while Graph.edge_count g < target && !tries < target * 4 do
+    incr tries;
+    let y = Rng.int rng people and x = Rng.int rng people in
+    if y <> x && not (Hashtbl.mem seen (y, x)) then begin
+      Hashtbl.add seen (y, x) ();
+      Graph.add_edge g y x
+    end
+  done;
+  (g, List.init organizers (fun i -> i))

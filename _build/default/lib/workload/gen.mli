@@ -1,0 +1,50 @@
+(** Deterministic workload generators (paper §7.1.1).
+
+    Everything is seeded; the same arguments always produce the same
+    graph, so benchmark runs and tests are exactly reproducible.
+
+    - RMAT: the recursive-matrix generator the paper uses for its
+      synthetic scalability graphs; the default (a, b, c) =
+      (0.57, 0.19, 0.19) is the standard social-network skew, which is
+      also how we synthesize stand-ins for the LiveJournal/Orkut/
+      Arabic/Twitter datasets (see DESIGN.md §3).
+    - G(n, p): the paper's G-10K uniform random graph family.
+    - Random trees: TREE-11 (height 11, degree 2–6) for SG, and the
+      N-[n] bill-of-material trees (5–10 children, 20–60% leaf chance)
+      for Delivery. *)
+
+val rmat :
+  ?a:float -> ?b:float -> ?c:float -> ?weights:int -> seed:int -> scale:int -> edges:int -> unit -> Graph.t
+(** 2^scale vertices; [edges] directed edges (duplicates removed, so
+    slightly fewer may result).  [weights] draws uniform weights in
+    [1..weights] (default 100). *)
+
+val gnp : ?weights:int -> seed:int -> n:int -> p:float -> unit -> Graph.t
+(** Erdős–Rényi via geometric skipping; O(edges) expected time. *)
+
+val random_tree : seed:int -> height:int -> min_deg:int -> max_deg:int -> unit -> Graph.t
+(** Edges point parent → child.  TREE-11 is
+    [random_tree ~height:11 ~min_deg:2 ~max_deg:6]. *)
+
+val bom_tree : seed:int -> n:int -> unit -> Graph.t * (int * int) list
+(** The paper's N-[n] Delivery input: grows a tree to ~[n] vertices
+    where each internal node has 5–10 children, each child turning leaf
+    with probability 0.2–0.6 by level.  Returns the [assbl(parent, sub)]
+    graph and the [basic(part, days)] facts for the leaves. *)
+
+val chain : n:int -> Graph.t
+(** 0 → 1 → ... → n-1, for tests. *)
+
+val cycle : n:int -> Graph.t
+
+val star : n:int -> Graph.t
+(** Center 0 with spokes to 1..n-1. *)
+
+val components : seed:int -> count:int -> size:int -> Graph.t
+(** [count] disjoint random connected components of [size] vertices
+    each — a CC workload with a known answer. *)
+
+val friendship : seed:int -> people:int -> avg_friends:int -> organizers:int ->
+  Graph.t * int list
+(** Attend-query input: a friendship graph (edges [friend(y, x)] = "y is
+    a friend of x") plus the organizer list [0 .. organizers-1]. *)

@@ -1,0 +1,36 @@
+module Vec = Dcd_util.Vec
+
+type t = {
+  n : int;
+  edges : (int * int * int) Vec.t;
+  mutable max_vertex : int;
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Graph.create";
+  { n; edges = Vec.create (); max_vertex = -1 }
+
+let n t = t.n
+
+let edge_count t = Vec.length t.edges
+
+let add_edge t ?(w = 1) u v =
+  Vec.push t.edges (u, v, w);
+  t.max_vertex <- max t.max_vertex (max u v)
+
+let edges t = t.edges
+
+let arc_tuples t = Vec.map (fun (u, v, _) -> [| u; v |]) t.edges
+
+let warc_tuples t = Vec.map (fun (u, v, w) -> [| u; v; w |]) t.edges
+
+let out_degrees t =
+  let deg = Array.make (max t.n (t.max_vertex + 1)) 0 in
+  Vec.iter (fun (u, _, _) -> deg.(u) <- deg.(u) + 1) t.edges;
+  deg
+
+let matrix_tuples t =
+  let deg = out_degrees t in
+  Vec.map (fun (u, v, _) -> [| u; v; deg.(u) |]) t.edges
+
+let max_vertex t = t.max_vertex

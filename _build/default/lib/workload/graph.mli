@@ -1,0 +1,33 @@
+(** Directed graphs as edge lists, the common EDB shape of the paper's
+    benchmark queries. *)
+
+type t
+
+val create : n:int -> t
+(** An empty graph over vertex ids [0 .. n-1]. *)
+
+val n : t -> int
+
+val edge_count : t -> int
+
+val add_edge : t -> ?w:int -> int -> int -> unit
+(** [add_edge g u v] appends the directed edge (u, v); duplicate edges
+    are kept (generators deduplicate when they care).  [w] attaches a
+    weight (default 1). *)
+
+val edges : t -> (int * int * int) Dcd_util.Vec.t
+(** (u, v, w) triples in insertion order. *)
+
+val arc_tuples : t -> Dcd_storage.Tuple.t Dcd_util.Vec.t
+(** As binary [arc(u, v)] tuples. *)
+
+val warc_tuples : t -> Dcd_storage.Tuple.t Dcd_util.Vec.t
+(** As ternary [warc(u, v, w)] tuples. *)
+
+val matrix_tuples : t -> Dcd_storage.Tuple.t Dcd_util.Vec.t
+(** As PageRank [matrix(u, v, outdeg(u))] tuples. *)
+
+val out_degrees : t -> int array
+
+val max_vertex : t -> int
+(** Largest vertex id actually used (-1 if no edges). *)

@@ -1,0 +1,63 @@
+module Vec = Dcd_util.Vec
+
+let is_comment line =
+  String.length line = 0 || line.[0] = '#' || line.[0] = '%'
+
+let fields line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' || c = ',' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let parse_int ~lineno s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "line %d: %S is not an integer" lineno s)
+
+let fold_lines ic f =
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let line = String.trim line in
+       if not (is_comment line) then f !lineno line
+     done
+   with End_of_file -> ());
+  ()
+
+let edges_of_channel ?(default_weight = 1) ic =
+  let g = Graph.create ~n:0 in
+  fold_lines ic (fun lineno line ->
+      match fields line with
+      | [ a; b ] ->
+        Graph.add_edge g ~w:default_weight (parse_int ~lineno a) (parse_int ~lineno b)
+      | [ a; b; w ] ->
+        Graph.add_edge g ~w:(parse_int ~lineno w) (parse_int ~lineno a) (parse_int ~lineno b)
+      | _ -> failwith (Printf.sprintf "line %d: expected 2 or 3 fields" lineno));
+  g
+
+let with_file path f =
+  let ic = open_in path in
+  match f ic with
+  | x ->
+    close_in ic;
+    x
+  | exception e ->
+    close_in_noerr ic;
+    raise e
+
+let edges_of_file ?default_weight path =
+  with_file path (fun ic -> edges_of_channel ?default_weight ic)
+
+let tuples_of_file path =
+  with_file path (fun ic ->
+      let out = Vec.create () in
+      let arity = ref (-1) in
+      fold_lines ic (fun lineno line ->
+          let row = Array.of_list (List.map (parse_int ~lineno) (fields line)) in
+          if !arity = -1 then arity := Array.length row
+          else if Array.length row <> !arity then
+            failwith
+              (Printf.sprintf "line %d: arity %d differs from first row's %d" lineno
+                 (Array.length row) !arity);
+          Vec.push out row);
+      out)

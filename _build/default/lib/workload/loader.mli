@@ -1,0 +1,21 @@
+(** Loading graphs and relations from text files.
+
+    The container this reproduction runs in cannot download the paper's
+    real datasets, but a user of the library can: this loader reads the
+    standard edge-list formats (SNAP, WebGraph ASCII exports) so the
+    real LiveJournal/Orkut/Arabic/Twitter graphs can be dropped in.
+
+    Format: one edge per line, [src dst] or [src dst weight], separated
+    by any run of spaces, tabs or commas.  Lines starting with [#] or
+    [%] are comments.  Vertex ids must be non-negative integers. *)
+
+val edges_of_channel : ?default_weight:int -> in_channel -> Graph.t
+(** @raise Failure with the offending line number on malformed input. *)
+
+val edges_of_file : ?default_weight:int -> string -> Graph.t
+(** Opens, reads and closes the file. *)
+
+val tuples_of_file : string -> Dcd_storage.Tuple.t Dcd_util.Vec.t
+(** Reads a whitespace/comma-separated file of integer rows as tuples of
+    a single relation (all rows must have the same arity).
+    @raise Failure on malformed input. *)

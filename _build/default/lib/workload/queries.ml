@@ -1,0 +1,149 @@
+module Vec = Dcd_util.Vec
+
+type spec = {
+  name : string;
+  description : string;
+  source : string;
+  default_params : (string * int) list;
+  output : string;
+  max_iterations : int;
+}
+
+let fp_scale = 1_000_000_000
+
+let tc =
+  {
+    name = "tc";
+    description = "Transitive Closure (Query 1)";
+    source = "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y).";
+    default_params = [];
+    output = "tc";
+    max_iterations = 0;
+  }
+
+let sg =
+  {
+    name = "sg";
+    description = "Same Generation (Query 5)";
+    source =
+      "sg(X, Y) <- arc(P, X), arc(P, Y), X != Y.\n\
+       sg(X, Y) <- arc(A, X), sg(A, B), arc(B, Y).";
+    default_params = [];
+    output = "sg";
+    max_iterations = 0;
+  }
+
+let cc =
+  {
+    name = "cc";
+    description = "Connected Components (Query 2)";
+    source =
+      "cc2(Y, min<Y>) <- arc(Y, _).\n\
+       cc2(Y, min<Z>) <- cc2(X, Z), arc(X, Y).\n\
+       cc(Y, min<Z>) <- cc2(Y, Z).";
+    default_params = [];
+    output = "cc";
+    max_iterations = 0;
+  }
+
+let sssp =
+  {
+    name = "sssp";
+    description = "Single Source Shortest Path (Query 7)";
+    source =
+      "sp(To, min<C>) <- To = start, C = 0.\n\
+       sp(To2, min<C>) <- sp(To1, C1), warc(To1, To2, C2), C = C1 + C2.\n\
+       results(To, min<C>) <- sp(To, C).";
+    default_params = [ ("start", 0) ];
+    output = "results";
+    max_iterations = 0;
+  }
+
+let pagerank =
+  {
+    name = "pagerank";
+    description = "PageRank (Query 6), fixed-point arithmetic, damping 0.85";
+    source =
+      (* I = (1 - 0.85) * fp_scale / VNUM ; K = 0.85 * C / D.  The base
+         injection uses contributor S = -1 - X, which no vertex id can
+         collide with: on graphs with self-loops, the contributor (Y) of
+         the recursive rule would otherwise overwrite the injection. *)
+      "rank(X, sum<(S, I)>) <- matrix(X, _, _), I = 150000000 / vnum, S = 0 - 1 - X.\n\
+       rank(X, sum<(Y, K)>) <- rank(Y, C), matrix(Y, X, D), K = 85 * C / (100 * D).\n\
+       results(X, V) <- rank(X, V).";
+    default_params = [ ("vnum", 1) ];
+    output = "results";
+    max_iterations = 20;
+  }
+
+let delivery =
+  {
+    name = "delivery";
+    description = "Bill-of-Materials Delivery (Query 8)";
+    source =
+      "delivery(P, max<D>) <- basic(P, D).\n\
+       delivery(P, max<D>) <- assbl(P, S), delivery(S, D).\n\
+       results(P, max<D>) <- delivery(P, D).";
+    default_params = [];
+    output = "results";
+    max_iterations = 0;
+  }
+
+let apsp =
+  {
+    name = "apsp";
+    description = "All Pairs Shortest Path (Query 3, non-linear recursion)";
+    source =
+      "path(A, B, min<D>) <- warc(A, B, D).\n\
+       path(A, B, min<D>) <- path(A, C, D1), path(C, B, D2), D = D1 + D2.\n\
+       apsp(A, B, min<D>) <- path(A, B, D).";
+    default_params = [];
+    output = "apsp";
+    max_iterations = 0;
+  }
+
+let attend =
+  {
+    name = "attend";
+    description = "Who will attend the party (Query 4, mutual recursion)";
+    source =
+      "attend(X) <- organizer(X).\n\
+       cnt(Y, count<X>) <- attend(X), friend(Y, X).\n\
+       attend(X) <- cnt(X, N), N >= 3.";
+    default_params = [];
+    output = "attend";
+    max_iterations = 0;
+  }
+
+let all = [ tc; sg; cc; sssp; pagerank; delivery; apsp; attend ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) all
+
+(* --- EDB builders --- *)
+
+type edb = (string * Dcd_storage.Tuple.t Vec.t) list
+
+let arc_edb g = [ ("arc", Graph.arc_tuples g) ]
+
+let arc_sym_edb g =
+  let out = Vec.create ~capacity:(2 * Graph.edge_count g) () in
+  Vec.iter
+    (fun (u, v, _) ->
+      Vec.push out [| u; v |];
+      Vec.push out [| v; u |])
+    (Graph.edges g);
+  [ ("arc", out) ]
+
+let warc_edb g = [ ("warc", Graph.warc_tuples g) ]
+
+let matrix_edb g = [ ("matrix", Graph.matrix_tuples g) ]
+
+let delivery_edb g basic =
+  let assbl = Vec.map (fun (u, v, _) -> [| u; v |]) (Graph.edges g) in
+  let basic_v = Vec.of_list (List.map (fun (p, d) -> [| p; d |]) basic) in
+  [ ("assbl", assbl); ("basic", basic_v) ]
+
+let attend_edb g organizers =
+  let friend = Vec.map (fun (y, x, _) -> [| y; x |]) (Graph.edges g) in
+  let organizer = Vec.of_list (List.map (fun x -> [| x |]) organizers) in
+  [ ("friend", friend); ("organizer", organizer) ]

@@ -1,0 +1,57 @@
+(** The paper's benchmark programs (§7.1.1) as Datalog source, plus the
+    EDB builders that turn a generated graph into each program's input
+    relations.
+
+    PageRank works in fixed-point arithmetic: rank values are scaled by
+    {!fp_scale} so that tuples stay integers end-to-end; the damping
+    factor 0.85 appears as the integer ratio 85/100 inside the program
+    text.  Divide reported values by [fp_scale] to recover floats. *)
+
+type spec = {
+  name : string;
+  description : string;
+  source : string; (** Datalog text, parsable by {!Dcd_datalog.Parser} *)
+  default_params : (string * int) list;
+  output : string; (** the relation holding the query answer *)
+  max_iterations : int; (** 0 = run to fixpoint; PageRank uses a bound *)
+}
+
+val tc : spec
+val sg : spec
+val cc : spec
+val sssp : spec
+val pagerank : spec
+val delivery : spec
+val apsp : spec
+val attend : spec
+
+val all : spec list
+
+val find : string -> spec option
+(** Lookup by [spec.name]. *)
+
+val fp_scale : int
+(** 1_000_000_000: the fixed-point unit for PageRank values. *)
+
+(** {1 EDB builders} *)
+
+type edb = (string * Dcd_storage.Tuple.t Dcd_util.Vec.t) list
+
+val arc_edb : Graph.t -> edb
+(** [arc(u, v)] — TC, SG. *)
+
+val arc_sym_edb : Graph.t -> edb
+(** Symmetrized [arc] — CC treats the graph as undirected. *)
+
+val warc_edb : Graph.t -> edb
+(** [warc(u, v, w)] — SSSP, APSP. *)
+
+val matrix_edb : Graph.t -> edb
+(** [matrix(u, v, outdeg u)] — PageRank.  Pair with
+    [("vnum", n)] in params. *)
+
+val delivery_edb : Graph.t -> (int * int) list -> edb
+(** [assbl(parent, sub)] from the tree plus [basic(part, days)] facts. *)
+
+val attend_edb : Graph.t -> int list -> edb
+(** [friend(y, x)] edges plus [organizer(x)] facts. *)

@@ -1,0 +1,1 @@
+test/test_agg_table.ml: Alcotest Array Dcd_storage Dcd_util List QCheck QCheck_alcotest

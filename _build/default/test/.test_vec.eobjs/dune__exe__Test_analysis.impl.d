@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Dcd_datalog List Parser String

@@ -1,0 +1,1 @@
+test/test_barrier.ml: Alcotest Array Atomic Dcd_concurrent Domain Unix

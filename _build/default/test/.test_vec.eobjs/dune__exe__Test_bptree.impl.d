@@ -1,0 +1,1 @@
+test/test_bptree.ml: Alcotest Array Dcd_btree Dcd_util Dump Fmt List Map Option Printf QCheck QCheck_alcotest

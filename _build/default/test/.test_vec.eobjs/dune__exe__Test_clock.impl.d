@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Dcd_util Unix

@@ -1,0 +1,1 @@
+test/test_dcdatalog.ml: Alcotest Dcdatalog Result String

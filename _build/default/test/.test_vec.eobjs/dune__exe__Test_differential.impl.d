@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Dcdatalog List Printf QCheck QCheck_alcotest String

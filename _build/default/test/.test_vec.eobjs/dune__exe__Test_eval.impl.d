@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Analysis Array Dcd_datalog Dcd_engine Dcd_planner Dcd_storage Dcd_util List Parser Result

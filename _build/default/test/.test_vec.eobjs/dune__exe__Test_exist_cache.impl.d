@@ -1,0 +1,1 @@
+test/test_exist_cache.ml: Alcotest Dcd_engine

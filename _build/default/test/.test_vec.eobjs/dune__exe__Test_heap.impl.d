@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Dcd_util List Option QCheck QCheck_alcotest

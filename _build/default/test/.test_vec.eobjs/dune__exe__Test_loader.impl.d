@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Array Dcd_util Dcd_workload Dcdatalog Filename Fun List String Sys

@@ -1,0 +1,1 @@
+test/test_logical.ml: Alcotest Analysis Ast Dcd_datalog Dcd_planner List Option Parser Result String

@@ -1,0 +1,1 @@
+test/test_naive.ml: Alcotest Array Dcd_datalog Dcd_engine List Parser

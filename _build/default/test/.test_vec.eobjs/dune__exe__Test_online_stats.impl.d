@@ -1,0 +1,1 @@
+test/test_online_stats.ml: Alcotest Dcd_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_online_stats.mli:

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Dcd_datalog Fmt List Option Parser String

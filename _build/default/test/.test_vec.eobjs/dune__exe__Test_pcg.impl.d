@@ -1,0 +1,1 @@
+test/test_pcg.ml: Alcotest Analysis Dcd_datalog Format Parser Pcg Result String

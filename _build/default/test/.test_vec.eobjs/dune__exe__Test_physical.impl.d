@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Analysis Array Ast Dcd_datalog Dcd_planner Dcd_util List Option Parser String

@@ -1,0 +1,1 @@
+test/test_qmodel.ml: Alcotest Dcd_engine Float

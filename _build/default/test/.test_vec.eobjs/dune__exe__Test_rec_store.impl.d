@@ -1,0 +1,1 @@
+test/test_rec_store.ml: Alcotest Array Ast Dcd_datalog Dcd_engine List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Dcd_storage Dcd_util List Option

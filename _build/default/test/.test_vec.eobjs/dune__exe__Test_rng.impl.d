@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dcd_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dcd_engine Dcd_sim Dcd_util Dcd_workload Fun Lazy List Printf Queue

@@ -1,0 +1,1 @@
+test/test_spsc.ml: Alcotest Dcd_concurrent Domain List

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Buffer Dcdatalog List Printexc Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_symbol.ml: Alcotest Dcd_util List QCheck QCheck_alcotest

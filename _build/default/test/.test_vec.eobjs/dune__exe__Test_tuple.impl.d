@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Array Dcd_storage Hashtbl QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tuple_set.ml: Alcotest Array Dcd_storage Dcd_util List QCheck QCheck_alcotest Set

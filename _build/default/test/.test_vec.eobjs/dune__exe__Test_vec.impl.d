@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Dcd_util List QCheck QCheck_alcotest

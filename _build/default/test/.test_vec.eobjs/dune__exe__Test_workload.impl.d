@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Analysis Array Dcd_datalog Dcd_engine Dcd_planner Dcd_util Dcd_workload Fun Hashtbl Lazy List Parser Printf

@@ -1,0 +1,129 @@
+open Dcd_datalog
+
+let analyze src = Analysis.analyze (Parser.parse_program src)
+
+let strata_of src =
+  match analyze src with
+  | Ok info ->
+    List.map
+      (fun (s : Analysis.stratum) ->
+        (String.concat "+" s.preds, Analysis.recursion_kind_to_string s.kind))
+      info.strata
+  | Error e -> Alcotest.fail e
+
+let expect_error src fragment =
+  match analyze src with
+  | Ok _ -> Alcotest.fail ("expected analysis error for: " ^ src)
+  | Error msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec loop i = i + n <= String.length s && (String.sub s i n = sub || loop (i + 1)) in
+      loop 0
+    in
+    Alcotest.(check bool) ("error mentions " ^ fragment) true (contains msg fragment)
+
+let test_classification () =
+  Alcotest.(check (list (pair string string))) "tc linear"
+    [ ("tc", "linear") ]
+    (strata_of "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y).");
+  Alcotest.(check (list (pair string string))) "apsp nonlinear"
+    [ ("path", "nonlinear"); ("apsp", "nonrecursive") ]
+    (strata_of
+       "path(A, B, min<D>) <- warc(A, B, D).\n\
+        path(A, B, min<D>) <- path(A, C, D1), path(C, B, D2), D = D1 + D2.\n\
+        apsp(A, B, min<D>) <- path(A, B, D).");
+  Alcotest.(check (list (pair string string))) "attend mutual"
+    [ ("attend+cnt", "mutual") ]
+    (strata_of
+       "attend(X) <- organizer(X).\n\
+        cnt(Y, count<X>) <- attend(X), friend(Y, X).\n\
+        attend(X) <- cnt(X, N), N >= 3.")
+
+let test_strata_order () =
+  match analyze "b(X) <- a(X).\nc(X) <- b(X).\nd(X) <- c(X), b(X)." with
+  | Error e -> Alcotest.fail e
+  | Ok info ->
+    let order = List.concat_map (fun (s : Analysis.stratum) -> s.preds) info.strata in
+    Alcotest.(check (list string)) "dependencies first" [ "b"; "c"; "d" ] order;
+    Alcotest.(check (list string)) "edb" [ "a" ] info.edb;
+    Alcotest.(check (list string)) "idb" [ "b"; "c"; "d" ] info.idb
+
+let test_base_vs_recursive_rules () =
+  match analyze "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y)." with
+  | Error e -> Alcotest.fail e
+  | Ok info ->
+    let s = List.hd info.strata in
+    Alcotest.(check int) "one base rule" 1 (List.length s.base_rules);
+    Alcotest.(check int) "one recursive rule" 1 (List.length s.recursive_rules)
+
+let test_aggregated_registry () =
+  match
+    analyze "cc2(Y, min<Y>) <- arc(Y, _).\ncc2(Y, min<Z>) <- cc2(X, Z), arc(X, Y)."
+  with
+  | Error e -> Alcotest.fail e
+  | Ok info -> (
+    match List.assoc_opt "cc2" info.aggregated with
+    | Some (1, Ast.Min) -> ()
+    | _ -> Alcotest.fail "cc2 should be registered as min@1")
+
+let test_arity_mismatch () = expect_error "p(X) <- q(X).\np(X, Y) <- q(X), q(Y)." "arity"
+
+let test_unsafe_head () = expect_error "p(X, Y) <- q(X)." "unsafe"
+
+let test_unsafe_negation () = expect_error "p(X) <- q(X), !r(Y)." "unsafe"
+
+let test_unsafe_comparison () = expect_error "p(X) <- q(X), Y > 3." "unsafe"
+
+let test_assignment_chain_is_safe () =
+  match analyze "p(X, Y, Z) <- q(X), Y = X + 1, Z = Y * 2." with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("assignment chains should be safe: " ^ e)
+
+let test_negation_in_recursion_rejected () =
+  expect_error "p(X) <- q(X).\np(X) <- p(Y), e(Y, X), !p(X)." "negation";
+  expect_error "a(X) <- b(X).\nb(X) <- e(X, Y), !a(Y)." "negation"
+
+let test_stratified_negation_accepted () =
+  match analyze "reach(X) <- src(X).\nreach(Y) <- reach(X), e(X, Y).\nunreach(X) <- node(X), !reach(X)." with
+  | Ok info ->
+    Alcotest.(check int) "two strata" 2 (List.length info.strata)
+  | Error e -> Alcotest.fail e
+
+let test_mixed_agg_plain_rejected () =
+  expect_error "p(X, min<Y>) <- q(X, Y).\np(X, Y) <- r(X, Y)." "mixes";
+  expect_error "p(X, min<Y>) <- q(X, Y).\np(X, max<Y>) <- r(X, Y)." "inconsistent"
+
+let test_multiple_aggs_rejected () = expect_error "p(min<X>, max<Y>) <- q(X, Y)." "multiple"
+
+let test_stratum_of_pred () =
+  match analyze "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y)." with
+  | Error e -> Alcotest.fail e
+  | Ok info ->
+    (match Analysis.stratum_of_pred info "tc" with
+    | Some s ->
+      Alcotest.(check bool) "atom recognition" true
+        (Analysis.is_recursive_atom s { Ast.pred = "tc"; args = [] })
+    | None -> Alcotest.fail "tc stratum missing");
+    Alcotest.(check bool) "unknown pred" true (Analysis.stratum_of_pred info "zzz" = None)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "strata order" `Quick test_strata_order;
+          Alcotest.test_case "base vs recursive rules" `Quick test_base_vs_recursive_rules;
+          Alcotest.test_case "aggregated registry" `Quick test_aggregated_registry;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+          Alcotest.test_case "unsafe head" `Quick test_unsafe_head;
+          Alcotest.test_case "unsafe negation" `Quick test_unsafe_negation;
+          Alcotest.test_case "unsafe comparison" `Quick test_unsafe_comparison;
+          Alcotest.test_case "assignment chains safe" `Quick test_assignment_chain_is_safe;
+          Alcotest.test_case "negation in recursion" `Quick test_negation_in_recursion_rejected;
+          Alcotest.test_case "stratified negation ok" `Quick test_stratified_negation_accepted;
+          Alcotest.test_case "mixed agg/plain" `Quick test_mixed_agg_plain_rejected;
+          Alcotest.test_case "multiple aggs" `Quick test_multiple_aggs_rejected;
+          Alcotest.test_case "stratum_of_pred" `Quick test_stratum_of_pred;
+        ] );
+    ]

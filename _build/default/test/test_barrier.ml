@@ -1,0 +1,92 @@
+module Barrier = Dcd_concurrent.Barrier
+module Pool = Dcd_concurrent.Domain_pool
+
+let test_create_validates () =
+  Alcotest.check_raises "zero parties" (Invalid_argument "Barrier.create") (fun () ->
+      ignore (Barrier.create 0));
+  Alcotest.(check int) "parties" 3 (Barrier.parties (Barrier.create 3))
+
+let test_single_party_never_blocks () =
+  let b = Barrier.create 1 in
+  for _ = 1 to 10 do
+    Barrier.await b
+  done
+
+(* Phase consistency: between barriers, every worker must observe the
+   same round's writes from all other workers.  If the barrier leaked a
+   worker early, it would read a stale counter. *)
+let test_phase_consistency () =
+  let n = 4 and rounds = 200 in
+  let b = Barrier.create n in
+  let counters = Array.init n (fun _ -> Atomic.make 0) in
+  let violations = Atomic.make 0 in
+  let body me =
+    for round = 1 to rounds do
+      Atomic.set counters.(me) round;
+      Barrier.await b;
+      for j = 0 to n - 1 do
+        if Atomic.get counters.(j) < round then Atomic.incr violations
+      done;
+      Barrier.await b
+    done
+  in
+  ignore (Pool.run ~workers:n body);
+  Alcotest.(check int) "no stale reads across barrier" 0 (Atomic.get violations)
+
+let test_reusable_generations () =
+  let n = 3 and rounds = 500 in
+  let b = Barrier.create n in
+  let total = Atomic.make 0 in
+  let body _ =
+    for _ = 1 to rounds do
+      Atomic.incr total;
+      Barrier.await b
+    done
+  in
+  ignore (Pool.run ~workers:n body);
+  Alcotest.(check int) "every round completed" (n * rounds) (Atomic.get total)
+
+let test_poison_wakes_waiters () =
+  let b = Barrier.create 2 in
+  let released = Atomic.make false in
+  let waiter =
+    Domain.spawn (fun () ->
+        match Barrier.await b with
+        | () -> `Completed
+        | exception Barrier.Poisoned ->
+          Atomic.set released true;
+          `Poisoned)
+  in
+  Unix.sleepf 0.05;
+  (* the second party dies instead of arriving *)
+  Barrier.poison b;
+  Alcotest.(check bool) "waiter released with Poisoned" true (Domain.join waiter = `Poisoned);
+  Alcotest.(check bool) "flag set" true (Atomic.get released);
+  Alcotest.(check bool) "is_poisoned" true (Barrier.is_poisoned b);
+  Alcotest.check_raises "future awaits refuse" Barrier.Poisoned (fun () -> Barrier.await b)
+
+let test_pool_propagates_exception () =
+  Alcotest.check_raises "worker failure surfaces" (Failure "boom") (fun () ->
+      ignore (Pool.run ~workers:2 (fun me -> if me = 1 then failwith "boom")))
+
+let test_pool_results_indexed () =
+  let results = Pool.run ~workers:4 (fun me -> me * 10) in
+  Alcotest.(check (array int)) "indexed results" [| 0; 10; 20; 30 |] results
+
+let () =
+  Alcotest.run "barrier"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "single party" `Quick test_single_party_never_blocks;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "phase consistency" `Quick test_phase_consistency;
+          Alcotest.test_case "poison wakes waiters" `Quick test_poison_wakes_waiters;
+          Alcotest.test_case "reusable generations" `Quick test_reusable_generations;
+          Alcotest.test_case "pool exception propagation" `Quick test_pool_propagates_exception;
+          Alcotest.test_case "pool results indexed" `Quick test_pool_results_indexed;
+        ] );
+    ]

@@ -1,0 +1,207 @@
+module B = Dcd_btree.Bptree
+
+let key = Alcotest.testable (fun fmt k -> Fmt.pf fmt "%a" Fmt.(Dump.array int) k) ( = )
+
+let test_compare_key () =
+  Alcotest.(check int) "equal" 0 (B.compare_key [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "lex order" true (B.compare_key [| 1; 2 |] [| 1; 3 |] < 0);
+  Alcotest.(check bool) "prefix sorts first" true (B.compare_key [| 1 |] [| 1; 0 |] < 0);
+  Alcotest.(check bool) "first column dominates" true (B.compare_key [| 2; 0 |] [| 1; 9 |] > 0)
+
+let test_insert_find () =
+  let t = B.create ~branching:4 () in
+  Alcotest.(check bool) "fresh empty" true (B.is_empty t);
+  for i = 0 to 200 do
+    B.insert t [| (i * 37) mod 211 |] i
+  done;
+  B.check_invariants t;
+  Alcotest.(check int) "length" 201 (B.length t);
+  Alcotest.(check (option int)) "find" (Some 0) (B.find_opt t [| 0 |]);
+  Alcotest.(check (option int)) "absent" None (B.find_opt t [| 999 |])
+
+let test_insert_replaces () =
+  let t = B.create () in
+  B.insert t [| 5 |] 1;
+  B.insert t [| 5 |] 2;
+  Alcotest.(check int) "no duplicate key" 1 (B.length t);
+  Alcotest.(check (option int)) "replaced" (Some 2) (B.find_opt t [| 5 |])
+
+let test_upsert () =
+  let t = B.create () in
+  B.upsert t [| 1 |] (function None -> 10 | Some v -> v + 1);
+  B.upsert t [| 1 |] (function None -> 10 | Some v -> v + 1);
+  Alcotest.(check (option int)) "upsert accumulates" (Some 11) (B.find_opt t [| 1 |])
+
+let test_remove () =
+  let t = B.create ~branching:4 () in
+  for i = 0 to 99 do
+    B.insert t [| i |] i
+  done;
+  for i = 0 to 99 do
+    if i mod 3 = 0 then Alcotest.(check bool) "removed" true (B.remove t [| i |])
+  done;
+  B.check_invariants t;
+  Alcotest.(check bool) "remove absent" false (B.remove t [| 0 |]);
+  Alcotest.(check int) "length after" 66 (B.length t);
+  for i = 0 to 99 do
+    Alcotest.(check bool)
+      (Printf.sprintf "membership %d" i)
+      (i mod 3 <> 0)
+      (B.mem t [| i |])
+  done
+
+let test_iter_sorted () =
+  let t = B.create ~branching:5 () in
+  let rng = Dcd_util.Rng.create 3 in
+  for _ = 1 to 500 do
+    B.insert t [| Dcd_util.Rng.int rng 1000; Dcd_util.Rng.int rng 1000 |] 0
+  done;
+  let prev = ref [||] in
+  let sorted = ref true in
+  B.iter t (fun k _ ->
+      if Array.length !prev > 0 && B.compare_key !prev k >= 0 then sorted := false;
+      prev := k);
+  Alcotest.(check bool) "ascending iteration" true !sorted
+
+let test_range () =
+  let t = B.create ~branching:4 () in
+  for i = 0 to 50 do
+    B.insert t [| i |] i
+  done;
+  let got = ref [] in
+  B.iter_range t ~lo:[| 10 |] ~hi:[| 15 |] (fun _ v -> got := v :: !got);
+  Alcotest.(check (list int)) "half-open range" [ 10; 11; 12; 13; 14 ] (List.rev !got)
+
+let test_prefix () =
+  let t = B.create ~branching:4 () in
+  for a = 0 to 9 do
+    for b = 0 to 9 do
+      B.insert t [| a; b |] ((a * 10) + b)
+    done
+  done;
+  let got = ref [] in
+  B.iter_prefix t ~prefix:[| 4 |] (fun _ v -> got := v :: !got);
+  Alcotest.(check (list int)) "prefix matches" (List.init 10 (fun b -> 40 + b)) (List.rev !got);
+  let none = ref 0 in
+  B.iter_prefix t ~prefix:[| 42 |] (fun _ _ -> incr none);
+  Alcotest.(check int) "no match" 0 !none
+
+let test_min_max () =
+  let t = B.create () in
+  Alcotest.(check bool) "empty min" true (B.min_binding t = None);
+  B.insert t [| 5 |] 5;
+  B.insert t [| 1 |] 1;
+  B.insert t [| 9 |] 9;
+  Alcotest.check key "min" [| 1 |] (fst (Option.get (B.min_binding t)));
+  Alcotest.check key "max" [| 9 |] (fst (Option.get (B.max_binding t)))
+
+let test_of_sorted () =
+  let entries = Array.init 1234 (fun i -> ([| i * 2 |], i)) in
+  let t = B.of_sorted ~branching:6 entries in
+  B.check_invariants t;
+  Alcotest.(check int) "bulk length" 1234 (B.length t);
+  Alcotest.(check (option int)) "bulk find" (Some 617) (B.find_opt t [| 1234 |]);
+  Alcotest.check_raises "unsorted rejected" (Invalid_argument "Bptree.of_sorted: keys must be strictly increasing")
+    (fun () -> ignore (B.of_sorted [| ([| 2 |], 0); ([| 1 |], 1) |]))
+
+let test_defensive_key_copy () =
+  let t = B.create () in
+  let k = [| 7 |] in
+  B.insert t k 1;
+  k.(0) <- 8;
+  (* caller mutates its buffer *)
+  Alcotest.(check (option int)) "tree unaffected" (Some 1) (B.find_opt t [| 7 |])
+
+(* model-based qcheck against Map *)
+module M = Map.Make (struct
+  type t = int array
+
+  let compare = B.compare_key
+end)
+
+type op =
+  | Insert of int * int
+  | Remove of int
+  | Upsert of int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun k v -> Insert (k, v)) (int_range 0 200) small_int;
+        map (fun k -> Remove k) (int_range 0 200);
+        map (fun k -> Upsert k) (int_range 0 200);
+      ])
+
+let prop_matches_map =
+  QCheck.Test.make ~name:"random ops match Map" ~count:60
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 500) op_gen))
+    (fun ops ->
+      let branching = 4 + (List.length ops mod 5) in
+      let t = B.create ~branching () in
+      let m = ref M.empty in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert (k, v) ->
+            B.insert t [| k |] v;
+            m := M.add [| k |] v !m
+          | Remove k ->
+            let a = B.remove t [| k |] in
+            let b = M.mem [| k |] !m in
+            m := M.remove [| k |] !m;
+            assert (a = b)
+          | Upsert k ->
+            let f = function None -> 1 | Some v -> v + 1 in
+            B.upsert t [| k |] f;
+            m := M.update [| k |] (fun cur -> Some (f cur)) !m)
+        ops;
+      B.check_invariants t;
+      B.length t = M.cardinal !m
+      && M.for_all (fun k v -> B.find_opt t k = Some v) !m
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> B.compare_key k1 k2 = 0 && v1 = v2)
+           (B.to_list t) (M.bindings !m))
+
+let prop_range_matches_map =
+  QCheck.Test.make ~name:"range scan matches Map filtering" ~count:60
+    QCheck.(triple (list (pair (int_range 0 100) small_int)) (int_range 0 100) (int_range 0 100))
+    (fun (kvs, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = B.create ~branching:4 () in
+      let m = ref M.empty in
+      List.iter
+        (fun (k, v) ->
+          B.insert t [| k |] v;
+          m := M.add [| k |] v !m)
+        kvs;
+      let got = ref [] in
+      B.iter_range t ~lo:[| lo |] ~hi:[| hi |] (fun k v -> got := (k, v) :: !got);
+      let expect =
+        M.bindings !m |> List.filter (fun (k, _) -> k.(0) >= lo && k.(0) < hi)
+      in
+      List.rev !got = expect)
+
+let () =
+  Alcotest.run "bptree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "compare_key" `Quick test_compare_key;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "insert replaces" `Quick test_insert_replaces;
+          Alcotest.test_case "upsert" `Quick test_upsert;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "sorted iteration" `Quick test_iter_sorted;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "prefix" `Quick test_prefix;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "of_sorted" `Quick test_of_sorted;
+          Alcotest.test_case "defensive key copy" `Quick test_defensive_key_copy;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_matches_map;
+          QCheck_alcotest.to_alcotest prop_range_matches_map;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+module Cq = Dcd_concurrent.Chunk_queue
+
+let test_fifo_within_chunk () =
+  let q = Cq.create ~chunk:8 () in
+  for i = 1 to 5 do
+    Cq.push q i
+  done;
+  for i = 1 to 5 do
+    Alcotest.(check (option int)) "fifo" (Some i) (Cq.try_pop q)
+  done;
+  Alcotest.(check (option int)) "empty" None (Cq.try_pop q)
+
+let test_cross_chunk () =
+  let q = Cq.create ~chunk:4 () in
+  let n = 23 in
+  (* several chunk boundaries *)
+  for i = 1 to n do
+    Cq.push q i
+  done;
+  Alcotest.(check int) "size" n (Cq.size q);
+  for i = 1 to n do
+    Alcotest.(check (option int)) "fifo across chunks" (Some i) (Cq.try_pop q)
+  done;
+  Alcotest.(check bool) "empty after" true (Cq.is_empty q)
+
+let test_interleaved_push_pop () =
+  let q = Cq.create ~chunk:2 () in
+  Cq.push q 1;
+  Alcotest.(check (option int)) "pop" (Some 1) (Cq.try_pop q);
+  Cq.push q 2;
+  Cq.push q 3;
+  Cq.push q 4;
+  Alcotest.(check (option int)) "pop" (Some 2) (Cq.try_pop q);
+  Cq.push q 5;
+  Alcotest.(check (list int)) "drain rest"
+    [ 3; 4; 5 ]
+    (let out = ref [] in
+     ignore (Cq.drain q (fun x -> out := x :: !out));
+     List.rev !out)
+
+let test_drain_counts () =
+  let q = Cq.create ~chunk:4 () in
+  for i = 1 to 9 do
+    Cq.push q i
+  done;
+  Alcotest.(check int) "drain count" 9 (Cq.drain q (fun _ -> ()));
+  Alcotest.(check int) "second drain empty" 0 (Cq.drain q (fun _ -> ()))
+
+let test_unbounded_two_domains () =
+  let q = Cq.create ~chunk:16 () in
+  let n = 100_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Cq.push q i (* never blocks: unbounded *)
+        done)
+  in
+  let received = ref 0 in
+  let in_order = ref true in
+  while !received < n do
+    match Cq.try_pop q with
+    | Some x ->
+      incr received;
+      if x <> !received then in_order := false
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "all values in order" true !in_order
+
+let test_batched_producer_consumer () =
+  (* consumer uses drain while producer pushes: totals must match *)
+  let q = Cq.create ~chunk:8 () in
+  let n = 30_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Cq.push q i
+        done)
+  in
+  let sum = ref 0 and got = ref 0 in
+  while !got < n do
+    let k = Cq.drain q (fun x -> sum := !sum + x) in
+    got := !got + k;
+    if k = 0 then Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check int) "checksum" (n * (n + 1) / 2) !sum
+
+let () =
+  Alcotest.run "chunk_queue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fifo within chunk" `Quick test_fifo_within_chunk;
+          Alcotest.test_case "cross chunk" `Quick test_cross_chunk;
+          Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop;
+          Alcotest.test_case "drain counts" `Quick test_drain_counts;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "unbounded two-domain transfer" `Quick test_unbounded_two_domains;
+          Alcotest.test_case "batched producer/consumer" `Quick test_batched_producer_consumer;
+        ] );
+    ]

@@ -1,0 +1,30 @@
+module Clock = Dcd_util.Clock
+
+let test_monotone_enough () =
+  let a = Clock.now () in
+  let b = Clock.now () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a)
+
+let test_time_measures () =
+  let x, dt = Clock.time (fun () -> Unix.sleepf 0.02; 42) in
+  Alcotest.(check int) "result passed through" 42 x;
+  Alcotest.(check bool) "at least the sleep" true (dt >= 0.015)
+
+let test_stopwatch () =
+  let sw = Clock.stopwatch () in
+  Unix.sleepf 0.01;
+  let e1 = Clock.elapsed sw in
+  Alcotest.(check bool) "elapsed grows" true (e1 >= 0.005);
+  Clock.restart sw;
+  Alcotest.(check bool) "restart resets" true (Clock.elapsed sw < e1)
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "monotone enough" `Quick test_monotone_enough;
+          Alcotest.test_case "time measures" `Quick test_time_measures;
+          Alcotest.test_case "stopwatch" `Quick test_stopwatch;
+        ] );
+    ]

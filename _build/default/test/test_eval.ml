@@ -1,0 +1,135 @@
+open Dcd_datalog
+module Ph = Dcd_planner.Physical
+module Eval = Dcd_engine.Eval
+module Relation = Dcd_storage.Relation
+module Vec = Dcd_util.Vec
+
+(* Build a tiny manual context over in-memory relations. *)
+let make_ctx rels =
+  let find name = List.assoc name rels in
+  {
+    Eval.base_iter = (fun pred f -> Relation.iter f (find pred));
+    base_index =
+      (fun pred cols -> Relation.ensure_index (find pred) ~key_cols:cols);
+    rec_matches = (fun ~pred ~route:_ ~key:_ _ -> Alcotest.fail ("unexpected rec lookup " ^ pred));
+  }
+
+let rel name arity rows =
+  let r = Relation.create ~name ~arity in
+  List.iter (fun row -> ignore (Relation.add r (Array.of_list row))) rows;
+  (name, r)
+
+let compile_single src =
+  let info = Result.get_ok (Analysis.analyze (Parser.parse_program src)) in
+  let plan = Result.get_ok (Ph.compile info) in
+  let sp = List.hd plan.strata in
+  List.hd (sp.init_rules @ sp.delta_rules)
+
+let collect cr ctx scan =
+  let out = ref [] in
+  let n =
+    Eval.run cr ctx ~scan ~emit:(fun ~tuple ~contributor ->
+        out := (Array.to_list tuple, Array.to_list contributor) :: !out)
+  in
+  (n, List.sort compare !out)
+
+let test_scan_project () =
+  let cr = compile_single "p(Y, X) <- e(X, Y)." in
+  let ctx = make_ctx [ rel "e" 2 [ [ 1; 2 ]; [ 3; 4 ] ] ] in
+  let n, out = collect cr ctx (`Tuples (Vec.of_list [ [| 1; 2 |]; [| 3; 4 |] ])) in
+  Alcotest.(check int) "scanned" 2 n;
+  Alcotest.(check (list (pair (list int) (list int))))
+    "projection swaps columns"
+    [ ([ 2; 1 ], []); ([ 4; 3 ], []) ]
+    out
+
+let test_index_join () =
+  let cr = compile_single "p(X, Z) <- e(X, Y), f(Y, Z)." in
+  let ctx = make_ctx [ rel "e" 2 []; rel "f" 2 [ [ 2; 20 ]; [ 2; 21 ]; [ 9; 90 ] ] ] in
+  let n, out = collect cr ctx (`Tuples (Vec.of_list [ [| 1; 2 |] ])) in
+  Alcotest.(check int) "one scan tuple" 1 n;
+  Alcotest.(check (list (pair (list int) (list int))))
+    "two join matches"
+    [ ([ 1; 20 ], []); ([ 1; 21 ], []) ]
+    out
+
+let test_filter_and_compute () =
+  let cr = compile_single "p(X, C) <- e(X, Y), Y > 1, C = X * 10 + Y." in
+  let ctx = make_ctx [ rel "e" 2 [] ] in
+  let _, out = collect cr ctx (`Tuples (Vec.of_list [ [| 1; 2 |]; [| 3; 0 |] ])) in
+  Alcotest.(check (list (pair (list int) (list int)))) "filter drops, compute computes"
+    [ ([ 1; 12 ], []) ]
+    out
+
+let test_division_by_zero_drops () =
+  let cr = compile_single "p(C) <- e(X, Y), C = X / Y." in
+  let ctx = make_ctx [ rel "e" 2 [] ] in
+  let _, out = collect cr ctx (`Tuples (Vec.of_list [ [| 6; 2 |]; [| 1; 0 |] ])) in
+  Alcotest.(check (list (pair (list int) (list int)))) "zero divisor dropped silently"
+    [ ([ 3 ], []) ]
+    out
+
+let test_repeated_var_in_scan () =
+  let cr = compile_single "p(X) <- e(X, X)." in
+  let ctx = make_ctx [ rel "e" 2 [] ] in
+  let _, out = collect cr ctx (`Tuples (Vec.of_list [ [| 1; 1 |]; [| 1; 2 |]; [| 3; 3 |] ])) in
+  Alcotest.(check (list (pair (list int) (list int)))) "diagonal only"
+    [ ([ 1 ], []); ([ 3 ], []) ]
+    out
+
+let test_repeated_var_in_lookup () =
+  let cr = compile_single "p(X) <- e(X, Y), f(Y, Y)." in
+  let ctx = make_ctx [ rel "e" 2 []; rel "f" 2 [ [ 2; 2 ]; [ 3; 4 ] ] ] in
+  let _, out = collect cr ctx (`Tuples (Vec.of_list [ [| 1; 2 |]; [| 9; 3 |] ])) in
+  Alcotest.(check (list (pair (list int) (list int)))) "lookup residual check"
+    [ ([ 1 ], []) ]
+    out
+
+let test_negation () =
+  let cr = compile_single "p(X) <- e(X, Y), !f(Y)." in
+  let ctx = make_ctx [ rel "e" 2 []; rel "f" 1 [ [ 2 ] ] ] in
+  let _, out = collect cr ctx (`Tuples (Vec.of_list [ [| 1; 2 |]; [| 3; 4 |] ])) in
+  Alcotest.(check (list (pair (list int) (list int)))) "anti-join"
+    [ ([ 3 ], []) ]
+    out
+
+let test_unit_scan () =
+  let cr = compile_single "p(X, Y) <- X = 1, Y = 2." in
+  let ctx = make_ctx [] in
+  let n, out = collect cr ctx `Unit in
+  Alcotest.(check int) "unit processes once" 1 n;
+  Alcotest.(check (list (pair (list int) (list int)))) "constants" [ ([ 1; 2 ], []) ] out
+
+let test_agg_emit () =
+  let cr = compile_single "c(Y, count<X>) <- e(Y, X)." in
+  let ctx = make_ctx [ rel "e" 2 [] ] in
+  let _, out = collect cr ctx (`Tuples (Vec.of_list [ [| 1; 7 |] ])) in
+  Alcotest.(check (list (pair (list int) (list int)))) "contributor carried"
+    [ ([ 1; 0 ], [ 7 ]) ]
+    out
+
+let test_scan_constant_check () =
+  let cr = compile_single "p(X) <- e(3, X)." in
+  let ctx = make_ctx [ rel "e" 2 [] ] in
+  let _, out = collect cr ctx (`Tuples (Vec.of_list [ [| 3; 5 |]; [| 4; 6 |] ])) in
+  Alcotest.(check (list (pair (list int) (list int)))) "constant filters scan"
+    [ ([ 5 ], []) ]
+    out
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "scan/project" `Quick test_scan_project;
+          Alcotest.test_case "index join" `Quick test_index_join;
+          Alcotest.test_case "filter and compute" `Quick test_filter_and_compute;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero_drops;
+          Alcotest.test_case "repeated var in scan" `Quick test_repeated_var_in_scan;
+          Alcotest.test_case "repeated var in lookup" `Quick test_repeated_var_in_lookup;
+          Alcotest.test_case "negation" `Quick test_negation;
+          Alcotest.test_case "unit scan" `Quick test_unit_scan;
+          Alcotest.test_case "aggregate emit" `Quick test_agg_emit;
+          Alcotest.test_case "constant in scan" `Quick test_scan_constant_check;
+        ] );
+    ]

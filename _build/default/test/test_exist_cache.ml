@@ -1,0 +1,36 @@
+module C = Dcd_engine.Exist_cache
+
+let test_find_put () =
+  let c = C.create () in
+  Alcotest.(check (option int)) "miss" None (C.find c [| 1 |]);
+  C.put c [| 1 |] 5;
+  Alcotest.(check (option int)) "hit" (Some 5) (C.find c [| 1 |]);
+  C.put c [| 1 |] 3;
+  Alcotest.(check (option int)) "replaced" (Some 3) (C.find c [| 1 |]);
+  Alcotest.(check int) "length" 1 (C.length c)
+
+let test_stats () =
+  let c = C.create () in
+  ignore (C.find c [| 1 |]);
+  C.put c [| 1 |] 0;
+  ignore (C.find c [| 1 |]);
+  ignore (C.find c [| 2 |]);
+  Alcotest.(check int) "hits" 1 (C.hits c);
+  Alcotest.(check int) "misses" 2 (C.misses c)
+
+let test_composite_keys () =
+  let c = C.create () in
+  C.put c [| 1; 2 |] 10;
+  Alcotest.(check (option int)) "exact key" (Some 10) (C.find c [| 1; 2 |]);
+  Alcotest.(check (option int)) "different key" None (C.find c [| 2; 1 |])
+
+let () =
+  Alcotest.run "exist_cache"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "find/put" `Quick test_find_put;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "composite keys" `Quick test_composite_keys;
+        ] );
+    ]

@@ -1,0 +1,45 @@
+module Heap = Dcd_util.Heap
+
+let test_basic_order () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  let popped = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "sorted order" [ 1; 1; 3; 4; 5 ] popped;
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let test_custom_comparator () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) () in
+  List.iter (Heap.push h) [ 2; 9; 4 ];
+  Alcotest.(check (option int)) "max-heap top" (Some 9) (Heap.pop h)
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:compare () in
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Heap.push h 0;
+  Alcotest.(check (option int)) "new min" (Some 0) (Heap.pop h);
+  Alcotest.(check (option int)) "remaining" (Some 3) (Heap.pop h);
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:300 QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc = match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc in
+      drain [] = List.sort compare xs)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic order" `Quick test_basic_order;
+          Alcotest.test_case "custom comparator" `Quick test_custom_comparator;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_heapsort ]);
+    ]

@@ -1,0 +1,81 @@
+open Dcd_datalog.Lexer
+
+let toks src = List.map (fun s -> s.tok) (tokenize src)
+
+let token = Alcotest.testable (fun fmt t -> Fmt.string fmt (token_to_string t)) ( = )
+
+let test_basic () =
+  Alcotest.(check (list token)) "rule tokens"
+    [ IDENT "tc"; LPAREN; UVAR "X"; COMMA; UVAR "Y"; RPAREN; ARROW; IDENT "arc"; LPAREN;
+      UVAR "X"; COMMA; UVAR "Y"; RPAREN; DOT; EOF ]
+    (toks "tc(X, Y) <- arc(X, Y).")
+
+let test_arrow_variants () =
+  Alcotest.(check (list token)) "colon-dash" [ IDENT "a"; ARROW; IDENT "b"; DOT; EOF ]
+    (toks "a :- b.");
+  Alcotest.(check (list token)) "angle arrow" [ IDENT "a"; ARROW; IDENT "b"; DOT; EOF ]
+    (toks "a <- b.")
+
+let test_comparisons () =
+  Alcotest.(check (list token)) "all comparison ops"
+    [ LT; LE; GT; GE; EQ; NE; EOF ]
+    (toks "< <= > >= = !=")
+
+let test_arith () =
+  Alcotest.(check (list token)) "arith ops"
+    [ PLUS; MINUS; STAR; SLASH; PERCENT_OP; EOF ]
+    (toks "+ - * / %%")
+
+let test_numbers_and_idents () =
+  Alcotest.(check (list token)) "mix"
+    [ INT 42; IDENT "abc_1"; UVAR "Xyz"; UVAR "_w"; EOF ]
+    (toks "42 abc_1 Xyz _w")
+
+let test_comments () =
+  Alcotest.(check (list token)) "percent comment" [ INT 1; INT 2; EOF ]
+    (toks "1 % comment to eol\n2");
+  Alcotest.(check (list token)) "slash comment" [ INT 1; INT 2; EOF ] (toks "1 // c\n2");
+  Alcotest.(check (list token)) "block comment" [ INT 1; INT 2; EOF ] (toks "1 /* x\ny */ 2")
+
+let test_string_literal () =
+  Alcotest.(check (list token)) "string" [ STRING "hi there"; EOF ] (toks "\"hi there\"");
+  Alcotest.(check (list token)) "escape" [ STRING "a\nb"; EOF ] (toks "\"a\\nb\"")
+
+let test_positions () =
+  let spans = tokenize "a\n  bb" in
+  let second = List.nth spans 1 in
+  Alcotest.(check int) "line" 2 second.line;
+  Alcotest.(check int) "col" 3 second.col
+
+let test_errors () =
+  (try
+     ignore (tokenize "a $ b");
+     Alcotest.fail "expected lex error"
+   with Lex_error msg ->
+     Alcotest.(check bool) "mentions position" true
+       (String.length msg > 0 && String.sub msg 0 4 = "line"));
+  (try
+     ignore (tokenize "\"unterminated");
+     Alcotest.fail "expected lex error"
+   with Lex_error _ -> ());
+  try
+    ignore (tokenize "/* unterminated");
+    Alcotest.fail "expected lex error"
+  with Lex_error _ -> ()
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic rule" `Quick test_basic;
+          Alcotest.test_case "arrow variants" `Quick test_arrow_variants;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "numbers and idents" `Quick test_numbers_and_idents;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "strings" `Quick test_string_literal;
+          Alcotest.test_case "positions" `Quick test_positions;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

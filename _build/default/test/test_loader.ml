@@ -1,0 +1,91 @@
+module Loader = Dcd_workload.Loader
+module Graph = Dcd_workload.Graph
+module Vec = Dcd_util.Vec
+
+let with_tmp content f =
+  let path = Filename.temp_file "dcd_loader" ".txt" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_edges_basic () =
+  with_tmp "# comment\n1 2\n2 3\n% another comment\n3 1\n" (fun path ->
+      let g = Loader.edges_of_file path in
+      Alcotest.(check int) "three edges" 3 (Graph.edge_count g);
+      Alcotest.(check int) "max vertex" 3 (Graph.max_vertex g))
+
+let test_edges_weighted_and_separators () =
+  with_tmp "1,2,10\n2\t3\t20\n" (fun path ->
+      let g = Loader.edges_of_file path in
+      let ws = List.map (fun (_, _, w) -> w) (Vec.to_list (Graph.edges g)) in
+      Alcotest.(check (list int)) "weights read" [ 10; 20 ] ws)
+
+let test_edges_default_weight () =
+  with_tmp "5 6\n" (fun path ->
+      let g = Loader.edges_of_file ~default_weight:7 path in
+      match Vec.to_list (Graph.edges g) with
+      | [ (5, 6, 7) ] -> ()
+      | _ -> Alcotest.fail "default weight not applied")
+
+let test_edges_errors () =
+  with_tmp "1 2\nbogus line here extra\n" (fun path ->
+      try
+        ignore (Loader.edges_of_file path);
+        Alcotest.fail "expected failure"
+      with Failure msg ->
+        Alcotest.(check bool) "line number reported" true
+          (String.length msg > 6 && String.sub msg 0 6 = "line 2"));
+  with_tmp "1 x\n" (fun path ->
+      try
+        ignore (Loader.edges_of_file path);
+        Alcotest.fail "expected failure"
+      with Failure _ -> ())
+
+let test_tuples () =
+  with_tmp "1 2 3\n4 5 6\n" (fun path ->
+      let v = Loader.tuples_of_file path in
+      Alcotest.(check int) "rows" 2 (Vec.length v);
+      Alcotest.(check (array int)) "row content" [| 4; 5; 6 |] (Vec.get v 1))
+
+let test_tuples_arity_mismatch () =
+  with_tmp "1 2\n3 4 5\n" (fun path ->
+      try
+        ignore (Loader.tuples_of_file path);
+        Alcotest.fail "expected arity failure"
+      with Failure _ -> ())
+
+let test_program_files_load_and_run () =
+  (* the shipped .dl files must parse, analyze, plan and run end-to-end *)
+  let dir = "../../../programs" in
+  let dir = if Sys.file_exists dir then dir else "programs" in
+  if Sys.file_exists dir then begin
+    let files = Sys.readdir dir in
+    Alcotest.(check bool) "program files present" true (Array.length files >= 8);
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".dl" then begin
+          let ic = open_in (Filename.concat dir f) in
+          let src = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match Dcdatalog.prepare ~params:[ ("start", 0); ("vnum", 10) ] src with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail (f ^ ": " ^ e)
+        end)
+      files
+  end
+
+let () =
+  Alcotest.run "loader"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "edges basic" `Quick test_edges_basic;
+          Alcotest.test_case "weights and separators" `Quick test_edges_weighted_and_separators;
+          Alcotest.test_case "default weight" `Quick test_edges_default_weight;
+          Alcotest.test_case "errors" `Quick test_edges_errors;
+          Alcotest.test_case "tuples" `Quick test_tuples;
+          Alcotest.test_case "tuple arity mismatch" `Quick test_tuples_arity_mismatch;
+          Alcotest.test_case "shipped programs compile" `Quick test_program_files_load_and_run;
+        ] );
+    ]

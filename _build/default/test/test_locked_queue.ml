@@ -1,0 +1,31 @@
+module Lq = Dcd_concurrent.Locked_queue
+
+let test_fifo () =
+  let q = Lq.create () in
+  List.iter (Lq.push q) [ 1; 2; 3 ];
+  Alcotest.(check int) "size" 3 (Lq.size q);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Lq.try_pop q);
+  Alcotest.(check (option int)) "fifo" (Some 2) (Lq.try_pop q);
+  let out = ref [] in
+  Alcotest.(check int) "drain" 1 (Lq.drain q (fun x -> out := x :: !out));
+  Alcotest.(check (list int)) "drained" [ 3 ] !out;
+  Alcotest.(check bool) "empty" true (Lq.is_empty q)
+
+let test_multi_producer () =
+  let q = Lq.create () in
+  let n = 5_000 in
+  let producers =
+    List.init 3 (fun p -> Domain.spawn (fun () -> for i = 1 to n do Lq.push q ((p * n) + i) done))
+  in
+  List.iter Domain.join producers;
+  let seen = Hashtbl.create (3 * n) in
+  let count = Lq.drain q (fun x -> Hashtbl.replace seen x ()) in
+  Alcotest.(check int) "all transferred" (3 * n) count;
+  Alcotest.(check int) "all distinct" (3 * n) (Hashtbl.length seen)
+
+let () =
+  Alcotest.run "locked_queue"
+    [
+      ("unit", [ Alcotest.test_case "fifo" `Quick test_fifo ]);
+      ("concurrent", [ Alcotest.test_case "multi producer" `Quick test_multi_producer ]);
+    ]

@@ -1,0 +1,144 @@
+open Dcd_datalog
+module Logical = Dcd_planner.Logical
+
+let stratum_of src pred =
+  let info = Result.get_ok (Analysis.analyze (Parser.parse_program src)) in
+  Option.get (Analysis.stratum_of_pred info pred)
+
+let rule_of src n =
+  let p = Parser.parse_program src in
+  List.nth p.rules n
+
+let sg_src =
+  "sg(X, Y) <- arc(P, X), arc(P, Y), X != Y.\nsg(X, Y) <- arc(A, X), sg(A, B), arc(B, Y)."
+
+let test_delta_scan_is_leftmost () =
+  (* the paper's SS5.1 reorder: recursive table becomes the outer scan even
+     though it is written in the middle of the body *)
+  let stratum = stratum_of sg_src "sg" in
+  let rule = rule_of sg_src 1 in
+  match Logical.order stratum rule ~delta_occurrence:(Some 0) with
+  | Error e -> Alcotest.fail e
+  | Ok pl -> (
+    match pl.scan with
+    | Logical.Scan_delta { atom; occurrence = 0 } ->
+      Alcotest.(check string) "scan is the recursive atom" "sg" atom.pred;
+      Alcotest.(check int) "both arcs remain joins" 2
+        (List.length
+           (List.filter (function Logical.L_join _ -> true | _ -> false) pl.pipeline))
+    | _ -> Alcotest.fail "expected delta scan")
+
+let test_filter_pushdown () =
+  (* X != Y placed immediately after both X and Y are bound *)
+  let stratum = stratum_of sg_src "sg" in
+  let rule = rule_of sg_src 0 in
+  match Logical.order stratum rule ~delta_occurrence:None with
+  | Error e -> Alcotest.fail e
+  | Ok pl -> (
+    match pl.pipeline with
+    | [ Logical.L_join _; Logical.L_filter _ ] -> ()
+    | _ -> Alcotest.fail ("unexpected pipeline: " ^ Logical.to_string pl))
+
+let test_assignment_vs_filter () =
+  let src = "p(X, C) <- q(X, A), C = A + 1, A > 2." in
+  let stratum = stratum_of src "p" in
+  let rule = rule_of src 0 in
+  match Logical.order stratum rule ~delta_occurrence:None with
+  | Error e -> Alcotest.fail e
+  | Ok pl ->
+    let kinds =
+      List.map
+        (function
+          | Logical.L_assign _ -> "assign"
+          | Logical.L_filter _ -> "filter"
+          | Logical.L_join _ -> "join"
+          | Logical.L_neg _ -> "neg")
+        pl.pipeline
+    in
+    Alcotest.(check (list string)) "assign before filter" [ "assign"; "filter" ] kinds
+
+let test_eq_as_filter_when_bound () =
+  (* both sides bound by the scan: Eq must stay a filter *)
+  let src = "p(X) <- q(X, A, B), A = B." in
+  let stratum = stratum_of src "p" in
+  (match Logical.order stratum (rule_of src 0) ~delta_occurrence:None with
+  | Error e -> Alcotest.fail e
+  | Ok pl ->
+    let filters =
+      List.filter (function Logical.L_filter (Ast.Eq, _, _) -> true | _ -> false) pl.pipeline
+    in
+    Alcotest.(check int) "bound Eq stays a filter" 1 (List.length filters));
+  (* one side unbound: Eq is promoted to an assignment feeding the next join *)
+  let src = "p(X) <- q(X, A), r(X, B), A = B." in
+  let stratum = stratum_of src "p" in
+  match Logical.order stratum (rule_of src 0) ~delta_occurrence:None with
+  | Error e -> Alcotest.fail e
+  | Ok pl ->
+    let assigns =
+      List.filter (function Logical.L_assign _ -> true | _ -> false) pl.pipeline
+    in
+    Alcotest.(check int) "half-bound Eq becomes assignment" 1 (List.length assigns)
+
+let test_unit_scan () =
+  let src = "sp(To, min<C>) <- To = start, C = 0." in
+  let stratum = stratum_of src "sp" in
+  match Logical.order stratum (rule_of src 0) ~delta_occurrence:None with
+  | Error e -> Alcotest.fail e
+  | Ok pl ->
+    Alcotest.(check bool) "unit scan" true (pl.scan = Logical.Scan_unit);
+    Alcotest.(check int) "two assignments" 2
+      (List.length (List.filter (function Logical.L_assign _ -> true | _ -> false) pl.pipeline))
+
+let test_occurrence_selection () =
+  let src =
+    "path(A, B, min<D>) <- warc(A, B, D).\n\
+     path(A, B, min<D>) <- path(A, C, D1), path(C, B, D2), D = D1 + D2."
+  in
+  let stratum = stratum_of src "path" in
+  let rule = rule_of src 1 in
+  Alcotest.(check int) "two occurrences" 2 (Logical.recursive_occurrences stratum rule);
+  let occ k =
+    match Logical.order stratum rule ~delta_occurrence:(Some k) with
+    | Ok { scan = Logical.Scan_delta { occurrence; _ }; _ } -> occurrence
+    | _ -> -1
+  in
+  Alcotest.(check int) "occurrence 0" 0 (occ 0);
+  Alcotest.(check int) "occurrence 1" 1 (occ 1)
+
+let test_greedy_prefers_bound_atoms () =
+  (* after scanning q, r(X, W) has a bound column while s(U, V) has none:
+     r must be joined first *)
+  let src = "p(X) <- q(X), s(U, V), r(X, W), W = U." in
+  let stratum = stratum_of src "p" in
+  match Logical.order stratum (rule_of src 0) ~delta_occurrence:None with
+  | Error e -> Alcotest.fail e
+  | Ok pl -> (
+    match pl.pipeline with
+    | Logical.L_join { atom; _ } :: _ ->
+      Alcotest.(check string) "most-bound atom first" "r" atom.pred
+    | _ -> Alcotest.fail "expected a join first")
+
+let test_to_string_mentions_scan () =
+  let stratum = stratum_of sg_src "sg" in
+  match Logical.order stratum (rule_of sg_src 1) ~delta_occurrence:(Some 0) with
+  | Error e -> Alcotest.fail e
+  | Ok pl ->
+    let s = Logical.to_string pl in
+    Alcotest.(check bool) "mentions delta scan" true
+      (String.length s >= 9 && String.sub s 0 9 = "SCAN d.sg")
+
+let () =
+  Alcotest.run "logical"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "delta scan leftmost" `Quick test_delta_scan_is_leftmost;
+          Alcotest.test_case "filter pushdown" `Quick test_filter_pushdown;
+          Alcotest.test_case "assignment vs filter" `Quick test_assignment_vs_filter;
+          Alcotest.test_case "bound Eq is filter" `Quick test_eq_as_filter_when_bound;
+          Alcotest.test_case "unit scan" `Quick test_unit_scan;
+          Alcotest.test_case "occurrence selection" `Quick test_occurrence_selection;
+          Alcotest.test_case "greedy bound-first" `Quick test_greedy_prefers_bound_atoms;
+          Alcotest.test_case "to_string" `Quick test_to_string_mentions_scan;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+open Dcd_datalog
+module Naive = Dcd_engine.Naive
+
+let run ?params ?max_iterations src edb =
+  Naive.run ?params ?max_iterations (Parser.parse_program src)
+    ~edb:(List.map (fun (n, rows) -> (n, List.map Array.of_list rows)) edb)
+
+let get rel results = List.map Array.to_list (List.assoc rel results)
+
+let rows = Alcotest.(list (list int))
+
+let test_tc () =
+  let r = run "tc(X, Y) <- arc(X, Y).\ntc(X, Y) <- tc(X, Z), arc(Z, Y)."
+      [ ("arc", [ [ 1; 2 ]; [ 2; 3 ] ]) ]
+  in
+  Alcotest.check rows "closure" [ [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ] (get "tc" r)
+
+let test_min_aggregate () =
+  let r =
+    run "best(X, min<C>) <- offer(X, C)."
+      [ ("offer", [ [ 1; 10 ]; [ 1; 5 ]; [ 2; 7 ] ]) ]
+  in
+  Alcotest.check rows "min per group" [ [ 1; 5 ]; [ 2; 7 ] ] (get "best" r)
+
+let test_sssp_hand_checked () =
+  let r =
+    run ~params:[ ("start", 1) ]
+      "sp(To, min<C>) <- To = start, C = 0.\n\
+       sp(T2, min<C>) <- sp(T1, C1), warc(T1, T2, C2), C = C1 + C2."
+      [ ("warc", [ [ 1; 2; 10 ]; [ 1; 3; 2 ]; [ 3; 2; 3 ]; [ 2; 4; 1 ] ]) ]
+  in
+  Alcotest.check rows "distances" [ [ 1; 0 ]; [ 2; 5 ]; [ 3; 2 ]; [ 4; 6 ] ] (get "sp" r)
+
+let test_count_mutual () =
+  let r =
+    run
+      "attend(X) <- organizer(X).\n\
+       cnt(Y, count<X>) <- attend(X), friend(Y, X).\n\
+       attend(X) <- cnt(X, N), N >= 2."
+      [
+        ("organizer", [ [ 1 ]; [ 2 ] ]);
+        ("friend", [ [ 10; 1 ]; [ 10; 2 ]; [ 11; 10 ]; [ 11; 1 ]; [ 12; 11 ] ]);
+      ]
+  in
+  (* 10 attends (friends 1,2); then 11 attends (friends 10,1); 12 has only
+     one attending friend *)
+  Alcotest.check rows "cascade" [ [ 1 ]; [ 2 ]; [ 10 ]; [ 11 ] ] (get "attend" r)
+
+let test_sum_replacement () =
+  (* one contributor whose value is refined: the sum tracks the latest *)
+  let r =
+    run "total(G, sum<(C, V)>) <- obs(G, C, V)."
+      [ ("obs", [ [ 1; 7; 10 ]; [ 1; 8; 5 ] ]) ]
+  in
+  Alcotest.check rows "sum of contributions" [ [ 1; 15 ] ] (get "total" r)
+
+let test_stratified_negation () =
+  let r =
+    run
+      "reach(X) <- src(X).\nreach(Y) <- reach(X), e(X, Y).\n\
+       unreach(X) <- node(X), !reach(X)."
+      [
+        ("src", [ [ 1 ] ]);
+        ("e", [ [ 1; 2 ] ]);
+        ("node", [ [ 1 ]; [ 2 ]; [ 3 ] ]);
+      ]
+  in
+  Alcotest.check rows "negation after fixpoint" [ [ 3 ] ] (get "unreach" r)
+
+let test_nonlinear () =
+  let r =
+    run
+      "path(A, B, min<D>) <- warc(A, B, D).\n\
+       path(A, B, min<D>) <- path(A, C, D1), path(C, B, D2), D = D1 + D2."
+      [ ("warc", [ [ 1; 2; 1 ]; [ 2; 3; 1 ]; [ 3; 4; 1 ] ]) ]
+  in
+  Alcotest.check rows "apsp"
+    [ [ 1; 2; 1 ]; [ 1; 3; 2 ]; [ 1; 4; 3 ]; [ 2; 3; 1 ]; [ 2; 4; 2 ]; [ 3; 4; 1 ] ]
+    (get "path" r)
+
+let test_max_iterations_bounds () =
+  (* without the bound this would loop for a long time; bound must stop it *)
+  let r =
+    run ~max_iterations:3 "n(X) <- seed(X).\nn(Y) <- n(X), Y = X + 1, Y < 1000."
+      [ ("seed", [ [ 0 ] ]) ]
+  in
+  Alcotest.(check bool) "bounded" true (List.length (get "n" r) < 1000)
+
+let test_invalid_program_raises () =
+  Alcotest.(check bool) "analysis errors surface" true
+    (try
+       ignore (run "p(X, Y) <- q(X)." [ ("q", [ [ 1 ] ]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "naive"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "tc" `Quick test_tc;
+          Alcotest.test_case "min aggregate" `Quick test_min_aggregate;
+          Alcotest.test_case "sssp hand checked" `Quick test_sssp_hand_checked;
+          Alcotest.test_case "count mutual" `Quick test_count_mutual;
+          Alcotest.test_case "sum replacement" `Quick test_sum_replacement;
+          Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
+          Alcotest.test_case "nonlinear" `Quick test_nonlinear;
+          Alcotest.test_case "max iterations" `Quick test_max_iterations_bounds;
+          Alcotest.test_case "invalid program" `Quick test_invalid_program_raises;
+        ] );
+    ]

@@ -1,0 +1,85 @@
+module Stats = Dcd_util.Online_stats
+
+let feps = Alcotest.float 1e-9
+
+let direct_mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let direct_variance xs =
+  let m = direct_mean xs in
+  List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. float_of_int (List.length xs)
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.check feps "mean" 0. (Stats.mean s);
+  Alcotest.check feps "variance" 0. (Stats.variance s)
+
+let test_known_values () =
+  let s = Stats.create () in
+  let xs = [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  List.iter (Stats.add s) xs;
+  Alcotest.check feps "mean" 5. (Stats.mean s);
+  Alcotest.check feps "variance" 4. (Stats.variance s);
+  Alcotest.check feps "stddev" 2. (Stats.stddev s)
+
+let test_single_observation () =
+  let s = Stats.create () in
+  Stats.add s 3.5;
+  Alcotest.check feps "mean" 3.5 (Stats.mean s);
+  Alcotest.check feps "variance with n=1" 0. (Stats.variance s)
+
+let test_reset () =
+  let s = Stats.create () in
+  Stats.add s 10.;
+  Stats.reset s;
+  Alcotest.(check int) "count after reset" 0 (Stats.count s)
+
+let test_merge_equals_combined () =
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  let xs = [ 1.; 2.; 3. ] and ys = [ 10.; 20.; 30.; 40. ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add all) (xs @ ys);
+  let m = Stats.merge a b in
+  Alcotest.check (Alcotest.float 1e-6) "merged mean" (Stats.mean all) (Stats.mean m);
+  Alcotest.check (Alcotest.float 1e-6) "merged variance" (Stats.variance all) (Stats.variance m)
+
+let test_merge_with_empty () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 5.;
+  let m = Stats.merge a b in
+  Alcotest.check feps "merge with empty keeps mean" 5. (Stats.mean m)
+
+let test_decay_keeps_mean () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.; 3.; 5. ];
+  let mean_before = Stats.mean s in
+  Stats.decay s 0.5;
+  Alcotest.check feps "decay preserves mean" mean_before (Stats.mean s);
+  Alcotest.check_raises "bad factor" (Invalid_argument "Online_stats.decay") (fun () ->
+      Stats.decay s 0.)
+
+let prop_matches_direct =
+  QCheck.Test.make ~name:"welford matches direct formulas" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 60) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      abs_float (Stats.mean s -. direct_mean xs) < 1e-6
+      && abs_float (Stats.variance s -. direct_variance xs) < 1e-4)
+
+let () =
+  Alcotest.run "online_stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "known values" `Quick test_known_values;
+          Alcotest.test_case "single observation" `Quick test_single_observation;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "merge equals combined" `Quick test_merge_equals_combined;
+          Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+          Alcotest.test_case "decay keeps mean" `Quick test_decay_keeps_mean;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_matches_direct ]);
+    ]

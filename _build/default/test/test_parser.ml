@@ -1,0 +1,127 @@
+open Dcd_datalog
+module P = Parser
+
+let rule = Alcotest.testable (fun fmt r -> Fmt.string fmt (Ast.rule_to_string r)) ( = )
+
+let test_fact () =
+  let r = P.parse_rule "arc(1, 2)." in
+  Alcotest.(check bool) "is fact" true (Ast.is_fact r);
+  Alcotest.(check int) "arity" 2 (Ast.head_arity r)
+
+let test_simple_rule () =
+  let r = P.parse_rule "tc(X, Y) <- tc(X, Z), arc(Z, Y)." in
+  Alcotest.(check string) "head" "tc" r.head_pred;
+  Alcotest.(check int) "two body atoms" 2 (List.length (Ast.body_atoms r))
+
+let test_aggregates () =
+  let r = P.parse_rule "cc2(Y, min<Z>) <- cc2(X, Z), arc(X, Y)." in
+  Alcotest.(check (option (pair int unit))) "agg at position 1"
+    (Some (1, ()))
+    (Option.map (fun (p, _) -> (p, ())) (Ast.agg_of_rule r));
+  let r = P.parse_rule "rank(X, sum<(Y, K)>) <- rank(Y, C), m(Y, X, D), K = C / D." in
+  (match Ast.agg_of_rule r with
+  | Some (1, Ast.Sum) -> ()
+  | _ -> Alcotest.fail "expected sum at position 1");
+  let r = P.parse_rule "cnt(Y, count<X>) <- attend(X), friend(Y, X)." in
+  match Ast.agg_of_rule r with
+  | Some (1, Ast.Count) -> ()
+  | _ -> Alcotest.fail "expected count"
+
+let test_agg_vs_comparison_ambiguity () =
+  (* [min] as a predicate name and [<] as comparison must still work *)
+  let r = P.parse_rule "p(X) <- q(X), X < 3." in
+  Alcotest.(check int) "one atom" 1 (List.length (Ast.body_atoms r));
+  (* aggregate keywords are only special in heads *)
+  let r = P.parse_rule "p(X) <- min(X)." in
+  Alcotest.(check (list string)) "min is a plain predicate in bodies" [ "min" ]
+    (List.map (fun (a : Ast.atom) -> a.pred) (Ast.body_atoms r))
+
+let test_arith_precedence () =
+  let r = P.parse_rule "p(X) <- q(A, B, C), X = A + B * C." in
+  let assign =
+    List.find_map (function Ast.Cmp (Ast.Eq, _, e) -> Some e | _ -> None) r.body
+  in
+  match assign with
+  | Some (Ast.Binop (Ast.Add, _, Ast.Binop (Ast.Mul, _, _))) -> ()
+  | _ -> Alcotest.fail "multiplication must bind tighter than addition"
+
+let test_parenthesized_expr () =
+  let r = P.parse_rule "p(K) <- q(C, D), K = 85 * C / (100 * D)." in
+  Alcotest.(check int) "parses" 1 (List.length (Ast.body_atoms r))
+
+let test_negation () =
+  let r = P.parse_rule "p(X) <- q(X), !r(X)." in
+  let negs = List.filter (function Ast.Neg_lit _ -> true | _ -> false) r.body in
+  Alcotest.(check int) "one negated literal" 1 (List.length negs)
+
+let test_wildcards_fresh () =
+  let r = P.parse_rule "p(X) <- q(X, _), r(_, X)." in
+  let vars = List.concat_map Ast.vars_of_literal r.body in
+  let wildcards = List.filter (fun v -> String.length v > 1 && v.[0] = '_') vars in
+  Alcotest.(check int) "two wildcards" 2 (List.length wildcards);
+  Alcotest.(check bool) "distinct" true (List.nth wildcards 0 <> List.nth wildcards 1)
+
+let test_negative_int () =
+  let r = P.parse_rule "p(X) <- q(X), X > -5." in
+  Alcotest.(check int) "parses negative literal" 1 (List.length (Ast.body_atoms r))
+
+let test_symbolic_constants () =
+  let r = P.parse_rule "sp(To, min<C>) <- To = start, C = 0." in
+  let has_sym =
+    List.exists
+      (function
+        | Ast.Cmp (_, Ast.Term (Ast.Var _), Ast.Term (Ast.Sym "start")) -> true
+        | _ -> false)
+      r.body
+  in
+  Alcotest.(check bool) "start parsed as symbol" true has_sym
+
+let test_program_multi_rule () =
+  let p = P.parse_program "a(X) <- b(X).\n% comment\na(X) <- c(X).\nb(1)." in
+  Alcotest.(check int) "three rules" 3 (List.length p.rules)
+
+let test_roundtrip_through_printer () =
+  let src = "cc2(Y, min<Z>) <- cc2(X, Z), arc(X, Y)." in
+  let r = P.parse_rule src in
+  let r2 = P.parse_rule (Ast.rule_to_string r) in
+  Alcotest.check rule "pretty-print then reparse" r r2
+
+let test_zero_arity () =
+  let r = P.parse_rule "flag <- p(X), X > 2." in
+  Alcotest.(check int) "zero-arity head" 0 (Ast.head_arity r)
+
+let test_errors () =
+  let expect_error src =
+    try
+      ignore (P.parse_program src);
+      Alcotest.fail ("expected parse error for: " ^ src)
+    with P.Parse_error _ -> ()
+  in
+  expect_error "p(X <- q(X).";
+  expect_error "p(X) <- q(X)";
+  (* missing dot *)
+  expect_error "p(X) <- .";
+  expect_error "p(min<X, Y>) <- q(X, Y)."
+(* min with two terms *)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fact" `Quick test_fact;
+          Alcotest.test_case "simple rule" `Quick test_simple_rule;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "agg vs comparison" `Quick test_agg_vs_comparison_ambiguity;
+          Alcotest.test_case "arith precedence" `Quick test_arith_precedence;
+          Alcotest.test_case "parenthesized expr" `Quick test_parenthesized_expr;
+          Alcotest.test_case "negation" `Quick test_negation;
+          Alcotest.test_case "wildcards fresh" `Quick test_wildcards_fresh;
+          Alcotest.test_case "negative int" `Quick test_negative_int;
+          Alcotest.test_case "symbolic constants" `Quick test_symbolic_constants;
+          Alcotest.test_case "multi rule program" `Quick test_program_multi_rule;
+          Alcotest.test_case "printer roundtrip" `Quick test_roundtrip_through_printer;
+          Alcotest.test_case "zero arity" `Quick test_zero_arity;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

@@ -1,0 +1,70 @@
+module P = Dcd_storage.Partition
+module Vec = Dcd_util.Vec
+
+let test_range () =
+  let h = P.create ~workers:7 in
+  Alcotest.(check int) "workers" 7 (P.workers h);
+  for k = 0 to 9999 do
+    let w = P.of_key h k in
+    if w < 0 || w >= 7 then Alcotest.fail "owner out of range"
+  done
+
+let test_stable () =
+  let h = P.create ~workers:4 in
+  Alcotest.(check int) "same key same owner" (P.of_key h 12345) (P.of_key h 12345)
+
+let test_tuple_vs_key_consistency () =
+  (* a single-column tuple route must agree with itself across relations *)
+  let h = P.create ~workers:8 in
+  for v = 0 to 999 do
+    let a = P.of_tuple h ~cols:[| 0 |] [| v; 77 |] in
+    let b = P.of_tuple h ~cols:[| 0 |] [| v; 123456 |] in
+    if a <> b then Alcotest.fail "owner must depend only on key columns"
+  done
+
+let test_balance () =
+  let h = P.create ~workers:8 in
+  let counts = Array.make 8 0 in
+  for k = 0 to 79_999 do
+    let w = P.of_key h k in
+    counts.(w) <- counts.(w) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "within 15% of even" true (abs (c - 10_000) < 1_500))
+    counts
+
+let test_split () =
+  let h = P.create ~workers:3 in
+  let batch = Vec.of_list (List.init 100 (fun i -> [| i; i * 2 |])) in
+  let parts = P.split h batch ~cols:[| 0 |] in
+  let total = Array.fold_left (fun acc p -> acc + Vec.length p) 0 parts in
+  Alcotest.(check int) "no tuple lost" 100 total;
+  Array.iteri
+    (fun w part ->
+      Vec.iter
+        (fun t ->
+          if P.of_tuple h ~cols:[| 0 |] t <> w then Alcotest.fail "tuple in wrong partition")
+        part)
+    parts
+
+let test_single_worker () =
+  let h = P.create ~workers:1 in
+  Alcotest.(check int) "everything to worker 0" 0 (P.of_key h 42);
+  Alcotest.(check int) "empty cols to worker 0" 0 (P.of_tuple h ~cols:[||] [| 1; 2 |]);
+  Alcotest.check_raises "zero workers" (Invalid_argument "Partition.create") (fun () ->
+      ignore (P.create ~workers:0))
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "stable" `Quick test_stable;
+          Alcotest.test_case "tuple/key consistency" `Quick test_tuple_vs_key_consistency;
+          Alcotest.test_case "balance" `Quick test_balance;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "single worker" `Quick test_single_worker;
+        ] );
+    ]

@@ -1,0 +1,55 @@
+open Dcd_datalog
+
+let info_of src = Result.get_ok (Analysis.analyze (Parser.parse_program src))
+
+let cc_src =
+  "cc2(Y, min<Y>) <- arc(Y, _).\ncc2(Y, min<Z>) <- cc2(X, Z), arc(X, Y).\ncc(Y, min<Z>) <- cc2(Y, Z)."
+
+let test_structure () =
+  let info = info_of cc_src in
+  match Pcg.of_program info ~root:"cc" with
+  | Pcg.Or_pred { pred = "cc"; recursive = false; alternatives = [ alt ] } -> (
+    match alt.children with
+    | [ Pcg.Or_pred { pred = "cc2"; recursive = true; alternatives = [ base; rec_ ] } ] ->
+      (match base.children with
+      | [ Pcg.Edb_leaf "arc" ] -> ()
+      | _ -> Alcotest.fail "base rule child should be the arc EDB leaf");
+      (match rec_.children with
+      | [ Pcg.Rec_ref "cc2"; Pcg.Edb_leaf "arc" ] -> ()
+      | _ -> Alcotest.fail "recursive rule should cut the cycle with Rec_ref")
+    | _ -> Alcotest.fail "cc should expand into cc2")
+  | _ -> Alcotest.fail "unexpected root shape"
+
+let test_roots () =
+  let info = info_of cc_src in
+  Alcotest.(check (list string)) "cc is the only root" [ "cc" ] (Pcg.roots info)
+
+let test_unknown_root () =
+  let info = info_of cc_src in
+  Alcotest.check_raises "unknown root"
+    (Invalid_argument "Pcg.of_program: unknown predicate nope") (fun () ->
+      ignore (Pcg.of_program info ~root:"nope"))
+
+let contains s sub =
+  let n = String.length sub in
+  let rec loop i = i + n <= String.length s && (String.sub s i n = sub || loop (i + 1)) in
+  loop 0
+
+let test_size_and_pp () =
+  let info = info_of cc_src in
+  let tree = Pcg.of_program info ~root:"cc" in
+  Alcotest.(check bool) "size counts nodes" true (Pcg.size tree >= 6);
+  let rendered = Format.asprintf "%a" Pcg.pp tree in
+  Alcotest.(check bool) "render mentions recursion" true (contains rendered "recursive")
+
+let () =
+  Alcotest.run "pcg"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "roots" `Quick test_roots;
+          Alcotest.test_case "unknown root" `Quick test_unknown_root;
+          Alcotest.test_case "size and pp" `Quick test_size_and_pp;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+module Q = Dcd_engine.Qmodel
+
+let feed_regular q ~producers ~gap ~per_batch ~batches =
+  for b = 1 to batches do
+    for j = 0 to producers - 1 do
+      Q.record_arrival q ~from:j ~now:(float_of_int b *. gap) ~count:per_batch
+    done
+  done
+
+let test_cold_start_no_wait () =
+  let q = Q.create ~producers:2 () in
+  let d = Q.decide q ~buffer_sizes:[| 0; 0 |] in
+  Alcotest.(check (float 0.)) "omega zero before stats" 0. d.omega;
+  Alcotest.(check (float 0.)) "tau zero before stats" 0. d.tau
+
+let test_stable_queue_produces_wait () =
+  let q = Q.create ~producers:1 () in
+  (* arrivals: 10 tuples every 1.0s => lambda = 10/s; service: 0.02s per
+     tuple => mu = 50/s; rho = 0.2 *)
+  feed_regular q ~producers:1 ~gap:1.0 ~per_batch:10 ~batches:20;
+  for _ = 1 to 10 do
+    Q.record_service q ~tuples:10 ~elapsed:0.2
+  done;
+  let d = Q.decide q ~buffer_sizes:[| 5 |] in
+  Alcotest.(check bool) "rho in (0,1)" true (d.rho > 0. && d.rho < 1.);
+  Alcotest.(check bool) "omega finite and non-negative" true (d.omega >= 0. && Float.is_finite d.omega);
+  Alcotest.(check bool) "tau consistent with omega" true
+    (d.tau >= 0. && Float.is_finite d.tau)
+
+let test_overloaded_never_waits () =
+  let q = Q.create ~producers:1 () in
+  (* arrivals faster than service: rho >= 1 -> waiting is pointless *)
+  feed_regular q ~producers:1 ~gap:0.01 ~per_batch:10 ~batches:50;
+  for _ = 1 to 10 do
+    Q.record_service q ~tuples:1 ~elapsed:0.5
+  done;
+  let d = Q.decide q ~buffer_sizes:[| 100 |] in
+  Alcotest.(check bool) "rho >= 1 detected" true (d.rho >= 1.);
+  Alcotest.(check (float 0.)) "no wait under overload" 0. d.omega
+
+let test_kingman_increases_with_variance () =
+  (* same rates, bursty arrivals -> larger expected queue *)
+  let smooth = Q.create ~producers:1 () in
+  feed_regular smooth ~producers:1 ~gap:1.0 ~per_batch:1 ~batches:40;
+  for _ = 1 to 10 do
+    Q.record_service smooth ~tuples:1 ~elapsed:0.5
+  done;
+  let bursty = Q.create ~producers:1 () in
+  let t = ref 0. in
+  for b = 1 to 40 do
+    (* alternating short/long gaps, same mean 1.0 *)
+    t := !t +. (if b mod 2 = 0 then 0.1 else 1.9);
+    Q.record_arrival bursty ~from:0 ~now:!t ~count:1
+  done;
+  for _ = 1 to 10 do
+    Q.record_service bursty ~tuples:1 ~elapsed:0.5
+  done;
+  let ds = Q.decide smooth ~buffer_sizes:[| 3 |] in
+  let db = Q.decide bursty ~buffer_sizes:[| 3 |] in
+  Alcotest.(check bool) "variance raises Lq" true (db.omega > ds.omega)
+
+let test_decay_reduces_confidence () =
+  let q = Q.create ~producers:1 () in
+  Q.record_arrival q ~from:0 ~now:1.0 ~count:1;
+  Q.record_arrival q ~from:0 ~now:2.0 ~count:1;
+  Q.record_service q ~tuples:1 ~elapsed:0.1;
+  Q.record_service q ~tuples:1 ~elapsed:0.1;
+  (* heavy decay forgets nearly everything: back to cold start *)
+  for _ = 1 to 200 do
+    Q.decay q 0.5
+  done;
+  let d = Q.decide q ~buffer_sizes:[| 3 |] in
+  Alcotest.(check (float 0.)) "decayed to no-wait" 0. d.omega
+
+let test_zero_count_arrivals_ignored () =
+  let q = Q.create ~producers:1 () in
+  Q.record_arrival q ~from:0 ~now:1.0 ~count:0;
+  Q.record_service q ~tuples:0 ~elapsed:0.;
+  let d = Q.decide q ~buffer_sizes:[| 1 |] in
+  Alcotest.(check (float 0.)) "still cold" 0. d.omega
+
+let () =
+  Alcotest.run "qmodel"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "cold start" `Quick test_cold_start_no_wait;
+          Alcotest.test_case "stable queue" `Quick test_stable_queue_produces_wait;
+          Alcotest.test_case "overload" `Quick test_overloaded_never_waits;
+          Alcotest.test_case "kingman variance" `Quick test_kingman_increases_with_variance;
+          Alcotest.test_case "decay" `Quick test_decay_reduces_confidence;
+          Alcotest.test_case "zero counts" `Quick test_zero_count_arrivals_ignored;
+        ] );
+    ]

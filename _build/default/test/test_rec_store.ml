@@ -1,0 +1,111 @@
+open Dcd_datalog
+module Rs = Dcd_engine.Rec_store
+
+let tuple_list = Alcotest.(list (list int))
+
+let matches store key =
+  let out = ref [] in
+  Rs.iter_matches store ~key (fun t -> out := Array.to_list t :: !out);
+  List.sort compare !out
+
+let all_opts = [ ("optimized", Rs.default_opts); ("unoptimized", Rs.unoptimized_opts) ]
+
+let for_all_opts f () = List.iter (fun (_, opts) -> f opts) all_opts
+
+let test_set_store opts =
+  let s = Rs.create ~arity:2 ~agg:None ~route:[| 0 |] ~opts () in
+  Alcotest.(check bool) "fresh tuple" true (Rs.merge s ~tuple:[| 1; 2 |] ~contributor:[||] <> None);
+  Alcotest.(check bool) "duplicate absorbed" true
+    (Rs.merge s ~tuple:[| 1; 2 |] ~contributor:[||] = None);
+  ignore (Rs.merge s ~tuple:[| 1; 3 |] ~contributor:[||]);
+  ignore (Rs.merge s ~tuple:[| 2; 9 |] ~contributor:[||]);
+  Alcotest.(check int) "length" 3 (Rs.length s);
+  Alcotest.check tuple_list "route matches" [ [ 1; 2 ]; [ 1; 3 ] ] (matches s [| 1 |])
+
+let test_set_store_route1 opts =
+  (* route on the SECOND column: permutation must still return canonical tuples *)
+  let s = Rs.create ~arity:2 ~agg:None ~route:[| 1 |] ~opts () in
+  ignore (Rs.merge s ~tuple:[| 1; 7 |] ~contributor:[||]);
+  ignore (Rs.merge s ~tuple:[| 2; 7 |] ~contributor:[||]);
+  ignore (Rs.merge s ~tuple:[| 3; 8 |] ~contributor:[||]);
+  Alcotest.check tuple_list "match by col 1, canonical order" [ [ 1; 7 ]; [ 2; 7 ] ]
+    (matches s [| 7 |])
+
+let test_agg_min opts =
+  let s = Rs.create ~arity:2 ~agg:(Some (1, Ast.Min)) ~route:[| 0 |] ~opts () in
+  (match Rs.merge s ~tuple:[| 1; 5 |] ~contributor:[||] with
+  | Some t -> Alcotest.(check (list int)) "first" [ 1; 5 ] (Array.to_list t)
+  | None -> Alcotest.fail "first merge must change");
+  Alcotest.(check bool) "worse absorbed" true (Rs.merge s ~tuple:[| 1; 9 |] ~contributor:[||] = None);
+  (match Rs.merge s ~tuple:[| 1; 2 |] ~contributor:[||] with
+  | Some t -> Alcotest.(check (list int)) "improved delta carries new value" [ 1; 2 ] (Array.to_list t)
+  | None -> Alcotest.fail "improvement must be emitted");
+  Alcotest.check tuple_list "lookup sees the aggregate" [ [ 1; 2 ] ] (matches s [| 1 |])
+
+let test_agg_value_not_in_route opts =
+  (* APSP-style: path(A, B, min<D>), route by B (col 1), group (A, B) *)
+  let s = Rs.create ~arity:3 ~agg:(Some (2, Ast.Min)) ~route:[| 1 |] ~opts () in
+  ignore (Rs.merge s ~tuple:[| 1; 5; 10 |] ~contributor:[||]);
+  ignore (Rs.merge s ~tuple:[| 2; 5; 20 |] ~contributor:[||]);
+  ignore (Rs.merge s ~tuple:[| 1; 6; 30 |] ~contributor:[||]);
+  Alcotest.check tuple_list "prefix by routed group col"
+    [ [ 1; 5; 10 ]; [ 2; 5; 20 ] ]
+    (matches s [| 5 |]);
+  (* improving one group does not disturb the other *)
+  ignore (Rs.merge s ~tuple:[| 2; 5; 15 |] ~contributor:[||]);
+  Alcotest.check tuple_list "after improvement" [ [ 1; 5; 10 ]; [ 2; 5; 15 ] ] (matches s [| 5 |])
+
+let test_agg_count opts =
+  let s = Rs.create ~arity:2 ~agg:(Some (1, Ast.Count)) ~route:[| 0 |] ~opts () in
+  (match Rs.merge s ~tuple:[| 7; 0 |] ~contributor:[| 100 |] with
+  | Some t -> Alcotest.(check (list int)) "count 1" [ 7; 1 ] (Array.to_list t)
+  | None -> Alcotest.fail "first contributor");
+  Alcotest.(check bool) "repeat contributor" true
+    (Rs.merge s ~tuple:[| 7; 0 |] ~contributor:[| 100 |] = None);
+  match Rs.merge s ~tuple:[| 7; 0 |] ~contributor:[| 101 |] with
+  | Some t -> Alcotest.(check (list int)) "count 2" [ 7; 2 ] (Array.to_list t)
+  | None -> Alcotest.fail "second contributor"
+
+let test_cache_stats () =
+  let s = Rs.create ~arity:2 ~agg:None ~route:[| 0 |] ~opts:Rs.default_opts () in
+  ignore (Rs.merge s ~tuple:[| 1; 1 |] ~contributor:[||]);
+  ignore (Rs.merge s ~tuple:[| 1; 1 |] ~contributor:[||]);
+  (match Rs.cache_stats s with
+  | Some (hits, _) -> Alcotest.(check bool) "cache hit recorded" true (hits >= 1)
+  | None -> Alcotest.fail "cache should be on by default");
+  let s2 = Rs.create ~arity:2 ~agg:None ~route:[| 0 |] ~opts:Rs.unoptimized_opts () in
+  Alcotest.(check bool) "no cache when off" true (Rs.cache_stats s2 = None)
+
+let test_optimized_and_unoptimized_agree =
+  QCheck.Test.make ~name:"store contents identical across opts" ~count:60
+    QCheck.(list (pair (int_range 0 8) (int_range 0 30)))
+    (fun candidates ->
+      let mk opts = Rs.create ~arity:2 ~agg:(Some (1, Ast.Min)) ~route:[| 0 |] ~opts () in
+      let a = mk Rs.default_opts and b = mk Rs.unoptimized_opts in
+      List.iter
+        (fun (g, v) ->
+          let ra = Rs.merge a ~tuple:[| g; v |] ~contributor:[||] in
+          let rb = Rs.merge b ~tuple:[| g; v |] ~contributor:[||] in
+          assert ((ra = None) = (rb = None)))
+        candidates;
+      let dump s =
+        let out = ref [] in
+        Rs.iter s (fun t -> out := Array.to_list t :: !out);
+        List.sort compare !out
+      in
+      dump a = dump b)
+
+let () =
+  Alcotest.run "rec_store"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "set store" `Quick (for_all_opts test_set_store);
+          Alcotest.test_case "set store route 1" `Quick (for_all_opts test_set_store_route1);
+          Alcotest.test_case "agg min" `Quick (for_all_opts test_agg_min);
+          Alcotest.test_case "agg route != prefix" `Quick (for_all_opts test_agg_value_not_in_route);
+          Alcotest.test_case "agg count" `Quick (for_all_opts test_agg_count);
+          Alcotest.test_case "cache stats" `Quick test_cache_stats;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest test_optimized_and_unoptimized_agree ]);
+    ]

@@ -1,0 +1,56 @@
+module R = Dcd_storage.Relation
+module Hi = Dcd_storage.Hash_index
+
+let test_add_dedup_arity () =
+  let r = R.create ~name:"edge" ~arity:2 in
+  Alcotest.(check string) "name" "edge" (R.name r);
+  Alcotest.(check int) "arity" 2 (R.arity r);
+  Alcotest.(check bool) "fresh" true (R.add r [| 1; 2 |]);
+  Alcotest.(check bool) "duplicate" false (R.add r [| 1; 2 |]);
+  Alcotest.(check int) "length" 1 (R.length r);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation.add: arity mismatch on edge (got 3, want 2)") (fun () ->
+      ignore (R.add r [| 1; 2; 3 |]))
+
+let test_index_maintained_incrementally () =
+  let r = R.create ~name:"e" ~arity:2 in
+  ignore (R.add r [| 1; 10 |]);
+  let idx = R.ensure_index r ~key_cols:[| 0 |] in
+  Alcotest.(check int) "index covers existing" 1 (Hi.count_matches idx [| 1 |]);
+  ignore (R.add r [| 1; 11 |]);
+  Alcotest.(check int) "index sees later adds" 2 (Hi.count_matches idx [| 1 |]);
+  ignore (R.add r [| 1; 11 |]);
+  Alcotest.(check int) "duplicates not double-indexed" 2 (Hi.count_matches idx [| 1 |])
+
+let test_ensure_index_idempotent () =
+  let r = R.create ~name:"e" ~arity:2 in
+  let a = R.ensure_index r ~key_cols:[| 1 |] in
+  let b = R.ensure_index r ~key_cols:[| 1 |] in
+  Alcotest.(check bool) "same physical index" true (a == b);
+  Alcotest.(check int) "one index registered" 1 (List.length (R.indexes r));
+  let c = R.ensure_index r ~key_cols:[| 0 |] in
+  Alcotest.(check bool) "different cols different index" true (c != a);
+  Alcotest.(check (option unit)) "find_index"
+    (Some ())
+    (Option.map (fun _ -> ()) (R.find_index r ~key_cols:[| 0 |]));
+  Alcotest.(check bool) "find missing" true (R.find_index r ~key_cols:[| 0; 1 |] = None)
+
+let test_iter_to_vec () =
+  let r = R.create ~name:"x" ~arity:1 in
+  List.iter (fun i -> ignore (R.add r [| i |])) [ 3; 1; 2 ];
+  let sum = ref 0 in
+  R.iter (fun t -> sum := !sum + t.(0)) r;
+  Alcotest.(check int) "iter covers all" 6 !sum;
+  Alcotest.(check int) "to_vec size" 3 (Dcd_util.Vec.length (R.to_vec r))
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "add/dedup/arity" `Quick test_add_dedup_arity;
+          Alcotest.test_case "incremental index" `Quick test_index_maintained_incrementally;
+          Alcotest.test_case "ensure_index idempotent" `Quick test_ensure_index_idempotent;
+          Alcotest.test_case "iter/to_vec" `Quick test_iter_to_vec;
+        ] );
+    ]

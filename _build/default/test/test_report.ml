@@ -1,0 +1,29 @@
+module Report = Dcd_util.Report
+
+let test_add_and_print () =
+  let t = Report.create ~title:"T" ~header:[ "a"; "bb" ] in
+  Report.add_row t [ "1"; "2" ];
+  Report.add_row t [ "only" ];
+  (* shorter row allowed *)
+  Report.print t;
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Report.add_row: more cells than header columns") (fun () ->
+      Report.add_row t [ "1"; "2"; "3" ])
+
+let test_cells () =
+  Alcotest.(check string) "time sub-ms" "0.0042" (Report.cell_time 0.0042);
+  Alcotest.(check string) "time sub-s" "0.123" (Report.cell_time 0.1234);
+  Alcotest.(check string) "time s" "12.35" (Report.cell_time 12.349);
+  Alcotest.(check string) "float" "3.14" (Report.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1416" (Report.cell_float ~decimals:4 3.14159);
+  Alcotest.(check string) "speedup" "2.50x" (Report.cell_speedup 2.5)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "add and print" `Quick test_add_and_print;
+          Alcotest.test_case "cell formatting" `Quick test_cells;
+        ] );
+    ]

@@ -1,0 +1,88 @@
+module Rng = Dcd_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xa = List.init 10 (fun _ -> Rng.int64 a) in
+  let xb = List.init 10 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "different seeds diverge" true (xa <> xb)
+
+(* regression: Int64 truncation used to produce negative values, which
+   generated negative edge weights and a diverging SSSP fixpoint *)
+let prop_int_non_negative =
+  QCheck.Test.make ~name:"int is always in [0, bound)" ~count:10_000
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let x = Rng.int rng bound in
+        if x < 0 || x >= bound then ok := false
+      done;
+      !ok)
+
+let test_int_bound_one () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Rng.int rng 1)
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () -> ignore (Rng.int rng 0))
+
+let test_float_range () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0. && x < 2.5)
+  done
+
+let test_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  let xs = List.init 5 (fun _ -> Rng.int64 parent) in
+  let ys = List.init 5 (fun _ -> Rng.int64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted;
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 100 (fun i -> i))
+
+let test_uniformity_rough () =
+  let rng = Rng.create 17 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "within 10% of uniform" true
+        (abs (c - (n / 10)) < n / 10 / 10 * 3))
+    buckets
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "bound one" `Quick test_int_bound_one;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_int_non_negative ]);
+    ]

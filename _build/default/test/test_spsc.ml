@@ -1,0 +1,86 @@
+module Spsc = Dcd_concurrent.Spsc_queue
+
+let test_fifo_sequential () =
+  let q = Spsc.create ~capacity:8 in
+  Alcotest.(check bool) "empty" true (Spsc.is_empty q);
+  for i = 1 to 5 do
+    Alcotest.(check bool) "push" true (Spsc.try_push q i)
+  done;
+  Alcotest.(check int) "size" 5 (Spsc.size q);
+  for i = 1 to 5 do
+    Alcotest.(check (option int)) "fifo pop" (Some i) (Spsc.try_pop q)
+  done;
+  Alcotest.(check (option int)) "empty pop" None (Spsc.try_pop q)
+
+let test_capacity_rounding () =
+  let q = Spsc.create ~capacity:5 in
+  Alcotest.(check int) "rounds to pow2" 8 (Spsc.capacity q);
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Spsc_queue.create") (fun () ->
+      ignore (Spsc.create ~capacity:0))
+
+let test_full_rejects () =
+  let q = Spsc.create ~capacity:4 in
+  for i = 1 to 4 do
+    Alcotest.(check bool) "fills" true (Spsc.try_push q i)
+  done;
+  Alcotest.(check bool) "full rejects" false (Spsc.try_push q 99);
+  ignore (Spsc.try_pop q);
+  Alcotest.(check bool) "slot freed" true (Spsc.try_push q 5)
+
+let test_wraparound () =
+  let q = Spsc.create ~capacity:4 in
+  (* push/pop many times capacity to exercise index wrap *)
+  for round = 0 to 99 do
+    Alcotest.(check bool) "push" true (Spsc.try_push q round);
+    Alcotest.(check (option int)) "pop" (Some round) (Spsc.try_pop q)
+  done
+
+let test_drain () =
+  let q = Spsc.create ~capacity:16 in
+  for i = 1 to 10 do
+    ignore (Spsc.try_push q i)
+  done;
+  let out = ref [] in
+  let n = Spsc.drain q (fun x -> out := x :: !out) in
+  Alcotest.(check int) "drain count" 10 n;
+  Alcotest.(check (list int)) "drain order" (List.init 10 (fun i -> i + 1)) (List.rev !out);
+  Alcotest.(check int) "drain empties" 0 (Spsc.drain q (fun _ -> ()))
+
+(* cross-domain transfer: every pushed value arrives exactly once, in order *)
+let test_two_domains () =
+  let q = Spsc.create ~capacity:64 in
+  let n = 50_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          while not (Spsc.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let received = ref 0 in
+  let in_order = ref true in
+  while !received < n do
+    match Spsc.try_pop q with
+    | Some x ->
+      incr received;
+      if x <> !received then in_order := false
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "all values in order" true !in_order;
+  Alcotest.(check bool) "queue drained" true (Spsc.is_empty q)
+
+let () =
+  Alcotest.run "spsc_queue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fifo sequential" `Quick test_fifo_sequential;
+          Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding;
+          Alcotest.test_case "full rejects" `Quick test_full_rejects;
+          Alcotest.test_case "wraparound" `Quick test_wraparound;
+          Alcotest.test_case "drain" `Quick test_drain;
+        ] );
+      ("concurrent", [ Alcotest.test_case "two-domain transfer" `Quick test_two_domains ]);
+    ]

@@ -1,0 +1,115 @@
+(* Stress and robustness tests: deep recursion, many strata, wide
+   fan-out, and parser fuzzing. *)
+
+module D = Dcdatalog
+
+let run ?(config = { D.default_config with workers = 2 }) ?params src edb =
+  match D.query ?params ~config src ~edb:(List.map (fun (n, r) -> (n, D.tuples r)) edb) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_deep_chain_tc () =
+  (* a 2000-vertex chain: 2000 iterations of the fixpoint, large closure *)
+  let n = 2000 in
+  let arc = List.init (n - 1) (fun i -> [ i; i + 1 ]) in
+  (* tc would be n^2/2 = 2M tuples; reachability from vertex 0 keeps it linear *)
+  let src = "reach(Y) <- arc(0, Y).\nreach(Y) <- reach(X), arc(X, Y)." in
+  let r = run src [ ("arc", arc) ] in
+  Alcotest.(check int) "every vertex reached" (n - 1) (D.relation_count r "reach");
+  Alcotest.(check bool) "iterations ~ chain depth" true
+    (D.Run_stats.total_iterations r.stats >= (n - 1) / 2)
+
+let test_deep_chain_sssp_weighted () =
+  let n = 1500 in
+  let warc = List.init (n - 1) (fun i -> [ i; i + 1; 2 ]) in
+  let r = run ~params:[ ("start", 0) ] D.Queries.sssp.source [ ("warc", warc) ] in
+  let dist = D.relation r "results" in
+  Alcotest.(check int) "all distances" n (List.length dist);
+  Alcotest.(check (option (list int))) "farthest distance exact"
+    (Some [ n - 1; 2 * (n - 1) ])
+    (List.find_opt (fun row -> List.hd row = n - 1) dist)
+
+let test_many_strata () =
+  (* 30 chained strata: p0 -> p1 -> ... -> p29, alternating recursion *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "p0(X) <- base(X).\n";
+  for i = 1 to 29 do
+    Buffer.add_string buf (Printf.sprintf "p%d(X) <- p%d(X).\n" i (i - 1));
+    if i mod 3 = 0 then
+      Buffer.add_string buf (Printf.sprintf "p%d(Y) <- p%d(X), e(X, Y).\n" i i)
+  done;
+  let src = Buffer.contents buf in
+  let r = run src [ ("base", [ [ 0 ] ]); ("e", [ [ 0; 1 ]; [ 1; 2 ] ]) ] in
+  Alcotest.(check int) "30 strata evaluated" 30 (List.length r.stats.strata);
+  Alcotest.(check int) "closure propagated through all strata" 3 (D.relation_count r "p29")
+
+let test_wide_star_aggregate () =
+  (* one hub with 20k spokes: a single gather merges 20k candidates *)
+  let spokes = 20_000 in
+  let warc = List.init spokes (fun i -> [ 0; i + 1; 1 + (i mod 7) ]) in
+  let r = run ~params:[ ("start", 0) ] D.Queries.sssp.source [ ("warc", warc) ] in
+  Alcotest.(check int) "all spokes reached" (spokes + 1) (D.relation_count r "results")
+
+let test_duplicate_heavy_edb () =
+  (* the same fact many times must behave as once *)
+  let arc = List.concat (List.init 500 (fun _ -> [ [ 1; 2 ]; [ 2; 3 ] ])) in
+  let r = run D.Queries.tc.source [ ("arc", arc) ] in
+  Alcotest.(check int) "set semantics" 3 (D.relation_count r "tc")
+
+let test_rule_explosion_bounded_by_dedup () =
+  (* diamond chains double path counts exponentially; dedup keeps tuples linear *)
+  let k = 18 in
+  let arc =
+    List.concat
+      (List.init k (fun i ->
+           let a = 3 * i and b1 = (3 * i) + 1 and b2 = (3 * i) + 2 and c = 3 * (i + 1) in
+           [ [ a; b1 ]; [ a; b2 ]; [ b1; c ]; [ b2; c ] ]))
+  in
+  let src = "reach(Y) <- arc(0, Y).\nreach(Y) <- reach(X), arc(X, Y)." in
+  let r = run src [ ("arc", arc) ] in
+  (* 2^18 paths but only 3k+... distinct vertices *)
+  Alcotest.(check int) "linear output despite exponential paths" (3 * k) (D.relation_count r "reach")
+
+(* the parser/analyzer must reject or accept random garbage without ever
+   raising anything but its own error types *)
+let prop_frontend_total =
+  QCheck.Test.make ~name:"front end never crashes on garbage" ~count:500
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 0 80) QCheck.Gen.printable)
+    (fun src ->
+      match D.prepare src with
+      | Ok _ | Error _ -> true
+      | exception e -> QCheck.Test.fail_reportf "unexpected exception %s" (Printexc.to_string e))
+
+let prop_frontend_total_tokens =
+  (* structured garbage: random sequences of plausible tokens *)
+  QCheck.Test.make ~name:"front end never crashes on token soup" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 0 25)
+           (oneofl
+              [ "p"; "q"; "X"; "Y"; "("; ")"; ","; "."; "<-"; "min"; "<"; ">"; "="; "!"; "1"; "+" ])))
+    (fun toks ->
+      let src = String.concat " " toks in
+      match D.prepare src with
+      | Ok _ | Error _ -> true
+      | exception e -> QCheck.Test.fail_reportf "unexpected exception %s" (Printexc.to_string e))
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "deep chain tc" `Slow test_deep_chain_tc;
+          Alcotest.test_case "deep chain sssp" `Slow test_deep_chain_sssp_weighted;
+          Alcotest.test_case "many strata" `Quick test_many_strata;
+          Alcotest.test_case "wide star aggregate" `Quick test_wide_star_aggregate;
+          Alcotest.test_case "duplicate-heavy edb" `Quick test_duplicate_heavy_edb;
+          Alcotest.test_case "exponential paths, linear dedup" `Quick
+            test_rule_explosion_bounded_by_dedup;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_frontend_total;
+          QCheck_alcotest.to_alcotest prop_frontend_total_tokens;
+        ] );
+    ]

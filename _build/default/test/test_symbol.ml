@@ -1,0 +1,50 @@
+module Symbol = Dcd_util.Symbol
+
+let test_intern_dense () =
+  let t = Symbol.create () in
+  Alcotest.(check int) "first id" 0 (Symbol.intern t "alpha");
+  Alcotest.(check int) "second id" 1 (Symbol.intern t "beta");
+  Alcotest.(check int) "repeat returns same" 0 (Symbol.intern t "alpha");
+  Alcotest.(check int) "count" 2 (Symbol.count t)
+
+let test_name_roundtrip () =
+  let t = Symbol.create () in
+  let names = [ "x"; "y"; "a_longer_name"; "" ] in
+  let ids = List.map (Symbol.intern t) names in
+  List.iter2
+    (fun n id -> Alcotest.(check string) "roundtrip" n (Symbol.name t id))
+    names ids
+
+let test_unknown_id () =
+  let t = Symbol.create () in
+  Alcotest.check_raises "bad id" (Invalid_argument "Symbol.name: unknown id 3") (fun () ->
+      ignore (Symbol.name t 3))
+
+let test_mem () =
+  let t = Symbol.create () in
+  ignore (Symbol.intern t "here");
+  Alcotest.(check bool) "mem" true (Symbol.mem t "here");
+  Alcotest.(check bool) "not mem" false (Symbol.mem t "absent")
+
+let prop_ids_dense =
+  QCheck.Test.make ~name:"ids are dense and stable" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) string)
+    (fun names ->
+      let t = Symbol.create () in
+      List.iter (fun n -> ignore (Symbol.intern t n)) names;
+      let distinct = List.sort_uniq compare names in
+      Symbol.count t = List.length distinct
+      && List.for_all (fun n -> Symbol.name t (Symbol.intern t n) = n) distinct)
+
+let () =
+  Alcotest.run "symbol"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "intern dense" `Quick test_intern_dense;
+          Alcotest.test_case "name roundtrip" `Quick test_name_roundtrip;
+          Alcotest.test_case "unknown id" `Quick test_unknown_id;
+          Alcotest.test_case "mem" `Quick test_mem;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_ids_dense ]);
+    ]

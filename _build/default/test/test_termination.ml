@@ -1,0 +1,71 @@
+module T = Dcd_concurrent.Termination
+
+let test_initially_active () =
+  let t = T.create ~workers:3 in
+  Alcotest.(check bool) "worker 0 active" true (T.is_active t ~worker:0);
+  Alcotest.(check bool) "not quiescent while active" false (T.quiescent t)
+
+let test_quiescent_when_idle_and_drained () =
+  let t = T.create ~workers:2 in
+  T.set_active t ~worker:0 false;
+  T.set_active t ~worker:1 false;
+  Alcotest.(check bool) "quiescent with zero traffic" true (T.quiescent t)
+
+let test_in_flight_blocks_quiescence () =
+  let t = T.create ~workers:2 in
+  T.set_active t ~worker:0 false;
+  T.set_active t ~worker:1 false;
+  T.sent t 5;
+  Alcotest.(check bool) "unconsumed tuples block" false (T.quiescent t);
+  T.consumed t ~worker:1 5;
+  Alcotest.(check bool) "consumed => quiescent" true (T.quiescent t);
+  Alcotest.(check int) "sent total" 5 (T.total_sent t);
+  Alcotest.(check int) "consumed total" 5 (T.total_consumed t)
+
+let test_set_active_idempotent () =
+  let t = T.create ~workers:2 in
+  T.set_active t ~worker:0 false;
+  T.set_active t ~worker:0 false;
+  (* double-inactive must not corrupt the active count *)
+  T.set_active t ~worker:0 true;
+  T.set_active t ~worker:1 false;
+  Alcotest.(check bool) "one active blocks" false (T.quiescent t);
+  T.set_active t ~worker:0 false;
+  Alcotest.(check bool) "now quiescent" true (T.quiescent t)
+
+let test_reactivation () =
+  let t = T.create ~workers:1 in
+  T.set_active t ~worker:0 false;
+  Alcotest.(check bool) "quiescent" true (T.quiescent t);
+  T.set_active t ~worker:0 true;
+  Alcotest.(check bool) "reactivated" false (T.quiescent t)
+
+(* concurrent senders/consumers never produce consumed > sent at rest *)
+let test_concurrent_counting () =
+  let t = T.create ~workers:4 in
+  let n = 10_000 in
+  let bodies me =
+    for _ = 1 to n do
+      T.sent t 1;
+      T.consumed t ~worker:me 1
+    done;
+    T.set_active t ~worker:me false
+  in
+  ignore (Dcd_concurrent.Domain_pool.run ~workers:4 bodies);
+  Alcotest.(check int) "all sent" (4 * n) (T.total_sent t);
+  Alcotest.(check int) "all consumed" (4 * n) (T.total_consumed t);
+  Alcotest.(check bool) "quiescent at rest" true (T.quiescent t)
+
+let () =
+  Alcotest.run "termination"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "initially active" `Quick test_initially_active;
+          Alcotest.test_case "quiescent when idle" `Quick test_quiescent_when_idle_and_drained;
+          Alcotest.test_case "in-flight blocks" `Quick test_in_flight_blocks_quiescence;
+          Alcotest.test_case "set_active idempotent" `Quick test_set_active_idempotent;
+          Alcotest.test_case "reactivation" `Quick test_reactivation;
+        ] );
+      ("concurrent", [ Alcotest.test_case "concurrent counting" `Quick test_concurrent_counting ]);
+    ]

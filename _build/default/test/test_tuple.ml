@@ -1,0 +1,51 @@
+module Tuple = Dcd_storage.Tuple
+
+let test_equal () =
+  Alcotest.(check bool) "equal" true (Tuple.equal [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "unequal value" false (Tuple.equal [| 1; 2 |] [| 1; 3 |]);
+  Alcotest.(check bool) "unequal arity" false (Tuple.equal [| 1 |] [| 1; 2 |]);
+  Alcotest.(check bool) "empty tuples equal" true (Tuple.equal [||] [||])
+
+let test_hash_consistent () =
+  Alcotest.(check int) "hash deterministic" (Tuple.hash [| 3; 4 |]) (Tuple.hash [| 3; 4 |]);
+  Alcotest.(check bool) "hash non-negative" true (Tuple.hash [| -5; max_int |] >= 0)
+
+let test_hash_spread () =
+  (* sequential keys should not collide in a tiny table's worth of buckets *)
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 999 do
+    Hashtbl.replace seen (Tuple.hash [| i |] land 4095) ()
+  done;
+  Alcotest.(check bool) "good spread over 4096 buckets" true (Hashtbl.length seen > 700)
+
+let test_project () =
+  Alcotest.(check (array int)) "projection order" [| 30; 10 |]
+    (Tuple.project [| 10; 20; 30 |] [| 2; 0 |]);
+  Alcotest.(check (array int)) "empty projection" [||] (Tuple.project [| 1 |] [||])
+
+let test_compare_matches_btree () =
+  Alcotest.(check bool) "same order as btree keys" true
+    (Tuple.compare [| 1; 2 |] [| 1; 3 |] < 0)
+
+let test_to_string () =
+  Alcotest.(check string) "render" "(1, 2, 3)" (Tuple.to_string [| 1; 2; 3 |]);
+  Alcotest.(check string) "empty" "()" (Tuple.to_string [||])
+
+let prop_equal_implies_hash =
+  QCheck.Test.make ~name:"equal tuples hash equally" ~count:300 QCheck.(array small_int)
+    (fun a -> Tuple.hash a = Tuple.hash (Array.copy a))
+
+let () =
+  Alcotest.run "tuple"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "equal" `Quick test_equal;
+          Alcotest.test_case "hash consistent" `Quick test_hash_consistent;
+          Alcotest.test_case "hash spread" `Quick test_hash_spread;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "compare" `Quick test_compare_matches_btree;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_equal_implies_hash ]);
+    ]

@@ -1,0 +1,114 @@
+module Vec = Dcd_util.Vec
+
+let test_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 198 (Vec.get v 99);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 100 out of bounds (len 100)") (fun () ->
+      ignore (Vec.get v 100))
+
+let test_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  Alcotest.(check (list int)) "after set" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_pop () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Alcotest.(check (option int)) "pop" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_clear_reuses () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check (list int)) "reusable" [ 9 ] (Vec.to_list v)
+
+let test_append () =
+  let a = Vec.of_list [ 1; 2 ] and b = Vec.of_list [ 3; 4; 5 ] in
+  Vec.append a b;
+  Alcotest.(check (list int)) "appended" [ 1; 2; 3; 4; 5 ] (Vec.to_list a);
+  Alcotest.(check (list int)) "src untouched" [ 3; 4; 5 ] (Vec.to_list b)
+
+let test_filter_in_place () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check (list int)) "evens, order kept" [ 2; 4; 6 ] (Vec.to_list v)
+
+let test_swap_remove () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  let x = Vec.swap_remove v 1 in
+  Alcotest.(check int) "removed" 2 x;
+  Alcotest.(check (list int)) "last moved in" [ 1; 4; 3 ] (Vec.to_list v)
+
+let test_truncate () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "truncated" [ 1; 2 ] (Vec.to_list v);
+  Alcotest.check_raises "bad truncate" (Invalid_argument "Vec.truncate") (fun () ->
+      Vec.truncate v 3)
+
+let test_sort_fold_map () =
+  let v = Vec.of_list [ 3; 1; 2 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Vec.to_list v);
+  Alcotest.(check int) "fold" 6 (Vec.fold ( + ) 0 v);
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ] (Vec.to_list (Vec.map (fun x -> x * 2) v));
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 2) v);
+  Alcotest.(check bool) "exists not" false (Vec.exists (fun x -> x = 9) v)
+
+(* model-based property: a random sequence of operations matches a list *)
+let prop_model =
+  QCheck.Test.make ~name:"vec behaves like a list" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let v = Vec.create () in
+      let model = ref [] in
+      List.iter
+        (fun (is_push, x) ->
+          if is_push then begin
+            Vec.push v x;
+            model := !model @ [ x ]
+          end
+          else begin
+            match (Vec.pop v, List.rev !model) with
+            | None, [] -> ()
+            | Some got, last :: rest ->
+              assert (got = last);
+              model := List.rev rest
+            | Some _, [] | None, _ :: _ -> assert false
+          end)
+        ops;
+      Vec.to_list v = !model)
+
+let prop_of_array_roundtrip =
+  QCheck.Test.make ~name:"of_array/to_array roundtrip" ~count:200
+    QCheck.(array small_int)
+    (fun a -> Vec.to_array (Vec.of_array a) = a)
+
+let () =
+  Alcotest.run "vec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "push/get" `Quick test_push_get;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "pop" `Quick test_pop;
+          Alcotest.test_case "clear reuses storage" `Quick test_clear_reuses;
+          Alcotest.test_case "append" `Quick test_append;
+          Alcotest.test_case "filter_in_place" `Quick test_filter_in_place;
+          Alcotest.test_case "swap_remove" `Quick test_swap_remove;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "sort/fold/map/exists" `Quick test_sort_fold_map;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_model; QCheck_alcotest.to_alcotest prop_of_array_roundtrip ]
+      );
+    ]

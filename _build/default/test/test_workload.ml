@@ -1,0 +1,158 @@
+module Gen = Dcd_workload.Gen
+module Graph = Dcd_workload.Graph
+module Queries = Dcd_workload.Queries
+module Datasets = Dcd_workload.Datasets
+module Vec = Dcd_util.Vec
+open Dcd_datalog
+
+let test_rmat_deterministic () =
+  let a = Gen.rmat ~seed:5 ~scale:8 ~edges:1000 () in
+  let b = Gen.rmat ~seed:5 ~scale:8 ~edges:1000 () in
+  Alcotest.(check int) "same size" (Graph.edge_count a) (Graph.edge_count b);
+  Alcotest.(check bool) "same edges" true
+    (Vec.to_list (Graph.edges a) = Vec.to_list (Graph.edges b));
+  let c = Gen.rmat ~seed:6 ~scale:8 ~edges:1000 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Vec.to_list (Graph.edges a) <> Vec.to_list (Graph.edges c))
+
+let test_rmat_properties () =
+  let g = Gen.rmat ~seed:5 ~scale:8 ~edges:1500 () in
+  Alcotest.(check bool) "close to requested edges" true (Graph.edge_count g > 1200);
+  Vec.iter
+    (fun (u, v, w) ->
+      if u = v then Alcotest.fail "self loop";
+      if u < 0 || u > 255 || v < 0 || v > 255 then Alcotest.fail "vertex out of range";
+      if w < 1 || w > 100 then Alcotest.fail "weight out of range")
+    (Graph.edges g);
+  (* no duplicate edges *)
+  let seen = Hashtbl.create 1024 in
+  Vec.iter
+    (fun (u, v, _) ->
+      if Hashtbl.mem seen (u, v) then Alcotest.fail "duplicate edge";
+      Hashtbl.add seen (u, v) ())
+    (Graph.edges g)
+
+let test_rmat_skew () =
+  (* the social parameterization must produce skewed out-degrees *)
+  let g = Gen.rmat ~seed:5 ~scale:10 ~edges:10_000 () in
+  let deg = Graph.out_degrees g in
+  Array.sort compare deg;
+  let top = deg.(Array.length deg - 1) in
+  let avg = 10_000 / 1024 in
+  Alcotest.(check bool) "hub degree >> average" true (top > 5 * avg)
+
+let test_gnp_edge_count () =
+  let g = Gen.gnp ~seed:9 ~n:500 ~p:0.01 () in
+  let expected = int_of_float (500. *. 500. *. 0.01) in
+  let count = Graph.edge_count g in
+  Alcotest.(check bool) "within 20% of expectation" true
+    (abs (count - expected) < expected / 5)
+
+let test_random_tree_is_tree () =
+  let g = Gen.random_tree ~seed:3 ~height:5 ~min_deg:2 ~max_deg:3 () in
+  let parents = Hashtbl.create 64 in
+  Vec.iter
+    (fun (p, c, _) ->
+      if Hashtbl.mem parents c then Alcotest.fail "vertex with two parents";
+      Hashtbl.add parents c p)
+    (Graph.edges g);
+  Alcotest.(check bool) "root has no parent" true (not (Hashtbl.mem parents 0));
+  Alcotest.(check int) "edges = vertices - 1" (Hashtbl.length parents) (Graph.edge_count g)
+
+let test_bom_tree () =
+  let g, basics = Gen.bom_tree ~seed:4 ~n:500 () in
+  Alcotest.(check bool) "tree size close to n" true (Graph.edge_count g > 400);
+  (* every leaf of the assembly graph must have a basic fact *)
+  let has_children = Hashtbl.create 64 in
+  Vec.iter (fun (p, _, _) -> Hashtbl.replace has_children p ()) (Graph.edges g);
+  let basic_parts = List.map fst basics in
+  Vec.iter
+    (fun (_, c, _) ->
+      if not (Hashtbl.mem has_children c) then
+        if not (List.mem c basic_parts) then
+          Alcotest.fail (Printf.sprintf "leaf %d without delivery days" c))
+    (Graph.edges g);
+  List.iter
+    (fun (_, d) -> if d < 1 || d > 30 then Alcotest.fail "days out of range")
+    basics
+
+let test_components_known_answer () =
+  let g = Gen.components ~seed:8 ~count:4 ~size:25 in
+  (* evaluate CC on it: exactly 4 distinct labels *)
+  let edb = Queries.arc_sym_edb g in
+  let program = Parser.parse_program Queries.cc.source in
+  let results =
+    Dcd_engine.Naive.run program
+      ~edb:(List.map (fun (n, v) -> (n, List.map Fun.id (Vec.to_list v))) edb)
+  in
+  let cc = List.assoc "cc" results in
+  let labels = List.sort_uniq compare (List.map (fun t -> t.(1)) cc) in
+  Alcotest.(check int) "4 components" 4 (List.length labels);
+  Alcotest.(check int) "all vertices labelled" 100 (List.length cc)
+
+let test_friendship () =
+  let g, orgs = Gen.friendship ~seed:2 ~people:100 ~avg_friends:5 ~organizers:3 in
+  Alcotest.(check (list int)) "organizers are 0..k-1" [ 0; 1; 2 ] orgs;
+  Alcotest.(check bool) "roughly people*avg edges" true (Graph.edge_count g > 400)
+
+let test_simple_shapes () =
+  Alcotest.(check int) "chain edges" 9 (Graph.edge_count (Gen.chain ~n:10));
+  Alcotest.(check int) "cycle edges" 10 (Graph.edge_count (Gen.cycle ~n:10));
+  Alcotest.(check int) "star edges" 9 (Graph.edge_count (Gen.star ~n:10))
+
+let test_edb_builders () =
+  let g = Gen.chain ~n:4 in
+  Alcotest.(check int) "arc" 3 (Vec.length (List.assoc "arc" (Queries.arc_edb g)));
+  Alcotest.(check int) "sym doubles" 6 (Vec.length (List.assoc "arc" (Queries.arc_sym_edb g)));
+  Alcotest.(check int) "warc arity 3" 3
+    (Array.length (Vec.get (List.assoc "warc" (Queries.warc_edb g)) 0));
+  let matrix = List.assoc "matrix" (Queries.matrix_edb g) in
+  Vec.iter (fun t -> Alcotest.(check int) "out degree column" 1 t.(2)) matrix
+
+let test_all_query_sources_compile () =
+  List.iter
+    (fun (spec : Queries.spec) ->
+      match Analysis.analyze (Parser.parse_program spec.source) with
+      | Ok info -> (
+        match Dcd_planner.Physical.compile ~params:spec.default_params info with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail (spec.name ^ " plan error: " ^ e))
+      | Error e -> Alcotest.fail (spec.name ^ " analysis error: " ^ e))
+    Queries.all
+
+let test_query_find () =
+  Alcotest.(check bool) "find existing" true (Queries.find "sssp" <> None);
+  Alcotest.(check bool) "find missing" true (Queries.find "nope" = None)
+
+let test_datasets_lazy_and_scaled () =
+  Datasets.set_scale_factor 0.01;
+  let g = Lazy.force Datasets.livejournal_sim.graph in
+  Alcotest.(check bool) "scaled down" true (Graph.edge_count g < 5_000);
+  Datasets.set_scale_factor 1.0;
+  Alcotest.(check bool) "registry find" true (Datasets.find "orkut-sim" <> None);
+  Alcotest.(check int) "rmat family size" 640
+    (Graph.edge_count (Datasets.rmat 64))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "rmat deterministic" `Quick test_rmat_deterministic;
+          Alcotest.test_case "rmat properties" `Quick test_rmat_properties;
+          Alcotest.test_case "rmat skew" `Quick test_rmat_skew;
+          Alcotest.test_case "gnp edge count" `Quick test_gnp_edge_count;
+          Alcotest.test_case "random tree" `Quick test_random_tree_is_tree;
+          Alcotest.test_case "bom tree" `Quick test_bom_tree;
+          Alcotest.test_case "components known answer" `Quick test_components_known_answer;
+          Alcotest.test_case "friendship" `Quick test_friendship;
+          Alcotest.test_case "simple shapes" `Quick test_simple_shapes;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "edb builders" `Quick test_edb_builders;
+          Alcotest.test_case "all sources compile" `Quick test_all_query_sources_compile;
+          Alcotest.test_case "find" `Quick test_query_find;
+          Alcotest.test_case "datasets" `Quick test_datasets_lazy_and_scaled;
+        ] );
+    ]
