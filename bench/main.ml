@@ -435,6 +435,129 @@ let micro () =
      the B-tree probe cost motivates the SS6.2.2 existence cache."
 
 (* ------------------------------------------------------------------ *)
+(* perf: machine-readable perf trajectory (BENCH_dcdatalog.json)       *)
+
+(* One row per tracked workload, 4 workers, DWS — the configuration the
+   perf trajectory is measured in from PR 1 onward.  Each workload runs
+   [perf_repeats] times and the fastest run is reported (standard
+   practice for throughput tracking: the minimum is the least noisy
+   estimator on a shared vCPU). *)
+let perf_repeats = 3
+
+type perf_row = {
+  p_name : string;
+  p_dataset : string;
+  p_wall : float;
+  p_output_tuples : int;
+  p_tuples_processed : int;
+  p_tuples_sent : int;
+  p_busy : float;
+  p_wait : float;
+}
+
+let perf_row name dataset (spec : D.Queries.spec) edb =
+  let cfg = config ~workers:4 D.Coord.dws in
+  let best = ref None in
+  for _ = 1 to perf_repeats do
+    let secs, result =
+      let prepared = prepare_spec spec in
+      let cfg = { cfg with D.max_iterations = spec.max_iterations } in
+      let result, elapsed = time_run prepared edb cfg in
+      (elapsed, result)
+    in
+    match !best with
+    | Some (s, _) when s <= secs -> ()
+    | _ -> best := Some (secs, result)
+  done;
+  let secs, result = Option.get !best in
+  let stats = result.D.Parallel.stats in
+  let sum f =
+    List.fold_left
+      (fun acc (s : D.Run_stats.stratum) ->
+        acc + Array.fold_left (fun a w -> a + f w) 0 s.workers)
+      0 stats.D.Run_stats.strata
+  in
+  let sumf f =
+    List.fold_left
+      (fun acc (s : D.Run_stats.stratum) ->
+        acc +. Array.fold_left (fun a w -> a +. f w) 0. s.workers)
+      0. stats.D.Run_stats.strata
+  in
+  {
+    p_name = name;
+    p_dataset = dataset;
+    p_wall = secs;
+    p_output_tuples = D.relation_count result spec.output;
+    p_tuples_processed = sum (fun w -> w.D.Run_stats.tuples_processed);
+    p_tuples_sent = sum (fun w -> w.D.Run_stats.tuples_sent);
+    p_busy = sumf (fun w -> w.D.Run_stats.busy_time);
+    p_wait = sumf (fun w -> w.D.Run_stats.wait_time);
+  }
+
+let perf () =
+  let rows =
+    [
+      perf_row "tc" "rmat-400" D.Queries.tc (D.Queries.arc_edb (D.Datasets.rmat 400));
+      perf_row "cc" "livejournal-sim" D.Queries.cc (cc_edb "livejournal-sim");
+      perf_row "sssp" "livejournal-sim" D.Queries.sssp (warc_edb "livejournal-sim");
+    ]
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"workers\": 4,\n  \"strategy\": \"dws\",\n  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"dataset\": %S, \"wall_s\": %.6f, \"output_tuples\": %d, \
+            \"tuples_processed\": %d, \"tuples_sent\": %d, \"tuples_per_sec\": %.1f, \
+            \"busy_s\": %.6f, \"wait_s\": %.6f}%s\n"
+           r.p_name r.p_dataset r.p_wall r.p_output_tuples r.p_tuples_processed r.p_tuples_sent
+           (float_of_int r.p_tuples_processed /. Float.max 1e-9 r.p_wall)
+           r.p_busy r.p_wait
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_dcdatalog.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  let t = Report.create ~title:"Perf trajectory (written to BENCH_dcdatalog.json)"
+      ~header:[ "workload"; "dataset"; "wall (s)"; "tuples/sec"; "busy (s)"; "wait (s)" ]
+  in
+  List.iter
+    (fun r ->
+      Report.add_row t
+        [ r.p_name; r.p_dataset; Report.cell_time r.p_wall;
+          Printf.sprintf "%.0f" (float_of_int r.p_tuples_processed /. Float.max 1e-9 r.p_wall);
+          Report.cell_time r.p_busy; Report.cell_time r.p_wait ])
+    rows;
+  Report.print t
+
+(* ------------------------------------------------------------------ *)
+(* smoke: one tiny workload per coordination strategy, for CI          *)
+
+(* Fails fast (nonzero exit) if any strategy or exchange fabric drifts
+   from the sequential fixpoint.  Run via `dune build @bench-smoke`. *)
+let smoke () =
+  let g = D.Datasets.rmat 80 in
+  let edb = D.Queries.warc_edb g in
+  let expected =
+    let _, n = run_query D.Queries.sssp edb (config ~workers:1 D.Coord.dws) in
+    n
+  in
+  let check name cfg =
+    let secs, n = run_query D.Queries.sssp edb cfg in
+    Printf.printf "  %-28s %.3fs, %d tuples\n%!" name secs n;
+    if n <> expected then begin
+      Printf.eprintf "bench-smoke: %s produced %d tuples, expected %d\n" name n expected;
+      exit 1
+    end
+  in
+  check "Global/spsc" (config ~workers:2 D.Coord.Global);
+  check "SSP(5)/spsc" (config ~workers:2 (D.Coord.Ssp 5));
+  check "DWS/spsc" (config ~workers:2 D.Coord.dws);
+  check "DWS/locked"
+    { (config ~workers:2 D.Coord.dws) with D.exchange = D.Parallel.Locked_exchange };
+  print_endline "bench-smoke: all coordination strategies agree"
 
 (* ------------------------------------------------------------------ *)
 (* ablation: engine-level design choices beyond Table 4               *)
@@ -481,6 +604,8 @@ let experiments =
     ("fig9b", fig9b, "Figure 9b: time vs data size");
     ("ablation", ablation, "Engine ablations: exchange fabric, partial aggregation");
     ("micro", micro, "Microbenchmarks");
+    ("perf", perf, "Perf trajectory: BENCH_dcdatalog.json (4 workers, DWS)");
+    ("smoke", smoke, "CI smoke: tiny workload per coordination strategy");
   ]
 
 let () =

@@ -186,6 +186,45 @@ let upsert t k f =
 
 let insert t k v = upsert t k (fun _ -> v)
 
+(* A single descent with preemptive splitting, like [upsert], but an
+   existing binding is left untouched and reported via the return value
+   — the primitive behind set-semantics merging, which otherwise needs
+   a [mem] probe followed by an [insert] (two descents per candidate). *)
+let add_if_absent t k v =
+  split_root t;
+  let rec descend node =
+    match node with
+    | Leaf l -> begin
+      match leaf_search l k with
+      | Ok _ -> false
+      | Error i ->
+        Array.blit l.lkeys i l.lkeys (i + 1) (l.ln - i);
+        Array.blit l.lvals i l.lvals (i + 1) (l.ln - i);
+        l.lkeys.(i) <- Array.copy k;
+        l.lvals.(i) <- v;
+        l.ln <- l.ln + 1;
+        t.count <- t.count + 1;
+        true
+    end
+    | Internal n ->
+      let i = child_index n k in
+      let child = n.ichildren.(i) in
+      let child =
+        match child with
+        | Leaf l when leaf_full t l ->
+          let sep, r = split_leaf t l in
+          insert_sep n i sep (Leaf r);
+          if compare_key k sep >= 0 then Leaf r else child
+        | Internal c when internal_full t c ->
+          let sep, r = split_internal t c in
+          insert_sep n i sep (Internal r);
+          if compare_key k sep >= 0 then Internal r else child
+        | _ -> child
+      in
+      descend child
+  in
+  descend t.root
+
 (* --- deletion (preemptive borrow/merge on the way down) --- *)
 
 let leaf_min t = t.branching / 2

@@ -29,6 +29,12 @@ val is_empty : 'a t -> bool
 val insert : 'a t -> key -> 'a -> unit
 (** [insert t k v] maps [k] to [v], replacing any previous binding. *)
 
+val add_if_absent : 'a t -> key -> 'a -> bool
+(** [add_if_absent t k v] binds [k] to [v] and returns [true] iff no
+    binding existed; an existing binding is left untouched and [false]
+    is returned.  One descent either way — the set-semantics merge
+    primitive, replacing the [mem]-then-[insert] double descent. *)
+
 val upsert : 'a t -> key -> ('a option -> 'a) -> unit
 (** [upsert t k f] binds [k] to [f (find_opt t k)] with a single
     descent.  This is the primitive behind monotone aggregate merging:

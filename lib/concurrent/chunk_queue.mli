@@ -7,7 +7,13 @@
     batches can exceed any fixed ring capacity: unlike {!Spsc_queue} a
     push can never fail, so a producing worker never blocks on a slow
     consumer (which would reintroduce the coordination stall DWS is
-    designed to remove). *)
+    designed to remove).
+
+    The engine enqueues whole {e batches} (one element per
+    (copy, destination) flush carrying a vector of tuples), not
+    individual tuples, so {!size} counts batches; tuple-denominated
+    occupancy for the queueing model is tracked by the engine
+    separately. *)
 
 type 'a t
 

@@ -8,7 +8,15 @@
 
     The two reads (sent, then consumed sum) are racy in isolation, so
     [quiescent] re-reads the sent counter after summing and only reports
-    quiescence on a stable snapshot taken while all workers are inactive. *)
+    quiescence on a stable snapshot taken while all workers are inactive.
+
+    The counters are tuple-denominated but updated {e per batch}: a
+    producer calls [sent t k] once for a k-tuple batch, before pushing
+    it (so sent can never lag a visible batch), and a consumer calls
+    [consumed] once per drain with the total it merged (after merging,
+    so consumed never leads).  This amortization is why batching the
+    exchange removes almost all of its shared-counter traffic without
+    touching the quiescence argument. *)
 
 type t
 

@@ -31,6 +31,7 @@ type config = Parallel.config = {
   partial_agg : bool;
   max_iterations : int;
   exchange : Parallel.exchange;
+  batch_tuples : int;
 }
 
 let default_config = Parallel.default_config

@@ -61,6 +61,7 @@ type config = Parallel.config = {
   partial_agg : bool;
   max_iterations : int;
   exchange : Parallel.exchange;
+  batch_tuples : int;
 }
 
 val default_config : config

@@ -6,7 +6,8 @@ module Vec = Dcd_util.Vec
 type context = {
   base_iter : string -> (Tuple.t -> unit) -> unit;
   base_index : string -> int array -> Hash_index.t;
-  rec_matches : pred:string -> route:int array -> key:int array -> (Tuple.t -> unit) -> unit;
+  rec_resolve : pred:string -> route:int array -> int;
+  rec_matches : int -> key:int array -> (Tuple.t -> unit) -> unit;
 }
 
 type emit = tuple:Tuple.t -> contributor:Tuple.t -> unit
@@ -30,77 +31,118 @@ let checks_pass regs (tup : Tuple.t) checks =
 let apply_binds regs (tup : Tuple.t) binds =
   Array.iter (fun (col, r) -> regs.(r) <- tup.(col)) binds
 
-let key_of regs key_src = Array.map (src_value regs) key_src
+(* A rule compiled against a concrete context: the operator pipeline as
+   a closure chain built once, so the per-tuple path performs no
+   dispatch on plan structure, no string comparison (recursive copies
+   and base indexes are resolved up front) and no key allocation (each
+   Lookup step owns a scratch key buffer, filled in place per probe —
+   every consumer either uses the key transiently or copies it on
+   retention). *)
+type prepared = {
+  cr : Physical.compiled_rule;
+  regs : int array;
+  entry : unit -> unit; (* pipeline from the first step *)
+  scan_binds : (int * int) array;
+  scan_checks : (int * Physical.src) array;
+}
 
-let run (cr : Physical.compiled_rule) ctx ~scan ~emit =
+let prepare (cr : Physical.compiled_rule) ctx ~emit =
   let regs = Array.make (max 1 cr.nregs) 0 in
+  let head = cr.head in
+  let emit_stage () =
+    let tuple = Array.map (src_value regs) head.args in
+    let contributor =
+      match head.agg with
+      | Some (_, _, contrib) when Array.length contrib > 0 -> Array.map (src_value regs) contrib
+      | _ -> [||]
+    in
+    emit ~tuple ~contributor
+  in
   let nsteps = Array.length cr.steps in
-  let rec step k =
-    if k = nsteps then begin
-      let tuple = Array.map (src_value regs) cr.head.args in
-      let contributor =
-        match cr.head.agg with
-        | Some (_, _, contrib) when Array.length contrib > 0 -> Array.map (src_value regs) contrib
-        | _ -> [||]
-      in
-      emit ~tuple ~contributor
-    end
+  let rec build k =
+    if k = nsteps then emit_stage
     else begin
-      match Array.unsafe_get cr.steps k with
-      | Physical.Filter { op; lhs; rhs } -> (
-        match (Physical.eval_code lhs regs, Physical.eval_code rhs regs) with
-        | x, y -> if Physical.eval_cmp op x y then step (k + 1)
-        | exception Division_by_zero -> ())
-      | Physical.Compute { reg; code } -> (
-        match Physical.eval_code code regs with
-        | v ->
-          regs.(reg) <- v;
-          step (k + 1)
-        | exception Division_by_zero -> ())
-      | Physical.Lookup { rel; key_cols; key_src; binds; checks; negated; _ } -> (
+      let next = build (k + 1) in
+      match cr.steps.(k) with
+      | Physical.Filter { op; lhs; rhs } ->
+        fun () ->
+          (match (Physical.eval_code lhs regs, Physical.eval_code rhs regs) with
+          | x, y -> if Physical.eval_cmp op x y then next ()
+          | exception Division_by_zero -> ())
+      | Physical.Compute { reg; code } ->
+        fun () ->
+          (match Physical.eval_code code regs with
+          | v ->
+            regs.(reg) <- v;
+            next ()
+          | exception Division_by_zero -> ())
+      | Physical.Lookup { rel; key_cols; key_src; binds; checks; negated; _ } ->
         (* binds first: a residual check may compare against a register
            bound by this very tuple (within-atom variable repeats) *)
         let on_match tup =
           apply_binds regs tup binds;
-          if checks_pass regs tup checks then
-            if negated then raise Found else step (k + 1)
+          if checks_pass regs tup checks then if negated then raise Found else next ()
         in
-        let iterate () =
+        let nkey = Array.length key_src in
+        let key = Array.make nkey 0 in
+        let fill_key () =
+          for i = 0 to nkey - 1 do
+            Array.unsafe_set key i (src_value regs (Array.unsafe_get key_src i))
+          done
+        in
+        let iterate =
           match rel with
           | Physical.R_rec { pred; route } ->
-            ctx.rec_matches ~pred ~route ~key:(key_of regs key_src) on_match
+            let cid = ctx.rec_resolve ~pred ~route in
+            fun () ->
+              fill_key ();
+              ctx.rec_matches cid ~key on_match
           | Physical.R_base pred ->
-            if Array.length key_cols = 0 then ctx.base_iter pred on_match
+            if Array.length key_cols = 0 then begin
+              let scan = ctx.base_iter pred in
+              fun () -> scan on_match
+            end
             else begin
               let idx = ctx.base_index pred key_cols in
-              Hash_index.iter_matches idx (key_of regs key_src) on_match
+              fun () ->
+                fill_key ();
+                Hash_index.iter_matches idx key on_match
             end
         in
-        if negated then begin
-          match iterate () with
-          | () -> step (k + 1) (* no match found: anti-join succeeds *)
-          | exception Found -> ()
-        end
-        else iterate ())
+        if negated then
+          fun () ->
+            (match iterate () with
+            | () -> next () (* no match found: anti-join succeeds *)
+            | exception Found -> ())
+        else iterate
     end
   in
+  let scan_binds, scan_checks =
+    match cr.scan with
+    | Physical.S_base { binds; checks; _ } -> (binds, checks)
+    | Physical.S_delta { binds; checks; _ } -> (binds, checks)
+    | Physical.S_unit -> ([||], [||])
+  in
+  { cr; regs; entry = build 0; scan_binds; scan_checks }
+
+let run_prepared p ~scan =
   match scan with
   | `Unit ->
-    (match cr.scan with
-    | Physical.S_unit -> step 0
+    (match p.cr.scan with
+    | Physical.S_unit -> p.entry ()
     | Physical.S_base _ | Physical.S_delta _ ->
       invalid_arg "Eval.run: `Unit scan input for a rule that scans a relation");
     1
   | `Tuples batch ->
-    let binds, checks =
-      match cr.scan with
-      | Physical.S_base { binds; checks; _ } -> (binds, checks)
-      | Physical.S_delta { binds; checks; _ } -> (binds, checks)
-      | Physical.S_unit -> invalid_arg "Eval.run: tuple input for a unit-scan rule"
-    in
+    (match p.cr.scan with
+    | Physical.S_base _ | Physical.S_delta _ -> ()
+    | Physical.S_unit -> invalid_arg "Eval.run: tuple input for a unit-scan rule");
+    let regs = p.regs and binds = p.scan_binds and checks = p.scan_checks in
     Vec.iter
       (fun tup ->
         apply_binds regs tup binds;
-        if checks_pass regs tup checks then step 0)
+        if checks_pass regs tup checks then p.entry ())
       batch;
     Vec.length batch
+
+let run cr ctx ~scan ~emit = run_prepared (prepare cr ctx ~emit) ~scan

@@ -7,9 +7,20 @@
     complete binding is projected through the head and handed to [emit]
     (the entry point of the Distribute operator).
 
+    Rules are {!prepare}d against a context once and then run many
+    times: preparation resolves every recursive lookup to an integer
+    copy id ({!context.rec_resolve}) and every indexed base lookup to
+    its concrete hash index, and allocates the register file and
+    per-step lookup-key scratch buffers.  The per-tuple path therefore
+    performs no string comparison and no key allocation; key buffers
+    are reused across probes, which is sound because every index either
+    uses the key transiently or copies it on retention.
+
     Pure with respect to shared state: base relations are only read, and
     recursive lookups go through the caller-supplied callback so each
-    worker only ever touches its own stores. *)
+    worker only ever touches its own stores.  A [prepared] value owns
+    mutable scratch state: it belongs to one worker and must not be run
+    reentrantly. *)
 
 open Dcd_planner
 
@@ -18,11 +29,28 @@ type context = {
       (** full scan of a shared base / lower-stratum relation *)
   base_index : string -> int array -> Dcd_storage.Hash_index.t;
       (** prebuilt shared hash index on the given key columns *)
-  rec_matches : pred:string -> route:int array -> key:int array -> (Dcd_storage.Tuple.t -> unit) -> unit;
-      (** matches in this worker's copy of a recursive relation *)
+  rec_resolve : pred:string -> route:int array -> int;
+      (** called once per recursive lookup at prepare time: the integer
+          id under which {!rec_matches} will be probed *)
+  rec_matches : int -> key:int array -> (Dcd_storage.Tuple.t -> unit) -> unit;
+      (** matches in this worker's copy [cid] of a recursive relation;
+          [key] is a scratch buffer valid only during the call *)
 }
 
 type emit = tuple:Dcd_storage.Tuple.t -> contributor:Dcd_storage.Tuple.t -> unit
+
+type prepared
+(** A rule compiled against a context and an emit sink: the closure
+    chain plus its scratch buffers. *)
+
+val prepare : Physical.compiled_rule -> context -> emit:emit -> prepared
+
+val run_prepared :
+  prepared -> scan:[ `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t | `Unit ] -> int
+(** Runs the rule over the given scan input ([`Unit] for bodies without
+    positive atoms) and returns the number of scan tuples processed.
+    Arithmetic faults (division by zero) silently drop the binding, per
+    standard Datalog semantics for partial built-ins. *)
 
 val run :
   Physical.compiled_rule ->
@@ -30,7 +58,4 @@ val run :
   scan:[ `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t | `Unit ] ->
   emit:emit ->
   int
-(** Runs the rule over the given scan input ([`Unit] for bodies without
-    positive atoms) and returns the number of scan tuples processed.
-    Arithmetic faults (division by zero) silently drop the binding, per
-    standard Datalog semantics for partial built-ins. *)
+(** [prepare] + [run_prepared] in one call, for one-shot evaluation. *)

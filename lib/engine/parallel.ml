@@ -23,6 +23,7 @@ type config = {
   partial_agg : bool;
   max_iterations : int;
   exchange : exchange;
+  batch_tuples : int;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     partial_agg = true;
     max_iterations = 0;
     exchange = Spsc_exchange;
+    batch_tuples = 0;
   }
 
 type result = {
@@ -40,10 +42,14 @@ type result = {
   stats : Run_stats.t;
 }
 
-type msg = {
-  mcopy : int;
-  mtuple : Tuple.t;
-  mcontrib : Tuple.t;
+(* One exchange message: every delta tuple a worker produced for one
+   (copy, destination) in one flush, shipped as a single object.  The
+   producer gives up ownership on push; the consumer drains the batch
+   without copying. *)
+type batch = {
+  bcopy : int;
+  bsrc : int;
+  btuples : (Tuple.t * Tuple.t) Vec.t; (* (tuple, contributor) pairs *)
 }
 
 type copy_info = {
@@ -68,6 +74,9 @@ let build_copies (sp : Physical.stratum_plan) =
     sp.pred_plans;
   Array.of_list (List.rev !copies)
 
+(* Linear scan over the copy table.  Only ever called at setup/prepare
+   time: the per-tuple path dispatches on the integer ids this resolves
+   to (Eval precomputes them per compiled rule), never on strings. *)
 let copy_id_fn copies pred route =
   let n = Array.length copies in
   let rec loop i =
@@ -120,7 +129,7 @@ let prebuild_indexes (plan : Physical.t) catalog (sp : Physical.stratum_plan) =
   List.iter note sp.init_rules;
   List.iter note sp.delta_rules
 
-let eval_context catalog rec_matches =
+let eval_context catalog ~rec_resolve ~rec_matches =
   {
     Eval.base_iter = (fun pred f -> Relation.iter f (Catalog.get catalog pred));
     base_index =
@@ -130,6 +139,7 @@ let eval_context catalog rec_matches =
         | None ->
           (* prebuild_indexes guarantees this cannot happen *)
           assert false);
+    rec_resolve;
     rec_matches;
   }
 
@@ -153,11 +163,14 @@ let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) c
     | [] -> invalid_arg (Printf.sprintf "nonrecursive stratum: unknown head %s" pred)
   in
   let ctx =
-    eval_context catalog (fun ~pred ~route ~key f ->
+    eval_context catalog
+      ~rec_resolve:(fun ~pred ~route ->
         ignore route;
+        invalid_arg (Printf.sprintf "recursive lookup of %s in a non-recursive stratum" pred))
+      ~rec_matches:(fun _ ~key f ->
         ignore key;
         ignore f;
-        invalid_arg (Printf.sprintf "recursive lookup of %s in a non-recursive stratum" pred))
+        assert false)
   in
   let ws = Run_stats.fresh_worker () in
   List.iter
@@ -166,11 +179,12 @@ let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) c
       let emit ~tuple ~contributor =
         ignore (Rec_store.merge store ~tuple ~contributor)
       in
+      let prepared = Eval.prepare cr ctx ~emit in
       let processed =
         match cr.scan with
-        | Physical.S_unit -> Eval.run cr ctx ~scan:`Unit ~emit
+        | Physical.S_unit -> Eval.run_prepared prepared ~scan:`Unit
         | Physical.S_base { pred; _ } ->
-          Eval.run cr ctx ~scan:(`Tuples (Relation.to_vec (Catalog.get catalog pred))) ~emit
+          Eval.run_prepared prepared ~scan:(`Tuples (Relation.to_vec (Catalog.get catalog pred)))
         | Physical.S_delta _ -> assert false
       in
       ws.tuples_processed <- ws.tuples_processed + processed)
@@ -218,13 +232,15 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
   in
   (* The message fabric: either the paper's SPSC matrix (M_i^j, §6.1) or
      the lock-based alternative it argues against (one mutex-protected
-     multi-producer queue per destination) — kept for the ablation. *)
+     multi-producer queue per destination) — kept for the ablation.
+     Queue elements are whole batches, so queue traffic and termination
+     accounting are per flush, not per tuple. *)
   let module Locked_queue = Dcd_concurrent.Locked_queue in
   let spsc_queues =
     match config.exchange with
     | Spsc_exchange ->
       (* queues.(dest).(src): single producer [src], single consumer [dest] *)
-      Some (Array.init n (fun _ -> Array.init n (fun _ -> Chunk_queue.create ~chunk:512 ())))
+      Some (Array.init n (fun _ -> Array.init n (fun _ -> Chunk_queue.create ~chunk:64 ())))
     | Locked_exchange -> None
   in
   let locked_queues =
@@ -232,38 +248,18 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     | Locked_exchange -> Some (Array.init n (fun _ -> Locked_queue.create ()))
     | Spsc_exchange -> None
   in
-  let push_msg ~dest ~src m =
+  let push_batch ~dest (b : batch) =
     match (spsc_queues, locked_queues) with
-    | Some q, _ -> Chunk_queue.push q.(dest).(src) m
-    | None, Some q -> Locked_queue.push q.(dest) m
+    | Some q, _ -> Chunk_queue.push q.(dest).(b.bsrc) b
+    | None, Some q -> Locked_queue.push q.(dest) b
     | None, None -> assert false
   in
-  (* drains everything addressed to [dest]; calls [on_batch src count]
-     after each source's batch for the arrival statistics *)
-  let drain_msgs ~dest f on_batch =
-    match (spsc_queues, locked_queues) with
-    | Some q, _ ->
-      let total = ref 0 in
-      for j = 0 to n - 1 do
-        let cnt = Chunk_queue.drain q.(dest).(j) f in
-        if cnt > 0 then begin
-          on_batch j cnt;
-          total := !total + cnt
-        end
-      done;
-      !total
-    | None, Some q ->
-      let cnt = Locked_queue.drain q.(dest) f in
-      if cnt > 0 then on_batch 0 cnt;
-      cnt
-    | None, None -> assert false
-  in
-  let inbox_sizes ~dest =
-    match (spsc_queues, locked_queues) with
-    | Some q, _ -> Array.init n (fun j -> Chunk_queue.size q.(dest).(j))
-    | None, Some q -> Array.init n (fun j -> if j = 0 then Locked_queue.size q.(dest) else 0)
-    | None, None -> assert false
-  in
+  (* Tuple-denominated buffer occupancy |M_i^j| for the queueing model
+     (the queues themselves count batches).  Producers add before the
+     push, consumers subtract after the drain, so a read never
+     under-reports in-flight work. *)
+  let occupancy = Array.init n (fun _ -> Array.init n (fun _ -> Atomic.make 0)) in
+  let inbox_sizes ~dest = Array.init n (fun j -> Atomic.get occupancy.(dest).(j)) in
   let term = Termination.create ~workers:n in
   let barrier = Barrier.create n in
   let failed = Atomic.make false in
@@ -302,7 +298,7 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       | None -> Vec.push deltas.(cid) fresh
       | Some groups -> (
         let pos, _ = Option.get copies.(cid).ci_agg in
-        let group = Array.mapi (fun i v -> if i = pos then min_int else v) fresh in
+        let group = Tuple.group_key fresh ~agg_pos:pos in
         match Hashtbl.find_opt groups group with
         | Some idx -> Vec.set deltas.(cid) idx fresh
         | None ->
@@ -316,8 +312,9 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     let qm = Qmodel.create ~producers:n () in
     let outbuf = Array.init ncopies (fun _ -> Array.init n (fun _ -> Vec.create ())) in
     let ctx =
-      eval_context catalog (fun ~pred ~route ~key f ->
-          Rec_store.iter_matches my_stores.(copy_id pred route) ~key f)
+      eval_context catalog
+        ~rec_resolve:(fun ~pred ~route -> copy_id pred route)
+        ~rec_matches:(fun cid ~key f -> Rec_store.iter_matches my_stores.(cid) ~key f)
     in
     let emit_for pred =
       let targets = List.assoc pred head_targets in
@@ -328,25 +325,49 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
             Vec.push outbuf.(cid).(dest) (tuple, contributor))
           targets
     in
+    (* Ships one batch object: one queue push and one amortized
+       termination update per flush, instead of one of each per tuple. *)
+    let ship ~dest cid tuples =
+      let len = Vec.length tuples in
+      Termination.sent term len;
+      ignore (Atomic.fetch_and_add occupancy.(dest).(me) len);
+      ws.tuples_sent <- ws.tuples_sent + len;
+      ws.batches_sent <- ws.batches_sent + 1;
+      push_batch ~dest { bcopy = cid; bsrc = me; btuples = tuples }
+    in
+    let send ~dest cid tuples =
+      let len = Vec.length tuples in
+      let cap = config.batch_tuples in
+      if cap <= 0 || len <= cap then ship ~dest cid tuples
+      else begin
+        (* batch-size knob: split into chunks of at most [cap] tuples
+           (cap = 1 reproduces the old per-tuple message framing) *)
+        let i = ref 0 in
+        while !i < len do
+          let k = min cap (len - !i) in
+          let chunk = Vec.create ~capacity:k () in
+          for j = !i to !i + k - 1 do
+            Vec.push chunk (Vec.get tuples j)
+          done;
+          ship ~dest cid chunk;
+          i := !i + k
+        done
+      end
+    in
     let flush_outgoing () =
       for cid = 0 to ncopies - 1 do
         let ci = copies.(cid) in
         for dest = 0 to n - 1 do
-          let batch = outbuf.(cid).(dest) in
-          if not (Vec.is_empty batch) then begin
-            let send tuple contributor =
-              Termination.sent term 1;
-              ws.tuples_sent <- ws.tuples_sent + 1;
-              push_msg ~dest ~src:me { mcopy = cid; mtuple = tuple; mcontrib = contributor }
-            in
-            (match (config.partial_agg, ci.ci_agg) with
+          let buf = outbuf.(cid).(dest) in
+          if not (Vec.is_empty buf) then begin
+            match (config.partial_agg, ci.ci_agg) with
             | true, Some (pos, ((Ast.Min | Ast.Max) as kind)) ->
               (* partial aggregation: keep only the best candidate per
                  group within this outgoing batch (paper §5.2.3) *)
               let best : (Tuple.t, Tuple.t) Hashtbl.t = Hashtbl.create 16 in
               Vec.iter
                 (fun (tuple, _) ->
-                  let group = Array.mapi (fun i v -> if i = pos then 0 else v) tuple in
+                  let group = Tuple.group_key tuple ~agg_pos:pos in
                   match Hashtbl.find_opt best group with
                   | None -> Hashtbl.add best group tuple
                   | Some cur ->
@@ -354,54 +375,93 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
                       if kind = Ast.Min then tuple.(pos) < cur.(pos) else tuple.(pos) > cur.(pos)
                     in
                     if keep then Hashtbl.replace best group tuple)
-                batch;
-              Hashtbl.iter (fun _ tuple -> send tuple [||]) best
+                buf;
+              let out = Vec.create ~capacity:(Hashtbl.length best) () in
+              Hashtbl.iter (fun _ tuple -> Vec.push out (tuple, [||])) best;
+              Vec.clear buf;
+              send ~dest cid out
             | true, None ->
               (* set semantics: drop duplicates within the batch *)
               let seen : (Tuple.t, unit) Hashtbl.t = Hashtbl.create 16 in
+              let out = Vec.create ~capacity:(Vec.length buf) () in
               Vec.iter
-                (fun (tuple, contributor) ->
+                (fun ((tuple, _) as pair) ->
                   if not (Hashtbl.mem seen tuple) then begin
                     Hashtbl.add seen tuple ();
-                    send tuple contributor
+                    Vec.push out pair
                   end)
-                batch
-            | _ -> Vec.iter (fun (tuple, contributor) -> send tuple contributor) batch);
-            Vec.clear batch
+                buf;
+              Vec.clear buf;
+              send ~dest cid out
+            | _ ->
+              (* ship the accumulation buffer itself — ownership passes
+                 to the consumer, the producer starts a fresh one *)
+              outbuf.(cid).(dest) <- Vec.create ();
+              send ~dest cid buf
           end
         done
       done
     in
+    (* per-source tuple counts of the current drain, for arrival stats *)
+    let drained_from = Array.make n 0 in
+    let merge_batch (b : batch) =
+      let store = my_stores.(b.bcopy) in
+      Vec.iter
+        (fun (tuple, contributor) ->
+          match Rec_store.merge store ~tuple ~contributor with
+          | Some fresh -> push_delta b.bcopy fresh
+          | None -> ())
+        b.btuples;
+      drained_from.(b.bsrc) <- drained_from.(b.bsrc) + Vec.length b.btuples
+    in
     let drain_and_merge () =
-      let total =
-        drain_msgs ~dest:me
-          (fun m ->
-            match
-              Rec_store.merge my_stores.(m.mcopy) ~tuple:m.mtuple ~contributor:m.mcontrib
-            with
-            | Some fresh -> push_delta m.mcopy fresh
-            | None -> ())
-          (fun j cnt -> Qmodel.record_arrival qm ~from:j ~now:(Clock.now ()) ~count:cnt)
-      in
-      if total > 0 then Termination.consumed term ~worker:me total;
-      total
+      Array.fill drained_from 0 n 0;
+      (match (spsc_queues, locked_queues) with
+      | Some q, _ ->
+        for j = 0 to n - 1 do
+          ignore (Chunk_queue.drain q.(me).(j) merge_batch)
+        done
+      | None, Some q -> ignore (Locked_queue.drain q.(me) merge_batch)
+      | None, None -> assert false);
+      let total = ref 0 in
+      let now = ref 0. in
+      for j = 0 to n - 1 do
+        let cnt = drained_from.(j) in
+        if cnt > 0 then begin
+          ignore (Atomic.fetch_and_add occupancy.(me).(j) (-cnt));
+          (* one clock read per drain, not per tuple: the arrival model
+             keeps its per-batch framing (see Qmodel) *)
+          if !now = 0. then now := Clock.now ();
+          Qmodel.record_arrival qm ~from:j ~now:!now ~count:cnt;
+          total := !total + cnt
+        end
+      done;
+      if !total > 0 then Termination.consumed term ~worker:me !total;
+      !total
     in
     let delta_size () = Array.fold_left (fun acc v -> acc + Vec.length v) 0 deltas in
     let frozen () = config.max_iterations > 0 && ws.iterations >= config.max_iterations in
+    (* Delta rules prepared once per worker: recursive lookups and the
+       scanned copy resolve to integer ids here, at setup time. *)
     let emits =
-      List.map (fun (cr : Physical.compiled_rule) -> (cr, emit_for cr.head.hpred)) sp.delta_rules
+      List.map
+        (fun (cr : Physical.compiled_rule) ->
+          let scan_cid =
+            match cr.scan with
+            | Physical.S_delta { pred; route; _ } -> copy_id pred route
+            | Physical.S_base _ | Physical.S_unit -> assert false
+          in
+          (scan_cid, Eval.prepare cr ctx ~emit:(emit_for cr.head.hpred)))
+        sp.delta_rules
     in
     let run_iteration () =
       let t0 = Clock.now () in
       let processed = ref 0 in
       List.iter
-        (fun ((cr : Physical.compiled_rule), emit) ->
-          match cr.scan with
-          | Physical.S_delta { pred; route; _ } ->
-            let batch = deltas.(copy_id pred route) in
-            if not (Vec.is_empty batch) then
-              processed := !processed + Eval.run cr ctx ~scan:(`Tuples batch) ~emit
-          | Physical.S_base _ | Physical.S_unit -> assert false)
+        (fun (scan_cid, prepared) ->
+          let batch = deltas.(scan_cid) in
+          if not (Vec.is_empty batch) then
+            processed := !processed + Eval.run_prepared prepared ~scan:(`Tuples batch))
         emits;
       clear_deltas ();
       flush_outgoing ();
@@ -420,9 +480,9 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     (* --- initialization: base rules over striped scans --- *)
     List.iter
       (fun (cr : Physical.compiled_rule) ->
-        let emit = emit_for cr.head.hpred in
+        let prepared = Eval.prepare cr ctx ~emit:(emit_for cr.head.hpred) in
         match cr.scan with
-        | Physical.S_unit -> if me = 0 then ignore (Eval.run cr ctx ~scan:`Unit ~emit)
+        | Physical.S_unit -> if me = 0 then ignore (Eval.run_prepared prepared ~scan:`Unit)
         | Physical.S_base { pred; _ } ->
           let src = List.assoc pred scan_sources in
           let len = Vec.length src in
@@ -432,7 +492,8 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
             Vec.push stripe (Vec.get src !k);
             k := !k + n
           done;
-          ws.tuples_processed <- ws.tuples_processed + Eval.run cr ctx ~scan:(`Tuples stripe) ~emit
+          ws.tuples_processed <-
+            ws.tuples_processed + Eval.run_prepared prepared ~scan:(`Tuples stripe)
         | Physical.S_delta _ -> assert false)
       sp.init_rules;
     flush_outgoing ();

@@ -7,8 +7,13 @@
     - every recursive predicate is partitioned across workers under each
       of its plan routes ({!Rec_store});
     - workers exchange delta tuples through a matrix of unbounded SPSC
-      queues [M_i^j] with atomic produce/consume counters for
-      global-fixpoint detection (§6.1);
+      queues [M_i^j] (§6.1).  Tuples travel in {e batches}: each flush
+      ships one message object per (copy, destination) carrying every
+      tuple produced for it, so the queue push and the
+      termination-counter updates are amortized over the whole batch
+      rather than paid per tuple.  Global-fixpoint detection stays
+      tuple-denominated (a batch of [k] tuples bumps the sent counter by
+      [k] in a single atomic add);
     - the iteration structure is controlled by the configured
       {!Coord.t} strategy — [Global] barriers, [Ssp s] bounded
       staleness, or [Dws] with the {!Qmodel} controller (Algorithm 2);
@@ -40,11 +45,18 @@ type config = {
           for programs whose aggregate fixpoint converges only
           numerically (PageRank); also a safety net. *)
   exchange : exchange;
+  batch_tuples : int;
+      (** maximum tuples per exchange batch.  [0] (the default) ships
+          each (copy, destination) flush as a single batch regardless of
+          size; [1] reproduces the historical per-tuple message framing;
+          intermediate values bound consumer latency under very large
+          flushes.  Fixpoints are identical for every setting. *)
 }
 
 val default_config : config
 (** 4 workers (or fewer if the machine recommends less), DWS, optimized
-    stores, partial aggregation on, unbounded iterations. *)
+    stores, partial aggregation on, unbounded iterations, unbounded
+    batches. *)
 
 type result = {
   catalog : Catalog.t;

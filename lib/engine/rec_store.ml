@@ -33,6 +33,13 @@ type t = {
   order : int array;
   store : store;
   cache : Exist_cache.t option;
+  (* reusable permuted-key buffer: a merge probe that is absorbed (cache
+     hit or existing tuple) allocates nothing.  Everything the scratch
+     key is handed to either uses it transiently (B⁺-tree search,
+     hashtable probe) or copies it on retention (B⁺-tree insert); the
+     sites that retain keys themselves (existence cache, flat agg table)
+     copy explicitly. *)
+  scratch : int array;
 }
 
 let permuted_order ~arity ~route ~skip =
@@ -58,14 +65,23 @@ let create ~arity ~agg ~route ~opts () =
           },
         Some value_pos )
   in
+  let order = permuted_order ~arity ~route ~skip in
   {
     arity;
-    order = permuted_order ~arity ~route ~skip;
+    order;
     store;
     cache = (if opts.use_cache then Some (Exist_cache.create ()) else None);
+    scratch = Array.make (Array.length order) 0;
   }
 
-let permute t (tuple : Tuple.t) = Array.map (fun c -> tuple.(c)) t.order
+(* Fills the scratch buffer with the route-permuted key of [tuple] and
+   returns it.  Valid until the next [permute] on the same store. *)
+let permute t (tuple : Tuple.t) =
+  let k = t.scratch in
+  for i = 0 to Array.length t.order - 1 do
+    k.(i) <- tuple.(t.order.(i))
+  done;
+  k
 
 (* Rebuilds a canonical tuple from a permuted group key and the
    aggregate value. *)
@@ -88,15 +104,11 @@ let merge t ~tuple ~contributor =
     match t.cache with
     | Some cache when Exist_cache.find cache key <> None -> None
     | _ ->
-      if Bptree.mem tree key then begin
-        (match t.cache with Some c -> Exist_cache.put c key 1 | None -> ());
-        None
-      end
-      else begin
-        Bptree.insert tree key tuple;
-        (match t.cache with Some c -> Exist_cache.put c key 1 | None -> ());
-        Some tuple
-      end)
+      (* single descent: probe and insert in one pass *)
+      let inserted = Bptree.add_if_absent tree key tuple in
+      (* the cache retains its key beyond this call: materialize the scratch *)
+      (match t.cache with Some c -> Exist_cache.put c (Array.copy key) 1 | None -> ());
+      if inserted then Some tuple else None)
   | Agg { table; kind; value_pos } -> (
     let group = permute t tuple in
     let v = tuple.(value_pos) in
@@ -115,7 +127,7 @@ let merge t ~tuple ~contributor =
       | None -> None (* cache entries are only refreshed on change: any
                         cached value remains a sound monotone bound *)
       | Some updated ->
-        (match t.cache with Some c -> Exist_cache.put c group updated | None -> ());
+        (match t.cache with Some c -> Exist_cache.put c (Array.copy group) updated | None -> ());
         Some (canonical_of_group t group updated value_pos)
     end)
 

@@ -2,6 +2,7 @@ type worker = {
   mutable iterations : int;
   mutable tuples_processed : int;
   mutable tuples_sent : int;
+  mutable batches_sent : int;
   mutable wait_time : float;
   mutable busy_time : float;
 }
@@ -21,7 +22,14 @@ type t = {
 let create () = { strata = []; total_wall = 0. }
 
 let fresh_worker () =
-  { iterations = 0; tuples_processed = 0; tuples_sent = 0; wait_time = 0.; busy_time = 0. }
+  {
+    iterations = 0;
+    tuples_processed = 0;
+    tuples_sent = 0;
+    batches_sent = 0;
+    wait_time = 0.;
+    busy_time = 0.;
+  }
 
 let add_stratum t s = t.strata <- t.strata @ [ s ]
 
@@ -40,6 +48,11 @@ let total_sent t =
     (fun acc s -> acc + Array.fold_left (fun a w -> a + w.tuples_sent) 0 s.workers)
     0 t.strata
 
+let total_batches t =
+  List.fold_left
+    (fun acc s -> acc + Array.fold_left (fun a w -> a + w.batches_sent) 0 s.workers)
+    0 t.strata
+
 let pp fmt t =
   Format.fprintf fmt "total wall %.3fs, %d global iterations, %.3fs idle, %d tuples sent@."
     t.total_wall (total_iterations t) (total_wait t) (total_sent t);
@@ -49,7 +62,9 @@ let pp fmt t =
         s.wall;
       Array.iteri
         (fun i w ->
-          Format.fprintf fmt "    w%d: %d iters, %d in, %d out, busy %.3fs, idle %.3fs@." i
-            w.iterations w.tuples_processed w.tuples_sent w.busy_time w.wait_time)
+          Format.fprintf fmt
+            "    w%d: %d iters, %d in, %d out (%d batches), busy %.3fs, idle %.3fs@." i
+            w.iterations w.tuples_processed w.tuples_sent w.batches_sent w.busy_time
+            w.wait_time)
         s.workers)
     t.strata

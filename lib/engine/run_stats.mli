@@ -9,6 +9,10 @@ type worker = {
   mutable iterations : int; (** local iterations executed *)
   mutable tuples_processed : int;
   mutable tuples_sent : int;
+  mutable batches_sent : int;
+      (** batch objects pushed into the exchange; each batch costs one
+          queue push and one termination-counter update regardless of
+          how many tuples it carries *)
   mutable wait_time : float; (** seconds idle: barrier + DWS/SSP waits *)
   mutable busy_time : float; (** seconds computing *)
 }
@@ -39,5 +43,10 @@ val total_wait : t -> float
 (** Total idle time across all workers and strata. *)
 
 val total_sent : t -> int
+
+val total_batches : t -> int
+(** Exchange batches pushed across all workers and strata; with
+    batching enabled this is far below {!total_sent} (one per
+    (copy, destination) flush instead of one per tuple). *)
 
 val pp : Format.formatter -> t -> unit

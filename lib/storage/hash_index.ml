@@ -11,20 +11,30 @@ type t = {
   cols : int array;
   buckets : Tuple.t Vec.t Key_tbl.t;
   mutable total : int;
+  scratch : int array; (* probe key buffer: adds to an existing bucket allocate nothing *)
 }
 
-let create ~key_cols = { cols = key_cols; buckets = Key_tbl.create 64; total = 0 }
+let create ~key_cols =
+  {
+    cols = key_cols;
+    buckets = Key_tbl.create 64;
+    total = 0;
+    scratch = Array.make (Array.length key_cols) 0;
+  }
 
 let key_cols t = t.cols
 
 let add t tup =
-  let key = Tuple.project tup t.cols in
+  for i = 0 to Array.length t.cols - 1 do
+    t.scratch.(i) <- tup.(t.cols.(i))
+  done;
   let bucket =
-    match Key_tbl.find_opt t.buckets key with
+    match Key_tbl.find_opt t.buckets t.scratch with
     | Some b -> b
     | None ->
       let b = Vec.create ~capacity:2 () in
-      Key_tbl.add t.buckets key b;
+      (* the table retains the key: materialize the scratch buffer *)
+      Key_tbl.add t.buckets (Array.copy t.scratch) b;
       b
   in
   Vec.push bucket tup;

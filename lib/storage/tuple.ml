@@ -21,6 +21,13 @@ let compare = Dcd_btree.Bptree.compare_key
 
 let project (tup : t) cols = Array.map (fun c -> tup.(c)) cols
 
+let group_sentinel = min_int
+
+let group_key (tup : t) ~agg_pos =
+  let g = Array.copy tup in
+  g.(agg_pos) <- group_sentinel;
+  g
+
 let pp fmt t =
   Format.fprintf fmt "(";
   Array.iteri (fun i x -> if i > 0 then Format.fprintf fmt ", %d" x else Format.fprintf fmt "%d" x) t;

@@ -21,6 +21,18 @@ val project : t -> int array -> t
 (** [project tup cols] is the sub-tuple of the listed column positions,
     in the listed order. *)
 
+val group_sentinel : int
+(** The value standing in for the aggregate position of a group key
+    ([min_int]). *)
+
+val group_key : t -> agg_pos:int -> t
+(** [group_key tup ~agg_pos] is [tup] with the aggregate value position
+    masked by {!group_sentinel}: the key under which aggregate
+    candidates for the same group collide.  Every site that groups
+    aggregate tuples (Gather delta dedup, Distribute partial
+    aggregation) must build keys with this one helper so the sentinels
+    agree. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders as [(a, b, c)]. *)
 

@@ -32,6 +32,57 @@ let test_upsert () =
   B.upsert t [| 1 |] (function None -> 10 | Some v -> v + 1);
   Alcotest.(check (option int)) "upsert accumulates" (Some 11) (B.find_opt t [| 1 |])
 
+let test_add_if_absent () =
+  let t = B.create ~branching:4 () in
+  (* fresh keys insert; repeats are absorbed without replacing *)
+  for i = 0 to 300 do
+    let k = [| (i * 37) mod 211; i mod 3 |] in
+    let inserted = B.add_if_absent t k i in
+    Alcotest.(check bool) "first occurrence inserts" true inserted
+  done;
+  B.check_invariants t;
+  Alcotest.(check int) "length" 301 (B.length t);
+  for i = 0 to 300 do
+    let k = [| (i * 37) mod 211; i mod 3 |] in
+    let inserted = B.add_if_absent t k (-1) in
+    Alcotest.(check bool) "repeat absorbed" false inserted
+  done;
+  B.check_invariants t;
+  Alcotest.(check int) "length unchanged" 301 (B.length t);
+  Alcotest.(check (option int)) "existing value untouched" (Some 0) (B.find_opt t [| 0; 0 |])
+
+let test_add_if_absent_scratch_key () =
+  (* the key buffer may be reused by the caller: the tree must copy *)
+  let t = B.create ~branching:4 () in
+  let scratch = [| 0 |] in
+  for i = 0 to 63 do
+    scratch.(0) <- i;
+    ignore (B.add_if_absent t scratch i)
+  done;
+  B.check_invariants t;
+  Alcotest.(check int) "all distinct keys stored" 64 (B.length t);
+  for i = 0 to 63 do
+    Alcotest.(check (option int)) "key survives scratch reuse" (Some i) (B.find_opt t [| i |])
+  done
+
+let test_add_if_absent_agrees_with_mem_insert () =
+  (* differential: add_if_absent must behave exactly like the
+     mem-then-insert sequence it replaces, under a random workload *)
+  let rng = Random.State.make [| 42 |] in
+  let a = B.create ~branching:4 () in
+  let b = B.create ~branching:4 () in
+  for i = 0 to 2_000 do
+    let k = [| Random.State.int rng 97; Random.State.int rng 7 |] in
+    let via_mem = not (B.mem b k) in
+    if via_mem then B.insert b k i;
+    let via_single = B.add_if_absent a k i in
+    Alcotest.(check bool) "same decision" via_mem via_single
+  done;
+  B.check_invariants a;
+  B.check_invariants b;
+  Alcotest.(check int) "same cardinality" (B.length b) (B.length a);
+  Alcotest.(check bool) "same contents" true (B.to_list a = B.to_list b)
+
 let test_remove () =
   let t = B.create ~branching:4 () in
   for i = 0 to 99 do
@@ -191,6 +242,10 @@ let () =
           Alcotest.test_case "insert/find" `Quick test_insert_find;
           Alcotest.test_case "insert replaces" `Quick test_insert_replaces;
           Alcotest.test_case "upsert" `Quick test_upsert;
+          Alcotest.test_case "add_if_absent" `Quick test_add_if_absent;
+          Alcotest.test_case "add_if_absent scratch key" `Quick test_add_if_absent_scratch_key;
+          Alcotest.test_case "add_if_absent = mem+insert" `Quick
+            test_add_if_absent_agrees_with_mem_insert;
           Alcotest.test_case "remove" `Quick test_remove;
           Alcotest.test_case "sorted iteration" `Quick test_iter_sorted;
           Alcotest.test_case "range" `Quick test_range;

@@ -11,7 +11,9 @@ let make_ctx rels =
     Eval.base_iter = (fun pred f -> Relation.iter f (find pred));
     base_index =
       (fun pred cols -> Relation.ensure_index (find pred) ~key_cols:cols);
-    rec_matches = (fun ~pred ~route:_ ~key:_ _ -> Alcotest.fail ("unexpected rec lookup " ^ pred));
+    rec_resolve =
+      (fun ~pred ~route:_ -> Alcotest.fail ("unexpected rec lookup " ^ pred));
+    rec_matches = (fun _ ~key:_ _ -> Alcotest.fail "unexpected rec probe");
   }
 
 let rel name arity rows =

@@ -70,6 +70,105 @@ let test_rule_explosion_bounded_by_dedup () =
   (* 2^18 paths but only 3k+... distinct vertices *)
   Alcotest.(check int) "linear output despite exponential paths" (3 * k) (D.relation_count r "reach")
 
+(* --- batched exchange: framing must never change the fixpoint --- *)
+
+(* A graph rich enough that every worker produces multi-tuple flushes:
+   a 3-regular-ish random digraph with weights. *)
+let exchange_arc =
+  let m = 900 and vertices = 300 in
+  let st = ref 123456789 in
+  let rand k =
+    (* deterministic LCG so the test is reproducible *)
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    !st mod k
+  in
+  List.init m (fun _ ->
+      let a = rand vertices and b = rand vertices in
+      [ a; b; 1 + rand 9 ])
+
+let fingerprint r name = D.relation r name
+
+let run_exchange ~exchange ~batch_tuples ~workers ?params src edb =
+  let config =
+    { D.default_config with workers; exchange; batch_tuples; strategy = D.Coord.dws }
+  in
+  run ~config ?params src edb
+
+(* Byte-identical fixpoints across exchange fabric x batch size x worker
+   count: the batch framing is an encoding of the tuple stream, not a
+   semantic change. *)
+let test_batch_framing_invariance () =
+  let arc2 = List.map (fun row -> [ List.nth row 0; List.nth row 1 ]) exchange_arc in
+  let tc_expect =
+    fingerprint (run_exchange ~exchange:D.Parallel.Spsc_exchange ~batch_tuples:0 ~workers:1
+                   D.Queries.tc.source [ ("arc", arc2) ])
+      "tc"
+  in
+  let sssp_expect =
+    fingerprint (run_exchange ~exchange:D.Parallel.Spsc_exchange ~batch_tuples:0 ~workers:1
+                   ~params:[ ("start", 0) ] D.Queries.sssp.source [ ("warc", exchange_arc) ])
+      "results"
+  in
+  Alcotest.(check bool) "closure nonempty" true (List.length tc_expect > 1000);
+  List.iter
+    (fun exchange ->
+      List.iter
+        (fun batch_tuples ->
+          List.iter
+            (fun workers ->
+              let label =
+                Printf.sprintf "%s batch=%d workers=%d"
+                  (match exchange with
+                  | D.Parallel.Spsc_exchange -> "spsc"
+                  | D.Parallel.Locked_exchange -> "locked")
+                  batch_tuples workers
+              in
+              let tc =
+                fingerprint
+                  (run_exchange ~exchange ~batch_tuples ~workers D.Queries.tc.source
+                     [ ("arc", arc2) ])
+                  "tc"
+              in
+              Alcotest.(check bool) ("tc fixpoint identical: " ^ label) true (tc = tc_expect);
+              let sssp =
+                fingerprint
+                  (run_exchange ~exchange ~batch_tuples ~workers ~params:[ ("start", 0) ]
+                     D.Queries.sssp.source
+                     [ ("warc", exchange_arc) ])
+                  "results"
+              in
+              Alcotest.(check bool) ("sssp fixpoint identical: " ^ label) true (sssp = sssp_expect))
+            [ 1; 4 ])
+        [ 1; 64; 4096 ])
+    [ D.Parallel.Spsc_exchange; D.Parallel.Locked_exchange ]
+
+(* Counter assertion on the framing itself: at batch_tuples=1 every sent
+   tuple is its own batch (the historical per-tuple costs), while
+   unbounded batching must ship strictly fewer batch objects than tuples
+   — i.e. at most one queue push / termination add per (copy, dest)
+   flush actually carrying more than one tuple. *)
+let test_batch_counters () =
+  let arc2 = List.map (fun row -> [ List.nth row 0; List.nth row 1 ]) exchange_arc in
+  let per_tuple =
+    run_exchange ~exchange:D.Parallel.Spsc_exchange ~batch_tuples:1 ~workers:4
+      D.Queries.tc.source [ ("arc", arc2) ]
+  in
+  let sent1 = D.Run_stats.total_sent per_tuple.stats in
+  let batches1 = D.Run_stats.total_batches per_tuple.stats in
+  Alcotest.(check bool) "workload exchanges tuples" true (sent1 > 0);
+  Alcotest.(check int) "batch=1 degenerates to one batch per tuple" sent1 batches1;
+  let batched =
+    run_exchange ~exchange:D.Parallel.Spsc_exchange ~batch_tuples:0 ~workers:4
+      D.Queries.tc.source [ ("arc", arc2) ]
+  in
+  let sent = D.Run_stats.total_sent batched.stats in
+  let batches = D.Run_stats.total_batches batched.stats in
+  Alcotest.(check bool) "batching amortizes: far fewer batches than tuples" true
+    (batches * 4 < sent);
+  (* each batch still accounts for its tuples in the termination-relevant
+     sent counter *)
+  Alcotest.(check bool) "sent counter stays tuple-denominated" true (sent >= batches)
+
 (* the parser/analyzer must reject or accept random garbage without ever
    raising anything but its own error types *)
 let prop_frontend_total =
@@ -106,6 +205,11 @@ let () =
           Alcotest.test_case "duplicate-heavy edb" `Quick test_duplicate_heavy_edb;
           Alcotest.test_case "exponential paths, linear dedup" `Quick
             test_rule_explosion_bounded_by_dedup;
+        ] );
+      ( "exchange",
+        [
+          Alcotest.test_case "batch framing invariance" `Slow test_batch_framing_invariance;
+          Alcotest.test_case "batch counters" `Quick test_batch_counters;
         ] );
       ( "fuzz",
         [
