@@ -371,6 +371,84 @@ let fig9b () =
     "paper shape: time grows proportionally with data (8x data -> ~8-13x time)."
 
 (* ------------------------------------------------------------------ *)
+(* join-path allocation: minor-heap words per derived tuple through    *)
+(* the evaluation pipeline, flat cursors vs the boxed representation   *)
+(* the engine used before the arena refactor.  Same compiled rule,     *)
+(* same index, same matches — only the tuple representation differs.   *)
+
+let join_alloc () =
+  let module Relation = Dcd_storage.Relation in
+  let module Arena = Dcd_storage.Arena in
+  let module Frame = Dcd_concurrent.Frame in
+  let module Eval = Dcd_engine.Eval in
+  let module Ph = Dcd_planner.Physical in
+  let module Vec = Dcd_util.Vec in
+  let cr =
+    let src = "p(X, Z) <- d(X, Y), arc(Y, Z)." in
+    let info =
+      match Dcd_datalog.Analysis.analyze (Dcd_datalog.Parser.parse_program src) with
+      | Ok i -> i
+      | Error e -> failwith e
+    in
+    let plan = match Ph.compile info with Ok p -> p | Error e -> failwith e in
+    let sp = List.hd plan.Ph.strata in
+    List.hd (sp.Ph.init_rules @ sp.Ph.delta_rules)
+  in
+  let m = 100_000 and n = 200_000 in
+  let arc = Relation.create ~name:"arc" ~arity:2 ~size_hint:m () in
+  for y = 0 to m - 1 do
+    ignore (Relation.add arc [| y; y + 1 |])
+  done;
+  let ctx =
+    {
+      Eval.base_iter = (fun _ f -> Relation.iter_slices arc f);
+      base_index = (fun _ cols -> Relation.ensure_index arc ~key_cols:cols);
+      rec_resolve = (fun ~pred:_ ~route:_ -> failwith "no recursion");
+      rec_matches = (fun _ ~key:_ _ -> failwith "no recursion");
+    }
+  in
+  (* force the index build outside the measured window *)
+  ignore (Relation.ensure_index arc ~key_cols:[| 0 |]);
+  let measure scan sink =
+    let emits = ref 0 in
+    let w0 = Gc.minor_words () in
+    ignore
+      (Eval.run cr ctx ~scan ~emit:(fun ~tuple ~contributor:_ ->
+           incr emits;
+           sink tuple));
+    ((Gc.minor_words () -. w0) /. float_of_int !emits, !emits)
+  in
+  (* flat: delta tuples live in an arena, derived tuples are packed
+     into a pre-sized frame — the parallel engine's hot path *)
+  let arena = Arena.create ~capacity:n ~arity:2 () in
+  for i = 0 to n - 1 do
+    ignore (Arena.push arena [| i; i mod m |])
+  done;
+  let frame = Frame.create ~capacity:n ~arity:2 ~contrib:false () in
+  let flat_w, flat_n = measure (`Flat arena) (fun tup -> Frame.push frame tup [||]) in
+  (* boxed reference: delta tuples are individual arrays, every derived
+     tuple is copied into a fresh array (the pre-refactor sink) *)
+  let batch = Vec.create ~capacity:n () in
+  for i = 0 to n - 1 do
+    Vec.push batch [| i; i mod m |]
+  done;
+  let out = Vec.create ~capacity:n () in
+  let boxed_w, boxed_n = measure (`Tuples batch) (fun tup -> Vec.push out (Array.copy tup)) in
+  assert (flat_n = boxed_n);
+  let t =
+    Report.create
+      ~title:(Printf.sprintf "Join-path allocation (%d derived tuples)" flat_n)
+      ~header:[ "representation"; "minor words/derived tuple" ]
+  in
+  Report.add_row t [ "flat arena -> packed frame"; Printf.sprintf "%.2f" flat_w ];
+  Report.add_row t
+    [ "boxed tuple -> boxed batch"; Printf.sprintf "%.2f (%.1fx)" boxed_w (boxed_w /. max flat_w 0.01) ];
+  Report.print t;
+  print_endline
+    "paper shape: the packed representation should allocate several times less\n\
+     per derived tuple than per-tuple heap objects (SS6.1's framing argument)."
+
+(* ------------------------------------------------------------------ *)
 (* micro: bechamel microbenchmarks for the design-choice ablations     *)
 
 let micro () =
@@ -432,7 +510,8 @@ let micro () =
   Report.print t;
   print_endline
     "ablation notes: the SPSC queue vs the lock-based queue is the SS6.1 claim;\n\
-     the B-tree probe cost motivates the SS6.2.2 existence cache."
+     the B-tree probe cost motivates the SS6.2.2 existence cache.";
+  join_alloc ()
 
 (* ------------------------------------------------------------------ *)
 (* perf: machine-readable perf trajectory (BENCH_dcdatalog.json)       *)
@@ -453,23 +532,41 @@ type perf_row = {
   p_tuples_sent : int;
   p_busy : float;
   p_wait : float;
+  (* GC deltas of the reported (fastest) run: the allocation cost of the
+     data plane, measured rather than anecdotal.  minor+major words are
+     summed across all domains (OCaml 5 Gc counters are per-domain
+     cumulative; we read them on the main domain after the workers have
+     been joined, which includes the workers' contributions). *)
+  p_minor_words : float;
+  p_major_words : float;
+  p_promoted_words : float;
 }
+
+(* [Gc.stat] (not [quick_stat]): on OCaml 5 it is the variant whose
+   allocation counters aggregate terminated domains, so the worker
+   domains' allocations are included once the pool has joined.  The
+   calls sit outside the timed region. *)
+let gc_words () =
+  let s = Gc.stat () in
+  (s.Gc.minor_words, s.Gc.major_words, s.Gc.promoted_words)
 
 let perf_row name dataset (spec : D.Queries.spec) edb =
   let cfg = config ~workers:4 D.Coord.dws in
   let best = ref None in
   for _ = 1 to perf_repeats do
-    let secs, result =
+    let secs, result, gc =
       let prepared = prepare_spec spec in
       let cfg = { cfg with D.max_iterations = spec.max_iterations } in
+      let min0, maj0, pro0 = gc_words () in
       let result, elapsed = time_run prepared edb cfg in
-      (elapsed, result)
+      let min1, maj1, pro1 = gc_words () in
+      (elapsed, result, (min1 -. min0, maj1 -. maj0, pro1 -. pro0))
     in
     match !best with
-    | Some (s, _) when s <= secs -> ()
-    | _ -> best := Some (secs, result)
+    | Some (s, _, _) when s <= secs -> ()
+    | _ -> best := Some (secs, result, gc)
   done;
-  let secs, result = Option.get !best in
+  let secs, result, (gc_minor, gc_major, gc_promoted) = Option.get !best in
   let stats = result.D.Parallel.stats in
   let sum f =
     List.fold_left
@@ -492,6 +589,9 @@ let perf_row name dataset (spec : D.Queries.spec) edb =
     p_tuples_sent = sum (fun w -> w.D.Run_stats.tuples_sent);
     p_busy = sumf (fun w -> w.D.Run_stats.busy_time);
     p_wait = sumf (fun w -> w.D.Run_stats.wait_time);
+    p_minor_words = gc_minor;
+    p_major_words = gc_major;
+    p_promoted_words = gc_promoted;
   }
 
 let perf () =
@@ -510,10 +610,13 @@ let perf () =
         (Printf.sprintf
            "    {\"name\": %S, \"dataset\": %S, \"wall_s\": %.6f, \"output_tuples\": %d, \
             \"tuples_processed\": %d, \"tuples_sent\": %d, \"tuples_per_sec\": %.1f, \
-            \"busy_s\": %.6f, \"wait_s\": %.6f}%s\n"
+            \"busy_s\": %.6f, \"wait_s\": %.6f, \"gc_minor_words\": %.0f, \
+            \"gc_major_words\": %.0f, \"gc_promoted_words\": %.0f, \
+            \"minor_words_per_sent_tuple\": %.2f}%s\n"
            r.p_name r.p_dataset r.p_wall r.p_output_tuples r.p_tuples_processed r.p_tuples_sent
            (float_of_int r.p_tuples_processed /. Float.max 1e-9 r.p_wall)
-           r.p_busy r.p_wait
+           r.p_busy r.p_wait r.p_minor_words r.p_major_words r.p_promoted_words
+           (r.p_minor_words /. float_of_int (max 1 r.p_tuples_sent))
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]\n}\n";
@@ -521,14 +624,17 @@ let perf () =
   output_string oc (Buffer.contents buf);
   close_out oc;
   let t = Report.create ~title:"Perf trajectory (written to BENCH_dcdatalog.json)"
-      ~header:[ "workload"; "dataset"; "wall (s)"; "tuples/sec"; "busy (s)"; "wait (s)" ]
+      ~header:[ "workload"; "dataset"; "wall (s)"; "tuples/sec"; "busy (s)"; "wait (s)";
+                "minor Mw"; "minor w/sent" ]
   in
   List.iter
     (fun r ->
       Report.add_row t
         [ r.p_name; r.p_dataset; Report.cell_time r.p_wall;
           Printf.sprintf "%.0f" (float_of_int r.p_tuples_processed /. Float.max 1e-9 r.p_wall);
-          Report.cell_time r.p_busy; Report.cell_time r.p_wait ])
+          Report.cell_time r.p_busy; Report.cell_time r.p_wait;
+          Printf.sprintf "%.1f" (r.p_minor_words /. 1e6);
+          Printf.sprintf "%.1f" (r.p_minor_words /. float_of_int (max 1 r.p_tuples_sent)) ])
     rows;
   Report.print t
 

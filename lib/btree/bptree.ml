@@ -1,15 +1,18 @@
 type key = int array
 
+(* Top-level recursion: key comparison runs on every node descent, and
+   a local [let rec] closure would be heap-allocated per comparison. *)
+let rec compare_range (a : key) (b : key) i n =
+  if i = n then 0
+  else
+    let c = Int.compare (Array.unsafe_get a i) (Array.unsafe_get b i) in
+    if c <> 0 then c else compare_range a b (i + 1) n
+
 let compare_key (a : key) (b : key) =
   let la = Array.length a and lb = Array.length b in
   let n = if la < lb then la else lb in
-  let rec loop i =
-    if i = n then compare la lb
-    else
-      let c = compare (Array.unsafe_get a i) (Array.unsafe_get b i) in
-      if c <> 0 then c else loop (i + 1)
-  in
-  loop 0
+  let c = compare_range a b 0 n in
+  if c <> 0 then c else Int.compare la lb
 
 type 'a leaf = {
   mutable lkeys : key array;
@@ -225,6 +228,45 @@ let add_if_absent t k v =
   in
   descend t.root
 
+(* [add_if_absent] for callers whose value is scratch: the binding is
+   materialized by [make] only on an actual insert, so a probe that
+   finds an existing binding allocates nothing. *)
+let add_if_absent_lazy t k make =
+  split_root t;
+  let rec descend node =
+    match node with
+    | Leaf l -> begin
+      match leaf_search l k with
+      | Ok _ -> None
+      | Error i ->
+        Array.blit l.lkeys i l.lkeys (i + 1) (l.ln - i);
+        Array.blit l.lvals i l.lvals (i + 1) (l.ln - i);
+        l.lkeys.(i) <- Array.copy k;
+        let v = make () in
+        l.lvals.(i) <- v;
+        l.ln <- l.ln + 1;
+        t.count <- t.count + 1;
+        Some v
+    end
+    | Internal n ->
+      let i = child_index n k in
+      let child = n.ichildren.(i) in
+      let child =
+        match child with
+        | Leaf l when leaf_full t l ->
+          let sep, r = split_leaf t l in
+          insert_sep n i sep (Leaf r);
+          if compare_key k sep >= 0 then Leaf r else child
+        | Internal c when internal_full t c ->
+          let sep, r = split_internal t c in
+          insert_sep n i sep (Internal r);
+          if compare_key k sep >= 0 then Internal r else child
+        | _ -> child
+      in
+      descend child
+  in
+  descend t.root
+
 (* --- deletion (preemptive borrow/merge on the way down) --- *)
 
 let leaf_min t = t.branching / 2
@@ -380,12 +422,12 @@ let iter_range t ~lo ~hi f =
   in
   walk l start
 
+let rec prefix_loop (prefix : key) (k : key) i lp =
+  i = lp || (k.(i) = prefix.(i) && prefix_loop prefix k (i + 1) lp)
+
 let prefix_matches prefix k =
   let lp = Array.length prefix in
-  Array.length k >= lp
-  &&
-  let rec loop i = i = lp || (k.(i) = prefix.(i) && loop (i + 1)) in
-  loop 0
+  Array.length k >= lp && prefix_loop prefix k 0 lp
 
 let iter_prefix t ~prefix f =
   let l = find_leaf t.root prefix in

@@ -35,6 +35,12 @@ val add_if_absent : 'a t -> key -> 'a -> bool
     is returned.  One descent either way — the set-semantics merge
     primitive, replacing the [mem]-then-[insert] double descent. *)
 
+val add_if_absent_lazy : 'a t -> key -> (unit -> 'a) -> 'a option
+(** [add_if_absent_lazy t k make] is {!add_if_absent} with the value
+    materialized only on an actual insert; returns [Some v] (the stored
+    value) iff [k] was absent.  The probe path allocates nothing, which
+    lets callers pass scratch-backed candidates and copy on retention. *)
+
 val upsert : 'a t -> key -> ('a option -> 'a) -> unit
 (** [upsert t k f] binds [k] to [f (find_opt t k)] with a single
     descent.  This is the primitive behind monotone aggregate merging:

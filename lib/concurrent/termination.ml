@@ -40,8 +40,14 @@ let quiescent t =
   else begin
     let sent_before = Atomic.get t.sent_total in
     let consumed = total_consumed t in
-    let sent_after = Atomic.get t.sent_total in
-    (* A stable snapshot: nothing was sent while we summed, every sent
-       tuple was consumed, and nobody woke up meanwhile. *)
-    sent_before = sent_after && consumed = sent_after && Atomic.get t.active_count = 0
+    (* A stable snapshot: every sent tuple was consumed, nobody woke up
+       while we summed, and nothing was sent meanwhile.  The final
+       sent-counter read must come AFTER the active-count re-read: a
+       worker records its sends before going inactive, so once we observe
+       it inactive its sends are visible too.  Reading in the opposite
+       order admits a worker that sends and then deactivates between our
+       two reads, yielding a false quiescence with a tuple in flight. *)
+    consumed = sent_before
+    && Atomic.get t.active_count = 0
+    && Atomic.get t.sent_total = sent_before
   end

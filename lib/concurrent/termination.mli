@@ -9,6 +9,11 @@
     The two reads (sent, then consumed sum) are racy in isolation, so
     [quiescent] re-reads the sent counter after summing and only reports
     quiescence on a stable snapshot taken while all workers are inactive.
+    The re-read order matters: active-count last-but-one, sent counter
+    last, so a worker observed inactive has all its sends visible (it
+    records sends before deactivating).  Symmetrically, a consumer must
+    mark itself active before recording consumption, so a snapshot that
+    includes its consumed counts also sees it active.
 
     The counters are tuple-denominated but updated {e per batch}: a
     producer calls [sent t k] once for a k-tuple batch, before pushing

@@ -18,7 +18,7 @@ let ensure t ~name ~arity =
            (Relation.arity rel) arity);
     rel
   | None ->
-    let rel = Relation.create ~name ~arity in
+    let rel = Relation.create ~name ~arity () in
     add_relation t rel;
     rel
 

@@ -1,13 +1,14 @@
 open Dcd_planner
 module Tuple = Dcd_storage.Tuple
+module Arena = Dcd_storage.Arena
 module Hash_index = Dcd_storage.Hash_index
 module Vec = Dcd_util.Vec
 
 type context = {
-  base_iter : string -> (Tuple.t -> unit) -> unit;
+  base_iter : string -> (int array -> int -> unit) -> unit;
   base_index : string -> int array -> Hash_index.t;
   rec_resolve : pred:string -> route:int array -> int;
-  rec_matches : int -> key:int array -> (Tuple.t -> unit) -> unit;
+  rec_matches : int -> key:int array -> (int array -> int -> unit) -> unit;
 }
 
 type emit = tuple:Tuple.t -> contributor:Tuple.t -> unit
@@ -18,26 +19,28 @@ let src_value regs = function
   | Physical.Const c -> c
   | Physical.Reg r -> Array.unsafe_get regs r
 
-let checks_pass regs (tup : Tuple.t) checks =
-  let n = Array.length checks in
-  let rec loop i =
-    i = n
-    ||
-    let col, src = Array.unsafe_get checks i in
-    tup.(col) = src_value regs src && loop (i + 1)
-  in
-  loop 0
+(* Tuples flow through the pipeline as (data, off) cursors into flat
+   storage — an arena, an index arena, a packed frame — never as boxed
+   arrays.  A boxed tuple is just the cursor (tup, 0). *)
+(* Top-level recursion, not a local [let rec]: this runs once per
+   scanned tuple and once per join match, and a local recursive closure
+   would be heap-allocated on every call by the non-flambda compiler. *)
+let rec checks_loop regs (data : int array) off checks i n =
+  i = n
+  ||
+  let col, src = Array.unsafe_get checks i in
+  Array.unsafe_get data (off + col) = src_value regs src
+  && checks_loop regs data off checks (i + 1) n
 
-let apply_binds regs (tup : Tuple.t) binds =
-  Array.iter (fun (col, r) -> regs.(r) <- tup.(col)) binds
+let checks_pass regs (data : int array) off checks =
+  checks_loop regs data off checks 0 (Array.length checks)
 
-(* A rule compiled against a concrete context: the operator pipeline as
-   a closure chain built once, so the per-tuple path performs no
-   dispatch on plan structure, no string comparison (recursive copies
-   and base indexes are resolved up front) and no key allocation (each
-   Lookup step owns a scratch key buffer, filled in place per probe —
-   every consumer either uses the key transiently or copies it on
-   retention). *)
+let apply_binds regs (data : int array) off binds =
+  for i = 0 to Array.length binds - 1 do
+    let col, r = Array.unsafe_get binds i in
+    Array.unsafe_set regs r (Array.unsafe_get data (off + col))
+  done
+
 type prepared = {
   cr : Physical.compiled_rule;
   regs : int array;
@@ -49,14 +52,29 @@ type prepared = {
 let prepare (cr : Physical.compiled_rule) ctx ~emit =
   let regs = Array.make (max 1 cr.nregs) 0 in
   let head = cr.head in
+  (* The emitted tuple and contributor are filled into scratch buffers
+     reused across emissions: [emit] sees them transiently and must
+     copy on retention (the flat sinks blit them into frames/arenas). *)
+  let head_buf = Array.make (Array.length head.args) 0 in
+  let contrib_src =
+    match head.agg with
+    | Some (_, _, contrib) when Array.length contrib > 0 -> Some contrib
+    | _ -> None
+  in
+  let contrib_buf =
+    match contrib_src with Some c -> Array.make (Array.length c) 0 | None -> [||]
+  in
   let emit_stage () =
-    let tuple = Array.map (src_value regs) head.args in
-    let contributor =
-      match head.agg with
-      | Some (_, _, contrib) when Array.length contrib > 0 -> Array.map (src_value regs) contrib
-      | _ -> [||]
-    in
-    emit ~tuple ~contributor
+    for i = 0 to Array.length head.args - 1 do
+      Array.unsafe_set head_buf i (src_value regs (Array.unsafe_get head.args i))
+    done;
+    (match contrib_src with
+    | Some contrib ->
+      for i = 0 to Array.length contrib - 1 do
+        Array.unsafe_set contrib_buf i (src_value regs (Array.unsafe_get contrib i))
+      done
+    | None -> ());
+    emit ~tuple:head_buf ~contributor:contrib_buf
   in
   let nsteps = Array.length cr.steps in
   let rec build k =
@@ -79,9 +97,9 @@ let prepare (cr : Physical.compiled_rule) ctx ~emit =
       | Physical.Lookup { rel; key_cols; key_src; binds; checks; negated; _ } ->
         (* binds first: a residual check may compare against a register
            bound by this very tuple (within-atom variable repeats) *)
-        let on_match tup =
-          apply_binds regs tup binds;
-          if checks_pass regs tup checks then if negated then raise Found else next ()
+        let on_match data off =
+          apply_binds regs data off binds;
+          if checks_pass regs data off checks then if negated then raise Found else next ()
         in
         let nkey = Array.length key_src in
         let key = Array.make nkey 0 in
@@ -125,24 +143,41 @@ let prepare (cr : Physical.compiled_rule) ctx ~emit =
   in
   { cr; regs; entry = build 0; scan_binds; scan_checks }
 
+let check_scan_kind p ~unit_input =
+  match (p.cr.scan, unit_input) with
+  | Physical.S_unit, true | (Physical.S_base _ | Physical.S_delta _), false -> ()
+  | Physical.S_unit, false -> invalid_arg "Eval.run: tuple input for a unit-scan rule"
+  | (Physical.S_base _ | Physical.S_delta _), true ->
+    invalid_arg "Eval.run: `Unit scan input for a rule that scans a relation"
+
 let run_prepared p ~scan =
   match scan with
   | `Unit ->
-    (match p.cr.scan with
-    | Physical.S_unit -> p.entry ()
-    | Physical.S_base _ | Physical.S_delta _ ->
-      invalid_arg "Eval.run: `Unit scan input for a rule that scans a relation");
+    check_scan_kind p ~unit_input:true;
+    p.entry ();
     1
   | `Tuples batch ->
-    (match p.cr.scan with
-    | Physical.S_base _ | Physical.S_delta _ -> ()
-    | Physical.S_unit -> invalid_arg "Eval.run: tuple input for a unit-scan rule");
+    check_scan_kind p ~unit_input:false;
     let regs = p.regs and binds = p.scan_binds and checks = p.scan_checks in
     Vec.iter
       (fun tup ->
-        apply_binds regs tup binds;
-        if checks_pass regs tup checks then p.entry ())
+        apply_binds regs tup 0 binds;
+        if checks_pass regs tup 0 checks then p.entry ())
       batch;
     Vec.length batch
+  | `Flat arena ->
+    check_scan_kind p ~unit_input:false;
+    let regs = p.regs and binds = p.scan_binds and checks = p.scan_checks in
+    (* Read count/data once: rules must not grow the scanned arena
+       (deltas are only mutated between iterations). *)
+    let n = Arena.length arena and k = Arena.arity arena in
+    let data = Arena.data arena in
+    let off = ref 0 in
+    for _ = 1 to n do
+      apply_binds regs data !off binds;
+      if checks_pass regs data !off checks then p.entry ();
+      off := !off + k
+    done;
+    n
 
 let run cr ctx ~scan ~emit = run_prepared (prepare cr ctx ~emit) ~scan

@@ -7,14 +7,20 @@
     complete binding is projected through the head and handed to [emit]
     (the entry point of the Distribute operator).
 
+    Tuples flow through the pipeline as [(data, off)] cursors into flat
+    storage — the delta arena being scanned, a hash index's arena, a
+    packed exchange frame — so the per-tuple path touches no boxed
+    tuple at all.  A boxed tuple is the degenerate cursor [(tup, 0)].
+
     Rules are {!prepare}d against a context once and then run many
     times: preparation resolves every recursive lookup to an integer
     copy id ({!context.rec_resolve}) and every indexed base lookup to
-    its concrete hash index, and allocates the register file and
-    per-step lookup-key scratch buffers.  The per-tuple path therefore
-    performs no string comparison and no key allocation; key buffers
-    are reused across probes, which is sound because every index either
-    uses the key transiently or copies it on retention.
+    its concrete hash index, and allocates the register file, the
+    per-step lookup-key scratch buffers and the head/contributor
+    emission buffers.  The per-tuple path therefore performs no string
+    comparison and no allocation; scratch buffers are reused across
+    probes and emissions, which is sound because every consumer either
+    uses them transiently or copies on retention.
 
     Pure with respect to shared state: base relations are only read, and
     recursive lookups go through the caller-supplied callback so each
@@ -25,19 +31,25 @@
 open Dcd_planner
 
 type context = {
-  base_iter : string -> (Dcd_storage.Tuple.t -> unit) -> unit;
-      (** full scan of a shared base / lower-stratum relation *)
+  base_iter : string -> (int array -> int -> unit) -> unit;
+      (** full scan of a shared base / lower-stratum relation; the
+          callback receives [(data, off)] slices valid only during the
+          call *)
   base_index : string -> int array -> Dcd_storage.Hash_index.t;
       (** prebuilt shared hash index on the given key columns *)
   rec_resolve : pred:string -> route:int array -> int;
       (** called once per recursive lookup at prepare time: the integer
           id under which {!rec_matches} will be probed *)
-  rec_matches : int -> key:int array -> (Dcd_storage.Tuple.t -> unit) -> unit;
+  rec_matches : int -> key:int array -> (int array -> int -> unit) -> unit;
       (** matches in this worker's copy [cid] of a recursive relation;
-          [key] is a scratch buffer valid only during the call *)
+          [key] is a scratch buffer valid only during the call, and the
+          matched slices likewise *)
 }
 
 type emit = tuple:Dcd_storage.Tuple.t -> contributor:Dcd_storage.Tuple.t -> unit
+(** Both arrays are scratch buffers owned by the prepared rule and
+    overwritten by the next emission — copy (or blit into flat storage)
+    on retention.  [contributor] is [[||]] for non-aggregate heads. *)
 
 type prepared
 (** A rule compiled against a context and an emit sink: the closure
@@ -46,16 +58,26 @@ type prepared
 val prepare : Physical.compiled_rule -> context -> emit:emit -> prepared
 
 val run_prepared :
-  prepared -> scan:[ `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t | `Unit ] -> int
+  prepared ->
+  scan:
+    [ `Flat of Dcd_storage.Arena.t
+    | `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t
+    | `Unit ] ->
+  int
 (** Runs the rule over the given scan input ([`Unit] for bodies without
-    positive atoms) and returns the number of scan tuples processed.
-    Arithmetic faults (division by zero) silently drop the binding, per
-    standard Datalog semantics for partial built-ins. *)
+    positive atoms; [`Flat] scans an arena without boxing — the rule
+    must not push into that same arena) and returns the number of scan
+    tuples processed.  Arithmetic faults (division by zero) silently
+    drop the binding, per standard Datalog semantics for partial
+    built-ins. *)
 
 val run :
   Physical.compiled_rule ->
   context ->
-  scan:[ `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t | `Unit ] ->
+  scan:
+    [ `Flat of Dcd_storage.Arena.t
+    | `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t
+    | `Unit ] ->
   emit:emit ->
   int
 (** [prepare] + [run_prepared] in one call, for one-shot evaluation. *)

@@ -2,8 +2,11 @@ open Dcd_planner
 module Ast = Dcd_datalog.Ast
 module Analysis = Dcd_datalog.Analysis
 module Tuple = Dcd_storage.Tuple
+module Arena = Dcd_storage.Arena
+module Tuple_set = Dcd_storage.Tuple_set
 module Relation = Dcd_storage.Relation
 module Partition = Dcd_storage.Partition
+module Frame = Dcd_concurrent.Frame
 module Vec = Dcd_util.Vec
 module Clock = Dcd_util.Clock
 module Chunk_queue = Dcd_concurrent.Chunk_queue
@@ -43,13 +46,13 @@ type result = {
 }
 
 (* One exchange message: every delta tuple a worker produced for one
-   (copy, destination) in one flush, shipped as a single object.  The
-   producer gives up ownership on push; the consumer drains the batch
-   without copying. *)
+   (copy, destination) in one flush, packed flat into a single frame.
+   The producer gives up ownership on push; the consumer folds the
+   records in without unpacking them into boxed tuples. *)
 type batch = {
   bcopy : int;
   bsrc : int;
-  btuples : (Tuple.t * Tuple.t) Vec.t; (* (tuple, contributor) pairs *)
+  bframe : Frame.t;
 }
 
 type copy_info = {
@@ -129,9 +132,19 @@ let prebuild_indexes (plan : Physical.t) catalog (sp : Physical.stratum_plan) =
   List.iter note sp.init_rules;
   List.iter note sp.delta_rules
 
+(* Flat scan source for a whole relation: the init rules and the
+   non-recursive strata scan relations through an arena cursor, not a
+   boxed-tuple vector. *)
+let arena_of_relation rel =
+  let a =
+    Arena.create ~capacity:(max 1 (Relation.length rel)) ~arity:(Relation.arity rel) ()
+  in
+  Relation.iter_slices rel (fun data off -> ignore (Arena.push_slice a data off));
+  a
+
 let eval_context catalog ~rec_resolve ~rec_matches =
   {
-    Eval.base_iter = (fun pred f -> Relation.iter f (Catalog.get catalog pred));
+    Eval.base_iter = (fun pred f -> Relation.iter_slices (Catalog.get catalog pred) f);
     base_index =
       (fun pred cols ->
         match Relation.find_index (Catalog.get catalog pred) ~key_cols:cols with
@@ -184,7 +197,7 @@ let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) c
         match cr.scan with
         | Physical.S_unit -> Eval.run_prepared prepared ~scan:`Unit
         | Physical.S_base { pred; _ } ->
-          Eval.run_prepared prepared ~scan:(`Tuples (Relation.to_vec (Catalog.get catalog pred)))
+          Eval.run_prepared prepared ~scan:(`Flat (arena_of_relation (Catalog.get catalog pred)))
         | Physical.S_delta _ -> assert false
       in
       ws.tuples_processed <- ws.tuples_processed + processed)
@@ -193,8 +206,11 @@ let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) c
   (* materialize *)
   List.iter
     (fun (pp : Physical.pred_plan) ->
-      let rel = Relation.create ~name:pp.pred ~arity:pp.arity in
-      Rec_store.iter (store_of_pred pp.pred) (fun tup -> ignore (Relation.add rel tup));
+      let store = store_of_pred pp.pred in
+      let rel =
+        Relation.create ~size_hint:(Rec_store.length store) ~name:pp.pred ~arity:pp.arity ()
+      in
+      Rec_store.iter store (fun tup -> ignore (Relation.add rel tup));
       Catalog.add_relation catalog rel)
     sp.pred_plans;
   let wall = Clock.now () -. t0 in
@@ -266,20 +282,25 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
   let iter_counts = Array.init n (fun _ -> Atomic.make 0) in
   let nonempty = Array.init n (fun _ -> Atomic.make false) in
   let wstats = Array.init n (fun _ -> Run_stats.fresh_worker ()) in
-  (* shared scan sources for the init rules *)
+  (* shared flat scan sources for the init rules (read-only during the
+     parallel phase, so all workers stripe over the same arena) *)
   let scan_sources =
     List.filter_map
       (fun (cr : Physical.compiled_rule) ->
         match cr.scan with
-        | Physical.S_base { pred; _ } -> Some (pred, Relation.to_vec (Catalog.get catalog pred))
+        | Physical.S_base { pred; _ } ->
+          Some (pred, arena_of_relation (Catalog.get catalog pred))
         | Physical.S_delta _ | Physical.S_unit -> None)
       sp.init_rules
   in
 
+  (* count/sum copies ship a contributor key with every tuple; the
+     other copies travel at fixed stride *)
+  let frame_contrib = Array.map (fun ci -> ci.ci_agg <> None) copies in
   let worker_body me =
     let ws = wstats.(me) in
     let my_stores = stores.(me) in
-    let deltas = Array.init ncopies (fun _ -> Vec.create ()) in
+    let deltas = Array.map (fun ci -> Arena.create ~arity:ci.ci_arity ()) copies in
     (* Per-iteration group index for aggregate copies: the Gather
        operator emits ONE delta entry per changed group, holding the
        current aggregate (paper Example 6.1).  Without this, a group
@@ -295,63 +316,84 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     in
     let push_delta cid (fresh : Tuple.t) =
       match delta_groups.(cid) with
-      | None -> Vec.push deltas.(cid) fresh
+      | None -> ignore (Arena.push deltas.(cid) fresh)
       | Some groups -> (
         let pos, _ = Option.get copies.(cid).ci_agg in
         let group = Tuple.group_key fresh ~agg_pos:pos in
         match Hashtbl.find_opt groups group with
-        | Some idx -> Vec.set deltas.(cid) idx fresh
+        | Some slot -> Arena.set_slot deltas.(cid) slot fresh
         | None ->
-          Hashtbl.add groups group (Vec.length deltas.(cid));
-          Vec.push deltas.(cid) fresh)
+          Hashtbl.add groups group (Arena.length deltas.(cid));
+          ignore (Arena.push deltas.(cid) fresh))
     in
     let clear_deltas () =
-      Array.iter Vec.clear deltas;
+      Array.iter Arena.clear deltas;
       Array.iter (function Some g -> Hashtbl.reset g | None -> ()) delta_groups
     in
     let qm = Qmodel.create ~producers:n () in
-    let outbuf = Array.init ncopies (fun _ -> Array.init n (fun _ -> Vec.create ())) in
+    let fresh_frame cid =
+      Frame.create ~arity:copies.(cid).ci_arity ~contrib:frame_contrib.(cid) ()
+    in
+    let outbuf = Array.init ncopies (fun cid -> Array.init n (fun _ -> fresh_frame cid)) in
     let ctx =
       eval_context catalog
         ~rec_resolve:(fun ~pred ~route -> copy_id pred route)
         ~rec_matches:(fun cid ~key f -> Rec_store.iter_matches my_stores.(cid) ~key f)
     in
     let emit_for pred =
-      let targets = List.assoc pred head_targets in
-      fun ~tuple ~contributor ->
-        List.iter
-          (fun cid ->
-            let dest = Partition.of_tuple h ~cols:copies.(cid).ci_route tuple in
-            Vec.push outbuf.(cid).(dest) (tuple, contributor))
-          targets
+      (* [tuple]/[contributor] are Eval's emission scratch: Frame.push
+         copies them into the packed buffer before returning.  The
+         single-target case (the overwhelmingly common one) is
+         specialized so the emit path allocates nothing. *)
+      match List.assoc pred head_targets with
+      | [ cid ] ->
+        let bufs = outbuf.(cid) and route = copies.(cid).ci_route in
+        fun ~tuple ~contributor ->
+          Frame.push bufs.(Partition.of_tuple h ~cols:route tuple) tuple contributor
+      | targets ->
+        fun ~tuple ~contributor ->
+          List.iter
+            (fun cid ->
+              let dest = Partition.of_tuple h ~cols:copies.(cid).ci_route tuple in
+              Frame.push outbuf.(cid).(dest) tuple contributor)
+            targets
     in
-    (* Ships one batch object: one queue push and one amortized
+    (* Ships one packed frame: one queue push and one amortized
        termination update per flush, instead of one of each per tuple. *)
-    let ship ~dest cid tuples =
-      let len = Vec.length tuples in
+    let ship ~dest cid frame =
+      let len = Frame.count frame in
       Termination.sent term len;
       ignore (Atomic.fetch_and_add occupancy.(dest).(me) len);
       ws.tuples_sent <- ws.tuples_sent + len;
       ws.batches_sent <- ws.batches_sent + 1;
-      push_batch ~dest { bcopy = cid; bsrc = me; btuples = tuples }
+      push_batch ~dest { bcopy = cid; bsrc = me; bframe = frame }
     in
-    let send ~dest cid tuples =
-      let len = Vec.length tuples in
+    let send ~dest cid frame =
+      let len = Frame.count frame in
       let cap = config.batch_tuples in
-      if cap <= 0 || len <= cap then ship ~dest cid tuples
-      else begin
+      if cap <= 0 || len <= cap then ship ~dest cid frame
+      else if not (Frame.has_contrib frame) then begin
         (* batch-size knob: split into chunks of at most [cap] tuples
-           (cap = 1 reproduces the old per-tuple message framing) *)
+           (cap = 1 reproduces the old per-tuple message framing);
+           fixed-stride records split with one blit per chunk *)
         let i = ref 0 in
         while !i < len do
           let k = min cap (len - !i) in
-          let chunk = Vec.create ~capacity:k () in
-          for j = !i to !i + k - 1 do
-            Vec.push chunk (Vec.get tuples j)
-          done;
+          let chunk = Frame.create ~capacity:k ~arity:copies.(cid).ci_arity ~contrib:false () in
+          Frame.append_range chunk frame ~first:!i ~n:k;
           ship ~dest cid chunk;
           i := !i + k
         done
+      end
+      else begin
+        let chunk = ref (Frame.create ~capacity:cap ~arity:copies.(cid).ci_arity ~contrib:true ()) in
+        Frame.iter frame (fun data ~toff ~clen ~coff ->
+            Frame.push_slice !chunk data ~toff ~clen ~coff;
+            if Frame.count !chunk = cap then begin
+              ship ~dest cid !chunk;
+              chunk := Frame.create ~capacity:cap ~arity:copies.(cid).ci_arity ~contrib:true ()
+            end);
+        if not (Frame.is_empty !chunk) then ship ~dest cid !chunk
       end
     in
     let flush_outgoing () =
@@ -359,44 +401,76 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
         let ci = copies.(cid) in
         for dest = 0 to n - 1 do
           let buf = outbuf.(cid).(dest) in
-          if not (Vec.is_empty buf) then begin
+          if not (Frame.is_empty buf) then begin
             match (config.partial_agg, ci.ci_agg) with
             | true, Some (pos, ((Ast.Min | Ast.Max) as kind)) ->
-              (* partial aggregation: keep only the best candidate per
-                 group within this outgoing batch (paper §5.2.3) *)
-              let best : (Tuple.t, Tuple.t) Hashtbl.t = Hashtbl.create 16 in
-              Vec.iter
-                (fun (tuple, _) ->
-                  let group = Tuple.group_key tuple ~agg_pos:pos in
-                  match Hashtbl.find_opt best group with
-                  | None -> Hashtbl.add best group tuple
-                  | Some cur ->
-                    let keep =
-                      if kind = Ast.Min then tuple.(pos) < cur.(pos) else tuple.(pos) > cur.(pos)
-                    in
-                    if keep then Hashtbl.replace best group tuple)
-                buf;
-              let out = Vec.create ~capacity:(Hashtbl.length best) () in
-              Hashtbl.iter (fun _ tuple -> Vec.push out (tuple, [||])) best;
-              Vec.clear buf;
+              (* partial aggregation: keep only the best record per
+                 group within this outgoing frame (paper §5.2.3).
+                 Group identity is every column but the value;
+                 candidates are hashed and compared in place in the
+                 frame buffer, so no boxed group keys exist. *)
+              let gcols = Array.init (ci.ci_arity - 1) (fun i -> if i < pos then i else i + 1) in
+              let rec pow2 p need = if p >= need then p else pow2 (p * 2) need in
+              let cap = pow2 16 (2 * Frame.count buf) in
+              let mask = cap - 1 in
+              let table = Array.make cap 0 (* record toff + 1; 0 = empty *) in
+              let data = Frame.data buf in
+              let glen = Array.length gcols in
+              (* one closure per flush, not per record: hoisted out of
+                 the [Frame.iter] callback and driven by a while loop *)
+              let group_eq a b =
+                let rec loop i =
+                  i = glen
+                  ||
+                  let c = Array.unsafe_get gcols i in
+                  data.(a + c) = data.(b + c) && loop (i + 1)
+                in
+                loop 0
+              in
+              Frame.iter buf (fun _ ~toff ~clen:_ ~coff:_ ->
+                  let i = ref (Tuple.hash_cols data ~base:toff gcols land mask) in
+                  let placed = ref false in
+                  while not !placed do
+                    match table.(!i) with
+                    | 0 ->
+                      table.(!i) <- toff + 1;
+                      placed := true
+                    | e ->
+                      let cur = e - 1 in
+                      if group_eq cur toff then begin
+                        let keep =
+                          if kind = Ast.Min then data.(toff + pos) < data.(cur + pos)
+                          else data.(toff + pos) > data.(cur + pos)
+                        in
+                        if keep then table.(!i) <- toff + 1;
+                        placed := true
+                      end
+                      else i := (!i + 1) land mask
+                  done);
+              let out =
+                Frame.create ~capacity:(Frame.count buf) ~arity:ci.ci_arity ~contrib:true ()
+              in
+              Array.iter
+                (fun e -> if e <> 0 then Frame.push_slice out data ~toff:(e - 1) ~clen:0 ~coff:0)
+                table;
+              Frame.clear buf;
               send ~dest cid out
             | true, None ->
-              (* set semantics: drop duplicates within the batch *)
-              let seen : (Tuple.t, unit) Hashtbl.t = Hashtbl.create 16 in
-              let out = Vec.create ~capacity:(Vec.length buf) () in
-              Vec.iter
-                (fun ((tuple, _) as pair) ->
-                  if not (Hashtbl.mem seen tuple) then begin
-                    Hashtbl.add seen tuple ();
-                    Vec.push out pair
-                  end)
-                buf;
-              Vec.clear buf;
+              (* set semantics: drop duplicates within the frame,
+                 probing straight out of the packed records *)
+              let seen = Tuple_set.create ~capacity:(Frame.count buf) () in
+              let out =
+                Frame.create ~capacity:(Frame.count buf) ~arity:ci.ci_arity ~contrib:false ()
+              in
+              Frame.iter buf (fun data ~toff ~clen:_ ~coff:_ ->
+                  if Tuple_set.add_slice seen data toff ci.ci_arity then
+                    Frame.push_slice out data ~toff ~clen:0 ~coff:0);
+              Frame.clear buf;
               send ~dest cid out
             | _ ->
-              (* ship the accumulation buffer itself — ownership passes
+              (* ship the accumulation frame itself — ownership passes
                  to the consumer, the producer starts a fresh one *)
-              outbuf.(cid).(dest) <- Vec.create ();
+              outbuf.(cid).(dest) <- fresh_frame cid;
               send ~dest cid buf
           end
         done
@@ -406,13 +480,13 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     let drained_from = Array.make n 0 in
     let merge_batch (b : batch) =
       let store = my_stores.(b.bcopy) in
-      Vec.iter
-        (fun (tuple, contributor) ->
-          match Rec_store.merge store ~tuple ~contributor with
+      (* records are folded in straight from the packed frame: absorbed
+         candidates never exist as heap objects on the consumer side *)
+      Frame.iter b.bframe (fun data ~toff ~clen ~coff ->
+          match Rec_store.merge_slice store ~data ~off:toff ~cdata:data ~coff ~clen with
           | Some fresh -> push_delta b.bcopy fresh
-          | None -> ())
-        b.btuples;
-      drained_from.(b.bsrc) <- drained_from.(b.bsrc) + Vec.length b.btuples
+          | None -> ());
+      drained_from.(b.bsrc) <- drained_from.(b.bsrc) + Frame.count b.bframe
     in
     let drain_and_merge () =
       Array.fill drained_from 0 n 0;
@@ -436,10 +510,17 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
           total := !total + cnt
         end
       done;
-      if !total > 0 then Termination.consumed term ~worker:me !total;
+      if !total > 0 then begin
+        (* Become visibly active BEFORE recording consumption: a peer whose
+           quiescence snapshot includes these consumed counts must also see
+           this worker active, or it could exit while we still hold
+           unprocessed tuples and go on to send to it. *)
+        Termination.set_active term ~worker:me true;
+        Termination.consumed term ~worker:me !total
+      end;
       !total
     in
-    let delta_size () = Array.fold_left (fun acc v -> acc + Vec.length v) 0 deltas in
+    let delta_size () = Array.fold_left (fun acc a -> acc + Arena.length a) 0 deltas in
     let frozen () = config.max_iterations > 0 && ws.iterations >= config.max_iterations in
     (* Delta rules prepared once per worker: recursive lookups and the
        scanned copy resolve to integer ids here, at setup time. *)
@@ -460,8 +541,8 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       List.iter
         (fun (scan_cid, prepared) ->
           let batch = deltas.(scan_cid) in
-          if not (Vec.is_empty batch) then
-            processed := !processed + Eval.run_prepared prepared ~scan:(`Tuples batch))
+          if not (Arena.is_empty batch) then
+            processed := !processed + Eval.run_prepared prepared ~scan:(`Flat batch))
         emits;
       clear_deltas ();
       flush_outgoing ();
@@ -485,15 +566,16 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
         | Physical.S_unit -> if me = 0 then ignore (Eval.run_prepared prepared ~scan:`Unit)
         | Physical.S_base { pred; _ } ->
           let src = List.assoc pred scan_sources in
-          let len = Vec.length src in
-          let stripe = Vec.create ~capacity:((len / n) + 1) () in
+          let len = Arena.length src and arity = Arena.arity src in
+          let sdata = Arena.data src in
+          let stripe = Arena.create ~capacity:((len / n) + 1) ~arity () in
           let k = ref me in
           while !k < len do
-            Vec.push stripe (Vec.get src !k);
+            ignore (Arena.push_slice stripe sdata (!k * arity));
             k := !k + n
           done;
           ws.tuples_processed <-
-            ws.tuples_processed + Eval.run_prepared prepared ~scan:(`Tuples stripe)
+            ws.tuples_processed + Eval.run_prepared prepared ~scan:(`Flat stripe)
         | Physical.S_delta _ -> assert false)
       sp.init_rules;
     flush_outgoing ();
@@ -603,7 +685,11 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     (fun (pp : Physical.pred_plan) ->
       let primary = List.hd pp.routes in
       let cid = copy_id pp.pred primary in
-      let rel = Relation.create ~name:pp.pred ~arity:pp.arity in
+      let total = ref 0 in
+      for w = 0 to n - 1 do
+        total := !total + Rec_store.length stores.(w).(cid)
+      done;
+      let rel = Relation.create ~size_hint:!total ~name:pp.pred ~arity:pp.arity () in
       for w = 0 to n - 1 do
         Rec_store.iter stores.(w).(cid) (fun tup -> ignore (Relation.add rel tup))
       done;

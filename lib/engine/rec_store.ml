@@ -74,12 +74,13 @@ let create ~arity ~agg ~route ~opts () =
     scratch = Array.make (Array.length order) 0;
   }
 
-(* Fills the scratch buffer with the route-permuted key of [tuple] and
-   returns it.  Valid until the next [permute] on the same store. *)
-let permute t (tuple : Tuple.t) =
-  let k = t.scratch in
-  for i = 0 to Array.length t.order - 1 do
-    k.(i) <- tuple.(t.order.(i))
+(* Fills the scratch buffer with the route-permuted key of the tuple
+   stored flat at [data.(off ..)] and returns it.  Valid until the next
+   [permute] on the same store. *)
+let permute t (data : int array) off =
+  let k = t.scratch and order = t.order in
+  for i = 0 to Array.length order - 1 do
+    Array.unsafe_set k i (Array.unsafe_get data (off + Array.unsafe_get order i))
   done;
   k
 
@@ -97,21 +98,27 @@ let absorbed_by_cache kind cached candidate =
   | Ast.Max -> candidate <= cached
   | Ast.Count | Ast.Sum -> false (* contributor dedup must still run *)
 
-let merge t ~tuple ~contributor =
+(* Core merge over flat cursors: [data.(off ..)] is the candidate in
+   canonical order, [cdata.(coff .. coff+clen-1)] its contributor key
+   (clen = 0 for none).  Both are read transiently — everything retained
+   (B⁺-tree value, cache key, agg contributor) is copied here, so the
+   caller may pass scratch buffers or packed-frame slices directly. *)
+let merge_slice t ~data ~off ~cdata ~coff ~clen =
   match t.store with
   | Set tree -> (
-    let key = permute t tuple in
+    let key = permute t data off in
     match t.cache with
     | Some cache when Exist_cache.find cache key <> None -> None
     | _ ->
-      (* single descent: probe and insert in one pass *)
-      let inserted = Bptree.add_if_absent tree key tuple in
+      (* single descent: probe and insert in one pass; the stored value
+         is materialized only on an actual insert *)
+      let stored = Bptree.add_if_absent_lazy tree key (fun () -> Array.sub data off t.arity) in
       (* the cache retains its key beyond this call: materialize the scratch *)
       (match t.cache with Some c -> Exist_cache.put c (Array.copy key) 1 | None -> ());
-      if inserted then Some tuple else None)
+      stored)
   | Agg { table; kind; value_pos } -> (
-    let group = permute t tuple in
-    let v = tuple.(value_pos) in
+    let group = permute t data off in
+    let v = data.(off + value_pos) in
     let cache_absorbs =
       match t.cache with
       | Some cache -> (
@@ -122,7 +129,7 @@ let merge t ~tuple ~contributor =
     in
     if cache_absorbs then None
     else begin
-      let contributor = if Array.length contributor = 0 then None else Some contributor in
+      let contributor = if clen = 0 then None else Some (Array.sub cdata coff clen) in
       match Agg_table.merge table ~group ?contributor v with
       | None -> None (* cache entries are only refreshed on change: any
                         cached value remains a sound monotone bound *)
@@ -131,12 +138,16 @@ let merge t ~tuple ~contributor =
         Some (canonical_of_group t group updated value_pos)
     end)
 
+let merge t ~tuple ~contributor =
+  merge_slice t ~data:tuple ~off:0 ~cdata:contributor ~coff:0
+    ~clen:(Array.length contributor)
+
 let iter_matches t ~key f =
   match t.store with
-  | Set tree -> Bptree.iter_prefix tree ~prefix:key (fun _ tuple -> f tuple)
+  | Set tree -> Bptree.iter_prefix tree ~prefix:key (fun _ tuple -> f tuple 0)
   | Agg { table; value_pos; _ } ->
     Agg_table.iter_prefix table ~prefix:key (fun group v ->
-        f (canonical_of_group t group v value_pos))
+        f (canonical_of_group t group v value_pos) 0)
 
 let iter t f =
   match t.store with

@@ -36,11 +36,28 @@ val merge : t -> tuple:Dcd_storage.Tuple.t -> contributor:Dcd_storage.Tuple.t ->
     aggregate stores [contributor] carries the count/sum contributor
     key ([[||]] otherwise).  Returns the canonical delta tuple when the
     store changed — for aggregates this carries the {e updated}
-    aggregate value, which may differ from the candidate's. *)
+    aggregate value, which may differ from the candidate's.  Both
+    inputs are read transiently (anything retained is copied), so they
+    may be scratch buffers. *)
 
-val iter_matches : t -> key:int array -> (Dcd_storage.Tuple.t -> unit) -> unit
+val merge_slice :
+  t ->
+  data:int array ->
+  off:int ->
+  cdata:int array ->
+  coff:int ->
+  clen:int ->
+  Dcd_storage.Tuple.t option
+(** {!merge} reading the candidate straight out of flat storage: the
+    tuple is [data.(off .. off+arity-1)], the contributor
+    [cdata.(coff .. coff+clen-1)] ([clen = 0] for none).  This is how
+    packed exchange frames are folded in without materializing boxed
+    tuples for absorbed candidates. *)
+
+val iter_matches : t -> key:int array -> (int array -> int -> unit) -> unit
 (** All current tuples whose route columns equal [key], canonical
-    order.  This is the recursive-relation side of an index join. *)
+    order, passed as [(data, off)] cursors valid only during the call.
+    This is the recursive-relation side of an index join. *)
 
 val iter : t -> (Dcd_storage.Tuple.t -> unit) -> unit
 (** Full scan in unspecified order (used to collect final results). *)

@@ -1,0 +1,66 @@
+(** Fixed-stride flat tuple arena.
+
+    One growable [int array] holds every tuple of a relation (or of a
+    per-iteration delta) of arity [k], back to back at stride [k].  A
+    tuple is named by its [slot] — its insertion index — and its fields
+    live at [data t .(offset t slot + c)].  Nothing on the hot path
+    materializes a boxed [int array] per tuple: the join kernel binds
+    registers through an offset cursor, the hash indexes store slot
+    lists and hash key columns straight out of the arena, and a packed
+    delta frame is absorbed with a single {!append_block} blit.
+
+    Invariants:
+    - slots are stable: tuples are only appended (or overwritten in
+      place via {!set_slot}); [clear] invalidates all slots at once;
+    - [data t] is only valid until the next growth — re-read it after
+      any push when holding it across calls;
+    - arity-0 arenas are legal ([offset] is always 0; only [length]
+      distinguishes tuples). *)
+
+type slot = int
+
+type t
+
+val create : ?capacity:int -> arity:int -> unit -> t
+(** [capacity] is a tuple-count hint.  @raise Invalid_argument if
+    [arity < 0]. *)
+
+val arity : t -> int
+
+val length : t -> int
+(** Number of tuples. *)
+
+val is_empty : t -> bool
+
+val data : t -> int array
+(** The backing buffer; valid until the next growth. *)
+
+val offset : t -> slot -> int
+(** Flat offset of a slot's first field ([slot * arity]). *)
+
+val push : t -> Tuple.t -> slot
+(** Copies a boxed tuple in; returns its slot.
+    @raise Invalid_argument on arity mismatch. *)
+
+val push_slice : t -> int array -> int -> slot
+(** [push_slice t src off] copies [arity t] ints from [src.(off)] in. *)
+
+val append_block : t -> int array -> off:int -> tuples:int -> slot
+(** Appends [tuples] consecutive tuples from a flat source buffer with
+    one blit; returns the first new slot. *)
+
+val set_slot : t -> slot -> Tuple.t -> unit
+(** Overwrites a tuple in place (delta-group replacement). *)
+
+val get : t -> slot -> Tuple.t
+(** Materializes a boxed copy — API edges only. *)
+
+val read : t -> slot -> int -> int
+(** [read t slot col] is field [col] of the tuple at [slot]. *)
+
+val iter_slices : t -> (int array -> int -> unit) -> unit
+(** [iter_slices t f] calls [f data off] for every tuple, in slot
+    order.  [f] must not push into [t] (growth would invalidate
+    [data]). *)
+
+val clear : t -> unit

@@ -1,60 +1,179 @@
 module Vec = Dcd_util.Vec
 
-module Key_tbl = Hashtbl.Make (struct
-  type t = Tuple.t
+(* Arena-backed hash multimap: the index owns a flat copy of every
+   indexed tuple (fixed stride = relation arity) and its buckets are
+   slot vectors.  Key hashing and key comparison read the key columns
+   straight out of the arena — no boxed key is materialized on [add],
+   and a probe key is compared field-by-field against the bucket's
+   representative slot.
 
-  let equal = Tuple.equal
-  let hash = Tuple.hash
-end)
+   The bucket directory is open-addressed: [table] maps probe positions
+   to bucket ids (+1, 0 = empty); per bucket we keep the cached key
+   hash (so directory growth rehashes nothing) and the slot vector. *)
 
 type t = {
   cols : int array;
-  buckets : Tuple.t Vec.t Key_tbl.t;
+  mutable arena : Arena.t option; (* created on first add (arity unknown before) *)
+  mutable table : int array;
+  mutable mask : int;
+  bhash : int Vec.t; (* bucket id -> cached key hash *)
+  bslots : int Vec.t Vec.t; (* bucket id -> slots *)
   mutable total : int;
-  scratch : int array; (* probe key buffer: adds to an existing bucket allocate nothing *)
 }
 
-let create ~key_cols =
+let directory_capacity hint =
+  let rec pow2 p n = if p >= n then p else pow2 (p * 2) n in
+  (* size for ~0.75 max load on distinct keys *)
+  pow2 64 (max 1 ((hint * 4 / 3) + 1))
+
+let create ?(size_hint = 0) ~key_cols () =
+  let cap = directory_capacity size_hint in
   {
     cols = key_cols;
-    buckets = Key_tbl.create 64;
+    arena = None;
+    table = Array.make cap 0;
+    mask = cap - 1;
+    bhash = Vec.create ~capacity:(max 16 size_hint) ();
+    bslots = Vec.create ~capacity:(max 16 size_hint) ();
     total = 0;
-    scratch = Array.make (Array.length key_cols) 0;
   }
 
 let key_cols t = t.cols
 
-let add t tup =
-  for i = 0 to Array.length t.cols - 1 do
-    t.scratch.(i) <- tup.(t.cols.(i))
+let arena_of t arity =
+  match t.arena with
+  | Some a -> a
+  | None ->
+    let a = Arena.create ~capacity:(max 16 (Array.length t.table)) ~arity () in
+    t.arena <- Some a;
+    a
+
+let nbuckets t = Vec.length t.bhash
+
+(* The comparison loops below are top-level recursion, not local
+   [let rec]: a local recursive closure is heap-allocated per call on
+   the non-flambda compiler, and these run once per probe. *)
+let rec cols_eq_at (data : int array) (cols : int array) b1 b2 i n =
+  i = n
+  ||
+  let c = Array.unsafe_get cols i in
+  Array.unsafe_get data (b1 + c) = Array.unsafe_get data (b2 + c)
+  && cols_eq_at data cols b1 b2 (i + 1) n
+
+(* key columns of the tuples at two slots agree? *)
+let slots_key_equal t arena s1 s2 =
+  cols_eq_at (Arena.data arena) t.cols (Arena.offset arena s1) (Arena.offset arena s2) 0
+    (Array.length t.cols)
+
+let rec key_eq_cols (key : int array) (data : int array) base (cols : int array) i n =
+  i = n
+  || Array.unsafe_get key i = Array.unsafe_get data (base + Array.unsafe_get cols i)
+     && key_eq_cols key data base cols (i + 1) n
+
+(* boxed probe key vs key columns of the tuple at [slot] *)
+let key_matches_slot t arena (key : int array) slot =
+  Array.length key = Array.length t.cols
+  && key_eq_cols key (Arena.data arena) (Arena.offset arena slot) t.cols 0 (Array.length t.cols)
+
+let grow_directory t =
+  let cap = (t.mask + 1) * 2 in
+  let table' = Array.make cap 0 in
+  let mask' = cap - 1 in
+  for bid = 0 to nbuckets t - 1 do
+    let i = ref (Vec.get t.bhash bid land mask') in
+    while table'.(!i) <> 0 do
+      i := (!i + 1) land mask'
+    done;
+    table'.(!i) <- bid + 1
   done;
-  let bucket =
-    match Key_tbl.find_opt t.buckets t.scratch with
-    | Some b -> b
-    | None ->
-      let b = Vec.create ~capacity:2 () in
-      (* the table retains the key: materialize the scratch buffer *)
-      Key_tbl.add t.buckets (Array.copy t.scratch) b;
-      b
-  in
-  Vec.push bucket tup;
+  t.table <- table';
+  t.mask <- mask'
+
+(* Index the tuple at [slot]; its key hash is computed from the arena. *)
+let add_slot t arena slot =
+  if nbuckets t * 4 >= (t.mask + 1) * 3 then grow_directory t;
+  let h = Arena.(Tuple.hash_cols (data arena) ~base:(offset arena slot)) t.cols in
+  let table = t.table and mask = t.mask in
+  let i = ref (h land mask) in
+  let placed = ref false in
+  while not !placed do
+    let e = Array.unsafe_get table !i in
+    if e = 0 then begin
+      let bid = nbuckets t in
+      Vec.push t.bhash h;
+      let slots = Vec.create ~capacity:2 () in
+      Vec.push slots slot;
+      Vec.push t.bslots slots;
+      table.(!i) <- bid + 1;
+      placed := true
+    end
+    else begin
+      let bid = e - 1 in
+      if Vec.get t.bhash bid = h && slots_key_equal t arena (Vec.get (Vec.get t.bslots bid) 0) slot
+      then begin
+        Vec.push (Vec.get t.bslots bid) slot;
+        placed := true
+      end
+      else i := (!i + 1) land mask
+    end
+  done;
   t.total <- t.total + 1
 
-let of_tuples ~key_cols tuples =
-  let t = create ~key_cols in
+let add t (tup : Tuple.t) =
+  let arena = arena_of t (Array.length tup) in
+  let slot = Arena.push arena tup in
+  add_slot t arena slot
+
+let add_slice t (src : int array) off ~arity =
+  let arena = arena_of t arity in
+  let slot = Arena.push_slice arena src off in
+  add_slot t arena slot
+
+let of_tuples ?size_hint ~key_cols tuples =
+  let size_hint = match size_hint with Some s -> s | None -> Vec.length tuples in
+  let t = create ~size_hint ~key_cols () in
   Vec.iter (add t) tuples;
   t
 
+(* bucket lookup for a boxed probe key; -1 if absent *)
+let find_bucket t key =
+  match t.arena with
+  | None -> -1
+  | Some arena ->
+    let h = Tuple.hash key in
+    let table = t.table and mask = t.mask in
+    let i = ref (h land mask) in
+    let found = ref min_int in
+    while !found = min_int do
+      let e = Array.unsafe_get table !i in
+      if e = 0 then found := -1
+      else begin
+        let bid = e - 1 in
+        if Vec.get t.bhash bid = h
+           && key_matches_slot t arena key (Vec.get (Vec.get t.bslots bid) 0)
+        then found := bid
+        else i := (!i + 1) land mask
+      end
+    done;
+    !found
+
 let iter_matches t key f =
-  match Key_tbl.find_opt t.buckets key with
-  | None -> ()
-  | Some bucket -> Vec.iter f bucket
+  match find_bucket t key with
+  | -1 -> ()
+  | bid ->
+    let arena = Option.get t.arena in
+    let stride = Arena.arity arena in
+    let data = Arena.data arena in
+    let slots = Vec.get t.bslots bid in
+    for i = 0 to Vec.length slots - 1 do
+      f data (Vec.get slots i * stride)
+    done
 
 let count_matches t key =
-  match Key_tbl.find_opt t.buckets key with
-  | None -> 0
-  | Some bucket -> Vec.length bucket
+  match find_bucket t key with
+  | -1 -> 0
+  | bid -> Vec.length (Vec.get t.bslots bid)
 
 let length t = t.total
 
-let distinct_keys t = Key_tbl.length t.buckets
+let distinct_keys t = nbuckets t

@@ -1,26 +1,42 @@
-(** Hash multimap from a key-column projection to tuples.
+(** Hash multimap from a key-column projection to tuples, over flat
+    storage.
 
     Built once per partition over each base relation on the join key of
     the rules that scan it (paper Algorithm 1, line 3); the inner side of
     every index join in the physical plan is either one of these or the
-    B⁺-tree of a recursive relation. *)
+    B⁺-tree of a recursive relation.
+
+    The index owns a fixed-stride {!Arena} copy of every indexed tuple;
+    buckets are slot vectors and key hashing/comparison read straight
+    out of the arena, so neither [add] nor a probe allocates a boxed
+    key.  Duplicate tuples are kept (the relation layer deduplicates). *)
 
 type t
 
-val create : key_cols:int array -> t
-(** [key_cols] are the column positions forming the lookup key. *)
+val create : ?size_hint:int -> key_cols:int array -> unit -> t
+(** [key_cols] are the column positions forming the lookup key.
+    [size_hint] (expected tuple count) pre-sizes the bucket directory
+    and the arena so bulk loads don't rehash repeatedly. *)
 
 val key_cols : t -> int array
 
 val add : t -> Tuple.t -> unit
-(** Appends [tup] to the bucket of its projected key. Duplicate tuples
-    are kept (the relation layer deduplicates). *)
+(** Appends [tup] (copied into the arena) to the bucket of its
+    projected key. *)
 
-val of_tuples : key_cols:int array -> Tuple.t Dcd_util.Vec.t -> t
+val add_slice : t -> int array -> int -> arity:int -> unit
+(** [add_slice idx data off ~arity] indexes the tuple stored flat at
+    [data.(off .. off+arity-1)] without boxing it. *)
 
-val iter_matches : t -> Tuple.t -> (Tuple.t -> unit) -> unit
-(** [iter_matches idx key f] applies [f] to every tuple whose projection
-    equals [key] (a tuple of the same arity as [key_cols]). *)
+val of_tuples : ?size_hint:int -> key_cols:int array -> Tuple.t Dcd_util.Vec.t -> t
+(** [size_hint] defaults to the vector's length. *)
+
+val iter_matches : t -> Tuple.t -> (int array -> int -> unit) -> unit
+(** [iter_matches idx key f] calls [f data off] for every indexed tuple
+    whose projection equals [key] (a boxed tuple of the same arity as
+    [key_cols]); the tuple's fields are [data.(off .. off+arity-1)].
+    The slice is valid only during the call — the arena may grow on the
+    next [add]. *)
 
 val count_matches : t -> Tuple.t -> int
 

@@ -15,10 +15,12 @@ let mix k =
 
 let of_key t k = mix k mod t.workers
 
-let of_tuple t ~cols tup =
-  let h = ref 0 in
-  Array.iter (fun c -> h := mix (!h lxor tup.(c))) cols;
-  !h mod t.workers
+(* Top-level tail recursion: this runs once per emitted tuple, so no
+   ref cell or closure may be allocated. *)
+let rec fold_cols (tup : int array) (cols : int array) i n h =
+  if i = n then h else fold_cols tup cols (i + 1) n (mix (h lxor tup.(Array.unsafe_get cols i)))
+
+let of_tuple t ~cols tup = fold_cols tup cols 0 (Array.length cols) 0 mod t.workers
 
 let split t batch ~cols =
   let parts = Array.init t.workers (fun _ -> Vec.create ()) in

@@ -7,9 +7,9 @@ type t = {
   mutable indexes : (int array * Hash_index.t) list;
 }
 
-let create ~name ~arity =
+let create ?(size_hint = 16) ~name ~arity () =
   if arity < 0 then invalid_arg "Relation.create";
-  { name; arity; tuples = Tuple_set.create (); indexes = [] }
+  { name; arity; tuples = Tuple_set.create ~capacity:size_hint (); indexes = [] }
 
 let name t = t.name
 
@@ -26,9 +26,19 @@ let add t tup =
   if fresh then List.iter (fun (_, idx) -> Hash_index.add idx tup) t.indexes;
   fresh
 
+let add_slice t data off =
+  let fresh = Tuple_set.add_slice t.tuples data off t.arity in
+  if fresh then
+    List.iter (fun (_, idx) -> Hash_index.add_slice idx data off ~arity:t.arity) t.indexes;
+  fresh
+
 let mem t tup = Tuple_set.mem t.tuples tup
 
+let mem_slice t data off = Tuple_set.mem_slice t.tuples data off t.arity
+
 let iter f t = Tuple_set.iter f t.tuples
+
+let iter_slices t f = Tuple_set.iter_slices t.tuples (fun data off _len -> f data off)
 
 let to_vec t = Tuple_set.to_vec t.tuples
 
@@ -39,8 +49,9 @@ let ensure_index t ~key_cols =
   match find_index t ~key_cols with
   | Some idx -> idx
   | None ->
-    let idx = Hash_index.create ~key_cols in
-    Tuple_set.iter (Hash_index.add idx) t.tuples;
+    let idx = Hash_index.create ~size_hint:(length t) ~key_cols () in
+    Tuple_set.iter_slices t.tuples (fun data off len ->
+        Hash_index.add_slice idx data off ~arity:len);
     t.indexes <- (key_cols, idx) :: t.indexes;
     idx
 

@@ -4,11 +4,14 @@
     indexes that are maintained incrementally on insert.  Base relations
     are loaded once and indexed on the join keys the planner requests;
     recursive relations additionally keep a B⁺-tree (owned by the engine
-    layer, see {!Dcd_engine}). *)
+    layer, see {!Dcd_engine}).  Both the set and the indexes live in
+    flat storage — the [_slice]/[_slices] entry points move tuples
+    between flat buffers without boxing. *)
 
 type t
 
-val create : name:string -> arity:int -> t
+val create : ?size_hint:int -> name:string -> arity:int -> unit -> t
+(** [size_hint] (expected tuple count) pre-sizes the dedup table. *)
 
 val name : t -> string
 
@@ -20,16 +23,26 @@ val add : t -> Tuple.t -> bool
 (** Inserts; [true] iff new.  Indexes are updated only for new tuples.
     @raise Invalid_argument on arity mismatch. *)
 
+val add_slice : t -> int array -> int -> bool
+(** [add_slice t data off] inserts the tuple stored flat at
+    [data.(off .. off+arity-1)] without boxing it; [true] iff new. *)
+
 val mem : t -> Tuple.t -> bool
 
+val mem_slice : t -> int array -> int -> bool
+
 val iter : (Tuple.t -> unit) -> t -> unit
+
+val iter_slices : t -> (int array -> int -> unit) -> unit
+(** [iter_slices t f] calls [f data off] per stored tuple in insertion
+    order; the slice is valid only during the call. *)
 
 val to_vec : t -> Tuple.t Dcd_util.Vec.t
 
 val ensure_index : t -> key_cols:int array -> Hash_index.t
 (** Returns the hash index on [key_cols], building it from the current
-    contents on first request.  Indexes are identified by their exact
-    column list. *)
+    contents on first request (pre-sized to the relation's length).
+    Indexes are identified by their exact column list. *)
 
 val find_index : t -> key_cols:int array -> Hash_index.t option
 

@@ -1,25 +1,42 @@
-(** Deduplicating tuple store.
+(** Deduplicating tuple store over flat storage.
 
-    An open-addressing hash set of tuples with linear probing.  This is
-    the backing store of every relation: semi-naive evaluation is all
-    about set difference ("is this tuple new?"), so [add] reports whether
-    the tuple was absent.  Deletion is deliberately unsupported — Datalog
-    relations only grow during bottom-up evaluation. *)
+    An open-addressing hash set with linear probing whose elements live
+    length-prefixed in one growable flat [int array] — no per-tuple heap
+    object.  This is the backing store of every relation: semi-naive
+    evaluation is all about set difference ("is this tuple new?"), so
+    [add] reports whether the tuple was absent, and the [_slice] entry
+    points let the caller probe straight from another flat buffer
+    (arena, packed frame) without materializing a boxed tuple.
+    Deletion is deliberately unsupported — Datalog relations only grow
+    during bottom-up evaluation. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
+(** [capacity] is a tuple-count hint for the probe table. *)
 
 val length : t -> int
 
 val add : t -> Tuple.t -> bool
-(** [add s tup] inserts [tup]; [true] iff it was not already present.
-    The array is stored as given (not copied) — callers must not mutate a
-    tuple after insertion. *)
+(** [add s tup] inserts a copy of [tup]; [true] iff it was not already
+    present.  The input is copied into the flat store, so callers may
+    reuse scratch buffers. *)
+
+val add_slice : t -> int array -> int -> int -> bool
+(** [add_slice s data off len] inserts the tuple stored flat at
+    [data.(off .. off+len-1)]; [true] iff fresh. *)
 
 val mem : t -> Tuple.t -> bool
 
+val mem_slice : t -> int array -> int -> int -> bool
+
 val iter : (Tuple.t -> unit) -> t -> unit
+(** Boxed iteration (insertion order) — API edges only; the hot paths
+    use {!iter_slices}. *)
+
+val iter_slices : t -> (int array -> int -> int -> unit) -> unit
+(** [iter_slices s f] calls [f data off len] for each stored tuple in
+    insertion order; the slice is valid only during the call. *)
 
 val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
 

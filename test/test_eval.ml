@@ -8,7 +8,7 @@ module Vec = Dcd_util.Vec
 let make_ctx rels =
   let find name = List.assoc name rels in
   {
-    Eval.base_iter = (fun pred f -> Relation.iter f (find pred));
+    Eval.base_iter = (fun pred f -> Relation.iter_slices (find pred) f);
     base_index =
       (fun pred cols -> Relation.ensure_index (find pred) ~key_cols:cols);
     rec_resolve =
@@ -17,7 +17,7 @@ let make_ctx rels =
   }
 
 let rel name arity rows =
-  let r = Relation.create ~name ~arity in
+  let r = Relation.create ~name ~arity () in
   List.iter (fun row -> ignore (Relation.add r (Array.of_list row))) rows;
   (name, r)
 

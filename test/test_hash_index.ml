@@ -2,20 +2,20 @@ module Hi = Dcd_storage.Hash_index
 module Vec = Dcd_util.Vec
 
 let test_single_column () =
-  let idx = Hi.create ~key_cols:[| 0 |] in
+  let idx = Hi.create ~key_cols:[| 0 |] () in
   Hi.add idx [| 1; 10 |];
   Hi.add idx [| 1; 11 |];
   Hi.add idx [| 2; 20 |];
   Alcotest.(check int) "total" 3 (Hi.length idx);
   Alcotest.(check int) "distinct keys" 2 (Hi.distinct_keys idx);
   let got = ref [] in
-  Hi.iter_matches idx [| 1 |] (fun t -> got := t.(1) :: !got);
+  Hi.iter_matches idx [| 1 |] (fun data off -> got := data.(off + 1) :: !got);
   Alcotest.(check (list int)) "bucket content" [ 10; 11 ] (List.sort compare !got);
   Alcotest.(check int) "count" 2 (Hi.count_matches idx [| 1 |]);
   Alcotest.(check int) "missing key" 0 (Hi.count_matches idx [| 9 |])
 
 let test_multi_column () =
-  let idx = Hi.create ~key_cols:[| 2; 0 |] in
+  let idx = Hi.create ~key_cols:[| 2; 0 |] () in
   Hi.add idx [| 1; 5; 3 |];
   Hi.add idx [| 1; 6; 3 |];
   Hi.add idx [| 2; 5; 3 |];
@@ -30,7 +30,7 @@ let test_of_tuples () =
   Alcotest.(check int) "lookup" 2 (Hi.count_matches idx [| 1 |])
 
 let test_duplicates_kept () =
-  let idx = Hi.create ~key_cols:[| 0 |] in
+  let idx = Hi.create ~key_cols:[| 0 |] () in
   Hi.add idx [| 1; 1 |];
   Hi.add idx [| 1; 1 |];
   Alcotest.(check int) "index keeps duplicates" 2 (Hi.count_matches idx [| 1 |])
@@ -39,10 +39,10 @@ let prop_matches_filter =
   QCheck.Test.make ~name:"iter_matches = linear filter" ~count:100
     QCheck.(pair (list (pair (int_range 0 10) (int_range 0 10))) (int_range 0 10))
     (fun (rows, probe) ->
-      let idx = Hi.create ~key_cols:[| 0 |] in
+      let idx = Hi.create ~key_cols:[| 0 |] () in
       List.iter (fun (a, b) -> Hi.add idx [| a; b |]) rows;
       let got = ref 0 in
-      Hi.iter_matches idx [| probe |] (fun _ -> incr got);
+      Hi.iter_matches idx [| probe |] (fun _ _ -> incr got);
       !got = List.length (List.filter (fun (a, _) -> a = probe) rows))
 
 let () =

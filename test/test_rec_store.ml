@@ -5,7 +5,8 @@ let tuple_list = Alcotest.(list (list int))
 
 let matches store key =
   let out = ref [] in
-  Rs.iter_matches store ~key (fun t -> out := Array.to_list t :: !out);
+  Rs.iter_matches store ~key (fun data off ->
+      out := Array.to_list (Array.sub data off (Array.length data - off)) :: !out);
   List.sort compare !out
 
 let all_opts = [ ("optimized", Rs.default_opts); ("unoptimized", Rs.unoptimized_opts) ]

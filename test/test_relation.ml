@@ -2,7 +2,7 @@ module R = Dcd_storage.Relation
 module Hi = Dcd_storage.Hash_index
 
 let test_add_dedup_arity () =
-  let r = R.create ~name:"edge" ~arity:2 in
+  let r = R.create ~name:"edge" ~arity:2 () in
   Alcotest.(check string) "name" "edge" (R.name r);
   Alcotest.(check int) "arity" 2 (R.arity r);
   Alcotest.(check bool) "fresh" true (R.add r [| 1; 2 |]);
@@ -13,7 +13,7 @@ let test_add_dedup_arity () =
       ignore (R.add r [| 1; 2; 3 |]))
 
 let test_index_maintained_incrementally () =
-  let r = R.create ~name:"e" ~arity:2 in
+  let r = R.create ~name:"e" ~arity:2 () in
   ignore (R.add r [| 1; 10 |]);
   let idx = R.ensure_index r ~key_cols:[| 0 |] in
   Alcotest.(check int) "index covers existing" 1 (Hi.count_matches idx [| 1 |]);
@@ -23,7 +23,7 @@ let test_index_maintained_incrementally () =
   Alcotest.(check int) "duplicates not double-indexed" 2 (Hi.count_matches idx [| 1 |])
 
 let test_ensure_index_idempotent () =
-  let r = R.create ~name:"e" ~arity:2 in
+  let r = R.create ~name:"e" ~arity:2 () in
   let a = R.ensure_index r ~key_cols:[| 1 |] in
   let b = R.ensure_index r ~key_cols:[| 1 |] in
   Alcotest.(check bool) "same physical index" true (a == b);
@@ -36,7 +36,7 @@ let test_ensure_index_idempotent () =
   Alcotest.(check bool) "find missing" true (R.find_index r ~key_cols:[| 0; 1 |] = None)
 
 let test_iter_to_vec () =
-  let r = R.create ~name:"x" ~arity:1 in
+  let r = R.create ~name:"x" ~arity:1 () in
   List.iter (fun i -> ignore (R.add r [| i |])) [ 3; 1; 2 ];
   let sum = ref 0 in
   R.iter (fun t -> sum := !sum + t.(0)) r;

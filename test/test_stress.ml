@@ -169,6 +169,59 @@ let test_batch_counters () =
      sent counter *)
   Alcotest.(check bool) "sent counter stays tuple-denominated" true (sent >= batches)
 
+(* --- flat arena engine vs the boxed naive interpreter --- *)
+
+(* The arena/frame storage layer must be an invisible representation
+   change: on each tracked recursion class (set-semantics TC, min-CC,
+   min-SSSP) the packed engine and the boxed AST interpreter agree
+   tuple-for-tuple, across worker counts and batch framings. *)
+let test_arena_vs_boxed_oracle () =
+  let vertices = 60 in
+  let st = ref 987654321 in
+  let rand k =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    !st mod k
+  in
+  let arc = List.init 180 (fun _ -> (rand vertices, rand vertices)) in
+  let arc2 = List.map (fun (a, b) -> [ a; b ]) arc in
+  let sym = List.concat_map (fun (a, b) -> [ [ a; b ]; [ b; a ] ]) arc in
+  let warc = List.map (fun (a, b) -> [ a; b; 1 + rand 9 ]) arc in
+  let oracle ?params src edb out =
+    let rows =
+      D.Naive.run ?params (D.Parser.parse_program src)
+        ~edb:(List.map (fun (n, r) -> (n, List.map Array.of_list r)) edb)
+    in
+    match List.assoc_opt out rows with
+    | Some l -> List.sort compare (List.map Array.to_list l)
+    | None -> []
+  in
+  let cases =
+    [
+      ("tc", D.Queries.tc.source, None, [ ("arc", arc2) ], "tc");
+      ("cc", D.Queries.cc.source, None, [ ("arc", sym) ], "cc");
+      ("sssp", D.Queries.sssp.source, Some [ ("start", 0) ], [ ("warc", warc) ], "results");
+    ]
+  in
+  List.iter
+    (fun (name, src, params, edb, out) ->
+      let want = oracle ?params src edb out in
+      Alcotest.(check bool) (name ^ ": oracle nonempty") true (want <> []);
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun batch_tuples ->
+              let config =
+                { D.default_config with workers; batch_tuples; strategy = D.Coord.dws }
+              in
+              let r = run ~config ?params src edb in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s = oracle at workers=%d batch=%d" name workers batch_tuples)
+                true
+                (D.relation r out = want))
+            [ 1; 4096 ])
+        [ 1; 4 ])
+    cases
+
 (* the parser/analyzer must reject or accept random garbage without ever
    raising anything but its own error types *)
 let prop_frontend_total =
@@ -210,6 +263,7 @@ let () =
         [
           Alcotest.test_case "batch framing invariance" `Slow test_batch_framing_invariance;
           Alcotest.test_case "batch counters" `Quick test_batch_counters;
+          Alcotest.test_case "arena engine = boxed oracle" `Quick test_arena_vs_boxed_oracle;
         ] );
       ( "fuzz",
         [

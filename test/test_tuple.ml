@@ -18,6 +18,55 @@ let test_hash_spread () =
   done;
   Alcotest.(check bool) "good spread over 4096 buckets" true (Hashtbl.length seen > 700)
 
+let test_hash_high_bits () =
+  (* regression for the dead upper-half fold: small interned ids must
+     reach the high hash bits too, or every power-of-two directory that
+     consumes them via high bits degenerates to a few buckets *)
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 999 do
+    Hashtbl.replace seen ((Tuple.hash [| i |] lsr 48) land 4095) ()
+  done;
+  Alcotest.(check bool) "good spread in bits 48..59" true (Hashtbl.length seen > 700)
+
+let test_hash_avalanche () =
+  (* flipping one input bit should flip roughly half the hash bits *)
+  let popcount x =
+    let c = ref 0 in
+    for b = 0 to 62 do
+      if (x lsr b) land 1 = 1 then incr c
+    done;
+    !c
+  in
+  let samples = ref 0 and flipped = ref 0 in
+  for i = 0 to 199 do
+    let base = [| (i * 2654435761) land 0xFFFFF; i |] in
+    let h0 = Tuple.hash base in
+    for bit = 0 to 19 do
+      let t = Array.copy base in
+      t.(i mod 2) <- t.(i mod 2) lxor (1 lsl bit);
+      incr samples;
+      flipped := !flipped + popcount (h0 lxor Tuple.hash t)
+    done
+  done;
+  let mean = float_of_int !flipped /. float_of_int !samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean flipped bits %.1f in [22, 41]" mean)
+    true
+    (mean > 22. && mean < 41.)
+
+let test_hash_collision_rate () =
+  (* distinct small tuples should essentially never collide on the full
+     63-bit hash *)
+  let seen = Hashtbl.create 4096 in
+  let collisions = ref 0 in
+  for a = 0 to 99 do
+    for b = 0 to 99 do
+      let h = Tuple.hash [| a; b |] in
+      if Hashtbl.mem seen h then incr collisions else Hashtbl.add seen h ()
+    done
+  done;
+  Alcotest.(check bool) "at most 1 collision in 10k" true (!collisions <= 1)
+
 let test_project () =
   Alcotest.(check (array int)) "projection order" [| 30; 10 |]
     (Tuple.project [| 10; 20; 30 |] [| 2; 0 |]);
@@ -43,6 +92,9 @@ let () =
           Alcotest.test_case "equal" `Quick test_equal;
           Alcotest.test_case "hash consistent" `Quick test_hash_consistent;
           Alcotest.test_case "hash spread" `Quick test_hash_spread;
+          Alcotest.test_case "hash high bits" `Quick test_hash_high_bits;
+          Alcotest.test_case "hash avalanche" `Quick test_hash_avalanche;
+          Alcotest.test_case "hash collision rate" `Quick test_hash_collision_rate;
           Alcotest.test_case "project" `Quick test_project;
           Alcotest.test_case "compare" `Quick test_compare_matches_btree;
           Alcotest.test_case "to_string" `Quick test_to_string;
