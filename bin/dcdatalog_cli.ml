@@ -5,10 +5,32 @@
      dcdatalog explain --query apsp
      dcdatalog run --query sssp --dataset livejournal-sim --strategy dws --workers 4
      dcdatalog run --query cc --rmat 2000 --strategy global
-     dcdatalog run --program my.dl --rmat 500 --show 10 *)
+     dcdatalog run --program my.dl --rmat 500 --show 10
+
+   Exit codes:
+     0  success
+     1  input error (unknown dataset/query, unreadable file, bad flags)
+     2  program error (parse failure, unknown predicate, arity mismatch)
+     3  cancelled (--timeout expired or external cancellation)
+     4  a worker crashed (the message names the faulting worker)
+     5  stalled (the watchdog saw no progress for --stall-window) *)
 
 module D = Dcdatalog
 open Cmdliner
+
+let exit_input_error = 1
+let exit_program_error = 2
+let exit_cancelled = 3
+let exit_crashed = 4
+let exit_stalled = 5
+
+let input_error msg =
+  prerr_endline ("error: " ^ msg);
+  exit_input_error
+
+let program_error msg =
+  prerr_endline ("error: " ^ String.concat " " (String.split_on_char '\n' msg));
+  exit_program_error
 
 let strategy_conv =
   let parse s =
@@ -91,6 +113,27 @@ let show_arg =
 
 let stats_arg = Arg.(value & flag & info [ "stats" ] ~doc:"Print per-worker execution statistics.")
 
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+         ~doc:"Abort the evaluation cleanly after SECS seconds of wall clock (exit code 3).")
+
+let stall_window_arg =
+  Arg.(value & opt (some float) None & info [ "stall-window" ] ~docv:"SECS"
+         ~doc:"Arm the stall watchdog: if no worker makes progress for SECS seconds, dump a \
+               state snapshot and abort (exit code 5).")
+
+let fault_seed_arg =
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Enable deterministic fault injection with this seed (testing/diagnostics).")
+
+let fault_crash_arg =
+  Arg.(value & opt float 0. & info [ "fault-crash" ] ~docv:"P"
+         ~doc:"With --fault-seed: per-site probability of an induced worker crash.")
+
+let fault_delay_arg =
+  Arg.(value & opt float 0. & info [ "fault-delay" ] ~docv:"P"
+         ~doc:"With --fault-seed: per-site probability of an extra sub-millisecond delay.")
+
 (* --- input assembly --- *)
 
 let load_graph dataset rmat edges_file =
@@ -138,15 +181,13 @@ let resolve_source query program =
 
 (* --- commands --- *)
 
-let run_cmd query program dataset rmat edges_file edb_files workers strategy unopt params show stats =
-  if workers < 1 then begin
-    prerr_endline "error: --workers must be at least 1";
-    exit 1
-  end;
+let run_cmd query program dataset rmat edges_file edb_files workers strategy unopt params show
+    stats timeout stall_window fault_seed fault_crash fault_delay =
+  Printexc.record_backtrace true;
+  if workers < 1 then input_error "--workers must be at least 1"
+  else
   match (resolve_source query program, load_graph dataset rmat edges_file) with
-  | Error e, _ | _, Error e ->
-    prerr_endline ("error: " ^ e);
-    1
+  | Error e, _ | _, Error e -> input_error e
   | Ok (source, default_params, spec), Ok graph -> (
     (* precedence (assoc lookups take the first match): explicit --param,
        then values computed from the input, then the query's defaults *)
@@ -157,69 +198,86 @@ let run_cmd query program dataset rmat edges_file edb_files workers strategy uno
     in
     let params = params @ computed @ default_params in
     match D.prepare ~params source with
-    | Error e ->
-      prerr_endline ("error: " ^ e);
-      1
+    | Error e -> program_error e
     | Ok prepared -> (
         let edb =
           match spec with
           | Some spec -> edb_for_query spec graph
           | None -> D.Queries.arc_edb graph @ D.Queries.warc_edb graph
         in
-        let edb =
+        match
           List.fold_left
             (fun edb (rel, path) ->
-              match D.Loader.tuples_of_file path with
-              | tuples -> (rel, tuples) :: edb
-              | exception (Sys_error msg | Failure msg) ->
-                prerr_endline ("error: " ^ msg);
-                exit 1)
-            edb edb_files
-        in
-        let config =
-          {
-            D.default_config with
-            workers;
-            strategy;
-            max_iterations = (match spec with Some s -> s.max_iterations | None -> 0);
-            store_opts =
-              (if unopt then D.Rec_store.unoptimized_opts else D.Rec_store.default_opts);
-          }
-        in
-        let result, elapsed = Dcd_util.Clock.time (fun () -> D.run prepared ~edb ~config ()) in
-        let output = match spec with Some s -> s.output | None -> "" in
-        let outputs =
-          if output <> "" then [ output ]
-          else prepared.info.idb
-        in
-        List.iter
-          (fun out ->
-            Printf.printf "%s: %d tuples\n" out (D.relation_count result out);
-            if show > 0 then
-              List.iteri
-                (fun i row ->
-                  if i < show then
-                    print_endline ("  " ^ String.concat ", " (List.map string_of_int row)))
-                (D.relation result out))
-          outputs;
-        Printf.printf "elapsed: %.3fs (%s, %d workers)\n" elapsed (D.Coord.to_string strategy)
-          workers;
-        if stats then Format.printf "%a" D.Run_stats.pp result.stats;
-        0))
+              match edb with
+              | Error _ -> edb
+              | Ok acc -> (
+                match D.Loader.tuples_of_file path with
+                | tuples -> Ok ((rel, tuples) :: acc)
+                | exception (Sys_error msg | Failure msg) -> Error msg))
+            (Ok edb) edb_files
+        with
+        | Error msg -> input_error msg
+        | Ok edb -> (
+          let config =
+            {
+              D.default_config with
+              workers;
+              strategy;
+              max_iterations = (match spec with Some s -> s.max_iterations | None -> 0);
+              store_opts =
+                (if unopt then D.Rec_store.unoptimized_opts else D.Rec_store.default_opts);
+              coord = { D.Coord.default_config with timeout; stall_window };
+              fault =
+                Option.map
+                  (fun seed ->
+                    { D.Fault.off with seed; crash_prob = fault_crash; delay_prob = fault_delay })
+                  fault_seed;
+            }
+          in
+          let outcome, elapsed =
+            Dcd_util.Clock.time (fun () -> D.try_run prepared ~edb ~config ())
+          in
+          match outcome with
+          | Error (D.Engine_error.Cancelled _ as e) ->
+            prerr_endline ("error: " ^ D.Engine_error.to_string e);
+            exit_cancelled
+          | Error (D.Engine_error.Worker_crashed _ as e) ->
+            prerr_endline ("error: " ^ D.Engine_error.to_string e);
+            exit_crashed
+          | Error (D.Engine_error.Stalled diag as e) ->
+            prerr_endline ("error: " ^ D.Engine_error.to_string e);
+            Format.eprintf "%a@?" D.Engine_error.pp_diagnostic diag;
+            exit_stalled
+          | Ok result ->
+            let output = match spec with Some s -> s.output | None -> "" in
+            let outputs =
+              if output <> "" then [ output ]
+              else prepared.info.idb
+            in
+            List.iter
+              (fun out ->
+                Printf.printf "%s: %d tuples\n" out (D.relation_count result out);
+                if show > 0 then
+                  List.iteri
+                    (fun i row ->
+                      if i < show then
+                        print_endline ("  " ^ String.concat ", " (List.map string_of_int row)))
+                    (D.relation result out))
+              outputs;
+            Printf.printf "elapsed: %.3fs (%s, %d workers)\n" elapsed
+              (D.Coord.to_string strategy) workers;
+            if stats then Format.printf "%a" D.Run_stats.pp result.stats;
+            0)))
 
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit the plan as a Graphviz digraph instead of text.")
 
 let explain_cmd query program params dot =
   match resolve_source query program with
-  | Error e ->
-    prerr_endline ("error: " ^ e);
-    1
+  | Error e -> input_error e
   | Ok (source, default_params, _) -> (
     match D.prepare ~params:(default_params @ params) source with
-    | Error e ->
-      prerr_endline ("error: " ^ e);
-      1
+    | Error e -> program_error e
     | Ok prepared ->
       if dot then print_string (D.Physical.to_dot prepared.plan)
       else begin
@@ -247,7 +305,8 @@ let list_cmd () =
 let run_term =
   Term.(
     const run_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
-    $ workers_arg $ strategy_arg $ unopt_arg $ params_arg $ show_arg $ stats_arg)
+    $ workers_arg $ strategy_arg $ unopt_arg $ params_arg $ show_arg $ stats_arg $ timeout_arg
+    $ stall_window_arg $ fault_seed_arg $ fault_crash_arg $ fault_delay_arg)
 
 let explain_term = Term.(const explain_cmd $ query_arg $ program_arg $ params_arg $ dot_arg)
 

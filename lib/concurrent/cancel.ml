@@ -1,0 +1,51 @@
+module Clock = Dcd_util.Clock
+
+type reason =
+  | User
+  | Deadline
+  | Stall
+  | Peer_crash
+
+type t = {
+  flag : bool Atomic.t;
+  why : reason option Atomic.t;
+  mutable deadline : float; (* absolute Clock.now seconds; infinity = none *)
+}
+
+let create ?deadline () =
+  {
+    flag = Atomic.make false;
+    why = Atomic.make None;
+    deadline = (match deadline with Some d -> d | None -> infinity);
+  }
+
+let cancel t reason =
+  (* first caller wins; the recorded reason never changes afterwards *)
+  if Atomic.compare_and_set t.flag false true then begin
+    Atomic.set t.why (Some reason);
+    true
+  end
+  else false
+
+let is_set t = Atomic.get t.flag
+
+let reason t = Atomic.get t.why
+
+let arm_deadline t ~at = if at < t.deadline then t.deadline <- at
+
+let deadline t = if t.deadline = infinity then None else Some t.deadline
+
+let check t =
+  Atomic.get t.flag
+  ||
+  (t.deadline < infinity
+  && Clock.now () >= t.deadline
+  &&
+  (ignore (cancel t Deadline);
+   true))
+
+let reason_to_string = function
+  | User -> "user"
+  | Deadline -> "deadline"
+  | Stall -> "stall"
+  | Peer_crash -> "peer-crash"

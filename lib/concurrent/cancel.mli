@@ -1,0 +1,42 @@
+(** Cooperative cancellation token with an optional wall-clock deadline.
+
+    One writer side ([cancel], first caller wins) and any number of
+    polling readers.  The engine's strategy loops poll [check] once per
+    local iteration: a set token makes every worker abandon the fixpoint
+    at its next poll, so cancellation needs no signal delivery beyond a
+    single atomic flag.  Deadlines are folded into the same token — a
+    poll past the deadline self-cancels with reason [Deadline], so a
+    timeout behaves exactly like an external cancel. *)
+
+type reason =
+  | User  (** external [cancel] by the caller *)
+  | Deadline  (** the armed wall-clock deadline passed *)
+  | Stall  (** the watchdog observed no progress for its window *)
+  | Peer_crash  (** a worker died; peers are being torn down *)
+
+type t
+
+val create : ?deadline:float -> unit -> t
+(** [deadline] is absolute, in {!Dcd_util.Clock.now} seconds. *)
+
+val cancel : t -> reason -> bool
+(** Sets the token.  Returns [true] for the first caller (whose reason
+    sticks), [false] if it was already set. *)
+
+val is_set : t -> bool
+(** One atomic load; safe on the hot path. *)
+
+val reason : t -> reason option
+
+val arm_deadline : t -> at:float -> unit
+(** Tightens the deadline to [at] if earlier than the current one.
+    Call before the workers start polling. *)
+
+val deadline : t -> float option
+
+val check : t -> bool
+(** [is_set], additionally self-cancelling with [Deadline] when the
+    armed deadline has passed.  Reads the clock only when a deadline is
+    armed. *)
+
+val reason_to_string : reason -> string

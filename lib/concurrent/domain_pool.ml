@@ -1,20 +1,43 @@
-let run ~workers body =
-  if workers < 1 then invalid_arg "Domain_pool.run";
+type failure = {
+  index : int;
+  error : exn;
+  backtrace : string;
+}
+
+let run_collect ~workers body =
+  if workers < 1 then invalid_arg "Domain_pool.run_collect";
   let results : 'a option array = Array.make workers None in
-  let errors : exn option array = Array.make workers None in
+  let errors : (exn * Printexc.raw_backtrace) option array = Array.make workers None in
   let wrap i () =
     match body i with
     | x -> results.(i) <- Some x
-    | exception e -> errors.(i) <- Some e
+    | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
   in
   let domains = Array.init (workers - 1) (fun k -> Domain.spawn (wrap (k + 1))) in
   wrap 0 ();
   Array.iter Domain.join domains;
-  Array.iteri (fun _ e -> match e with Some exn -> raise exn | None -> ()) errors;
-  Array.map
-    (function
-      | Some x -> x
-      | None -> assert false)
-    results
+  let failures = ref [] in
+  for i = workers - 1 downto 0 do
+    match errors.(i) with
+    | Some (error, bt) ->
+      failures :=
+        { index = i; error; backtrace = Printexc.raw_backtrace_to_string bt } :: !failures
+    | None -> ()
+  done;
+  match !failures with
+  | [] ->
+    Ok
+      (Array.map
+         (function
+           | Some x -> x
+           | None -> assert false)
+         results)
+  | fs -> Error fs
+
+let run ~workers body =
+  match run_collect ~workers body with
+  | Ok results -> results
+  | Error ({ error; _ } :: _) -> raise error
+  | Error [] -> assert false
 
 let recommended_workers () = max 1 (Domain.recommended_domain_count ())

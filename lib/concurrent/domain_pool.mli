@@ -1,11 +1,23 @@
 (** Fork–join execution of worker bodies on OCaml 5 domains. *)
 
-val run : workers:int -> (int -> 'a) -> 'a array
-(** [run ~workers body] executes [body i] for each worker index
+type failure = {
+  index : int;  (** worker whose body raised *)
+  error : exn;
+  backtrace : string;  (** from the raise site; empty unless
+                           [Printexc.record_backtrace] is on *)
+}
+
+val run_collect : workers:int -> (int -> 'a) -> ('a array, failure list) result
+(** [run_collect ~workers body] executes [body i] for each worker index
     [0 .. workers-1], worker 0 on the calling domain and the rest on
-    fresh domains, and returns the results indexed by worker.  If any
-    body raises, the first exception (by worker index) is re-raised
-    after all domains have been joined. *)
+    fresh domains, joining them all before returning.  If any body
+    raised, returns [Error failures] with {e every} worker's exception
+    (ordered by worker index) — so a caller can tell the true origin of
+    a cascade from peers that merely died of its poisoning. *)
+
+val run : workers:int -> (int -> 'a) -> 'a array
+(** Like {!run_collect} but returns the results directly, re-raising the
+    first failure (by worker index) if any body raised. *)
 
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)

@@ -1,0 +1,131 @@
+module Rng = Dcd_util.Rng
+
+type site =
+  | Loop
+  | Flush
+  | Merge
+  | Quiesce
+
+let site_to_string = function
+  | Loop -> "loop"
+  | Flush -> "flush"
+  | Merge -> "merge"
+  | Quiesce -> "quiesce"
+
+type spec = {
+  seed : int;
+  crash_prob : float;
+  crash_sites : site list;
+  crash_workers : int list;
+  max_crashes : int;
+  delay_prob : float;
+  delay_max : float;
+  stall_worker : int option;
+  stall_after : int;
+}
+
+let off =
+  {
+    seed = 0;
+    crash_prob = 0.;
+    crash_sites = [ Loop; Flush; Merge; Quiesce ];
+    crash_workers = [];
+    max_crashes = 1;
+    delay_prob = 0.;
+    delay_max = 0.0005;
+    stall_worker = None;
+    stall_after = 0;
+  }
+
+exception Injected of {
+  worker : int;
+  site : site;
+  ordinal : int;
+}
+
+let () =
+  Printexc.register_printer (function
+    | Injected { worker; site; ordinal } ->
+      Some
+        (Printf.sprintf "Fault.Injected(worker %d, site %s, hit %d)" worker
+           (site_to_string site) ordinal)
+    | _ -> None)
+
+(* Per-worker streams: a worker's decision sequence depends only on the
+   seed and on its own hit history, never on how the domains happen to
+   interleave.  Which worker wins a shared crash budget still depends on
+   the schedule; the per-worker schedules do not. *)
+type lane = {
+  rng : Rng.t;
+  mutable hits : int;
+  mutable loop_hits : int;
+}
+
+type t = {
+  spec : spec;
+  lanes : lane array;
+  crashes_left : int Atomic.t;
+  injected : int Atomic.t;
+  mutable stop : unit -> bool;
+}
+
+let create ~workers spec =
+  if workers < 1 then invalid_arg "Fault.create";
+  {
+    spec;
+    lanes =
+      Array.init workers (fun w ->
+          {
+            rng = Rng.create (spec.seed lxor ((w + 1) * 0x9E3779B9));
+            hits = 0;
+            loop_hits = 0;
+          });
+    crashes_left = Atomic.make (max 0 spec.max_crashes);
+    injected = Atomic.make 0;
+    stop = (fun () -> false);
+  }
+
+let set_stop t f = t.stop <- f
+
+let injected_crashes t = Atomic.get t.injected
+
+let rec take_crash_budget t =
+  let left = Atomic.get t.crashes_left in
+  left > 0
+  && (Atomic.compare_and_set t.crashes_left left (left - 1) || take_crash_budget t)
+
+(* The stall is a cooperative hang, not a sleep of fixed length: it holds
+   the worker exactly until cancellation is signalled (via [set_stop]),
+   which is what lets the watchdog acceptance test assert that a stalled
+   run is detected and torn down rather than timed out. *)
+let stall t =
+  while not (t.stop ()) do
+    Unix.sleepf 0.001
+  done
+
+let hit t site ~worker =
+  let spec = t.spec in
+  let lane = t.lanes.(worker) in
+  lane.hits <- lane.hits + 1;
+  if site = Loop then begin
+    lane.loop_hits <- lane.loop_hits + 1;
+    match spec.stall_worker with
+    | Some w when w = worker && lane.loop_hits = spec.stall_after -> stall t
+    | _ -> ()
+  end;
+  let eligible_crash =
+    spec.crash_prob > 0.
+    && List.mem site spec.crash_sites
+    && (spec.crash_workers = [] || List.mem worker spec.crash_workers)
+  in
+  (* One roll per hit regardless of eligibility keeps a worker's stream
+     aligned across configs that only move the crash filter. *)
+  let roll = Rng.float lane.rng 1.0 in
+  if eligible_crash && roll < spec.crash_prob && take_crash_budget t then begin
+    Atomic.incr t.injected;
+    raise (Injected { worker; site; ordinal = lane.hits })
+  end;
+  if spec.delay_prob > 0. then begin
+    let droll = Rng.float lane.rng 1.0 in
+    if droll < spec.delay_prob then Unix.sleepf (Rng.float lane.rng spec.delay_max)
+  end

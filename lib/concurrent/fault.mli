@@ -1,0 +1,69 @@
+(** Deterministic, seeded fault injection for the parallel runtime.
+
+    The engine threads a [t] (when configured; [None] costs nothing)
+    through its worker loops and calls {!hit} at four kinds of sites:
+
+    - [Loop]: top of a strategy-loop pass,
+    - [Flush]: before a worker flushes its outgoing delta frames,
+    - [Merge]: before an incoming batch is merged,
+    - [Quiesce]: before a global-quiescence probe.
+
+    Each hit may (a) raise {!Injected} — an induced worker crash,
+    exercising the poison/failed-flag containment path, (b) sleep a
+    random sub-millisecond delay — widening race windows in the
+    termination protocol, or (c) for one designated worker at one
+    designated loop pass, {e stall}: hold the worker until cancellation
+    is signalled, provoking exactly the no-progress livelock a
+    quiescence bug would cause, so the watchdog can be tested against a
+    reproducible hang.
+
+    Decisions are drawn from per-worker RNG streams derived from the
+    seed, so a worker's fault schedule depends only on the seed and its
+    own hit ordinal — not on domain interleaving. *)
+
+type site =
+  | Loop
+  | Flush
+  | Merge
+  | Quiesce
+
+val site_to_string : site -> string
+
+type spec = {
+  seed : int;
+  crash_prob : float;  (** per-hit crash probability at eligible sites *)
+  crash_sites : site list;  (** sites where crashes may fire *)
+  crash_workers : int list;  (** workers that may crash; [[]] = any *)
+  max_crashes : int;  (** global budget of induced crashes *)
+  delay_prob : float;  (** per-hit probability of an extra delay *)
+  delay_max : float;  (** delay upper bound, seconds *)
+  stall_worker : int option;  (** worker to stall, if any *)
+  stall_after : int;  (** stall at this (1-based) loop hit *)
+}
+
+val off : spec
+(** All probabilities zero, no stall: a convenient base for [{ off with ... }]. *)
+
+exception Injected of {
+  worker : int;
+  site : site;
+  ordinal : int;
+}
+(** The induced crash.  Registered with a [Printexc] printer. *)
+
+type t
+
+val create : workers:int -> spec -> t
+
+val set_stop : t -> (unit -> bool) -> unit
+(** Wires the stall loop to the runtime's cancellation token: a stalled
+    worker is released (and returns from {!hit} normally) once the
+    predicate turns true. *)
+
+val hit : t -> site -> worker:int -> unit
+(** Evaluate one injection point.  May raise {!Injected}, sleep, or
+    stall; otherwise a few nanoseconds. Only worker [worker] may pass
+    its own index. *)
+
+val injected_crashes : t -> int
+(** Crashes injected so far (shared across workers). *)

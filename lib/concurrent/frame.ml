@@ -32,6 +32,8 @@ let has_contrib t = t.contrib
 
 let count t = t.count
 
+let words t = t.used
+
 let is_empty t = t.count = 0
 
 let clear t =

@@ -28,6 +28,11 @@ val has_contrib : t -> bool
 val count : t -> int
 (** Number of records. *)
 
+val words : t -> int
+(** Payload size in ints (fields plus contributor prefixes) — the
+    exchange-traffic denomination used by the per-worker [words_sent]
+    statistic. *)
+
 val is_empty : t -> bool
 
 val push : t -> int array -> int array -> unit

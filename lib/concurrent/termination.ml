@@ -30,6 +30,10 @@ let set_active t ~worker flag =
 
 let is_active t ~worker = Atomic.get t.active.(worker)
 
+let active_count t = Atomic.get t.active_count
+
+let consumed_of t ~worker = Atomic.get t.consumed_by.(worker)
+
 let total_sent t = Atomic.get t.sent_total
 
 let total_consumed t =

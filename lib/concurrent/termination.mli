@@ -41,6 +41,13 @@ val set_active : t -> worker:int -> bool -> unit
 
 val is_active : t -> worker:int -> bool
 
+val active_count : t -> int
+(** Number of workers currently flagged active (racy snapshot; used by
+    the watchdog's stall diagnostics, not by the quiescence proof). *)
+
+val consumed_of : t -> worker:int -> int
+(** Tuples drained by one worker so far (racy snapshot; any caller). *)
+
 val quiescent : t -> bool
 (** True iff a consistent snapshot shows all workers inactive and all
     buffers drained — the global fixpoint. *)

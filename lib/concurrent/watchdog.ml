@@ -1,0 +1,35 @@
+module Clock = Dcd_util.Clock
+
+type t = {
+  stop_flag : bool Atomic.t;
+  domain : unit Domain.t;
+}
+
+let spawn ?(window = infinity) ~poll ~progress ~on_stall ~on_tick () =
+  if poll <= 0. then invalid_arg "Watchdog.spawn: poll must be positive";
+  let stop_flag = Atomic.make false in
+  let body () =
+    let last_progress = ref (progress ()) in
+    let last_change = ref (Clock.now ()) in
+    let fired = ref false in
+    while not (Atomic.get stop_flag) do
+      Unix.sleepf poll;
+      if not (Atomic.get stop_flag) then begin
+        on_tick ();
+        let p = progress () in
+        if p <> !last_progress then begin
+          last_progress := p;
+          last_change := Clock.now ()
+        end
+        else if (not !fired) && Clock.now () -. !last_change >= window then begin
+          fired := true;
+          on_stall ()
+        end
+      end
+    done
+  in
+  { stop_flag; domain = Domain.spawn body }
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Domain.join t.domain

@@ -1,0 +1,34 @@
+(** Stall watchdog: a guardian domain that samples a monotone progress
+    counter and fires when it stops moving.
+
+    The parallel engine's barrier-free termination protocol fails by
+    {e hanging}, not by crashing; the watchdog converts such a hang into
+    a diagnosable error.  It runs on its own domain, off every hot path:
+    workers publish heartbeats through counters they already maintain,
+    and the watchdog reads them at a coarse [poll] interval.
+
+    [on_tick] runs every sample (used by the engine to poll the
+    cancellation token and deadline even while progress is being made);
+    [on_stall] runs at most once, when [progress] has not changed for
+    [window] seconds.  With [window = infinity] (the default) the
+    watchdog is a pure deadline/cancellation guardian.
+
+    The [progress] / [on_*] callbacks execute on the watchdog's domain:
+    they must only touch data that is safe to read concurrently
+    (atomics, plain int counters read racily for a heartbeat). *)
+
+type t
+
+val spawn :
+  ?window:float ->
+  poll:float ->
+  progress:(unit -> int) ->
+  on_stall:(unit -> unit) ->
+  on_tick:(unit -> unit) ->
+  unit ->
+  t
+(** @raise Invalid_argument if [poll <= 0]. *)
+
+val stop : t -> unit
+(** Signals the guardian and joins its domain.  Idempotent effect-wise;
+    must be called exactly once to release the domain. *)

@@ -6,6 +6,9 @@ module Logical = Dcd_planner.Logical
 module Physical = Dcd_planner.Physical
 module Coord = Dcd_engine.Coord
 module Parallel = Dcd_engine.Parallel
+module Engine_error = Dcd_engine.Engine_error
+module Cancel = Dcd_concurrent.Cancel
+module Fault = Dcd_concurrent.Fault
 module Naive = Dcd_engine.Naive
 module Run_stats = Dcd_engine.Run_stats
 module Catalog = Dcd_engine.Catalog
@@ -32,6 +35,8 @@ type config = Parallel.config = {
   max_iterations : int;
   exchange : Parallel.exchange;
   batch_tuples : int;
+  coord : Coord.config;
+  fault : Fault.spec option;
 }
 
 let default_config = Parallel.default_config
@@ -50,6 +55,11 @@ let prepare ?(params = []) source =
 
 let run prepared ~edb ?(config = default_config) () =
   Parallel.run prepared.plan ~edb ~config
+
+let try_run prepared ~edb ?(config = default_config) () =
+  match Parallel.run prepared.plan ~edb ~config with
+  | result -> Ok result
+  | exception Engine_error.Error e -> Error e
 
 let query ?params ?config source ~edb =
   match prepare ?params source with

@@ -36,6 +36,9 @@ module Logical = Dcd_planner.Logical
 module Physical = Dcd_planner.Physical
 module Coord = Dcd_engine.Coord
 module Parallel = Dcd_engine.Parallel
+module Engine_error = Dcd_engine.Engine_error
+module Cancel = Dcd_concurrent.Cancel
+module Fault = Dcd_concurrent.Fault
 module Naive = Dcd_engine.Naive
 module Run_stats = Dcd_engine.Run_stats
 module Catalog = Dcd_engine.Catalog
@@ -62,6 +65,8 @@ type config = Parallel.config = {
   max_iterations : int;
   exchange : Parallel.exchange;
   batch_tuples : int;
+  coord : Coord.config;
+  fault : Fault.spec option;
 }
 
 val default_config : config
@@ -78,7 +83,20 @@ val run :
   unit ->
   Parallel.result
 (** Evaluates to the global fixpoint and returns the materialized
-    relations plus execution statistics. *)
+    relations plus execution statistics.
+    @raise Engine_error.Error on cancellation, worker crash, or a
+    watchdog-detected stall (see {!Engine_error.t}); use {!try_run} for
+    the exception-free variant. *)
+
+val try_run :
+  prepared ->
+  edb:(string * Tuple.t Vec.t) list ->
+  ?config:config ->
+  unit ->
+  (Parallel.result, Engine_error.t) result
+(** Like {!run}, but returns runtime failures — [Cancelled],
+    [Worker_crashed], [Stalled] — as a structured [Error] instead of
+    raising. *)
 
 val query :
   ?params:(string * int) list ->

@@ -13,6 +13,15 @@ type t =
 
 let dws = Dws default_dws
 
+type config = {
+  timeout : float option;
+  cancel : Dcd_concurrent.Cancel.t option;
+  stall_window : float option;
+  stall_poll : float;
+}
+
+let default_config = { timeout = None; cancel = None; stall_window = None; stall_poll = 0.02 }
+
 let to_string = function
   | Global -> "global"
   | Ssp s -> Printf.sprintf "ssp(%d)" s

@@ -28,4 +28,28 @@ type t =
 val dws : t
 (** [Dws default_dws]. *)
 
+(** Run-guard configuration: cooperative cancellation and the stall
+    watchdog.  The strategy loops poll the (internal or caller-supplied)
+    {!Dcd_concurrent.Cancel} token once per local iteration, so any of
+    these knobs aborts the fixpoint cleanly — barrier poisoned, queues
+    abandoned, a structured {!Engine_error.t} raised — rather than
+    leaving domains running. *)
+type config = {
+  timeout : float option;
+      (** wall-clock budget for the whole run, seconds; on expiry the
+          run raises [Cancelled Deadline] *)
+  cancel : Dcd_concurrent.Cancel.t option;
+      (** caller-owned token; cancel it from any thread to abort *)
+  stall_window : float option;
+      (** arm the watchdog: if no worker makes progress (heartbeats,
+          tuples exchanged, iterations) for this many seconds, the run
+          is torn down with [Stalled] and a state snapshot.  Must
+          comfortably exceed the longest single rule×delta evaluation,
+          which cannot be interrupted mid-flight. *)
+  stall_poll : float;  (** watchdog sampling interval, seconds *)
+}
+
+val default_config : config
+(** No timeout, no external token, watchdog off, 20 ms sampling. *)
+
 val to_string : t -> string

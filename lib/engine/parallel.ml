@@ -14,6 +14,9 @@ module Barrier = Dcd_concurrent.Barrier
 module Termination = Dcd_concurrent.Termination
 module Backoff = Dcd_concurrent.Backoff
 module Domain_pool = Dcd_concurrent.Domain_pool
+module Cancel = Dcd_concurrent.Cancel
+module Fault = Dcd_concurrent.Fault
+module Watchdog = Dcd_concurrent.Watchdog
 
 type exchange =
   | Spsc_exchange
@@ -27,6 +30,8 @@ type config = {
   max_iterations : int;
   exchange : exchange;
   batch_tuples : int;
+  coord : Coord.config;
+  fault : Fault.spec option;
 }
 
 let default_config =
@@ -38,6 +43,8 @@ let default_config =
     max_iterations = 0;
     exchange = Spsc_exchange;
     batch_tuples = 0;
+    coord = Coord.default_config;
+    fault = None;
   }
 
 type result = {
@@ -156,9 +163,19 @@ let eval_context catalog ~rec_resolve ~rec_matches =
     rec_matches;
   }
 
+(* --- cancellation plumbing --- *)
+
+let cancel_reason token =
+  match Cancel.reason token with
+  | Some r -> r
+  | None -> Cancel.User
+
+let raise_cancelled token = raise (Engine_error.Error (Cancelled (cancel_reason token)))
+
 (* --- non-recursive strata: single-threaded --- *)
 
-let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config stats =
+let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config ~token
+    stats =
   let t0 = Clock.now () in
   prebuild_indexes plan catalog sp;
   let copies = build_copies sp in
@@ -188,6 +205,7 @@ let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) c
   let ws = Run_stats.fresh_worker () in
   List.iter
     (fun (cr : Physical.compiled_rule) ->
+      if Cancel.check token then raise_cancelled token;
       let store = store_of_pred cr.head.hpred in
       let emit ~tuple ~contributor =
         ignore (Rec_store.merge store ~tuple ~contributor)
@@ -225,7 +243,7 @@ let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) c
 
 (* --- recursive strata: parallel --- *)
 
-let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config stats =
+let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config ~token stats =
   let t0 = Clock.now () in
   prebuild_indexes plan catalog sp;
   let n = config.workers in
@@ -279,6 +297,23 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
   let term = Termination.create ~workers:n in
   let barrier = Barrier.create n in
   let failed = Atomic.make false in
+  (* Fault injection: [inject] is a no-op closure when disabled, so the
+     sites below cost one static call on a frame/batch/loop-pass
+     granularity — never per tuple. *)
+  let fault = Option.map (fun spec -> Fault.create ~workers:n spec) config.fault in
+  let inject =
+    match fault with
+    | None -> fun _site ~worker:_ -> ()
+    | Some f ->
+      Fault.set_stop f (fun () -> Atomic.get failed || Cancel.is_set token);
+      fun site ~worker -> Fault.hit f site ~worker
+  in
+  (* Per-worker heartbeats of *useful* work (rules evaluated, batches
+     merged), bumped only between units of real progress: an idle worker
+     spinning through backoff does not beat, so a quiescence livelock
+     goes flat and the watchdog can see it.  Plain ints read racily by
+     the watchdog domain — staleness only widens the window slightly. *)
+  let heartbeats = Array.make n 0 in
   let iter_counts = Array.init n (fun _ -> Atomic.make 0) in
   let nonempty = Array.init n (fun _ -> Atomic.make false) in
   let wstats = Array.init n (fun _ -> Run_stats.fresh_worker ()) in
@@ -366,6 +401,7 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       ignore (Atomic.fetch_and_add occupancy.(dest).(me) len);
       ws.tuples_sent <- ws.tuples_sent + len;
       ws.batches_sent <- ws.batches_sent + 1;
+      ws.words_sent <- ws.words_sent + Frame.words frame;
       push_batch ~dest { bcopy = cid; bsrc = me; bframe = frame }
     in
     let send ~dest cid frame =
@@ -397,6 +433,7 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       end
     in
     let flush_outgoing () =
+      inject Fault.Flush ~worker:me;
       for cid = 0 to ncopies - 1 do
         let ci = copies.(cid) in
         for dest = 0 to n - 1 do
@@ -479,6 +516,8 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     (* per-source tuple counts of the current drain, for arrival stats *)
     let drained_from = Array.make n 0 in
     let merge_batch (b : batch) =
+      inject Fault.Merge ~worker:me;
+      heartbeats.(me) <- heartbeats.(me) + 1;
       let store = my_stores.(b.bcopy) in
       (* records are folded in straight from the packed frame: absorbed
          candidates never exist as heap objects on the consumer side *)
@@ -541,8 +580,10 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       List.iter
         (fun (scan_cid, prepared) ->
           let batch = deltas.(scan_cid) in
-          if not (Arena.is_empty batch) then
-            processed := !processed + Eval.run_prepared prepared ~scan:(`Flat batch))
+          if not (Arena.is_empty batch) then begin
+            heartbeats.(me) <- heartbeats.(me) + 1;
+            processed := !processed + Eval.run_prepared prepared ~scan:(`Flat batch)
+          end)
         emits;
       clear_deltas ();
       flush_outgoing ();
@@ -581,10 +622,22 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     flush_outgoing ();
 
     (* --- iteration loops per strategy --- *)
+    (* A worker that observes cancellation (deadline, external token,
+       watchdog) exits its loop quietly via [Poisoned] after poisoning
+       the barrier, so peers blocked in [await] wake too; the structured
+       error is raised once, after the join. *)
+    let bail_if_cancelled () =
+      if Atomic.get failed || Cancel.check token then begin
+        Barrier.poison barrier;
+        raise Dcd_concurrent.Barrier.Poisoned
+      end
+    in
     (match config.strategy with
     | Coord.Global ->
       let continue_ = ref true in
       while !continue_ do
+        inject Fault.Loop ~worker:me;
+        bail_if_cancelled ();
         timed_wait (fun () -> Barrier.await barrier);
         ignore (drain_and_merge ());
         if frozen () then clear_deltas ();
@@ -598,11 +651,13 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       let backoff = Backoff.create () in
       let continue_ = ref true in
       while !continue_ do
-        if Atomic.get failed then raise Dcd_concurrent.Barrier.Poisoned;
+        inject Fault.Loop ~worker:me;
+        bail_if_cancelled ();
         ignore (drain_and_merge ());
         if frozen () then clear_deltas ();
         if delta_size () = 0 then begin
           Termination.set_active term ~worker:me false;
+          inject Fault.Quiesce ~worker:me;
           if Termination.quiescent term then continue_ := false
           else timed_wait (fun () -> Backoff.once backoff)
         end
@@ -619,7 +674,10 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
             done;
             !m
           in
-          while Atomic.get iter_counts.(me) - min_active () > s do
+          while
+            (not (Atomic.get failed || Cancel.is_set token))
+            && Atomic.get iter_counts.(me) - min_active () > s
+          do
             timed_wait (fun () ->
                 Unix.sleepf 0.0002;
                 ignore (drain_and_merge ()))
@@ -631,11 +689,13 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       let backoff = Backoff.create () in
       let continue_ = ref true in
       while !continue_ do
-        if Atomic.get failed then raise Dcd_concurrent.Barrier.Poisoned;
+        inject Fault.Loop ~worker:me;
+        bail_if_cancelled ();
         ignore (drain_and_merge ());
         if frozen () then clear_deltas ();
         if delta_size () = 0 then begin
           Termination.set_active term ~worker:me false;
+          inject Fault.Quiesce ~worker:me;
           if Termination.quiescent term then continue_ := false
           else timed_wait (fun () -> Backoff.once backoff)
         end
@@ -651,7 +711,8 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
             let deadline = Clock.now () +. Float.min decision.tau opts.tau_cap in
             let waiting = ref true in
             while !waiting do
-              if Clock.now () >= deadline then waiting := false
+              if Atomic.get failed || Cancel.is_set token then waiting := false
+              else if Clock.now () >= deadline then waiting := false
               else begin
                 timed_wait (fun () -> Unix.sleepf opts.poll_interval);
                 ignore (drain_and_merge ());
@@ -666,19 +727,105 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     ()
   in
   (* Fault containment: if a worker dies (plan bug, arithmetic fault in a
-     hook, OOM), its peers must not wait for it forever — poison the
-     barrier and raise a flag the barrier-free strategies poll.  The
-     original exception propagates out of Domain_pool.run; peers that
-     die of the poisoning return quietly so it is not masked. *)
+     hook, OOM, injected crash), its peers must not wait for it forever —
+     poison the barrier and raise a flag the barrier-free strategies
+     poll.  Peers that die of the poisoning return quietly, so the
+     failures [Domain_pool.run_collect] hands back are all genuine
+     origins, never poisoned bystanders. *)
   let worker me =
     try worker_body me with
     | Dcd_concurrent.Barrier.Poisoned -> ()
     | e ->
+      let bt = Printexc.get_raw_backtrace () in
       Atomic.set failed true;
+      ignore (Cancel.cancel token Cancel.Peer_crash);
       Barrier.poison barrier;
-      raise e
+      Printexc.raise_with_backtrace e bt
   in
-  ignore (Domain_pool.run ~workers:n worker);
+  (* Guardian domain: stall watchdog + deadline/external-cancel poller.
+     Spawned only when some guard is armed, so an unguarded run pays
+     nothing.  Progress is useful work only (heartbeats, exchange
+     counters, iterations); idle spinning does not count, which is what
+     makes a quiescence livelock visible as a flat line. *)
+  let stall_diag : Engine_error.stall_diagnostic option ref = ref None in
+  let inbox_batches ~dest =
+    match (spsc_queues, locked_queues) with
+    | Some q, _ -> Array.fold_left (fun acc s -> acc + Chunk_queue.size s) 0 q.(dest)
+    | None, Some q -> Dcd_concurrent.Locked_queue.size q.(dest)
+    | None, None -> 0
+  in
+  let snapshot window =
+    {
+      Engine_error.stall_window = window;
+      stall_strategy = Coord.to_string config.strategy;
+      stall_sent = Termination.total_sent term;
+      stall_consumed = Termination.total_consumed term;
+      stall_workers =
+        Array.init n (fun w ->
+            {
+              Engine_error.ws_worker = w;
+              ws_active = Termination.is_active term ~worker:w;
+              ws_iterations = Atomic.get iter_counts.(w);
+              ws_consumed = Termination.consumed_of term ~worker:w;
+              ws_inbox_tuples = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 occupancy.(w);
+              ws_inbox_batches = inbox_batches ~dest:w;
+            });
+    }
+  in
+  let guard = config.coord in
+  let need_guardian =
+    guard.stall_window <> None || guard.cancel <> None || Cancel.deadline token <> None
+  in
+  let guardian =
+    if not need_guardian then None
+    else
+      let window = Option.value guard.stall_window ~default:infinity in
+      Some
+        (Watchdog.spawn ~window ~poll:guard.stall_poll
+           ~progress:(fun () ->
+             let acc = ref (Termination.total_sent term + Termination.total_consumed term) in
+             for w = 0 to n - 1 do
+               acc := !acc + heartbeats.(w) + Atomic.get iter_counts.(w)
+             done;
+             !acc)
+           ~on_stall:(fun () ->
+             stall_diag := Some (snapshot (Option.value guard.stall_window ~default:0.));
+             ignore (Cancel.cancel token Cancel.Stall);
+             Barrier.poison barrier)
+           ~on_tick:(fun () -> if Cancel.check token then Barrier.poison barrier)
+           ())
+  in
+  let pool_result =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Watchdog.stop guardian)
+      (fun () -> Domain_pool.run_collect ~workers:n worker)
+  in
+  (match pool_result with
+  | Ok _ -> ()
+  | Error failures ->
+    let crashes =
+      List.map
+        (fun (f : Domain_pool.failure) ->
+          { Engine_error.worker = f.index; error = f.error; backtrace = f.backtrace })
+        failures
+    in
+    (match crashes with
+    | first :: others ->
+      raise
+        (Engine_error.Error
+           (Worker_crashed
+              {
+                worker = first.worker;
+                error = first.error;
+                backtrace = first.backtrace;
+                others;
+              }))
+    | [] -> assert false));
+  if Cancel.is_set token then begin
+    match !stall_diag with
+    | Some d -> raise (Engine_error.Error (Stalled d))
+    | None -> raise_cancelled token
+  end;
 
   (* --- materialize the primary-route union into the catalog --- *)
   List.iter
@@ -707,6 +854,16 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
 
 let run (plan : Physical.t) ~edb ~config =
   if config.workers < 1 then invalid_arg "Parallel.run: workers must be >= 1";
+  (* One token guards the whole run (every stratum): caller-supplied or
+     internal, with the timeout folded in as an absolute deadline. *)
+  let token =
+    match config.coord.cancel with
+    | Some t -> t
+    | None -> Cancel.create ()
+  in
+  (match config.coord.timeout with
+  | Some s -> Cancel.arm_deadline token ~at:(Clock.now () +. s)
+  | None -> ());
   let catalog = Catalog.create () in
   let stats = Run_stats.create () in
   let t0 = Clock.now () in
@@ -725,9 +882,10 @@ let run (plan : Physical.t) ~edb ~config =
     plan.Physical.info.edb;
   List.iter
     (fun (sp : Physical.stratum_plan) ->
+      if Cancel.check token then raise_cancelled token;
       if sp.stratum.kind = Analysis.Nonrecursive then
-        eval_nonrecursive plan catalog sp config stats
-      else eval_recursive plan catalog sp config stats)
+        eval_nonrecursive plan catalog sp config ~token stats
+      else eval_recursive plan catalog sp config ~token stats)
     plan.Physical.strata;
   stats.Run_stats.total_wall <- Clock.now () -. t0;
   { catalog; stats }

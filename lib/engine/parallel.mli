@@ -51,6 +51,15 @@ type config = {
           size; [1] reproduces the historical per-tuple message framing;
           intermediate values bound consumer latency under very large
           flushes.  Fixpoints are identical for every setting. *)
+  coord : Coord.config;
+      (** run guard: wall-clock timeout, caller-owned cancel token, and
+          the stall watchdog.  All off by default; when off, the only
+          residual cost is one atomic load per worker loop pass. *)
+  fault : Dcd_concurrent.Fault.spec option;
+      (** seeded fault injection for the stress harness.  [None] (the
+          default) compiles the injection sites down to a static no-op
+          closure call per loop pass / flush / batch — the per-tuple hot
+          path has no hook at all. *)
 }
 
 val default_config : config
@@ -70,7 +79,12 @@ val run :
   result
 (** Evaluates the program over the given EDB.  Relation names absent
     from [edb] but used as base tables evaluate as empty.
-    @raise Invalid_argument on arity mismatches in [edb]. *)
+    @raise Invalid_argument on arity mismatches in [edb].
+    @raise Engine_error.Error when the run is cancelled (deadline or
+    token), a worker crashes (the error names the faulting worker, with
+    backtrace and any further genuine crashes), or the watchdog detects
+    a stall — never a raw worker exception, and never a hang: workers
+    are joined and the barrier poisoned before the error is raised. *)
 
 val relation_vec : result -> string -> Dcd_storage.Tuple.t Dcd_util.Vec.t
 (** Tuples of a materialized relation (empty if the relation is absent). *)

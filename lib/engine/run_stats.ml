@@ -3,6 +3,7 @@ type worker = {
   mutable tuples_processed : int;
   mutable tuples_sent : int;
   mutable batches_sent : int;
+  mutable words_sent : int;
   mutable wait_time : float;
   mutable busy_time : float;
 }
@@ -27,6 +28,7 @@ let fresh_worker () =
     tuples_processed = 0;
     tuples_sent = 0;
     batches_sent = 0;
+    words_sent = 0;
     wait_time = 0.;
     busy_time = 0.;
   }
@@ -48,6 +50,11 @@ let total_sent t =
     (fun acc s -> acc + Array.fold_left (fun a w -> a + w.tuples_sent) 0 s.workers)
     0 t.strata
 
+let total_words t =
+  List.fold_left
+    (fun acc s -> acc + Array.fold_left (fun a w -> a + w.words_sent) 0 s.workers)
+    0 t.strata
+
 let total_batches t =
   List.fold_left
     (fun acc s -> acc + Array.fold_left (fun a w -> a + w.batches_sent) 0 s.workers)
@@ -63,8 +70,8 @@ let pp fmt t =
       Array.iteri
         (fun i w ->
           Format.fprintf fmt
-            "    w%d: %d iters, %d in, %d out (%d batches), busy %.3fs, idle %.3fs@." i
-            w.iterations w.tuples_processed w.tuples_sent w.batches_sent w.busy_time
-            w.wait_time)
+            "    w%d: %d iters, %d in, %d out (%d batches, %d words), busy %.3fs, idle %.3fs@."
+            i w.iterations w.tuples_processed w.tuples_sent w.batches_sent w.words_sent
+            w.busy_time w.wait_time)
         s.workers)
     t.strata

@@ -13,6 +13,10 @@ type worker = {
       (** batch objects pushed into the exchange; each batch costs one
           queue push and one termination-counter update regardless of
           how many tuples it carries *)
+  mutable words_sent : int;
+      (** exchange payload volume in ints (tuple fields + contributor
+          prefixes) — the words-per-sent-tuple ratio tracked in
+          EXPERIMENTS.md *)
   mutable wait_time : float; (** seconds idle: barrier + DWS/SSP waits *)
   mutable busy_time : float; (** seconds computing *)
 }
@@ -43,6 +47,9 @@ val total_wait : t -> float
 (** Total idle time across all workers and strata. *)
 
 val total_sent : t -> int
+
+val total_words : t -> int
+(** Exchange payload ints across all workers and strata. *)
 
 val total_batches : t -> int
 (** Exchange batches pushed across all workers and strata; with
