@@ -516,6 +516,42 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 (* perf: machine-readable perf trajectory (BENCH_dcdatalog.json)       *)
 
+(* stratum-dispatch cost, shared between the perf JSON and the `pool`
+   experiment: the same trivial fork-join round, paid once by spawning
+   fresh domains (the per-stratum regime) and once by submitting to one
+   persistent pool *)
+
+module Pool = Dcd_concurrent.Domain_pool
+
+let pool_workers = 8
+let pool_rounds = 60
+
+let pool_dispatch_times () =
+  let job _ = () in
+  let spawn_secs =
+    snd
+      (Clock.time (fun () ->
+           for _ = 1 to pool_rounds do
+             match Pool.run_collect ~workers:pool_workers job with
+             | Ok _ -> ()
+             | Error _ -> failwith "pool bench: spawn round failed"
+           done))
+  in
+  let persist_secs =
+    let p = Pool.create ~workers:pool_workers in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown p)
+      (fun () ->
+        snd
+          (Clock.time (fun () ->
+               for _ = 1 to pool_rounds do
+                 match Pool.submit p job with
+                 | Ok () -> ()
+                 | Error _ -> failwith "pool bench: submit round failed"
+               done)))
+  in
+  (spawn_secs, persist_secs)
+
 (* One row per tracked workload, 4 workers, DWS — the configuration the
    perf trajectory is measured in from PR 1 onward.  Each workload runs
    [perf_repeats] times and the fastest run is reported (standard
@@ -619,7 +655,14 @@ let perf () =
            (r.p_minor_words /. float_of_int (max 1 r.p_tuples_sent))
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  let spawn_secs, persist_secs = pool_dispatch_times () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n\
+       \  \"stratum_dispatch\": {\"workers\": %d, \"rounds\": %d, \"spawn_s\": %.6f, \
+        \"persistent_pool_s\": %.6f, \"pool_speedup\": %.2f}\n\
+        }\n"
+       pool_workers pool_rounds spawn_secs persist_secs (spawn_secs /. Float.max 1e-9 persist_secs));
   let oc = open_out "BENCH_dcdatalog.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -637,6 +680,78 @@ let perf () =
           Printf.sprintf "%.1f" (r.p_minor_words /. float_of_int (max 1 r.p_tuples_sent)) ])
     rows;
   Report.print t
+
+(* ------------------------------------------------------------------ *)
+(* pool: persistent worker pool vs per-stratum domain spawning         *)
+
+(* The runtime spawns its [workers] domains once per run and submits
+   every stratum to the same pool.  This experiment measures what that
+   buys: [pool_rounds] fork-join rounds of a trivial job, once spawning
+   fresh domains per round (the per-stratum regime,
+   [Domain_pool.run_collect]) and once as [submit] rounds on one
+   persistent pool — then evaluates a deliberately many-strata program
+   end-to-end and prints its per-stratum phase breakdown. *)
+
+(* [depth] strata: one recursive reachability stratum feeding a chain of
+   depth-1 single-rule non-recursive strata *)
+let many_strata_source depth =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "t0(Y) <- seed(Y).\nt0(Y) <- t0(X), e(X, Y).\n";
+  for i = 1 to depth - 1 do
+    Buffer.add_string b (Printf.sprintf "t%d(Y) <- t%d(X), e(X, Y).\n" i (i - 1))
+  done;
+  Buffer.contents b
+
+let pool () =
+  let spawn_secs, persist_secs = pool_dispatch_times () in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf "Stratum dispatch — %d fork-join rounds, %d workers" pool_rounds
+           pool_workers)
+      ~header:[ "regime"; "total (s)"; "per round (ms)"; "vs spawn" ]
+  in
+  let per_round s = Printf.sprintf "%.3f" (s /. float_of_int pool_rounds *. 1e3) in
+  Report.add_row t
+    [ "spawn per round"; Report.cell_time spawn_secs; per_round spawn_secs;
+      Report.cell_speedup 1.0 ];
+  Report.add_row t
+    [ "persistent pool"; Report.cell_time persist_secs; per_round persist_secs;
+      Report.cell_speedup (persist_secs /. spawn_secs) ];
+  Report.print t;
+  let depth = 12 in
+  let prepared =
+    match D.prepare (many_strata_source depth) with Ok p -> p | Error e -> failwith e
+  in
+  let edb =
+    [ ("seed", D.tuples [ [ 1 ] ]); ("e", List.assoc "arc" (D.Queries.arc_edb (D.Datasets.rmat 200))) ]
+  in
+  let result, secs = time_run prepared edb (config ~workers:pool_workers D.Coord.dws) in
+  let stats = result.D.Parallel.stats in
+  let t2 =
+    Report.create
+      ~title:
+        (Printf.sprintf "%d-stratum program, %d workers, one pool — per-stratum phases" depth
+           pool_workers)
+      ~header:[ "stratum"; "kind"; "wall (ms)"; "setup"; "evaluate"; "materialize" ]
+  in
+  List.iter
+    (fun (s : D.Run_stats.stratum) ->
+      let ms v = Printf.sprintf "%.2f" (v *. 1e3) in
+      Report.add_row t2
+        [ String.concat "," s.preds; s.kind; ms s.wall; ms s.setup; ms s.evaluate;
+          ms s.materialize ])
+    stats.D.Run_stats.strata;
+  Report.print t2;
+  Printf.printf "end-to-end: %.3fs over %d strata (%d domains spawned for the whole run)\n"
+    secs (List.length stats.D.Run_stats.strata) pool_workers;
+  let gain = (spawn_secs -. persist_secs) /. spawn_secs *. 100. in
+  Printf.printf
+    "persistent pool dispatch is %.1f%% faster than per-round spawning (target: >= 10%%)\n" gain;
+  if gain < 10. then begin
+    Printf.eprintf "bench-pool: persistent pool gain %.1f%% below the 10%% bar\n" gain;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* smoke: one tiny workload per coordination strategy, for CI          *)
@@ -710,6 +825,7 @@ let experiments =
     ("fig9b", fig9b, "Figure 9b: time vs data size");
     ("ablation", ablation, "Engine ablations: exchange fabric, partial aggregation");
     ("micro", micro, "Microbenchmarks");
+    ("pool", pool, "Persistent pool vs per-stratum spawning, many-strata breakdown");
     ("perf", perf, "Perf trajectory: BENCH_dcdatalog.json (4 workers, DWS)");
     ("smoke", smoke, "CI smoke: tiny workload per coordination strategy");
   ]

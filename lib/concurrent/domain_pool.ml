@@ -4,6 +4,20 @@ type failure = {
   backtrace : string;
 }
 
+(* Process-wide count of domains spawned through this module (pool
+   workers, fork-join workers, the watchdog guardian).  Tests assert the
+   engine spawns exactly [workers] (+ watchdog) domains per run no
+   matter how many strata it evaluates. *)
+let spawned = Atomic.make 0
+
+let spawn_counted f =
+  Atomic.incr spawned;
+  Domain.spawn f
+
+let total_spawned () = Atomic.get spawned
+
+(* --- one-shot fork-join --- *)
+
 let run_collect ~workers body =
   if workers < 1 then invalid_arg "Domain_pool.run_collect";
   let results : 'a option array = Array.make workers None in
@@ -13,7 +27,7 @@ let run_collect ~workers body =
     | x -> results.(i) <- Some x
     | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
   in
-  let domains = Array.init (workers - 1) (fun k -> Domain.spawn (wrap (k + 1))) in
+  let domains = Array.init (workers - 1) (fun k -> spawn_counted (wrap (k + 1))) in
   wrap 0 ();
   Array.iter Domain.join domains;
   let failures = ref [] in
@@ -41,3 +55,122 @@ let run ~workers body =
   | Error [] -> assert false
 
 let recommended_workers () = max 1 (Domain.recommended_domain_count ())
+
+(* --- persistent pool --- *)
+
+(* One long-lived domain per worker index.  Jobs are delivered through
+   per-worker slots under a single mutex/condition pair: [submit] fills
+   every slot, broadcasts, and sleeps until the pending count returns to
+   zero.  A worker that raises parks its exception (with backtrace) in
+   its error cell and keeps looping, so one crashed round never poisons
+   the pool itself — the next [submit] reuses the same domains.
+
+   Memory ordering: a worker writes its error cell before taking the
+   mutex to decrement [pending]; the submitter reads the cells only
+   after observing [pending = 0] under the same mutex, so the mutex
+   provides the happens-before edge.  Job closures themselves are free
+   to share whatever synchronized state they like, exactly as
+   [run_collect] bodies were. *)
+
+type job =
+  | Idle
+  | Job of (int -> unit)
+  | Quit
+
+type t = {
+  psize : int;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  slots : job array;
+  errs : (exn * Printexc.raw_backtrace) option array;
+  mutable pending : int;
+  mutable live : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let rec next_job t i =
+  match t.slots.(i) with
+  | Idle ->
+    Condition.wait t.cond t.mutex;
+    next_job t i
+  | Job f ->
+    t.slots.(i) <- Idle;
+    Some f
+  | Quit -> None
+
+let rec worker_loop t i =
+  Mutex.lock t.mutex;
+  let job = next_job t i in
+  Mutex.unlock t.mutex;
+  match job with
+  | None -> ()
+  | Some f ->
+    (match f i with
+    | () -> ()
+    | exception e -> t.errs.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+    Mutex.lock t.mutex;
+    t.pending <- t.pending - 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    worker_loop t i
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Domain_pool.create";
+  let t =
+    {
+      psize = workers;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      slots = Array.make workers Idle;
+      errs = Array.make workers None;
+      pending = 0;
+      live = true;
+      domains = [||];
+    }
+  in
+  t.domains <- Array.init workers (fun i -> spawn_counted (fun () -> worker_loop t i));
+  t
+
+let size t = t.psize
+
+let submit t body =
+  Mutex.lock t.mutex;
+  if not t.live then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Array.fill t.errs 0 t.psize None;
+  t.pending <- t.psize;
+  for i = 0 to t.psize - 1 do
+    t.slots.(i) <- Job body
+  done;
+  Condition.broadcast t.cond;
+  while t.pending > 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  let failures = ref [] in
+  for i = t.psize - 1 downto 0 do
+    match t.errs.(i) with
+    | Some (error, bt) ->
+      failures :=
+        { index = i; error; backtrace = Printexc.raw_backtrace_to_string bt } :: !failures
+    | None -> ()
+  done;
+  Mutex.unlock t.mutex;
+  match !failures with
+  | [] -> Ok ()
+  | fs -> Error fs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.live then Mutex.unlock t.mutex
+  else begin
+    t.live <- false;
+    (* [submit] only returns once pending = 0, so every slot is Idle *)
+    for i = 0 to t.psize - 1 do
+      t.slots.(i) <- Quit
+    done;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains
+  end

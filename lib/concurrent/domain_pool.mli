@@ -1,4 +1,7 @@
-(** Fork–join execution of worker bodies on OCaml 5 domains. *)
+(** Execution of worker bodies on OCaml 5 domains: a one-shot fork-join
+    helper and a persistent pool that reuses the same domains across
+    many submitted rounds (one engine run spawns its workers once, then
+    evaluates every stratum on them). *)
 
 type failure = {
   index : int;  (** worker whose body raised *)
@@ -21,3 +24,41 @@ val run : workers:int -> (int -> 'a) -> 'a array
 
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)
+
+(** {1 Persistent pool} *)
+
+type t
+(** A pool of [workers] long-lived domains accepting rounds of jobs.
+    Jobs are delivered through per-worker slots; a worker that raises
+    parks the exception and stays alive, so the pool remains usable
+    after a crashed round. *)
+
+val create : workers:int -> t
+(** Spawns all [workers] domains immediately (the caller does not act as
+    a worker).  @raise Invalid_argument if [workers < 1]. *)
+
+val size : t -> int
+
+val submit : t -> (int -> unit) -> (unit, failure list) result
+(** [submit t body] runs [body i] on pool domain [i] for every
+    [i = 0 .. size-1] and blocks until all have finished the round.
+    Raised exceptions are collected exactly like {!run_collect}: the
+    result lists {e every} worker that raised, in index order, with
+    backtraces.  Not reentrant: one round at a time.
+    @raise Invalid_argument after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Joins every pool domain.  Idempotent.  Must not race a concurrent
+    {!submit}. *)
+
+(** {1 Spawn accounting} *)
+
+val spawn_counted : (unit -> 'a) -> 'a Domain.t
+(** [Domain.spawn] plus a bump of the process-wide spawn counter.  All
+    runtime-owned domains (pool workers, fork-join workers, the
+    watchdog) are spawned through this, so tests can assert how many
+    domains an engine run really created. *)
+
+val total_spawned : unit -> int
+(** Number of domains spawned through {!spawn_counted} since process
+    start (monotone). *)

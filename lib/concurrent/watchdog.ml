@@ -28,7 +28,7 @@ let spawn ?(window = infinity) ~poll ~progress ~on_stall ~on_tick () =
       end
     done
   in
-  { stop_flag; domain = Domain.spawn body }
+  { stop_flag; domain = Domain_pool.spawn_counted body }
 
 let stop t =
   Atomic.set t.stop_flag true;

@@ -1,0 +1,128 @@
+module Ast = Dcd_datalog.Ast
+module Tuple = Dcd_storage.Tuple
+module Tuple_set = Dcd_storage.Tuple_set
+module Partition = Dcd_storage.Partition
+module Frame = Dcd_concurrent.Frame
+
+type t = {
+  me : int;
+  exch : Exchange.t;
+  h : Partition.t;
+  partial_agg : bool;
+  take_frame : arity:int -> contrib:bool -> Frame.t;
+  outbuf : Frame.t array array; (* outbuf.(copy).(dest) *)
+}
+
+let create ~exch ~me ~h ~partial_agg ~take_frame =
+  let copies = Exchange.copies exch in
+  let n = Exchange.workers exch in
+  let outbuf =
+    Array.init (Array.length copies) (fun cid ->
+        Array.init n (fun _ ->
+            take_frame ~arity:copies.(cid).Exchange.ci_arity ~contrib:(Exchange.contrib exch cid)))
+  in
+  { me; exch; h; partial_agg; take_frame; outbuf }
+
+(* [tuple]/[contributor] are Eval's emission scratch: Frame.push copies
+   them into the packed buffer before returning.  The single-target case
+   (the overwhelmingly common one) is specialized so the emit path
+   allocates nothing and does no list traversal — [targets] is the
+   head's copy-id array, resolved once at rule-compile time. *)
+let emitter t ~targets =
+  let copies = Exchange.copies t.exch in
+  if Array.length targets = 1 then begin
+    let cid = targets.(0) in
+    let bufs = t.outbuf.(cid) and route = copies.(cid).Exchange.ci_route in
+    fun ~tuple ~contributor ->
+      Frame.push bufs.(Partition.of_tuple t.h ~cols:route tuple) tuple contributor
+  end
+  else
+    fun ~tuple ~contributor ->
+      for k = 0 to Array.length targets - 1 do
+        let cid = Array.unsafe_get targets k in
+        let dest = Partition.of_tuple t.h ~cols:copies.(cid).Exchange.ci_route tuple in
+        Frame.push t.outbuf.(cid).(dest) tuple contributor
+      done
+
+let flush t ~ws =
+  let copies = Exchange.copies t.exch in
+  let n = Exchange.workers t.exch in
+  for cid = 0 to Array.length copies - 1 do
+    let ci = copies.(cid) in
+    for dest = 0 to n - 1 do
+      let buf = t.outbuf.(cid).(dest) in
+      if not (Frame.is_empty buf) then begin
+        match (t.partial_agg, ci.Exchange.ci_agg) with
+        | true, Some (pos, ((Ast.Min | Ast.Max) as kind)) ->
+          (* partial aggregation: keep only the best record per group
+             within this outgoing frame (paper §5.2.3).  Group identity
+             is every column but the value; candidates are hashed and
+             compared in place in the frame buffer, so no boxed group
+             keys exist. *)
+          let arity = ci.Exchange.ci_arity in
+          let gcols = Array.init (arity - 1) (fun i -> if i < pos then i else i + 1) in
+          let rec pow2 p need = if p >= need then p else pow2 (p * 2) need in
+          let cap = pow2 16 (2 * Frame.count buf) in
+          let mask = cap - 1 in
+          let table = Array.make cap 0 (* record toff + 1; 0 = empty *) in
+          let data = Frame.data buf in
+          let glen = Array.length gcols in
+          (* one closure per flush, not per record: hoisted out of the
+             [Frame.iter] callback and driven by a while loop *)
+          let group_eq a b =
+            let rec loop i =
+              i = glen
+              ||
+              let c = Array.unsafe_get gcols i in
+              data.(a + c) = data.(b + c) && loop (i + 1)
+            in
+            loop 0
+          in
+          Frame.iter buf (fun _ ~toff ~clen:_ ~coff:_ ->
+              let i = ref (Tuple.hash_cols data ~base:toff gcols land mask) in
+              let placed = ref false in
+              while not !placed do
+                match table.(!i) with
+                | 0 ->
+                  table.(!i) <- toff + 1;
+                  placed := true
+                | e ->
+                  let cur = e - 1 in
+                  if group_eq cur toff then begin
+                    let keep =
+                      if kind = Ast.Min then data.(toff + pos) < data.(cur + pos)
+                      else data.(toff + pos) > data.(cur + pos)
+                    in
+                    if keep then table.(!i) <- toff + 1;
+                    placed := true
+                  end
+                  else i := (!i + 1) land mask
+              done);
+          let out = Frame.create ~capacity:(Frame.count buf) ~arity ~contrib:true () in
+          Array.iter
+            (fun e -> if e <> 0 then Frame.push_slice out data ~toff:(e - 1) ~clen:0 ~coff:0)
+            table;
+          Frame.clear buf;
+          Exchange.send t.exch ~ws ~src:t.me ~dest ~copy:cid out
+        | true, None ->
+          (* set semantics: drop duplicates within the frame, probing
+             straight out of the packed records *)
+          let arity = ci.Exchange.ci_arity in
+          let seen = Tuple_set.create ~capacity:(Frame.count buf) () in
+          let out = Frame.create ~capacity:(Frame.count buf) ~arity ~contrib:false () in
+          Frame.iter buf (fun data ~toff ~clen:_ ~coff:_ ->
+              if Tuple_set.add_slice seen data toff arity then
+                Frame.push_slice out data ~toff ~clen:0 ~coff:0);
+          Frame.clear buf;
+          Exchange.send t.exch ~ws ~src:t.me ~dest ~copy:cid out
+        | _ ->
+          (* ship the accumulation frame itself — ownership passes to
+             the consumer, the producer starts a fresh one *)
+          t.outbuf.(cid).(dest) <-
+            t.take_frame ~arity:ci.Exchange.ci_arity ~contrib:(Exchange.contrib t.exch cid);
+          Exchange.send t.exch ~ws ~src:t.me ~dest ~copy:cid buf
+      end
+    done
+  done
+
+let release t give = Array.iter (fun row -> Array.iter give row) t.outbuf

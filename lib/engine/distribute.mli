@@ -1,0 +1,39 @@
+(** One worker's distribution side: per-(copy, destination) outgoing
+    frames, the emit closures the join kernel writes through, and the
+    flush path — with optional partial aggregation (min/max pre-combine
+    per group) and per-frame set dedup (paper §5.2.3) — into the
+    {!Exchange} fabric.
+
+    Owned by exactly one worker; no synchronization inside (the only
+    cross-worker effect is {!Exchange.send} at flush time). *)
+
+type t
+
+val create :
+  exch:Exchange.t ->
+  me:int ->
+  h:Dcd_storage.Partition.t ->
+  partial_agg:bool ->
+  take_frame:(arity:int -> contrib:bool -> Dcd_concurrent.Frame.t) ->
+  t
+(** [take_frame] supplies (possibly recycled) empty frames for the
+    outgoing buffers — the worker's scratch pool, so buffers survive
+    from one stratum to the next. *)
+
+val emitter :
+  t ->
+  targets:int array ->
+  (tuple:Dcd_storage.Tuple.t -> contributor:Dcd_storage.Tuple.t -> unit)
+(** The emit closure for one rule head: partitions the tuple under each
+    target copy's route and appends it to the matching outgoing frame.
+    [targets] is the head predicate's copy-id array, resolved once at
+    rule-compile time; the single-target case is specialized to a
+    straight array-indexed push (no list traversal, no allocation). *)
+
+val flush : t -> ws:Run_stats.worker -> unit
+(** Ships every non-empty outgoing frame to its destination, applying
+    partial aggregation / set dedup per frame when enabled. *)
+
+val release : t -> (Dcd_concurrent.Frame.t -> unit) -> unit
+(** Hands every outgoing buffer frame back (end of stratum), for reuse
+    by the next stratum's {!create}. *)

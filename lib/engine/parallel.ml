@@ -1,24 +1,17 @@
 open Dcd_planner
-module Ast = Dcd_datalog.Ast
 module Analysis = Dcd_datalog.Analysis
-module Tuple = Dcd_storage.Tuple
-module Arena = Dcd_storage.Arena
-module Tuple_set = Dcd_storage.Tuple_set
 module Relation = Dcd_storage.Relation
 module Partition = Dcd_storage.Partition
-module Frame = Dcd_concurrent.Frame
 module Vec = Dcd_util.Vec
 module Clock = Dcd_util.Clock
-module Chunk_queue = Dcd_concurrent.Chunk_queue
 module Barrier = Dcd_concurrent.Barrier
 module Termination = Dcd_concurrent.Termination
-module Backoff = Dcd_concurrent.Backoff
 module Domain_pool = Dcd_concurrent.Domain_pool
 module Cancel = Dcd_concurrent.Cancel
 module Fault = Dcd_concurrent.Fault
 module Watchdog = Dcd_concurrent.Watchdog
 
-type exchange =
+type exchange = Exchange.kind =
   | Spsc_exchange
   | Locked_exchange
 
@@ -51,56 +44,6 @@ type result = {
   catalog : Catalog.t;
   stats : Run_stats.t;
 }
-
-(* One exchange message: every delta tuple a worker produced for one
-   (copy, destination) in one flush, packed flat into a single frame.
-   The producer gives up ownership on push; the consumer folds the
-   records in without unpacking them into boxed tuples. *)
-type batch = {
-  bcopy : int;
-  bsrc : int;
-  bframe : Frame.t;
-}
-
-type copy_info = {
-  ci_pred : string;
-  ci_route : int array;
-  ci_arity : int;
-  ci_agg : (int * Ast.agg_kind) option;
-}
-
-(* --- copy table construction --- *)
-
-let build_copies (sp : Physical.stratum_plan) =
-  let copies = ref [] in
-  List.iter
-    (fun (pp : Physical.pred_plan) ->
-      List.iter
-        (fun route ->
-          copies :=
-            { ci_pred = pp.pred; ci_route = route; ci_arity = pp.arity; ci_agg = pp.agg }
-            :: !copies)
-        pp.routes)
-    sp.pred_plans;
-  Array.of_list (List.rev !copies)
-
-(* Linear scan over the copy table.  Only ever called at setup/prepare
-   time: the per-tuple path dispatches on the integer ids this resolves
-   to (Eval precomputes them per compiled rule), never on strings. *)
-let copy_id_fn copies pred route =
-  let n = Array.length copies in
-  let rec loop i =
-    if i = n then
-      invalid_arg (Printf.sprintf "no copy for %s under the requested route" pred)
-    else if String.equal copies.(i).ci_pred pred && copies.(i).ci_route = route then i
-    else loop (i + 1)
-  in
-  loop 0
-
-let copies_of_pred copies pred =
-  let out = ref [] in
-  Array.iteri (fun i ci -> if String.equal ci.ci_pred pred then out := i :: !out) copies;
-  List.rev !out
 
 (* --- shared helpers --- *)
 
@@ -139,30 +82,6 @@ let prebuild_indexes (plan : Physical.t) catalog (sp : Physical.stratum_plan) =
   List.iter note sp.init_rules;
   List.iter note sp.delta_rules
 
-(* Flat scan source for a whole relation: the init rules and the
-   non-recursive strata scan relations through an arena cursor, not a
-   boxed-tuple vector. *)
-let arena_of_relation rel =
-  let a =
-    Arena.create ~capacity:(max 1 (Relation.length rel)) ~arity:(Relation.arity rel) ()
-  in
-  Relation.iter_slices rel (fun data off -> ignore (Arena.push_slice a data off));
-  a
-
-let eval_context catalog ~rec_resolve ~rec_matches =
-  {
-    Eval.base_iter = (fun pred f -> Relation.iter_slices (Catalog.get catalog pred) f);
-    base_index =
-      (fun pred cols ->
-        match Relation.find_index (Catalog.get catalog pred) ~key_cols:cols with
-        | Some idx -> idx
-        | None ->
-          (* prebuild_indexes guarantees this cannot happen *)
-          assert false);
-    rec_resolve;
-    rec_matches;
-  }
-
 (* --- cancellation plumbing --- *)
 
 let cancel_reason token =
@@ -172,636 +91,102 @@ let cancel_reason token =
 
 let raise_cancelled token = raise (Engine_error.Error (Cancelled (cancel_reason token)))
 
-(* --- non-recursive strata: single-threaded --- *)
+(* The per-run watchdog dispatches through this indirection: each
+   stratum arms it with closures over its own barrier/exchange state and
+   disarms it before materialization.  While disarmed, progress is an
+   ever-advancing idle tick so the stall window cannot fire between
+   strata. *)
+type monitor = {
+  g_progress : unit -> int;
+  g_stall : unit -> unit;
+  g_tick : unit -> unit;
+}
 
-let eval_nonrecursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config ~token
-    stats =
-  let t0 = Clock.now () in
-  prebuild_indexes plan catalog sp;
-  let copies = build_copies sp in
-  (* one store per stratum predicate (primary route only) *)
-  let stores =
-    Array.map
-      (fun ci ->
-        Rec_store.create ~arity:ci.ci_arity ~agg:ci.ci_agg ~route:ci.ci_route
-          ~opts:config.store_opts ())
-      copies
-  in
-  let store_of_pred pred =
-    match copies_of_pred copies pred with
-    | cid :: _ -> stores.(cid)
-    | [] -> invalid_arg (Printf.sprintf "nonrecursive stratum: unknown head %s" pred)
-  in
-  let ctx =
-    eval_context catalog
-      ~rec_resolve:(fun ~pred ~route ->
-        ignore route;
-        invalid_arg (Printf.sprintf "recursive lookup of %s in a non-recursive stratum" pred))
-      ~rec_matches:(fun _ ~key f ->
-        ignore key;
-        ignore f;
-        assert false)
-  in
-  let ws = Run_stats.fresh_worker () in
-  List.iter
-    (fun (cr : Physical.compiled_rule) ->
-      if Cancel.check token then raise_cancelled token;
-      let store = store_of_pred cr.head.hpred in
-      let emit ~tuple ~contributor =
-        ignore (Rec_store.merge store ~tuple ~contributor)
-      in
-      let prepared = Eval.prepare cr ctx ~emit in
-      let processed =
-        match cr.scan with
-        | Physical.S_unit -> Eval.run_prepared prepared ~scan:`Unit
-        | Physical.S_base { pred; _ } ->
-          Eval.run_prepared prepared ~scan:(`Flat (arena_of_relation (Catalog.get catalog pred)))
-        | Physical.S_delta _ -> assert false
-      in
-      ws.tuples_processed <- ws.tuples_processed + processed)
-    sp.init_rules;
-  ws.iterations <- 1;
-  (* materialize *)
-  List.iter
-    (fun (pp : Physical.pred_plan) ->
-      let store = store_of_pred pp.pred in
-      let rel =
-        Relation.create ~size_hint:(Rec_store.length store) ~name:pp.pred ~arity:pp.arity ()
-      in
-      Rec_store.iter store (fun tup -> ignore (Relation.add rel tup));
-      Catalog.add_relation catalog rel)
-    sp.pred_plans;
-  let wall = Clock.now () -. t0 in
-  ws.busy_time <- wall;
-  Run_stats.add_stratum stats
-    {
-      Run_stats.preds = sp.stratum.preds;
-      kind = Analysis.recursion_kind_to_string sp.stratum.kind;
-      wall;
-      workers = [| ws |];
-    }
+(* --- one stratum on the pool --- *)
 
-(* --- recursive strata: parallel --- *)
-
-let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) config ~token stats =
+let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config ~pool
+    ~scratches ~fault ~monitor ~stall_diag ~token stats =
   let t0 = Clock.now () in
   prebuild_indexes plan catalog sp;
   let n = config.workers in
   let h = Partition.create ~workers:n in
-  let copies = build_copies sp in
-  let ncopies = Array.length copies in
-  let copy_id = copy_id_fn copies in
-  (* distribution targets per head predicate *)
-  let head_targets =
-    List.map (fun (pp : Physical.pred_plan) -> (pp.pred, copies_of_pred copies pp.pred))
-      sp.pred_plans
+  let copies = Exchange.build_copies sp in
+  let exch =
+    Exchange.create ~workers:n ~kind:config.exchange ~batch_tuples:config.batch_tuples ~copies
   in
+  let shared = Worker.make_shared ~exch ~token ~fault ~max_iterations:config.max_iterations in
   let stores =
     Array.init n (fun _ ->
         Array.map
-          (fun ci ->
+          (fun (ci : Exchange.copy_info) ->
             Rec_store.create ~arity:ci.ci_arity ~agg:ci.ci_agg ~route:ci.ci_route
               ~opts:config.store_opts ())
           copies)
   in
-  (* The message fabric: either the paper's SPSC matrix (M_i^j, §6.1) or
-     the lock-based alternative it argues against (one mutex-protected
-     multi-producer queue per destination) — kept for the ablation.
-     Queue elements are whole batches, so queue traffic and termination
-     accounting are per flush, not per tuple. *)
-  let module Locked_queue = Dcd_concurrent.Locked_queue in
-  let spsc_queues =
-    match config.exchange with
-    | Spsc_exchange ->
-      (* queues.(dest).(src): single producer [src], single consumer [dest] *)
-      Some (Array.init n (fun _ -> Array.init n (fun _ -> Chunk_queue.create ~chunk:64 ())))
-    | Locked_exchange -> None
-  in
-  let locked_queues =
-    match config.exchange with
-    | Locked_exchange -> Some (Array.init n (fun _ -> Locked_queue.create ()))
-    | Spsc_exchange -> None
-  in
-  let push_batch ~dest (b : batch) =
-    match (spsc_queues, locked_queues) with
-    | Some q, _ -> Chunk_queue.push q.(dest).(b.bsrc) b
-    | None, Some q -> Locked_queue.push q.(dest) b
-    | None, None -> assert false
-  in
-  (* Tuple-denominated buffer occupancy |M_i^j| for the queueing model
-     (the queues themselves count batches).  Producers add before the
-     push, consumers subtract after the drain, so a read never
-     under-reports in-flight work. *)
-  let occupancy = Array.init n (fun _ -> Array.init n (fun _ -> Atomic.make 0)) in
-  let inbox_sizes ~dest = Array.init n (fun j -> Atomic.get occupancy.(dest).(j)) in
-  let term = Termination.create ~workers:n in
-  let barrier = Barrier.create n in
-  let failed = Atomic.make false in
-  (* Fault injection: [inject] is a no-op closure when disabled, so the
-     sites below cost one static call on a frame/batch/loop-pass
-     granularity — never per tuple. *)
-  let fault = Option.map (fun spec -> Fault.create ~workers:n spec) config.fault in
-  let inject =
-    match fault with
-    | None -> fun _site ~worker:_ -> ()
-    | Some f ->
-      Fault.set_stop f (fun () -> Atomic.get failed || Cancel.is_set token);
-      fun site ~worker -> Fault.hit f site ~worker
-  in
-  (* Per-worker heartbeats of *useful* work (rules evaluated, batches
-     merged), bumped only between units of real progress: an idle worker
-     spinning through backoff does not beat, so a quiescence livelock
-     goes flat and the watchdog can see it.  Plain ints read racily by
-     the watchdog domain — staleness only widens the window slightly. *)
-  let heartbeats = Array.make n 0 in
-  let iter_counts = Array.init n (fun _ -> Atomic.make 0) in
-  let nonempty = Array.init n (fun _ -> Atomic.make false) in
   let wstats = Array.init n (fun _ -> Run_stats.fresh_worker ()) in
-  (* shared flat scan sources for the init rules (read-only during the
-     parallel phase, so all workers stripe over the same arena) *)
-  let scan_sources =
-    List.filter_map
-      (fun (cr : Physical.compiled_rule) ->
-        match cr.scan with
-        | Physical.S_base { pred; _ } ->
-          Some (pred, arena_of_relation (Catalog.get catalog pred))
-        | Physical.S_delta _ | Physical.S_unit -> None)
-      sp.init_rules
-  in
-
-  (* count/sum copies ship a contributor key with every tuple; the
-     other copies travel at fixed stride *)
-  let frame_contrib = Array.map (fun ci -> ci.ci_agg <> None) copies in
-  let worker_body me =
-    let ws = wstats.(me) in
-    let my_stores = stores.(me) in
-    let deltas = Array.map (fun ci -> Arena.create ~arity:ci.ci_arity ()) copies in
-    (* Per-iteration group index for aggregate copies: the Gather
-       operator emits ONE delta entry per changed group, holding the
-       current aggregate (paper Example 6.1).  Without this, a group
-       improved k times in one gather would be scanned k times, which
-       explodes quadratically on high-degree vertices. *)
-    let delta_groups =
-      Array.map
-        (fun ci ->
-          match ci.ci_agg with
-          | Some _ -> Some (Hashtbl.create 64 : (Tuple.t, int) Hashtbl.t)
-          | None -> None)
-        copies
-    in
-    let push_delta cid (fresh : Tuple.t) =
-      match delta_groups.(cid) with
-      | None -> ignore (Arena.push deltas.(cid) fresh)
-      | Some groups -> (
-        let pos, _ = Option.get copies.(cid).ci_agg in
-        let group = Tuple.group_key fresh ~agg_pos:pos in
-        match Hashtbl.find_opt groups group with
-        | Some slot -> Arena.set_slot deltas.(cid) slot fresh
-        | None ->
-          Hashtbl.add groups group (Arena.length deltas.(cid));
-          ignore (Arena.push deltas.(cid) fresh))
-    in
-    let clear_deltas () =
-      Array.iter Arena.clear deltas;
-      Array.iter (function Some g -> Hashtbl.reset g | None -> ()) delta_groups
-    in
-    let qm = Qmodel.create ~producers:n () in
-    let fresh_frame cid =
-      Frame.create ~arity:copies.(cid).ci_arity ~contrib:frame_contrib.(cid) ()
-    in
-    let outbuf = Array.init ncopies (fun cid -> Array.init n (fun _ -> fresh_frame cid)) in
-    let ctx =
-      eval_context catalog
-        ~rec_resolve:(fun ~pred ~route -> copy_id pred route)
-        ~rec_matches:(fun cid ~key f -> Rec_store.iter_matches my_stores.(cid) ~key f)
-    in
-    let emit_for pred =
-      (* [tuple]/[contributor] are Eval's emission scratch: Frame.push
-         copies them into the packed buffer before returning.  The
-         single-target case (the overwhelmingly common one) is
-         specialized so the emit path allocates nothing. *)
-      match List.assoc pred head_targets with
-      | [ cid ] ->
-        let bufs = outbuf.(cid) and route = copies.(cid).ci_route in
-        fun ~tuple ~contributor ->
-          Frame.push bufs.(Partition.of_tuple h ~cols:route tuple) tuple contributor
-      | targets ->
-        fun ~tuple ~contributor ->
-          List.iter
-            (fun cid ->
-              let dest = Partition.of_tuple h ~cols:copies.(cid).ci_route tuple in
-              Frame.push outbuf.(cid).(dest) tuple contributor)
-            targets
-    in
-    (* Ships one packed frame: one queue push and one amortized
-       termination update per flush, instead of one of each per tuple. *)
-    let ship ~dest cid frame =
-      let len = Frame.count frame in
-      Termination.sent term len;
-      ignore (Atomic.fetch_and_add occupancy.(dest).(me) len);
-      ws.tuples_sent <- ws.tuples_sent + len;
-      ws.batches_sent <- ws.batches_sent + 1;
-      ws.words_sent <- ws.words_sent + Frame.words frame;
-      push_batch ~dest { bcopy = cid; bsrc = me; bframe = frame }
-    in
-    let send ~dest cid frame =
-      let len = Frame.count frame in
-      let cap = config.batch_tuples in
-      if cap <= 0 || len <= cap then ship ~dest cid frame
-      else if not (Frame.has_contrib frame) then begin
-        (* batch-size knob: split into chunks of at most [cap] tuples
-           (cap = 1 reproduces the old per-tuple message framing);
-           fixed-stride records split with one blit per chunk *)
-        let i = ref 0 in
-        while !i < len do
-          let k = min cap (len - !i) in
-          let chunk = Frame.create ~capacity:k ~arity:copies.(cid).ci_arity ~contrib:false () in
-          Frame.append_range chunk frame ~first:!i ~n:k;
-          ship ~dest cid chunk;
-          i := !i + k
-        done
-      end
-      else begin
-        let chunk = ref (Frame.create ~capacity:cap ~arity:copies.(cid).ci_arity ~contrib:true ()) in
-        Frame.iter frame (fun data ~toff ~clen ~coff ->
-            Frame.push_slice !chunk data ~toff ~clen ~coff;
-            if Frame.count !chunk = cap then begin
-              ship ~dest cid !chunk;
-              chunk := Frame.create ~capacity:cap ~arity:copies.(cid).ci_arity ~contrib:true ()
-            end);
-        if not (Frame.is_empty !chunk) then ship ~dest cid !chunk
-      end
-    in
-    let flush_outgoing () =
-      inject Fault.Flush ~worker:me;
-      for cid = 0 to ncopies - 1 do
-        let ci = copies.(cid) in
-        for dest = 0 to n - 1 do
-          let buf = outbuf.(cid).(dest) in
-          if not (Frame.is_empty buf) then begin
-            match (config.partial_agg, ci.ci_agg) with
-            | true, Some (pos, ((Ast.Min | Ast.Max) as kind)) ->
-              (* partial aggregation: keep only the best record per
-                 group within this outgoing frame (paper §5.2.3).
-                 Group identity is every column but the value;
-                 candidates are hashed and compared in place in the
-                 frame buffer, so no boxed group keys exist. *)
-              let gcols = Array.init (ci.ci_arity - 1) (fun i -> if i < pos then i else i + 1) in
-              let rec pow2 p need = if p >= need then p else pow2 (p * 2) need in
-              let cap = pow2 16 (2 * Frame.count buf) in
-              let mask = cap - 1 in
-              let table = Array.make cap 0 (* record toff + 1; 0 = empty *) in
-              let data = Frame.data buf in
-              let glen = Array.length gcols in
-              (* one closure per flush, not per record: hoisted out of
-                 the [Frame.iter] callback and driven by a while loop *)
-              let group_eq a b =
-                let rec loop i =
-                  i = glen
-                  ||
-                  let c = Array.unsafe_get gcols i in
-                  data.(a + c) = data.(b + c) && loop (i + 1)
-                in
-                loop 0
-              in
-              Frame.iter buf (fun _ ~toff ~clen:_ ~coff:_ ->
-                  let i = ref (Tuple.hash_cols data ~base:toff gcols land mask) in
-                  let placed = ref false in
-                  while not !placed do
-                    match table.(!i) with
-                    | 0 ->
-                      table.(!i) <- toff + 1;
-                      placed := true
-                    | e ->
-                      let cur = e - 1 in
-                      if group_eq cur toff then begin
-                        let keep =
-                          if kind = Ast.Min then data.(toff + pos) < data.(cur + pos)
-                          else data.(toff + pos) > data.(cur + pos)
-                        in
-                        if keep then table.(!i) <- toff + 1;
-                        placed := true
-                      end
-                      else i := (!i + 1) land mask
-                  done);
-              let out =
-                Frame.create ~capacity:(Frame.count buf) ~arity:ci.ci_arity ~contrib:true ()
-              in
-              Array.iter
-                (fun e -> if e <> 0 then Frame.push_slice out data ~toff:(e - 1) ~clen:0 ~coff:0)
-                table;
-              Frame.clear buf;
-              send ~dest cid out
-            | true, None ->
-              (* set semantics: drop duplicates within the frame,
-                 probing straight out of the packed records *)
-              let seen = Tuple_set.create ~capacity:(Frame.count buf) () in
-              let out =
-                Frame.create ~capacity:(Frame.count buf) ~arity:ci.ci_arity ~contrib:false ()
-              in
-              Frame.iter buf (fun data ~toff ~clen:_ ~coff:_ ->
-                  if Tuple_set.add_slice seen data toff ci.ci_arity then
-                    Frame.push_slice out data ~toff ~clen:0 ~coff:0);
-              Frame.clear buf;
-              send ~dest cid out
-            | _ ->
-              (* ship the accumulation frame itself — ownership passes
-                 to the consumer, the producer starts a fresh one *)
-              outbuf.(cid).(dest) <- fresh_frame cid;
-              send ~dest cid buf
-          end
-        done
-      done
-    in
-    (* per-source tuple counts of the current drain, for arrival stats *)
-    let drained_from = Array.make n 0 in
-    let merge_batch (b : batch) =
-      inject Fault.Merge ~worker:me;
-      heartbeats.(me) <- heartbeats.(me) + 1;
-      let store = my_stores.(b.bcopy) in
-      (* records are folded in straight from the packed frame: absorbed
-         candidates never exist as heap objects on the consumer side *)
-      Frame.iter b.bframe (fun data ~toff ~clen ~coff ->
-          match Rec_store.merge_slice store ~data ~off:toff ~cdata:data ~coff ~clen with
-          | Some fresh -> push_delta b.bcopy fresh
-          | None -> ());
-      drained_from.(b.bsrc) <- drained_from.(b.bsrc) + Frame.count b.bframe
-    in
-    let drain_and_merge () =
-      Array.fill drained_from 0 n 0;
-      (match (spsc_queues, locked_queues) with
-      | Some q, _ ->
-        for j = 0 to n - 1 do
-          ignore (Chunk_queue.drain q.(me).(j) merge_batch)
-        done
-      | None, Some q -> ignore (Locked_queue.drain q.(me) merge_batch)
-      | None, None -> assert false);
-      let total = ref 0 in
-      let now = ref 0. in
-      for j = 0 to n - 1 do
-        let cnt = drained_from.(j) in
-        if cnt > 0 then begin
-          ignore (Atomic.fetch_and_add occupancy.(me).(j) (-cnt));
-          (* one clock read per drain, not per tuple: the arrival model
-             keeps its per-batch framing (see Qmodel) *)
-          if !now = 0. then now := Clock.now ();
-          Qmodel.record_arrival qm ~from:j ~now:!now ~count:cnt;
-          total := !total + cnt
-        end
-      done;
-      if !total > 0 then begin
-        (* Become visibly active BEFORE recording consumption: a peer whose
-           quiescence snapshot includes these consumed counts must also see
-           this worker active, or it could exit while we still hold
-           unprocessed tuples and go on to send to it. *)
-        Termination.set_active term ~worker:me true;
-        Termination.consumed term ~worker:me !total
-      end;
-      !total
-    in
-    let delta_size () = Array.fold_left (fun acc a -> acc + Arena.length a) 0 deltas in
-    let frozen () = config.max_iterations > 0 && ws.iterations >= config.max_iterations in
-    (* Delta rules prepared once per worker: recursive lookups and the
-       scanned copy resolve to integer ids here, at setup time. *)
-    let emits =
-      List.map
-        (fun (cr : Physical.compiled_rule) ->
-          let scan_cid =
-            match cr.scan with
-            | Physical.S_delta { pred; route; _ } -> copy_id pred route
-            | Physical.S_base _ | Physical.S_unit -> assert false
-          in
-          (scan_cid, Eval.prepare cr ctx ~emit:(emit_for cr.head.hpred)))
-        sp.delta_rules
-    in
-    let run_iteration () =
-      let t0 = Clock.now () in
-      let processed = ref 0 in
-      List.iter
-        (fun (scan_cid, prepared) ->
-          let batch = deltas.(scan_cid) in
-          if not (Arena.is_empty batch) then begin
-            heartbeats.(me) <- heartbeats.(me) + 1;
-            processed := !processed + Eval.run_prepared prepared ~scan:(`Flat batch)
-          end)
-        emits;
-      clear_deltas ();
-      flush_outgoing ();
-      let dt = Clock.now () -. t0 in
-      ws.busy_time <- ws.busy_time +. dt;
-      ws.tuples_processed <- ws.tuples_processed + !processed;
-      Qmodel.record_service qm ~tuples:!processed ~elapsed:dt;
-      ws.iterations <- ws.iterations + 1;
-      Atomic.incr iter_counts.(me)
-    in
-    let timed_wait f =
-      let t0 = Clock.now () in
-      f ();
-      ws.wait_time <- ws.wait_time +. (Clock.now () -. t0)
-    in
-    (* --- initialization: base rules over striped scans --- *)
-    List.iter
-      (fun (cr : Physical.compiled_rule) ->
-        let prepared = Eval.prepare cr ctx ~emit:(emit_for cr.head.hpred) in
-        match cr.scan with
-        | Physical.S_unit -> if me = 0 then ignore (Eval.run_prepared prepared ~scan:`Unit)
-        | Physical.S_base { pred; _ } ->
-          let src = List.assoc pred scan_sources in
-          let len = Arena.length src and arity = Arena.arity src in
-          let sdata = Arena.data src in
-          let stripe = Arena.create ~capacity:((len / n) + 1) ~arity () in
-          let k = ref me in
-          while !k < len do
-            ignore (Arena.push_slice stripe sdata (!k * arity));
-            k := !k + n
-          done;
-          ws.tuples_processed <-
-            ws.tuples_processed + Eval.run_prepared prepared ~scan:(`Flat stripe)
-        | Physical.S_delta _ -> assert false)
-      sp.init_rules;
-    flush_outgoing ();
-
-    (* --- iteration loops per strategy --- *)
-    (* A worker that observes cancellation (deadline, external token,
-       watchdog) exits its loop quietly via [Poisoned] after poisoning
-       the barrier, so peers blocked in [await] wake too; the structured
-       error is raised once, after the join. *)
-    let bail_if_cancelled () =
-      if Atomic.get failed || Cancel.check token then begin
-        Barrier.poison barrier;
-        raise Dcd_concurrent.Barrier.Poisoned
-      end
-    in
-    (match config.strategy with
-    | Coord.Global ->
-      let continue_ = ref true in
-      while !continue_ do
-        inject Fault.Loop ~worker:me;
-        bail_if_cancelled ();
-        timed_wait (fun () -> Barrier.await barrier);
-        ignore (drain_and_merge ());
-        if frozen () then clear_deltas ();
-        Atomic.set nonempty.(me) (delta_size () > 0);
-        timed_wait (fun () -> Barrier.await barrier);
-        let any = Array.exists Atomic.get nonempty in
-        if not any then continue_ := false
-        else if Atomic.get nonempty.(me) then run_iteration ()
-      done
-    | Coord.Ssp s ->
-      let backoff = Backoff.create () in
-      let continue_ = ref true in
-      while !continue_ do
-        inject Fault.Loop ~worker:me;
-        bail_if_cancelled ();
-        ignore (drain_and_merge ());
-        if frozen () then clear_deltas ();
-        if delta_size () = 0 then begin
-          Termination.set_active term ~worker:me false;
-          inject Fault.Quiesce ~worker:me;
-          if Termination.quiescent term then continue_ := false
-          else timed_wait (fun () -> Backoff.once backoff)
-        end
-        else begin
-          Termination.set_active term ~worker:me true;
-          Backoff.reset backoff;
-          (* bounded staleness gate: at most [s] iterations ahead of the
-             slowest still-active worker *)
-          let min_active () =
-            let m = ref max_int in
-            for j = 0 to n - 1 do
-              if j = me || Termination.is_active term ~worker:j then
-                m := min !m (Atomic.get iter_counts.(j))
-            done;
-            !m
-          in
-          while
-            (not (Atomic.get failed || Cancel.is_set token))
-            && Atomic.get iter_counts.(me) - min_active () > s
-          do
-            timed_wait (fun () ->
-                Unix.sleepf 0.0002;
-                ignore (drain_and_merge ()))
-          done;
-          run_iteration ()
-        end
-      done
-    | Coord.Dws opts ->
-      let backoff = Backoff.create () in
-      let continue_ = ref true in
-      while !continue_ do
-        inject Fault.Loop ~worker:me;
-        bail_if_cancelled ();
-        ignore (drain_and_merge ());
-        if frozen () then clear_deltas ();
-        if delta_size () = 0 then begin
-          Termination.set_active term ~worker:me false;
-          inject Fault.Quiesce ~worker:me;
-          if Termination.quiescent term then continue_ := false
-          else timed_wait (fun () -> Backoff.once backoff)
-        end
-        else begin
-          Termination.set_active term ~worker:me true;
-          Backoff.reset backoff;
-          let buffer_sizes = inbox_sizes ~dest:me in
-          let decision = Qmodel.decide qm ~buffer_sizes in
-          let sz = delta_size () in
-          if float_of_int sz < decision.omega then begin
-            (* wait up to τ (capped) for the delta to reach ω, collecting
-               arriving tuples meanwhile; resume on timeout *)
-            let deadline = Clock.now () +. Float.min decision.tau opts.tau_cap in
-            let waiting = ref true in
-            while !waiting do
-              if Atomic.get failed || Cancel.is_set token then waiting := false
-              else if Clock.now () >= deadline then waiting := false
-              else begin
-                timed_wait (fun () -> Unix.sleepf opts.poll_interval);
-                ignore (drain_and_merge ());
-                if float_of_int (delta_size ()) >= decision.omega then waiting := false
-              end
-            done
-          end;
-          run_iteration ();
-          Qmodel.decay qm opts.decay
-        end
-      done);
-    ()
-  in
-  (* Fault containment: if a worker dies (plan bug, arithmetic fault in a
-     hook, OOM, injected crash), its peers must not wait for it forever —
-     poison the barrier and raise a flag the barrier-free strategies
-     poll.  Peers that die of the poisoning return quietly, so the
-     failures [Domain_pool.run_collect] hands back are all genuine
+  let sx = Worker.make_stratum ~catalog ~copies ~h ~partial_agg:config.partial_agg sp in
+  let recursive = sp.stratum.kind <> Analysis.Nonrecursive in
+  let setup = Clock.now () -. t0 in
+  (* arm the run guardian on this stratum's state *)
+  let idle = ref 0 in
+  Atomic.set monitor
+    (Some
+       {
+         g_progress =
+           (if recursive then fun () ->
+              let term = Exchange.term exch in
+              let acc = ref (Termination.total_sent term + Termination.total_consumed term) in
+              for w = 0 to n - 1 do
+                acc := !acc + shared.Worker.heartbeats.(w) + Atomic.get shared.Worker.iter_counts.(w)
+              done;
+              !acc
+            else fun () ->
+              (* non-recursive strata have no quiescence protocol to
+                 livelock; keep the stall window quiet and let the tick
+                 handle cancellation *)
+              incr idle;
+              !idle);
+         g_stall =
+           (fun () ->
+             stall_diag :=
+               Some
+                 (Worker.stall_snapshot shared
+                    ~strategy:(Coord.to_string config.strategy)
+                    ~window:(Option.value config.coord.stall_window ~default:0.));
+             ignore (Cancel.cancel token Cancel.Stall);
+             Barrier.poison shared.Worker.barrier);
+         g_tick = (fun () -> if Cancel.check token then Barrier.poison shared.Worker.barrier);
+       });
+  (* Fault containment: if a worker dies (plan bug, arithmetic fault in
+     a hook, OOM, injected crash), its peers must not wait for it
+     forever — poison the barrier and raise a flag the barrier-free
+     strategies poll.  Peers that die of the poisoning return quietly,
+     so the failures [Domain_pool.submit] hands back are all genuine
      origins, never poisoned bystanders. *)
+  let t1 = Clock.now () in
   let worker me =
-    try worker_body me with
-    | Dcd_concurrent.Barrier.Poisoned -> ()
+    let body () =
+      let w =
+        Worker.create ~shared ~scratch:scratches.(me) ~stratum:sx ~me ~stores:stores.(me)
+          ~ws:wstats.(me)
+      in
+      Worker.run_init w;
+      if recursive then Strategy.run config.strategy w else Worker.finish_nonrecursive w;
+      Worker.recycle w
+    in
+    try body () with
+    | Barrier.Poisoned -> ()
     | e ->
       let bt = Printexc.get_raw_backtrace () in
-      Atomic.set failed true;
+      Atomic.set shared.Worker.failed true;
       ignore (Cancel.cancel token Cancel.Peer_crash);
-      Barrier.poison barrier;
+      Barrier.poison shared.Worker.barrier;
       Printexc.raise_with_backtrace e bt
   in
-  (* Guardian domain: stall watchdog + deadline/external-cancel poller.
-     Spawned only when some guard is armed, so an unguarded run pays
-     nothing.  Progress is useful work only (heartbeats, exchange
-     counters, iterations); idle spinning does not count, which is what
-     makes a quiescence livelock visible as a flat line. *)
-  let stall_diag : Engine_error.stall_diagnostic option ref = ref None in
-  let inbox_batches ~dest =
-    match (spsc_queues, locked_queues) with
-    | Some q, _ -> Array.fold_left (fun acc s -> acc + Chunk_queue.size s) 0 q.(dest)
-    | None, Some q -> Dcd_concurrent.Locked_queue.size q.(dest)
-    | None, None -> 0
-  in
-  let snapshot window =
-    {
-      Engine_error.stall_window = window;
-      stall_strategy = Coord.to_string config.strategy;
-      stall_sent = Termination.total_sent term;
-      stall_consumed = Termination.total_consumed term;
-      stall_workers =
-        Array.init n (fun w ->
-            {
-              Engine_error.ws_worker = w;
-              ws_active = Termination.is_active term ~worker:w;
-              ws_iterations = Atomic.get iter_counts.(w);
-              ws_consumed = Termination.consumed_of term ~worker:w;
-              ws_inbox_tuples = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 occupancy.(w);
-              ws_inbox_batches = inbox_batches ~dest:w;
-            });
-    }
-  in
-  let guard = config.coord in
-  let need_guardian =
-    guard.stall_window <> None || guard.cancel <> None || Cancel.deadline token <> None
-  in
-  let guardian =
-    if not need_guardian then None
-    else
-      let window = Option.value guard.stall_window ~default:infinity in
-      Some
-        (Watchdog.spawn ~window ~poll:guard.stall_poll
-           ~progress:(fun () ->
-             let acc = ref (Termination.total_sent term + Termination.total_consumed term) in
-             for w = 0 to n - 1 do
-               acc := !acc + heartbeats.(w) + Atomic.get iter_counts.(w)
-             done;
-             !acc)
-           ~on_stall:(fun () ->
-             stall_diag := Some (snapshot (Option.value guard.stall_window ~default:0.));
-             ignore (Cancel.cancel token Cancel.Stall);
-             Barrier.poison barrier)
-           ~on_tick:(fun () -> if Cancel.check token then Barrier.poison barrier)
-           ())
-  in
-  let pool_result =
-    Fun.protect
-      ~finally:(fun () -> Option.iter Watchdog.stop guardian)
-      (fun () -> Domain_pool.run_collect ~workers:n worker)
-  in
+  let pool_result = Domain_pool.submit pool worker in
+  Atomic.set monitor None;
   (match pool_result with
-  | Ok _ -> ()
+  | Ok () -> ()
   | Error failures ->
     let crashes =
       List.map
@@ -826,12 +211,13 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
     | Some d -> raise (Engine_error.Error (Stalled d))
     | None -> raise_cancelled token
   end;
-
+  let evaluate = Clock.now () -. t1 in
   (* --- materialize the primary-route union into the catalog --- *)
+  let t2 = Clock.now () in
   List.iter
     (fun (pp : Physical.pred_plan) ->
       let primary = List.hd pp.routes in
-      let cid = copy_id pp.pred primary in
+      let cid = Exchange.copy_id copies pp.pred primary in
       let total = ref 0 in
       for w = 0 to n - 1 do
         total := !total + Rec_store.length stores.(w).(cid)
@@ -842,11 +228,15 @@ let eval_recursive (plan : Physical.t) catalog (sp : Physical.stratum_plan) conf
       done;
       Catalog.add_relation catalog rel)
     sp.pred_plans;
+  let materialize = Clock.now () -. t2 in
   Run_stats.add_stratum stats
     {
       Run_stats.preds = sp.stratum.preds;
       kind = Analysis.recursion_kind_to_string sp.stratum.kind;
       wall = Clock.now () -. t0;
+      setup;
+      evaluate;
+      materialize;
       workers = wstats;
     }
 
@@ -880,15 +270,56 @@ let run (plan : Physical.t) ~edb ~config =
   List.iter
     (fun pred -> ignore (Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred)))
     plan.Physical.info.edb;
-  List.iter
-    (fun (sp : Physical.stratum_plan) ->
-      if Cancel.check token then raise_cancelled token;
-      if sp.stratum.kind = Analysis.Nonrecursive then
-        eval_nonrecursive plan catalog sp config ~token stats
-      else eval_recursive plan catalog sp config ~token stats)
-    plan.Physical.strata;
-  stats.Run_stats.total_wall <- Clock.now () -. t0;
-  { catalog; stats }
+  (* The persistent runtime: [workers] domains spawned once, every
+     stratum submitted to the same pool; per-worker scratch carries
+     across strata; one fault schedule and at most one guardian domain
+     per run. *)
+  let n = config.workers in
+  let pool = Domain_pool.create ~workers:n in
+  let scratches = Array.init n (fun _ -> Worker.make_scratch ~workers:n ()) in
+  let fault = Option.map (Fault.create ~workers:n) config.fault in
+  let monitor : monitor option Atomic.t = Atomic.make None in
+  let stall_diag : Engine_error.stall_diagnostic option ref = ref None in
+  let guard = config.coord in
+  let need_guardian =
+    guard.stall_window <> None || guard.cancel <> None || Cancel.deadline token <> None
+  in
+  let idle = ref 0 in
+  let guardian =
+    if not need_guardian then None
+    else
+      let window = Option.value guard.stall_window ~default:infinity in
+      Some
+        (Watchdog.spawn ~window ~poll:guard.stall_poll
+           ~progress:(fun () ->
+             match Atomic.get monitor with
+             | Some m -> m.g_progress ()
+             | None ->
+               incr idle;
+               !idle)
+           ~on_stall:(fun () ->
+             match Atomic.get monitor with
+             | Some m -> m.g_stall ()
+             | None -> ())
+           ~on_tick:(fun () ->
+             match Atomic.get monitor with
+             | Some m -> m.g_tick ()
+             | None -> ())
+           ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter Watchdog.stop guardian;
+      Domain_pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun (sp : Physical.stratum_plan) ->
+          if Cancel.check token then raise_cancelled token;
+          eval_stratum plan catalog sp config ~pool ~scratches ~fault ~monitor ~stall_diag
+            ~token stats)
+        plan.Physical.strata;
+      stats.Run_stats.total_wall <- Clock.now () -. t0;
+      { catalog; stats })
 
 let relation_vec result name =
   match Catalog.find result.catalog name with

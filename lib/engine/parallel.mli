@@ -1,25 +1,28 @@
 (** Parallel bottom-up evaluation of a compiled program (paper §4, §6).
 
-    Strata are evaluated in dependency order.  Non-recursive strata run
-    single-threaded over the shared catalog.  Each recursive stratum is
-    evaluated by [workers] OCaml domains:
+    This module is the thin stratum orchestrator over the layered
+    runtime: it owns the run-wide resources — one persistent
+    {!Dcd_concurrent.Domain_pool} of [workers] domains, the per-worker
+    {!Worker.scratch}, the fault schedule and the watchdog guardian —
+    and submits each stratum (in dependency order) as one job per pool
+    worker.  The evaluation machinery itself lives below:
 
-    - every recursive predicate is partitioned across workers under each
-      of its plan routes ({!Rec_store});
-    - workers exchange delta tuples through a matrix of unbounded SPSC
-      queues [M_i^j] (§6.1).  Tuples travel in {e batches}: each flush
-      ships one message object per (copy, destination) carrying every
-      tuple produced for it, so the queue push and the
-      termination-counter updates are amortized over the whole batch
-      rather than paid per tuple.  Global-fixpoint detection stays
-      tuple-denominated (a batch of [k] tuples bumps the sent counter by
-      [k] in a single atomic add);
-    - the iteration structure is controlled by the configured
-      {!Coord.t} strategy — [Global] barriers, [Ssp s] bounded
-      staleness, or [Dws] with the {!Qmodel} controller (Algorithm 2);
-    - the Distribute side optionally pre-combines min/max candidates per
-      group and deduplicates set tuples per outgoing batch (partial
-      aggregation, §5.2.3).
+    - {!Exchange} — the inter-worker tuple fabric (SPSC matrix or
+      locked-queue ablation), batching, occupancy and termination
+      accounting;
+    - {!Distribute} — the emit side: head-target routing into per-copy ×
+      per-destination frames, partial aggregation and set dedup at flush;
+    - {!Worker} — per-worker stores, delta arenas, prepared rule
+      pipelines, and the step primitives (init scan striping,
+      drain/merge, one semi-naive iteration);
+    - {!Strategy} — the coordination loops driving those steps: [Global]
+      barriers, [Ssp s] bounded staleness, or [Dws] with the {!Qmodel}
+      controller (Algorithm 2).
+
+    Both recursive and non-recursive strata evaluate on the same pool:
+    non-recursive strata stripe their init-rule scans across the workers
+    and converge after a single exchange round.  Domains are spawned
+    exactly once per run, regardless of how many strata the program has.
 
     After a stratum reaches its global fixpoint, the union of its
     primary-route partitions is materialized into the catalog, where
@@ -31,7 +34,7 @@
     coarse-grained alternative the paper argues against — one
     mutex-protected multi-producer queue per destination — kept so the
     claim can be measured as an ablation. *)
-type exchange =
+type exchange = Exchange.kind =
   | Spsc_exchange
   | Locked_exchange
 
@@ -78,7 +81,9 @@ val run :
   config:config ->
   result
 (** Evaluates the program over the given EDB.  Relation names absent
-    from [edb] but used as base tables evaluate as empty.
+    from [edb] but used as base tables evaluate as empty.  Spawns the
+    worker pool (and the guardian, if any run guard is armed) once, and
+    always tears both down before returning or raising.
     @raise Invalid_argument on arity mismatches in [edb].
     @raise Engine_error.Error when the run is cancelled (deadline or
     token), a worker crashes (the error names the faulting worker, with

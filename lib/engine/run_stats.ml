@@ -12,6 +12,9 @@ type stratum = {
   preds : string list;
   kind : string;
   wall : float;
+  setup : float;
+  evaluate : float;
+  materialize : float;
   workers : worker array;
 }
 
@@ -65,8 +68,8 @@ let pp fmt t =
     t.total_wall (total_iterations t) (total_wait t) (total_sent t);
   List.iter
     (fun s ->
-      Format.fprintf fmt "  stratum {%s} (%s): %.3fs@." (String.concat "," s.preds) s.kind
-        s.wall;
+      Format.fprintf fmt "  stratum {%s} (%s): %.3fs (setup %.3fs, evaluate %.3fs, materialize %.3fs)@."
+        (String.concat "," s.preds) s.kind s.wall s.setup s.evaluate s.materialize;
       Array.iteri
         (fun i w ->
           Format.fprintf fmt

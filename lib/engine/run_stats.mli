@@ -24,7 +24,12 @@ type worker = {
 type stratum = {
   preds : string list;
   kind : string;
-  wall : float;
+  wall : float; (** end-to-end stratum time (setup + evaluate + materialize) *)
+  setup : float;
+      (** plan/copy-table construction, index prebuild, store and
+          exchange allocation — everything before the pool round starts *)
+  evaluate : float; (** the pool round: workers inside the fixpoint *)
+  materialize : float; (** union of the partitions into the catalog *)
   workers : worker array;
 }
 

@@ -1,0 +1,122 @@
+module Clock = Dcd_util.Clock
+module Barrier = Dcd_concurrent.Barrier
+module Backoff = Dcd_concurrent.Backoff
+module Termination = Dcd_concurrent.Termination
+module Cancel = Dcd_concurrent.Cancel
+module Fault = Dcd_concurrent.Fault
+
+(* Algorithm 1: a barrier after every global iteration.  The first
+   barrier closes the exchange round (every peer has flushed), the
+   second publishes the per-worker nonempty votes that decide global
+   termination. *)
+let global w =
+  let sh = Worker.shared w in
+  let me = Worker.me w in
+  let continue_ = ref true in
+  while !continue_ do
+    Worker.inject w Fault.Loop;
+    Worker.bail_if_cancelled w;
+    Worker.timed_wait w (fun () -> Barrier.await sh.Worker.barrier);
+    ignore (Worker.drain_and_merge w);
+    if Worker.frozen w then Worker.clear_deltas w;
+    Atomic.set sh.Worker.nonempty.(me) (Worker.delta_size w > 0);
+    Worker.timed_wait w (fun () -> Barrier.await sh.Worker.barrier);
+    let any = Array.exists Atomic.get sh.Worker.nonempty in
+    if not any then continue_ := false
+    else if Atomic.get sh.Worker.nonempty.(me) then Worker.run_iteration w
+  done
+
+(* Stale-synchronous: at most [s] local iterations ahead of the slowest
+   still-active worker. *)
+let ssp w s =
+  let sh = Worker.shared w in
+  let me = Worker.me w in
+  let term = Exchange.term sh.Worker.exch in
+  let backoff = Backoff.create () in
+  let continue_ = ref true in
+  while !continue_ do
+    Worker.inject w Fault.Loop;
+    Worker.bail_if_cancelled w;
+    ignore (Worker.drain_and_merge w);
+    if Worker.frozen w then Worker.clear_deltas w;
+    if Worker.delta_size w = 0 then begin
+      Termination.set_active term ~worker:me false;
+      Worker.inject w Fault.Quiesce;
+      if Termination.quiescent term then continue_ := false
+      else Worker.timed_wait w (fun () -> Backoff.once backoff)
+    end
+    else begin
+      Termination.set_active term ~worker:me true;
+      Backoff.reset backoff;
+      (* bounded staleness gate *)
+      let min_active () =
+        let m = ref max_int in
+        for j = 0 to sh.Worker.n - 1 do
+          if j = me || Termination.is_active term ~worker:j then
+            m := min !m (Atomic.get sh.Worker.iter_counts.(j))
+        done;
+        !m
+      in
+      while
+        (not (Atomic.get sh.Worker.failed || Cancel.is_set sh.Worker.token))
+        && Atomic.get sh.Worker.iter_counts.(me) - min_active () > s
+      do
+        Worker.timed_wait w (fun () ->
+            Unix.sleepf 0.0002;
+            ignore (Worker.drain_and_merge w))
+      done;
+      Worker.run_iteration w
+    end
+  done
+
+(* Algorithm 2: no global coordination — the queueing model decides,
+   per pass, whether to wait up to τ for the pending delta to reach ω
+   tuples or to proceed immediately. *)
+let dws w (opts : Coord.dws_opts) =
+  let sh = Worker.shared w in
+  let me = Worker.me w in
+  let term = Exchange.term sh.Worker.exch in
+  let backoff = Backoff.create () in
+  let continue_ = ref true in
+  while !continue_ do
+    Worker.inject w Fault.Loop;
+    Worker.bail_if_cancelled w;
+    ignore (Worker.drain_and_merge w);
+    if Worker.frozen w then Worker.clear_deltas w;
+    if Worker.delta_size w = 0 then begin
+      Termination.set_active term ~worker:me false;
+      Worker.inject w Fault.Quiesce;
+      if Termination.quiescent term then continue_ := false
+      else Worker.timed_wait w (fun () -> Backoff.once backoff)
+    end
+    else begin
+      Termination.set_active term ~worker:me true;
+      Backoff.reset backoff;
+      let decision = Worker.decide w in
+      let sz = Worker.delta_size w in
+      if float_of_int sz < decision.Qmodel.omega then begin
+        (* wait up to τ (capped) for the delta to reach ω, collecting
+           arriving tuples meanwhile; resume on timeout *)
+        let deadline = Clock.now () +. Float.min decision.Qmodel.tau opts.tau_cap in
+        let waiting = ref true in
+        while !waiting do
+          if Atomic.get sh.Worker.failed || Cancel.is_set sh.Worker.token then waiting := false
+          else if Clock.now () >= deadline then waiting := false
+          else begin
+            Worker.timed_wait w (fun () -> Unix.sleepf opts.poll_interval);
+            ignore (Worker.drain_and_merge w);
+            if float_of_int (Worker.delta_size w) >= decision.Qmodel.omega then
+              waiting := false
+          end
+        done
+      end;
+      Worker.run_iteration w;
+      Worker.decay_model w opts.decay
+    end
+  done
+
+let run strategy w =
+  match strategy with
+  | Coord.Global -> global w
+  | Coord.Ssp s -> ssp w s
+  | Coord.Dws opts -> dws w opts

@@ -1,0 +1,19 @@
+(** The coordination-strategy driver: runs one worker's fixpoint loop
+    under the configured {!Coord.t}, driving the {!Worker} step
+    primitives ([drain_and_merge], [run_iteration], quiescence and
+    staleness bookkeeping) until the stratum's global fixpoint.
+
+    - [Global] — Algorithm 1 double-barrier rounds with nonempty votes;
+    - [Ssp s] — bounded staleness over the shared iteration counters;
+    - [Dws] — Algorithm 2: the {!Qmodel} controller decides per pass
+      whether to wait up to τ for ω pending tuples or proceed.
+
+    All three poll the failed flag and the cancellation token once per
+    pass and exit through the barrier-poisoning path
+    ({!Worker.bail_if_cancelled}), so a crash, deadline, stall or
+    external cancel tears the whole round down without a hang. *)
+
+val run : Coord.t -> Worker.t -> unit
+(** Runs this worker to the stratum's global fixpoint (or until
+    poisoned — {!Dcd_concurrent.Barrier.Poisoned} escapes to the
+    caller's containment wrapper). *)

@@ -1,0 +1,414 @@
+open Dcd_planner
+module Tuple = Dcd_storage.Tuple
+module Arena = Dcd_storage.Arena
+module Relation = Dcd_storage.Relation
+module Partition = Dcd_storage.Partition
+module Frame = Dcd_concurrent.Frame
+module Clock = Dcd_util.Clock
+module Barrier = Dcd_concurrent.Barrier
+module Termination = Dcd_concurrent.Termination
+module Cancel = Dcd_concurrent.Cancel
+module Fault = Dcd_concurrent.Fault
+
+(* --- persistent scratch: survives from stratum to stratum --- *)
+
+(* Everything a worker allocates per stratum that the next stratum can
+   reuse: the queueing model (reset, same producer count), the drain
+   counting array, and free lists of cleared delta arenas and exchange
+   frames keyed by their shape.  Owned by one worker index for the whole
+   run; only that pool domain touches it during evaluation. *)
+type scratch = {
+  qm : Qmodel.t;
+  drained_from : int array;
+  mutable spare_arenas : Arena.t list;
+  mutable spare_frames : Frame.t list;
+}
+
+let make_scratch ~workers () =
+  {
+    qm = Qmodel.create ~producers:workers ();
+    drained_from = Array.make workers 0;
+    spare_arenas = [];
+    spare_frames = [];
+  }
+
+let take_arena sc ~arity =
+  let rec pick acc = function
+    | [] -> Arena.create ~arity ()
+    | a :: rest when Arena.arity a = arity ->
+      sc.spare_arenas <- List.rev_append acc rest;
+      Arena.clear a;
+      a
+    | a :: rest -> pick (a :: acc) rest
+  in
+  pick [] sc.spare_arenas
+
+let give_arena sc a = sc.spare_arenas <- a :: sc.spare_arenas
+
+let take_frame sc ~arity ~contrib =
+  let rec pick acc = function
+    | [] -> Frame.create ~arity ~contrib ()
+    | f :: rest when Frame.arity f = arity && Frame.has_contrib f = contrib ->
+      sc.spare_frames <- List.rev_append acc rest;
+      Frame.clear f;
+      f
+    | f :: rest -> pick (f :: acc) rest
+  in
+  pick [] sc.spare_frames
+
+let give_frame sc f = sc.spare_frames <- f :: sc.spare_frames
+
+(* --- per-stratum shared coordination state --- *)
+
+type shared = {
+  n : int;
+  exch : Exchange.t;
+  barrier : Barrier.t;
+  failed : bool Atomic.t;
+  token : Cancel.t;
+  (* Per-worker heartbeats of *useful* work (rules evaluated, batches
+     merged), bumped only between units of real progress: an idle worker
+     spinning through backoff does not beat, so a quiescence livelock
+     goes flat and the watchdog can see it.  Plain ints read racily by
+     the watchdog domain — staleness only widens the window slightly. *)
+  heartbeats : int array;
+  iter_counts : int Atomic.t array;
+  nonempty : bool Atomic.t array;
+  inject : Fault.site -> worker:int -> unit;
+  max_iterations : int;
+}
+
+let make_shared ~exch ~token ~fault ~max_iterations =
+  let n = Exchange.workers exch in
+  let failed = Atomic.make false in
+  (* Fault injection: [inject] is a no-op closure when disabled, so the
+     sites cost one static call on a frame/batch/loop-pass granularity —
+     never per tuple. *)
+  let inject =
+    match fault with
+    | None -> fun _site ~worker:_ -> ()
+    | Some f ->
+      Fault.set_stop f (fun () -> Atomic.get failed || Cancel.is_set token);
+      fun site ~worker -> Fault.hit f site ~worker
+  in
+  {
+    n;
+    exch;
+    barrier = Barrier.create n;
+    failed;
+    token;
+    heartbeats = Array.make n 0;
+    iter_counts = Array.init n (fun _ -> Atomic.make 0);
+    nonempty = Array.init n (fun _ -> Atomic.make false);
+    inject;
+    max_iterations;
+  }
+
+(* --- per-stratum compiled context, shared read-only by all workers --- *)
+
+type stratum_ctx = {
+  sx_catalog : Catalog.t;
+  sx_copies : Exchange.copy_info array;
+  sx_h : Partition.t;
+  sx_partial_agg : bool;
+  sx_init : (Physical.compiled_rule * int array) list;
+  sx_delta : (Physical.compiled_rule * int array * int) list;
+  sx_scan_sources : (string * Arena.t) list;
+}
+
+(* Flat scan source for a whole relation: init rules scan relations
+   through an arena cursor striped across workers, not a boxed-tuple
+   vector. *)
+let arena_of_relation rel =
+  let a =
+    Arena.create ~capacity:(max 1 (Relation.length rel)) ~arity:(Relation.arity rel) ()
+  in
+  Relation.iter_slices rel (fun data off -> ignore (Arena.push_slice a data off));
+  a
+
+let make_stratum ~catalog ~copies ~h ~partial_agg (sp : Physical.stratum_plan) =
+  (* distribution targets per head predicate, resolved once per stratum:
+     the emit path indexes an int array, never a string lookup *)
+  let head_targets =
+    List.map
+      (fun (pp : Physical.pred_plan) ->
+        (pp.pred, Array.of_list (Exchange.copies_of_pred copies pp.pred)))
+      sp.pred_plans
+  in
+  let targets_of pred = List.assoc pred head_targets in
+  {
+    sx_catalog = catalog;
+    sx_copies = copies;
+    sx_h = h;
+    sx_partial_agg = partial_agg;
+    sx_init =
+      List.map
+        (fun (cr : Physical.compiled_rule) -> (cr, targets_of cr.head.hpred))
+        sp.init_rules;
+    sx_delta =
+      List.map
+        (fun (cr : Physical.compiled_rule) ->
+          let scan_cid =
+            match cr.scan with
+            | Physical.S_delta { pred; route; _ } -> Exchange.copy_id copies pred route
+            | Physical.S_base _ | Physical.S_unit -> assert false
+          in
+          (cr, targets_of cr.head.hpred, scan_cid))
+        sp.delta_rules;
+    sx_scan_sources =
+      List.filter_map
+        (fun (cr : Physical.compiled_rule) ->
+          match cr.scan with
+          | Physical.S_base { pred; _ } ->
+            Some (pred, arena_of_relation (Catalog.get catalog pred))
+          | Physical.S_delta _ | Physical.S_unit -> None)
+        sp.init_rules;
+  }
+
+let stall_snapshot sh ~strategy ~window =
+  let term = Exchange.term sh.exch in
+  {
+    Engine_error.stall_window = window;
+    stall_strategy = strategy;
+    stall_sent = Termination.total_sent term;
+    stall_consumed = Termination.total_consumed term;
+    stall_workers =
+      Array.init sh.n (fun w ->
+          {
+            Engine_error.ws_worker = w;
+            ws_active = Termination.is_active term ~worker:w;
+            ws_iterations = Atomic.get sh.iter_counts.(w);
+            ws_consumed = Termination.consumed_of term ~worker:w;
+            ws_inbox_tuples = Exchange.inbox_tuples sh.exch ~dest:w;
+            ws_inbox_batches = Exchange.inbox_batches sh.exch ~dest:w;
+          });
+  }
+
+(* --- the worker --- *)
+
+type t = {
+  sh : shared;
+  sc : scratch;
+  sx : stratum_ctx;
+  me : int;
+  ws : Run_stats.worker;
+  stores : Rec_store.t array;
+  deltas : Arena.t array;
+  (* Per-iteration group index for aggregate copies: the Gather operator
+     emits ONE delta entry per changed group, holding the current
+     aggregate (paper Example 6.1).  Without this, a group improved k
+     times in one gather would be scanned k times, which explodes
+     quadratically on high-degree vertices. *)
+  delta_groups : (Tuple.t, int) Hashtbl.t option array;
+  dist : Distribute.t;
+  emits : (int * Eval.prepared) list; (* scanned copy id, prepared delta rule *)
+  init_rules : (Physical.compiled_rule * Eval.prepared) list;
+  mutable on_batch : Exchange.batch -> unit;
+}
+
+let me t = t.me
+
+let shared t = t.sh
+
+let stats t = t.ws
+
+let push_delta w cid (fresh : Tuple.t) =
+  match w.delta_groups.(cid) with
+  | None -> ignore (Arena.push w.deltas.(cid) fresh)
+  | Some groups -> (
+    let pos, _ = Option.get w.sx.sx_copies.(cid).Exchange.ci_agg in
+    let group = Tuple.group_key fresh ~agg_pos:pos in
+    match Hashtbl.find_opt groups group with
+    | Some slot -> Arena.set_slot w.deltas.(cid) slot fresh
+    | None ->
+      Hashtbl.add groups group (Arena.length w.deltas.(cid));
+      ignore (Arena.push w.deltas.(cid) fresh))
+
+let merge_batch w (b : Exchange.batch) =
+  w.sh.inject Fault.Merge ~worker:w.me;
+  w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
+  let store = w.stores.(b.bcopy) in
+  (* records are folded in straight from the packed frame: absorbed
+     candidates never exist as heap objects on the consumer side *)
+  Frame.iter b.bframe (fun data ~toff ~clen ~coff ->
+      match Rec_store.merge_slice store ~data ~off:toff ~cdata:data ~coff ~clen with
+      | Some fresh -> push_delta w b.bcopy fresh
+      | None -> ())
+
+let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores ~ws =
+  let copies = sx.sx_copies in
+  let deltas = Array.map (fun ci -> take_arena sc ~arity:ci.Exchange.ci_arity) copies in
+  let delta_groups =
+    Array.map
+      (fun ci ->
+        match ci.Exchange.ci_agg with
+        | Some _ -> Some (Hashtbl.create 64 : (Tuple.t, int) Hashtbl.t)
+        | None -> None)
+      copies
+  in
+  let dist =
+    Distribute.create ~exch:sh.exch ~me ~h:sx.sx_h ~partial_agg:sx.sx_partial_agg
+      ~take_frame:(fun ~arity ~contrib -> take_frame sc ~arity ~contrib)
+  in
+  let ctx =
+    {
+      Eval.base_iter =
+        (fun pred f -> Relation.iter_slices (Catalog.get sx.sx_catalog pred) f);
+      base_index =
+        (fun pred cols ->
+          match Relation.find_index (Catalog.get sx.sx_catalog pred) ~key_cols:cols with
+          | Some idx -> idx
+          | None ->
+            (* Parallel.prebuild_indexes guarantees this cannot happen *)
+            assert false);
+      rec_resolve = (fun ~pred ~route -> Exchange.copy_id copies pred route);
+      rec_matches = (fun cid ~key f -> Rec_store.iter_matches stores.(cid) ~key f);
+    }
+  in
+  (* Rules prepared once per worker and stratum: recursive lookups, the
+     scanned copy, and the head's distribution targets all resolve to
+     integer ids here, at setup time. *)
+  let w =
+    {
+      sh;
+      sc;
+      sx;
+      me;
+      ws;
+      stores;
+      deltas;
+      delta_groups;
+      dist;
+      emits =
+        List.map
+          (fun ((cr : Physical.compiled_rule), targets, scan_cid) ->
+            (scan_cid, Eval.prepare cr ctx ~emit:(Distribute.emitter dist ~targets)))
+          sx.sx_delta;
+      init_rules =
+        List.map
+          (fun ((cr : Physical.compiled_rule), targets) ->
+            (cr, Eval.prepare cr ctx ~emit:(Distribute.emitter dist ~targets)))
+          sx.sx_init;
+      on_batch = ignore;
+    }
+  in
+  w.on_batch <- merge_batch w;
+  w
+
+let clear_deltas w =
+  Array.iter Arena.clear w.deltas;
+  Array.iter (function Some g -> Hashtbl.reset g | None -> ()) w.delta_groups
+
+let delta_size w = Array.fold_left (fun acc a -> acc + Arena.length a) 0 w.deltas
+
+let frozen w = w.sh.max_iterations > 0 && w.ws.iterations >= w.sh.max_iterations
+
+let flush_outgoing w =
+  w.sh.inject Fault.Flush ~worker:w.me;
+  Distribute.flush w.dist ~ws:w.ws
+
+let drain_and_merge w =
+  let total = Exchange.drain w.sh.exch ~me:w.me ~drained_from:w.sc.drained_from w.on_batch in
+  if total > 0 then begin
+    (* one clock read per drain, not per tuple: the arrival model keeps
+       its per-batch framing (see Qmodel) *)
+    let now = Clock.now () in
+    for j = 0 to w.sh.n - 1 do
+      let cnt = w.sc.drained_from.(j) in
+      if cnt > 0 then Qmodel.record_arrival w.sc.qm ~from:j ~now ~count:cnt
+    done;
+    (* Become visibly active BEFORE recording consumption: a peer whose
+       quiescence snapshot includes these consumed counts must also see
+       this worker active, or it could exit while we still hold
+       unprocessed tuples and go on to send to it. *)
+    Termination.set_active (Exchange.term w.sh.exch) ~worker:w.me true;
+    Termination.consumed (Exchange.term w.sh.exch) ~worker:w.me total
+  end;
+  total
+
+let run_iteration w =
+  let t0 = Clock.now () in
+  let processed = ref 0 in
+  List.iter
+    (fun (scan_cid, prepared) ->
+      let batch = w.deltas.(scan_cid) in
+      if not (Arena.is_empty batch) then begin
+        w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
+        processed := !processed + Eval.run_prepared prepared ~scan:(`Flat batch)
+      end)
+    w.emits;
+  clear_deltas w;
+  flush_outgoing w;
+  let dt = Clock.now () -. t0 in
+  w.ws.busy_time <- w.ws.busy_time +. dt;
+  w.ws.tuples_processed <- w.ws.tuples_processed + !processed;
+  Qmodel.record_service w.sc.qm ~tuples:!processed ~elapsed:dt;
+  w.ws.iterations <- w.ws.iterations + 1;
+  Atomic.incr w.sh.iter_counts.(w.me)
+
+let timed_wait w f =
+  let t0 = Clock.now () in
+  f ();
+  w.ws.wait_time <- w.ws.wait_time +. (Clock.now () -. t0)
+
+(* A worker that observes cancellation (deadline, external token,
+   watchdog, peer crash) exits its loop quietly via [Poisoned] after
+   poisoning the barrier, so peers blocked in [await] wake too; the
+   structured error is raised once, after the round is joined. *)
+let bail_if_cancelled w =
+  if Atomic.get w.sh.failed || Cancel.check w.sh.token then begin
+    Barrier.poison w.sh.barrier;
+    raise Barrier.Poisoned
+  end
+
+let decide w = Qmodel.decide w.sc.qm ~buffer_sizes:(Exchange.inbox_sizes w.sh.exch ~dest:w.me)
+
+let decay_model w f = Qmodel.decay w.sc.qm f
+
+let inject w site = w.sh.inject site ~worker:w.me
+
+(* --- initialization: base rules over striped scans --- *)
+
+let run_init w =
+  List.iter
+    (fun ((cr : Physical.compiled_rule), prepared) ->
+      bail_if_cancelled w;
+      match cr.scan with
+      | Physical.S_unit -> if w.me = 0 then ignore (Eval.run_prepared prepared ~scan:`Unit)
+      | Physical.S_base { pred; _ } ->
+        let src = List.assoc pred w.sx.sx_scan_sources in
+        let len = Arena.length src and arity = Arena.arity src in
+        let sdata = Arena.data src in
+        let stripe = take_arena w.sc ~arity in
+        let k = ref w.me in
+        while !k < len do
+          ignore (Arena.push_slice stripe sdata (!k * arity));
+          k := !k + w.sh.n
+        done;
+        w.ws.tuples_processed <-
+          w.ws.tuples_processed + Eval.run_prepared prepared ~scan:(`Flat stripe);
+        give_arena w.sc stripe
+      | Physical.S_delta _ -> assert false)
+    w.init_rules;
+  flush_outgoing w
+
+(* Non-recursive strata have no fixpoint loop: after every worker has
+   flushed its striped init-rule output, one barrier makes all pushes
+   visible, and one drain folds each worker's inbox into its partition
+   of the stratum's stores.  Crash containment and cancellation reuse
+   the same poisoning protocol as the recursive loops. *)
+let finish_nonrecursive w =
+  timed_wait w (fun () -> Barrier.await w.sh.barrier);
+  ignore (drain_and_merge w);
+  w.ws.iterations <- w.ws.iterations + 1
+
+(* --- end of stratum: recycle the scratch --- *)
+
+let recycle w =
+  Array.iter
+    (fun a ->
+      Arena.clear a;
+      give_arena w.sc a)
+    w.deltas;
+  Distribute.release w.dist (give_frame w.sc);
+  Qmodel.reset w.sc.qm

@@ -1,0 +1,141 @@
+(** One evaluation worker: its stores, delta arenas, prepared rule
+    pipelines and distribution buffers, plus the step primitives the
+    {!Strategy} loops drive (init, drain/merge, run one iteration,
+    quiesce bookkeeping).
+
+    A worker object lives for one stratum, but its {!scratch} — the
+    queueing model, drain counters, and free lists of arenas/frames —
+    persists for the whole run and is rethreaded into the next stratum's
+    worker, so per-stratum evaluation does not reallocate the hot-path
+    buffers. *)
+
+open Dcd_planner
+
+(** {1 Persistent per-worker scratch} *)
+
+type scratch
+
+val make_scratch : workers:int -> unit -> scratch
+(** One per pool worker, created once per run. *)
+
+(** {1 Per-stratum shared coordination state} *)
+
+type shared = {
+  n : int;
+  exch : Exchange.t;
+  barrier : Dcd_concurrent.Barrier.t;
+  failed : bool Atomic.t;
+  token : Dcd_concurrent.Cancel.t;
+  heartbeats : int array;
+      (** useful-work beats, plain ints read racily by the watchdog *)
+  iter_counts : int Atomic.t array;
+  nonempty : bool Atomic.t array; (** per-worker votes of the Global barrier round *)
+  inject : Dcd_concurrent.Fault.site -> worker:int -> unit;
+  max_iterations : int;
+}
+
+val make_shared :
+  exch:Exchange.t ->
+  token:Dcd_concurrent.Cancel.t ->
+  fault:Dcd_concurrent.Fault.t option ->
+  max_iterations:int ->
+  shared
+
+(** Read-only per-stratum compilation context, built once by the
+    orchestrator and shared by every worker: rules paired with their
+    head-target copy arrays (resolved at rule-compile time, so the emit
+    path never does a string lookup), and the shared flat scan sources
+    the init rules stripe over. *)
+type stratum_ctx = {
+  sx_catalog : Catalog.t;
+  sx_copies : Exchange.copy_info array;
+  sx_h : Dcd_storage.Partition.t;
+  sx_partial_agg : bool;
+  sx_init : (Physical.compiled_rule * int array) list;
+  sx_delta : (Physical.compiled_rule * int array * int) list;
+      (** (rule, head targets, scanned copy id) *)
+  sx_scan_sources : (string * Dcd_storage.Arena.t) list;
+}
+
+val make_stratum :
+  catalog:Catalog.t ->
+  copies:Exchange.copy_info array ->
+  h:Dcd_storage.Partition.t ->
+  partial_agg:bool ->
+  Physical.stratum_plan ->
+  stratum_ctx
+(** Resolves every rule's head targets and scanned copy to integer ids
+    and snapshots the init-rule scan relations into flat arenas. *)
+
+val stall_snapshot : shared -> strategy:string -> window:float -> Engine_error.stall_diagnostic
+(** The watchdog's evidence on stall: global and per-worker termination
+    counters, active flags, iteration counts and inbox occupancy. *)
+
+(** {1 The worker} *)
+
+type t
+
+val create :
+  shared:shared ->
+  scratch:scratch ->
+  stratum:stratum_ctx ->
+  me:int ->
+  stores:Rec_store.t array ->
+  ws:Run_stats.worker ->
+  t
+(** Prepares every rule pipeline against this worker's stores and
+    scratch.  Runs on the pool domain itself, so preparation is
+    parallel across workers. *)
+
+val me : t -> int
+
+val shared : t -> shared
+
+val stats : t -> Run_stats.worker
+
+val run_init : t -> unit
+(** Evaluates the init rules ([S_unit] on worker 0 only; [S_base] scans
+    striped across workers) and flushes the produced deltas into the
+    exchange. *)
+
+val finish_nonrecursive : t -> unit
+(** The whole evaluation of a non-recursive stratum after {!run_init}:
+    one barrier (all flushes visible), one drain into this worker's
+    partition of the stores. *)
+
+val drain_and_merge : t -> int
+(** Drains this worker's inbox, folds every batch into its stores
+    (new-delta tuples land in the delta arenas), feeds the arrival
+    model, and updates the termination counters.  Returns the tuple
+    count drained. *)
+
+val run_iteration : t -> unit
+(** One local semi-naive iteration: evaluate every delta rule over the
+    current delta arenas, clear them, flush the produced tuples. *)
+
+val delta_size : t -> int
+
+val clear_deltas : t -> unit
+
+val frozen : t -> bool
+(** The [max_iterations] cap has been reached for this worker. *)
+
+val timed_wait : t -> (unit -> unit) -> unit
+(** Runs a blocking action, accounting its duration as idle time. *)
+
+val bail_if_cancelled : t -> unit
+(** If the run failed or was cancelled: poison the barrier and raise
+    {!Dcd_concurrent.Barrier.Poisoned} (the quiet exit path). *)
+
+val decide : t -> Qmodel.decision
+(** {!Qmodel.decide} against the live occupancy of this worker's inbox. *)
+
+val decay_model : t -> float -> unit
+
+val inject : t -> Dcd_concurrent.Fault.site -> unit
+(** Evaluate one fault-injection site as this worker. *)
+
+val recycle : t -> unit
+(** End of stratum: return the delta arenas and outgoing frames to the
+    scratch free lists and reset the queueing model, so the next
+    stratum's {!create} reuses them. *)

@@ -1,0 +1,113 @@
+(* The persistent domain pool: job rounds reach every worker, crashes
+   name their true origin and leave the pool usable, and a whole engine
+   run spawns exactly [workers] domains (plus the watchdog when a run
+   guard arms it) no matter how many strata it evaluates. *)
+
+module Pool = Dcd_concurrent.Domain_pool
+module D = Dcdatalog
+
+let test_rounds_reach_all_workers () =
+  let pool = Pool.create ~workers:4 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "size" 4 (Pool.size pool);
+      let hits = Array.make 4 0 in
+      for _round = 1 to 5 do
+        match Pool.submit pool (fun i -> hits.(i) <- hits.(i) + 1) with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "clean round reported failures"
+      done;
+      Alcotest.(check (array int)) "every worker ran every round" [| 5; 5; 5; 5 |] hits)
+
+exception Boom of int
+
+let test_crash_names_origin_and_pool_survives () =
+  let pool = Pool.create ~workers:3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (match Pool.submit pool (fun i -> if i = 1 then raise (Boom 1)) with
+      | Ok () -> Alcotest.fail "crashing round reported success"
+      | Error [ f ] ->
+        Alcotest.(check int) "origin worker" 1 f.Pool.index;
+        Alcotest.(check bool) "origin exception" true (f.Pool.error = Boom 1)
+      | Error fs ->
+        Alcotest.fail (Printf.sprintf "expected 1 failure, got %d" (List.length fs)));
+      (* two origins in one round, reported in index order *)
+      (match Pool.submit pool (fun i -> if i <> 1 then raise (Boom i)) with
+      | Error [ a; b ] ->
+        Alcotest.(check (list int)) "both origins, index order" [ 0; 2 ]
+          [ a.Pool.index; b.Pool.index ]
+      | Ok () | Error _ -> Alcotest.fail "expected exactly the two crashed workers");
+      (* the same domains still accept work after crashed rounds *)
+      let sum = Atomic.make 0 in
+      (match Pool.submit pool (fun i -> ignore (Atomic.fetch_and_add sum (i + 1))) with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "pool unusable after crash");
+      Alcotest.(check int) "post-crash round ran everywhere" 6 (Atomic.get sum))
+
+let test_shutdown_idempotent_and_final () =
+  let pool = Pool.create ~workers:2 in
+  (match Pool.submit pool (fun _ -> ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "clean round failed");
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  match Pool.submit pool (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit after shutdown must be rejected"
+
+(* reachability feeding two further strata: 3 strata on one pool *)
+let multi_stratum_src =
+  "reach(Y) <- src(Y).\n\
+   reach(Y) <- reach(X), e(X, Y).\n\
+   deg(X, count<Y>) <- reach(X), e(X, Y).\n\
+   busiest(max<N>) <- deg(X, N)."
+
+let multi_stratum_edb =
+  [ ("src", [ [ 0 ] ]); ("e", [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 3 ]; [ 2; 3 ]; [ 3; 4 ] ]) ]
+
+let run_query ~config =
+  match D.query ~config multi_stratum_src ~edb:(List.map (fun (n, r) -> (n, D.tuples r)) multi_stratum_edb) with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_engine_spawns_exactly_workers () =
+  let config = { D.default_config with workers = 3 } in
+  let before = Pool.total_spawned () in
+  let r = run_query ~config in
+  let after = Pool.total_spawned () in
+  Alcotest.(check bool) "several strata" true (List.length r.stats.strata >= 3);
+  Alcotest.(check int) "workers domains for the whole run" 3 (after - before)
+
+let test_engine_spawns_workers_plus_watchdog () =
+  let config =
+    {
+      D.default_config with
+      workers = 2;
+      coord = { D.Coord.default_config with stall_window = Some 30.0 };
+    }
+  in
+  let before = Pool.total_spawned () in
+  ignore (run_query ~config);
+  let after = Pool.total_spawned () in
+  Alcotest.(check int) "workers + guardian" 3 (after - before)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "rounds reach all workers" `Quick test_rounds_reach_all_workers;
+          Alcotest.test_case "crash origin + survival" `Quick
+            test_crash_names_origin_and_pool_survives;
+          Alcotest.test_case "shutdown" `Quick test_shutdown_idempotent_and_final;
+        ] );
+      ( "spawn accounting",
+        [
+          Alcotest.test_case "exactly workers per run" `Quick test_engine_spawns_exactly_workers;
+          Alcotest.test_case "plus watchdog when armed" `Quick
+            test_engine_spawns_workers_plus_watchdog;
+        ] );
+    ]
