@@ -813,6 +813,139 @@ let ablation () =
     "paper claim (SS6.1): lock-based coordination serializes the exchange and costs\n\
      parallelism; on 1 core the lock is uncontended, so the gap here is a lower bound."
 
+(* ------------------------------------------------------------------ *)
+(* skew: morsel-driven work stealing on power-law inputs               *)
+
+(* TC on a zipf graph concentrates the per-iteration delta on the few
+   workers that own the hub vertices: without stealing they grind while
+   the rest idle at the wait branch.  The experiment measures stealing
+   {off, on} on the skewed input plus a uniform (G(n,p)) control, and
+   appends the numbers to BENCH_dcdatalog.json.
+
+   The >=10% speedup gate only arms on machines with >= 2 cores: on a
+   single hardware thread a thief and its victim time-slice the same
+   core, so stealing can only break even there (the honest numbers are
+   still printed and recorded). *)
+
+let skew_repeats = 3
+
+let skew () =
+  let workers = max 2 !bench_workers in
+  let n_vertices = 800 in
+  let n_edges = 4800 in
+  let zipf = D.Gen.zipf ~seed:42 ~n:n_vertices ~edges:n_edges () in
+  let uniform =
+    D.Gen.gnp ~seed:42 ~n:n_vertices
+      ~p:(float_of_int n_edges /. float_of_int (n_vertices * n_vertices))
+      ()
+  in
+  let prepared = prepare_spec D.Queries.tc in
+  let measure graph ~steal =
+    let edb = D.Queries.arc_edb graph in
+    (* smaller-than-default morsels: container-scale deltas must still
+       split into enough pieces for the board to matter *)
+    let cfg = { (config ~workers D.Coord.dws) with D.steal; D.morsel_tuples = 512 } in
+    let best = ref None in
+    for _ = 1 to skew_repeats do
+      let result, secs = time_run prepared edb cfg in
+      match !best with
+      | Some (s, _) when s <= secs -> ()
+      | _ -> best := Some (secs, result)
+    done;
+    Option.get !best
+  in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf "Morsel work stealing — TC, %d workers, DWS (best of %d)" workers
+           skew_repeats)
+      ~header:
+        [ "input"; "stealing"; "time (s)"; "vs off"; "imbalance"; "steals"; "stolen tuples" ]
+  in
+  let row input (secs_off, (r_off : D.Parallel.result)) (secs_on, (r_on : D.Parallel.result)) =
+    let st = r_on.D.Parallel.stats in
+    Report.add_row t
+      [ input; "off"; Report.cell_time secs_off; Report.cell_speedup 1.0;
+        Printf.sprintf "%.2f" (D.Run_stats.busy_imbalance r_off.D.Parallel.stats); "-"; "-" ];
+    Report.add_row t
+      [ input; "on"; Report.cell_time secs_on; Report.cell_speedup (secs_on /. secs_off);
+        Printf.sprintf "%.2f" (D.Run_stats.busy_imbalance st);
+        string_of_int (D.Run_stats.total_steals st);
+        string_of_int (D.Run_stats.total_stolen_tuples st) ]
+  in
+  let z_off = measure zipf ~steal:false in
+  let z_on = measure zipf ~steal:true in
+  let u_off = measure uniform ~steal:false in
+  let u_on = measure uniform ~steal:true in
+  (* the fixpoint must not depend on stealing *)
+  List.iter
+    (fun ((_, (a : D.Parallel.result)), (_, (b : D.Parallel.result))) ->
+      let ca = D.relation_count a "tc" and cb = D.relation_count b "tc" in
+      if ca <> cb then begin
+        Printf.eprintf "bench-skew: stealing changed the fixpoint (%d vs %d tuples)\n" ca cb;
+        exit 1
+      end)
+    [ (z_off, z_on); (u_off, u_on) ];
+  (* imbalance column for the off rows, now that both runs exist *)
+  let imb (_, (r : D.Parallel.result)) = D.Run_stats.busy_imbalance r.D.Parallel.stats in
+  row "zipf" z_off z_on;
+  row "uniform" u_off u_on;
+  Report.print t;
+  let gain_z = (fst z_off -. fst z_on) /. fst z_off *. 100. in
+  let gain_u = (fst u_off -. fst u_on) /. fst u_off *. 100. in
+  Printf.printf
+    "zipf: stealing on is %.1f%% faster (imbalance %.2f -> %.2f); uniform control: %+.1f%%\n"
+    gain_z (imb z_off) (imb z_on) gain_u;
+  (* append the block to the perf trajectory (perf rewrites the whole
+     file, so running perf after skew drops this block — run skew last) *)
+  let block =
+    Printf.sprintf
+      "{\"query\": \"tc\", \"workers\": %d, \"zipf_vertices\": %d, \"zipf_edges\": %d,\n\
+      \    \"zipf_off_s\": %.6f, \"zipf_on_s\": %.6f, \"zipf_gain_pct\": %.1f,\n\
+      \    \"zipf_imbalance_off\": %.2f, \"zipf_imbalance_on\": %.2f,\n\
+      \    \"steals\": %d, \"stolen_tuples\": %d,\n\
+      \    \"uniform_off_s\": %.6f, \"uniform_on_s\": %.6f, \"uniform_gain_pct\": %.1f,\n\
+      \    \"cores\": %d}"
+      workers n_vertices n_edges (fst z_off) (fst z_on) gain_z (imb z_off) (imb z_on)
+      (D.Run_stats.total_steals (snd z_on).D.Parallel.stats)
+      (D.Run_stats.total_stolen_tuples (snd z_on).D.Parallel.stats)
+      (fst u_off) (fst u_on) gain_u
+      (Domain.recommended_domain_count ())
+  in
+  let path = "BENCH_dcdatalog.json" in
+  let existing =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let sz = in_channel_length ic in
+      let s = really_input_string ic sz in
+      close_in ic;
+      Some s
+    end
+    else None
+  in
+  let content =
+    match existing with
+    | Some s when not (String.length s = 0) -> (
+      let rec last_brace i = if i < 0 then None else if s.[i] = '}' then Some i else last_brace (i - 1) in
+      match last_brace (String.length s - 1) with
+      | Some i -> String.sub s 0 i ^ ",\n  \"skew\": " ^ block ^ "\n}\n"
+      | None -> "{\n  \"skew\": " ^ block ^ "\n}\n")
+    | _ -> "{\n  \"skew\": " ^ block ^ "\n}\n"
+  in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 2 then begin
+    if gain_z < 10. then begin
+      Printf.eprintf "bench-skew: stealing gain %.1f%% on zipf below the 10%% bar\n" gain_z;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "(1 hardware thread: the >=10%% stealing gate is informational only on this machine)\n"
+
 let experiments =
   [
     ("fig1", fig1, "Figure 1: SSSP engine comparison");
@@ -827,6 +960,7 @@ let experiments =
     ("micro", micro, "Microbenchmarks");
     ("pool", pool, "Persistent pool vs per-stratum spawning, many-strata breakdown");
     ("perf", perf, "Perf trajectory: BENCH_dcdatalog.json (4 workers, DWS)");
+    ("skew", skew, "Morsel work stealing on zipf vs uniform inputs (appends to the perf JSON)");
     ("smoke", smoke, "CI smoke: tiny workload per coordination strategy");
   ]
 

@@ -100,6 +100,11 @@ let strategy_arg =
   Arg.(value & opt strategy_conv D.Coord.dws & info [ "strategy"; "s" ] ~docv:"STRAT"
          ~doc:"Coordination strategy: global, ssp:<n>, or dws.")
 
+let no_steal_arg =
+  Arg.(value & flag & info [ "no-steal" ]
+         ~doc:"Disable intra-iteration morsel work stealing (on by default); with stealing \
+               off the engine behaves exactly as before the morsel board existed.")
+
 let unopt_arg =
   Arg.(value & flag & info [ "unoptimized" ]
          ~doc:"Disable the \xc2\xa76.2 optimizations (aggregate index, existence cache).")
@@ -181,8 +186,8 @@ let resolve_source query program =
 
 (* --- commands --- *)
 
-let run_cmd query program dataset rmat edges_file edb_files workers strategy unopt params show
-    stats timeout stall_window fault_seed fault_crash fault_delay =
+let run_cmd query program dataset rmat edges_file edb_files workers strategy no_steal unopt
+    params show stats timeout stall_window fault_seed fault_crash fault_delay =
   Printexc.record_backtrace true;
   if workers < 1 then input_error "--workers must be at least 1"
   else
@@ -223,6 +228,7 @@ let run_cmd query program dataset rmat edges_file edb_files workers strategy uno
               D.default_config with
               workers;
               strategy;
+              steal = not no_steal;
               max_iterations = (match spec with Some s -> s.max_iterations | None -> 0);
               store_opts =
                 (if unopt then D.Rec_store.unoptimized_opts else D.Rec_store.default_opts);
@@ -305,7 +311,7 @@ let list_cmd () =
 let run_term =
   Term.(
     const run_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
-    $ workers_arg $ strategy_arg $ unopt_arg $ params_arg $ show_arg $ stats_arg $ timeout_arg
+    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ params_arg $ show_arg $ stats_arg $ timeout_arg
     $ stall_window_arg $ fault_seed_arg $ fault_crash_arg $ fault_delay_arg)
 
 let explain_term = Term.(const explain_cmd $ query_arg $ program_arg $ params_arg $ dot_arg)

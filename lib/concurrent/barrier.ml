@@ -41,6 +41,38 @@ let await t =
   Mutex.unlock t.mutex;
   if poisoned then raise Poisoned
 
+(* Like [await], but a non-last arriver spins on [work] instead of
+   blocking on the condition variable: the barrier tail becomes a place
+   where useful work (morsel stealing) can happen.  [work] runs with the
+   mutex released; it is expected to nap briefly itself when it finds
+   nothing to do, so the generation re-check stays cheap. *)
+let await_poll t work =
+  Mutex.lock t.mutex;
+  if t.poisoned then begin
+    Mutex.unlock t.mutex;
+    raise Poisoned
+  end;
+  let gen = t.generation in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    t.arrived <- 0;
+    t.generation <- gen + 1;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    Mutex.unlock t.mutex;
+    let released = ref false in
+    while not !released do
+      Mutex.lock t.mutex;
+      let done_ = t.generation <> gen in
+      let poisoned = t.poisoned in
+      Mutex.unlock t.mutex;
+      if poisoned then raise Poisoned;
+      if done_ then released := true else work ()
+    done
+  end
+
 let poison t =
   Mutex.lock t.mutex;
   t.poisoned <- true;

@@ -22,6 +22,13 @@ val await : t -> unit
     generation, then releases them all. Reusable for further rounds.
     @raise Poisoned if the barrier is or becomes poisoned. *)
 
+val await_poll : t -> (unit -> unit) -> unit
+(** Like {!await}, but instead of blocking on the condition variable a
+    non-last arriver repeatedly runs [work ()] (with the barrier mutex
+    released) and re-checks the generation.  [work] should do something
+    useful or nap briefly; it must not call back into this barrier.
+    @raise Poisoned as {!await}. *)
+
 val poison : t -> unit
 (** Marks the barrier broken and wakes every waiter with {!Poisoned}.
     Called by a worker that is about to die with an exception, so its

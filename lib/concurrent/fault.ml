@@ -5,12 +5,14 @@ type site =
   | Flush
   | Merge
   | Quiesce
+  | Steal
 
 let site_to_string = function
   | Loop -> "loop"
   | Flush -> "flush"
   | Merge -> "merge"
   | Quiesce -> "quiesce"
+  | Steal -> "steal"
 
 type spec = {
   seed : int;
@@ -28,7 +30,7 @@ let off =
   {
     seed = 0;
     crash_prob = 0.;
-    crash_sites = [ Loop; Flush; Merge; Quiesce ];
+    crash_sites = [ Loop; Flush; Merge; Quiesce; Steal ];
     crash_workers = [];
     max_crashes = 1;
     delay_prob = 0.;

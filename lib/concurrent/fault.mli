@@ -1,12 +1,16 @@
 (** Deterministic, seeded fault injection for the parallel runtime.
 
     The engine threads a [t] (when configured; [None] costs nothing)
-    through its worker loops and calls {!hit} at four kinds of sites:
+    through its worker loops and calls {!hit} at five kinds of sites:
 
     - [Loop]: top of a strategy-loop pass,
     - [Flush]: before a worker flushes its outgoing delta frames,
     - [Merge]: before an incoming batch is merged,
-    - [Quiesce]: before a global-quiescence probe.
+    - [Quiesce]: before a global-quiescence probe,
+    - [Steal]: after a thief has claimed a morsel, before executing it
+      (the window where a crash leaves the victim joining on an
+      outstanding morsel — exercised to prove stealing coexists with
+      crash containment).
 
     Each hit may (a) raise {!Injected} — an induced worker crash,
     exercising the poison/failed-flag containment path, (b) sleep a
@@ -26,6 +30,7 @@ type site =
   | Flush
   | Merge
   | Quiesce
+  | Steal
 
 val site_to_string : site -> string
 

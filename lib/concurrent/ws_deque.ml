@@ -1,0 +1,100 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), on OCaml 5
+   SC atomics.
+
+   One owner pushes and pops at the bottom (LIFO); any number of
+   thieves steal from the top (FIFO).  The only contended transition is
+   claiming the top element, resolved by a CAS on [top]; the owner's
+   fast path is two atomic loads and one store.
+
+   Cells are ['a option Atomic.t] rather than a plain array with
+   unsynchronized reads: the OCaml memory model makes the published
+   value visible to the thief through the cell's own atomic, so no
+   fence reasoning beyond the SC defaults is needed.  Morsel-grained
+   use (thousands of tuples per element) makes the per-cell atomic
+   cost irrelevant.
+
+   The buffer grows by doubling and is never reused after replacement,
+   which removes the classic ABA-on-shrink hazard of the original
+   algorithm: a thief holding a stale buffer still reads the same
+   elements for the same indices, and the CAS on [top] decides
+   ownership either way. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;
+}
+
+let create ?(capacity = 64) () =
+  let cap = max 2 capacity in
+  (* round up to a power of two so index masking is a [land] *)
+  let cap =
+    let c = ref 2 in
+    while !c < cap do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init cap (fun _ -> Atomic.make None));
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let is_empty t = size t = 0
+
+let grow t ~top ~bottom =
+  let old = Atomic.get t.buf in
+  let mask = Array.length old - 1 in
+  let nbuf = Array.init (2 * Array.length old) (fun _ -> Atomic.make None) in
+  let nmask = Array.length nbuf - 1 in
+  for i = top to bottom - 1 do
+    Atomic.set nbuf.(i land nmask) (Atomic.get old.(i land mask))
+  done;
+  Atomic.set t.buf nbuf
+
+(* owner only *)
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.buf in
+  if b - tp >= Array.length buf then grow t ~top:tp ~bottom:b;
+  let buf = Atomic.get t.buf in
+  Atomic.set buf.(b land (Array.length buf - 1)) (Some v);
+  Atomic.set t.bottom (b + 1)
+
+(* owner only: LIFO end *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* already empty: undo *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.buf in
+    let v = Atomic.get buf.(b land (Array.length buf - 1)) in
+    if b > tp then v
+    else begin
+      (* last element: race the thieves for it *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then v else None
+    end
+  end
+
+(* any thief: FIFO end.  [None] means empty or lost a race — the caller
+   treats both as "nothing to steal right now". *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let buf = Atomic.get t.buf in
+    let v = Atomic.get buf.(tp land (Array.length buf - 1)) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else None
+  end

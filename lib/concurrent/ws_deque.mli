@@ -1,0 +1,34 @@
+(** Lock-free Chase–Lev work-stealing deque.
+
+    Single owner, many thieves: the owner {!push}es and {!pop}s at the
+    bottom in LIFO order (hot data stays cache-warm), thieves {!steal}
+    the oldest element from the top.  All operations are non-blocking;
+    the only synchronization is a CAS on the top index when claiming an
+    element.
+
+    Used by the morsel scheduler: each worker publishes its scan
+    morsels to its own deque and idle peers steal from the top. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] is a hint (rounded up to a power of two, default 64);
+    the deque grows as needed. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: append at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed remaining element, or
+    [None] if the deque is empty (a concurrent thief may have taken the
+    last element). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: claim the oldest element.  [None] means empty {e or} a
+    CAS race was lost — callers retry or move to another victim. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the element count (advisory, for victim
+    selection). *)
+
+val is_empty : 'a t -> bool

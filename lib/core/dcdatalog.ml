@@ -35,6 +35,8 @@ type config = Parallel.config = {
   max_iterations : int;
   exchange : Parallel.exchange;
   batch_tuples : int;
+  steal : bool;
+  morsel_tuples : int;
   coord : Coord.config;
   fault : Fault.spec option;
 }

@@ -65,6 +65,8 @@ type config = Parallel.config = {
   max_iterations : int;
   exchange : Parallel.exchange;
   batch_tuples : int;
+  steal : bool; (** morsel-driven work stealing (default [true]) *)
+  morsel_tuples : int; (** scan tuples per stealable morsel (default 2048) *)
   coord : Coord.config;
   fault : Fault.spec option;
 }

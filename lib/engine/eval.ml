@@ -179,5 +179,17 @@ let run_prepared p ~scan =
       off := !off + k
     done;
     n
+  | `Flat_range (arena, first, len) ->
+    check_scan_kind p ~unit_input:false;
+    let regs = p.regs and binds = p.scan_binds and checks = p.scan_checks in
+    let k = Arena.arity arena in
+    let data = Arena.data arena in
+    let off = ref (first * k) in
+    for _ = 1 to len do
+      apply_binds regs data !off binds;
+      if checks_pass regs data !off checks then p.entry ();
+      off := !off + k
+    done;
+    len
 
 let run cr ctx ~scan ~emit = run_prepared (prepare cr ctx ~emit) ~scan

@@ -61,12 +61,15 @@ val run_prepared :
   prepared ->
   scan:
     [ `Flat of Dcd_storage.Arena.t
+    | `Flat_range of Dcd_storage.Arena.t * int * int
     | `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t
     | `Unit ] ->
   int
 (** Runs the rule over the given scan input ([`Unit] for bodies without
     positive atoms; [`Flat] scans an arena without boxing — the rule
-    must not push into that same arena) and returns the number of scan
+    must not push into that same arena; [`Flat_range (a, first, len)]
+    scans only the [len] tuples starting at slot [first] — the morsel
+    form, same non-growth proviso) and returns the number of scan
     tuples processed.  Arithmetic faults (division by zero) silently
     drop the binding, per standard Datalog semantics for partial
     built-ins. *)
@@ -76,6 +79,7 @@ val run :
   context ->
   scan:
     [ `Flat of Dcd_storage.Arena.t
+    | `Flat_range of Dcd_storage.Arena.t * int * int
     | `Tuples of Dcd_storage.Tuple.t Dcd_util.Vec.t
     | `Unit ] ->
   emit:emit ->

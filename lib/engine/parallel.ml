@@ -23,6 +23,8 @@ type config = {
   max_iterations : int;
   exchange : exchange;
   batch_tuples : int;
+  steal : bool;
+  morsel_tuples : int;
   coord : Coord.config;
   fault : Fault.spec option;
 }
@@ -36,6 +38,8 @@ let default_config =
     max_iterations = 0;
     exchange = Spsc_exchange;
     batch_tuples = 0;
+    steal = true;
+    morsel_tuples = 2048;
     coord = Coord.default_config;
     fault = None;
   }
@@ -114,7 +118,12 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
   let exch =
     Exchange.create ~workers:n ~kind:config.exchange ~batch_tuples:config.batch_tuples ~copies
   in
-  let shared = Worker.make_shared ~exch ~token ~fault ~max_iterations:config.max_iterations in
+  let steal =
+    Steal.create ~workers:n ~enabled:config.steal ~morsel_tuples:config.morsel_tuples
+  in
+  let shared =
+    Worker.make_shared ~exch ~token ~fault ~max_iterations:config.max_iterations ~steal
+  in
   let stores =
     Array.init n (fun _ ->
         Array.map
@@ -167,8 +176,7 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
   let worker me =
     let body () =
       let w =
-        Worker.create ~shared ~scratch:scratches.(me) ~stratum:sx ~me ~stores:stores.(me)
-          ~ws:wstats.(me)
+        Worker.create ~shared ~scratch:scratches.(me) ~stratum:sx ~me ~stores ~ws:wstats.(me)
       in
       Worker.run_init w;
       if recursive then Strategy.run config.strategy w else Worker.finish_nonrecursive w;
@@ -244,6 +252,7 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
 
 let run (plan : Physical.t) ~edb ~config =
   if config.workers < 1 then invalid_arg "Parallel.run: workers must be >= 1";
+  if config.morsel_tuples < 1 then invalid_arg "Parallel.run: morsel_tuples must be >= 1";
   (* One token guards the whole run (every stratum): caller-supplied or
      internal, with the timeout folded in as an absolute deadline. *)
   let token =

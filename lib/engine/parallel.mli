@@ -54,6 +54,17 @@ type config = {
           size; [1] reproduces the historical per-tuple message framing;
           intermediate values bound consumer latency under very large
           flushes.  Fixpoints are identical for every setting. *)
+  steal : bool;
+      (** intra-iteration morsel-driven work stealing (default [true]).
+          Large delta and init scans are split into fixed-size morsels
+          on a per-worker lock-free deque; idle workers steal from the
+          most-loaded peer and emit through their own exchange row.
+          Off, or with [workers = 1], the engine behaves exactly as
+          before the morsel board existed. *)
+  morsel_tuples : int;
+      (** scan tuples per morsel (default 2048).  Scans of at most
+          twice this size run unsplit — too small to be worth the
+          publish/claim traffic. *)
   coord : Coord.config;
       (** run guard: wall-clock timeout, caller-owned cancel token, and
           the stall watchdog.  All off by default; when off, the only

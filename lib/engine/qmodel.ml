@@ -45,7 +45,15 @@ type decision = {
 
 let no_wait = { omega = 0.; tau = 0.; rho = 0. }
 
-let decide t ~buffer_sizes =
+(* Kingman prices waiting as pure idle time.  When the morsel board
+   advertises stealable work, a wait pass is productive instead (the
+   strategy loop fills it with stolen morsels), so the effective cost
+   of waiting halves — modeled by stretching the wait budget τ rather
+   than touching ω: the "enough delta to be worth running" threshold is
+   about batching efficiency, not about what the wait costs. *)
+let stealable_stretch = 2.
+
+let decide ?(stealable = false) t ~buffer_sizes =
   (* Equation 1: combine per-producer arrival processes, weighted by the
      current buffer occupancies |M_i^j|. *)
   let weight_sum = ref 0. in
@@ -83,7 +91,9 @@ let decide t ~buffer_sizes =
         let ca2 = lambda *. lambda *. sigma_a2 in
         let cs2 = mu *. mu *. sigma_s2 in
         let lq = rho *. rho *. (ca2 +. cs2) /. (2. *. (1. -. rho)) in
-        { omega = lq; tau = lq /. lambda; rho }
+        let tau = lq /. lambda in
+        let tau = if stealable then tau *. stealable_stretch else tau in
+        { omega = lq; tau; rho }
       end
     end
   end

@@ -38,10 +38,14 @@ type decision = {
   rho : float; (** utilization, for diagnostics *)
 }
 
-val decide : t -> buffer_sizes:int array -> decision
+val decide : ?stealable:bool -> t -> buffer_sizes:int array -> decision
 (** Evaluates Equations 1–2 against the current statistics.  With no
     statistics yet (cold start), returns [omega = 0] so workers never
-    stall before the model has data. *)
+    stall before the model has data.  [stealable] (default [false])
+    signals that the morsel board currently advertises stealable work:
+    a wait pass is then productive rather than idle, so the wait budget
+    [tau] is stretched (ω is unchanged — it prices batching efficiency,
+    not idleness). *)
 
 val decay : t -> float -> unit
 (** Exponential forgetting of all statistics, to track phase changes of

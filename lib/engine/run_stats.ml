@@ -4,6 +4,10 @@ type worker = {
   mutable tuples_sent : int;
   mutable batches_sent : int;
   mutable words_sent : int;
+  mutable tuples_drained : int;
+  mutable steals : int;
+  mutable morsels_executed : int;
+  mutable stolen_tuples : int;
   mutable wait_time : float;
   mutable busy_time : float;
 }
@@ -32,11 +36,20 @@ let fresh_worker () =
     tuples_sent = 0;
     batches_sent = 0;
     words_sent = 0;
+    tuples_drained = 0;
+    steals = 0;
+    morsels_executed = 0;
+    stolen_tuples = 0;
     wait_time = 0.;
     busy_time = 0.;
   }
 
 let add_stratum t s = t.strata <- t.strata @ [ s ]
+
+let sum_strata t f =
+  List.fold_left
+    (fun acc s -> acc + Array.fold_left (fun a w -> a + f w) 0 s.workers)
+    0 t.strata
 
 let total_iterations t =
   List.fold_left
@@ -48,33 +61,68 @@ let total_wait t =
     (fun acc s -> acc +. Array.fold_left (fun a w -> a +. w.wait_time) 0. s.workers)
     0. t.strata
 
-let total_sent t =
-  List.fold_left
-    (fun acc s -> acc + Array.fold_left (fun a w -> a + w.tuples_sent) 0 s.workers)
-    0 t.strata
+let total_sent t = sum_strata t (fun w -> w.tuples_sent)
 
-let total_words t =
-  List.fold_left
-    (fun acc s -> acc + Array.fold_left (fun a w -> a + w.words_sent) 0 s.workers)
-    0 t.strata
+let total_words t = sum_strata t (fun w -> w.words_sent)
 
-let total_batches t =
-  List.fold_left
-    (fun acc s -> acc + Array.fold_left (fun a w -> a + w.batches_sent) 0 s.workers)
-    0 t.strata
+let total_batches t = sum_strata t (fun w -> w.batches_sent)
+
+let total_drained t = sum_strata t (fun w -> w.tuples_drained)
+
+let total_steals t = sum_strata t (fun w -> w.steals)
+
+let total_stolen_tuples t = sum_strata t (fun w -> w.stolen_tuples)
+
+(* max/mean of per-worker busy time summed across strata: 1.0 is a
+   perfectly balanced run, the paper's skew pathology shows up as one
+   worker's busy time dwarfing the mean.  Stolen morsels are accounted
+   to the thief's busy time, so effective stealing pulls this toward 1. *)
+let busy_imbalance t =
+  match t.strata with
+  | [] -> 1.
+  | first :: _ ->
+    let n = Array.length first.workers in
+    if n = 0 then 1.
+    else begin
+      let busy = Array.make n 0. in
+      List.iter
+        (fun s ->
+          Array.iteri (fun i w -> if i < n then busy.(i) <- busy.(i) +. w.busy_time) s.workers)
+        t.strata;
+      let max_b = Array.fold_left Float.max 0. busy in
+      let mean_b = Array.fold_left ( +. ) 0. busy /. float_of_int n in
+      if mean_b <= 0. then 1. else max_b /. mean_b
+    end
+
+let stratum_imbalance s =
+  let n = Array.length s.workers in
+  if n = 0 then 1.
+  else begin
+    let max_b = Array.fold_left (fun a w -> Float.max a w.busy_time) 0. s.workers in
+    let mean_b =
+      Array.fold_left (fun a w -> a +. w.busy_time) 0. s.workers /. float_of_int n
+    in
+    if mean_b <= 0. then 1. else max_b /. mean_b
+  end
 
 let pp fmt t =
-  Format.fprintf fmt "total wall %.3fs, %d global iterations, %.3fs idle, %d tuples sent@."
-    t.total_wall (total_iterations t) (total_wait t) (total_sent t);
+  Format.fprintf fmt
+    "total wall %.3fs, %d global iterations, %.3fs idle, %d tuples sent, %d steals (%d tuples), \
+     busy imbalance %.2f@."
+    t.total_wall (total_iterations t) (total_wait t) (total_sent t) (total_steals t)
+    (total_stolen_tuples t) (busy_imbalance t);
   List.iter
     (fun s ->
-      Format.fprintf fmt "  stratum {%s} (%s): %.3fs (setup %.3fs, evaluate %.3fs, materialize %.3fs)@."
-        (String.concat "," s.preds) s.kind s.wall s.setup s.evaluate s.materialize;
+      Format.fprintf fmt
+        "  stratum {%s} (%s): %.3fs (setup %.3fs, evaluate %.3fs, materialize %.3fs), imbalance %.2f@."
+        (String.concat "," s.preds) s.kind s.wall s.setup s.evaluate s.materialize
+        (stratum_imbalance s);
       Array.iteri
         (fun i w ->
           Format.fprintf fmt
-            "    w%d: %d iters, %d in, %d out (%d batches, %d words), busy %.3fs, idle %.3fs@."
+            "    w%d: %d iters, %d in, %d out (%d batches, %d words), %d morsels (%d stolen, %d \
+             tuples), busy %.3fs, idle %.3fs@."
             i w.iterations w.tuples_processed w.tuples_sent w.batches_sent w.words_sent
-            w.busy_time w.wait_time)
+            w.morsels_executed w.steals w.stolen_tuples w.busy_time w.wait_time)
         s.workers)
     t.strata

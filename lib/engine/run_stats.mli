@@ -17,8 +17,17 @@ type worker = {
       (** exchange payload volume in ints (tuple fields + contributor
           prefixes) — the words-per-sent-tuple ratio tracked in
           EXPERIMENTS.md *)
+  mutable tuples_drained : int;
+      (** tuples this worker consumed from its inbox.  At the end of a
+          completed run, [total_drained = total_sent] — exact
+          termination means nothing was left in flight, stolen
+          emissions included (asserted by the stress suite) *)
+  mutable steals : int; (** morsels stolen from other workers *)
+  mutable morsels_executed : int; (** morsels executed, own and stolen *)
+  mutable stolen_tuples : int; (** scan tuples in the stolen morsels *)
   mutable wait_time : float; (** seconds idle: barrier + DWS/SSP waits *)
-  mutable busy_time : float; (** seconds computing *)
+  mutable busy_time : float; (** seconds computing (stolen morsels count
+                                 toward the thief) *)
 }
 
 type stratum = {
@@ -44,6 +53,9 @@ val fresh_worker : unit -> worker
 
 val add_stratum : t -> stratum -> unit
 
+val sum_strata : t -> (worker -> int) -> int
+(** Sum an integer worker counter across all workers and strata. *)
+
 val total_iterations : t -> int
 (** Max local iteration count over workers, summed over strata — the
     "global iterations" a barrier engine would have used. *)
@@ -60,5 +72,21 @@ val total_batches : t -> int
 (** Exchange batches pushed across all workers and strata; with
     batching enabled this is far below {!total_sent} (one per
     (copy, destination) flush instead of one per tuple). *)
+
+val total_drained : t -> int
+(** Tuples consumed across all workers and strata.  Equal to
+    {!total_sent} after any completed run — the produced/consumed
+    balance that certifies exact termination with stealing on. *)
+
+val total_steals : t -> int
+
+val total_stolen_tuples : t -> int
+
+val busy_imbalance : t -> float
+(** max/mean of per-worker busy seconds (summed across strata): 1.0 is
+    perfect balance; skew without stealing shows up as values well
+    above it. *)
+
+val stratum_imbalance : stratum -> float
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+module Arena = Dcd_storage.Arena
+module Ws_deque = Dcd_concurrent.Ws_deque
+
+(* Morsel-driven work stealing, layered under every coordination
+   strategy.
+
+   A morsel is a contiguous slot range of a scan arena — either one
+   worker's per-iteration delta arena (Delta) or the stratum's shared
+   init-scan arena (Init) — small enough that execution order does not
+   matter and large enough that the claim cost (one CAS) is noise.
+
+   Protocol (the publish–execute–join window):
+   - the owner bumps [pending.(me)] for each morsel BEFORE pushing it to
+     its deque, executes what it can pop back LIFO, and then joins:
+     spins until [pending.(me)] returns to zero.  While any of its
+     morsels are outstanding the owner mutates NOTHING a thief could
+     read — its recursive stores are only written by drain/merge, which
+     runs strictly outside the window, and the scanned arenas are only
+     cleared after the join;
+   - a thief claims from the top of the most-loaded victim's deque,
+     executes the morsel with pipelines prepared against the VICTIM's
+     stores (the discriminating hash placed the matching recursive
+     tuples in the victim's partition) but emits through its OWN
+     Distribute buffers and its own Exchange row, so every queue keeps
+     exactly one producer;
+   - the thief flushes its emissions before decrementing the victim's
+     pending counter.  The victim stays Termination-active until its
+     join completes, so every stolen emission lands while at least one
+     worker is visibly active: the quiescence snapshot cannot certify
+     an empty system while stolen tuples are still in flight.
+
+   [published] is an advisory per-owner count of stealable tuples (not
+   morsels), used for victim selection and for the queueing model's
+   "stealable work exists" input; it is updated racily and only ever
+   read as a heuristic. *)
+
+type kind =
+  | Delta
+  | Init
+
+type morsel = {
+  m_kind : kind;
+  m_src : int; (* publishing worker: whose stores the pipelines must probe *)
+  m_gid : int; (* pipeline group: delta-rule group or init-rule group index *)
+  m_arena : Arena.t;
+  m_first : int; (* first tuple slot of the range *)
+  m_len : int; (* tuples in the range *)
+}
+
+type t = {
+  on : bool;
+  workers : int;
+  morsel_tuples : int;
+  deques : morsel Ws_deque.t array;
+  pending : int Atomic.t array;
+  published : int Atomic.t array;
+}
+
+let create ~workers ~enabled ~morsel_tuples =
+  if morsel_tuples < 1 then invalid_arg "Steal.create: morsel_tuples must be >= 1";
+  {
+    on = enabled && workers > 1;
+    workers;
+    morsel_tuples;
+    deques = Array.init workers (fun _ -> Ws_deque.create ());
+    pending = Array.init workers (fun _ -> Atomic.make 0);
+    published = Array.init workers (fun _ -> Atomic.make 0);
+  }
+
+let enabled t = t.on
+
+let morsel_tuples t = t.morsel_tuples
+
+(* Split [first, first+len) into morsels on the owner's deque.  pending
+   is bumped before each push: a thief can only observe (and complete) a
+   morsel whose pending contribution is already visible, so the join
+   can never see a transient zero while work is outstanding. *)
+let publish_range t ~me ~kind ~gid ~arena ~first ~len =
+  let msz = t.morsel_tuples in
+  let off = ref first in
+  let remaining = ref len in
+  ignore (Atomic.fetch_and_add t.published.(me) len);
+  while !remaining > 0 do
+    let l = min msz !remaining in
+    Atomic.incr t.pending.(me);
+    Ws_deque.push t.deques.(me)
+      { m_kind = kind; m_src = me; m_gid = gid; m_arena = arena; m_first = !off; m_len = l };
+    off := !off + l;
+    remaining := !remaining - l
+  done
+
+let pop_own t ~me =
+  match Ws_deque.pop t.deques.(me) with
+  | Some m as r ->
+    ignore (Atomic.fetch_and_add t.published.(me) (-m.m_len));
+    r
+  | None -> None
+
+(* Victim selection: the most-loaded peer by published-tuple estimate,
+   falling back to any other non-empty peer when the CAS race is lost
+   (or the estimate was stale). *)
+let try_claim t ~me =
+  let best = ref (-1) in
+  let best_load = ref 0 in
+  for j = 0 to t.workers - 1 do
+    if j <> me then begin
+      let l = Atomic.get t.published.(j) in
+      if l > !best_load then begin
+        best := j;
+        best_load := l
+      end
+    end
+  done;
+  let claim v =
+    match Ws_deque.steal t.deques.(v) with
+    | Some m as r ->
+      ignore (Atomic.fetch_and_add t.published.(m.m_src) (-m.m_len));
+      r
+    | None -> None
+  in
+  if !best < 0 then None
+  else
+    match claim !best with
+    | Some _ as r -> r
+    | None ->
+      let r = ref None in
+      let j = ref 0 in
+      while !r = None && !j < t.workers do
+        if !j <> me && !j <> !best && Atomic.get t.published.(!j) > 0 then r := claim !j;
+        incr j
+      done;
+      !r
+
+(* Executor-side release.  The executor (owner or thief) MUST have
+   flushed every emission produced by the morsel before calling this:
+   the victim's join — and with it the victim's next quiescence vote —
+   is gated on this counter. *)
+let complete t m = ignore (Atomic.fetch_and_add t.pending.(m.m_src) (-1))
+
+let pending t ~me = Atomic.get t.pending.(me)
+
+let stealable t ~me =
+  t.on
+  &&
+  let found = ref false in
+  for j = 0 to t.workers - 1 do
+    if j <> me && Atomic.get t.published.(j) > 0 then found := true
+  done;
+  !found

@@ -1,14 +1,20 @@
 module Clock = Dcd_util.Clock
-module Barrier = Dcd_concurrent.Barrier
 module Backoff = Dcd_concurrent.Backoff
 module Termination = Dcd_concurrent.Termination
 module Cancel = Dcd_concurrent.Cancel
 module Fault = Dcd_concurrent.Fault
 
+(* Steal-before-wait: every branch below that used to sleep first tries
+   to take a morsel off a loaded peer's deque.  A successful steal is
+   real progress (the stolen busy time is accounted inside [try_steal]),
+   so the caller resets its backoff instead of widening it. *)
+
 (* Algorithm 1: a barrier after every global iteration.  The first
    barrier closes the exchange round (every peer has flushed), the
    second publishes the per-worker nonempty votes that decide global
-   termination. *)
+   termination.  Both barrier tails steal: a worker parked at the
+   barrier while a skewed peer grinds through its delta is exactly the
+   idle time the morsel board exists to reclaim. *)
 let global w =
   let sh = Worker.shared w in
   let me = Worker.me w in
@@ -16,11 +22,11 @@ let global w =
   while !continue_ do
     Worker.inject w Fault.Loop;
     Worker.bail_if_cancelled w;
-    Worker.timed_wait w (fun () -> Barrier.await sh.Worker.barrier);
+    Worker.await_barrier w;
     ignore (Worker.drain_and_merge w);
     if Worker.frozen w then Worker.clear_deltas w;
     Atomic.set sh.Worker.nonempty.(me) (Worker.delta_size w > 0);
-    Worker.timed_wait w (fun () -> Barrier.await sh.Worker.barrier);
+    Worker.await_barrier w;
     let any = Array.exists Atomic.get sh.Worker.nonempty in
     if not any then continue_ := false
     else if Atomic.get sh.Worker.nonempty.(me) then Worker.run_iteration w
@@ -43,6 +49,7 @@ let ssp w s =
       Termination.set_active term ~worker:me false;
       Worker.inject w Fault.Quiesce;
       if Termination.quiescent term then continue_ := false
+      else if Worker.try_steal w then Backoff.reset backoff
       else Worker.timed_wait w (fun () -> Backoff.once backoff)
     end
     else begin
@@ -61,9 +68,12 @@ let ssp w s =
         (not (Atomic.get sh.Worker.failed || Cancel.is_set sh.Worker.token))
         && Atomic.get sh.Worker.iter_counts.(me) - min_active () > s
       do
-        Worker.timed_wait w (fun () ->
-            Unix.sleepf 0.0002;
-            ignore (Worker.drain_and_merge w))
+        (* gated on a straggler: take some of its work instead of
+           napping — the steal directly advances the iteration count we
+           are waiting on *)
+        if not (Worker.try_steal w) then
+          Worker.timed_wait w (fun () -> Unix.sleepf 0.0002);
+        ignore (Worker.drain_and_merge w)
       done;
       Worker.run_iteration w
     end
@@ -71,7 +81,9 @@ let ssp w s =
 
 (* Algorithm 2: no global coordination — the queueing model decides,
    per pass, whether to wait up to τ for the pending delta to reach ω
-   tuples or to proceed immediately. *)
+   tuples or to proceed immediately.  The model knows about the morsel
+   board: when stealable work exists the wait budget is stretched
+   (waiting is productive), and the wait itself is spent stealing. *)
 let dws w (opts : Coord.dws_opts) =
   let sh = Worker.shared w in
   let me = Worker.me w in
@@ -87,6 +99,7 @@ let dws w (opts : Coord.dws_opts) =
       Termination.set_active term ~worker:me false;
       Worker.inject w Fault.Quiesce;
       if Termination.quiescent term then continue_ := false
+      else if Worker.try_steal w then Backoff.reset backoff
       else Worker.timed_wait w (fun () -> Backoff.once backoff)
     end
     else begin
@@ -96,14 +109,15 @@ let dws w (opts : Coord.dws_opts) =
       let sz = Worker.delta_size w in
       if float_of_int sz < decision.Qmodel.omega then begin
         (* wait up to τ (capped) for the delta to reach ω, collecting
-           arriving tuples meanwhile; resume on timeout *)
+           arriving tuples and stealing meanwhile; resume on timeout *)
         let deadline = Clock.now () +. Float.min decision.Qmodel.tau opts.tau_cap in
         let waiting = ref true in
         while !waiting do
           if Atomic.get sh.Worker.failed || Cancel.is_set sh.Worker.token then waiting := false
           else if Clock.now () >= deadline then waiting := false
           else begin
-            Worker.timed_wait w (fun () -> Unix.sleepf opts.poll_interval);
+            if not (Worker.try_steal w) then
+              Worker.timed_wait w (fun () -> Unix.sleepf opts.poll_interval);
             ignore (Worker.drain_and_merge w);
             if float_of_int (Worker.delta_size w) >= decision.Qmodel.omega then
               waiting := false

@@ -64,6 +64,7 @@ type shared = {
   n : int;
   exch : Exchange.t;
   barrier : Barrier.t;
+  steal : Steal.t;
   failed : bool Atomic.t;
   token : Cancel.t;
   (* Per-worker heartbeats of *useful* work (rules evaluated, batches
@@ -78,7 +79,7 @@ type shared = {
   max_iterations : int;
 }
 
-let make_shared ~exch ~token ~fault ~max_iterations =
+let make_shared ~exch ~token ~fault ~max_iterations ~steal =
   let n = Exchange.workers exch in
   let failed = Atomic.make false in
   (* Fault injection: [inject] is a no-op closure when disabled, so the
@@ -95,6 +96,7 @@ let make_shared ~exch ~token ~fault ~max_iterations =
     n;
     exch;
     barrier = Barrier.create n;
+    steal;
     failed;
     token;
     heartbeats = Array.make n 0;
@@ -114,6 +116,16 @@ type stratum_ctx = {
   sx_init : (Physical.compiled_rule * int array) list;
   sx_delta : (Physical.compiled_rule * int array * int) list;
   sx_scan_sources : (string * Arena.t) list;
+  (* Morsel grouping: a morsel names a pipeline group, and a group runs
+     every rule that scans the same source over the same slot range.
+     Group tables are part of the shared stratum context so a morsel's
+     group id means the same thing to its owner and to any thief. *)
+  sx_delta_groups : (int * (Physical.compiled_rule * int array) list) array;
+      (** delta rules grouped by scanned copy id *)
+  sx_init_groups : (Arena.t * (Physical.compiled_rule * int array) list) array;
+      (** [S_base] init rules grouped by scanned relation (one shared
+          flat arena per distinct relation) *)
+  sx_init_unit : (Physical.compiled_rule * int array) list;
 }
 
 (* Flat scan source for a whole relation: init rules scan relations
@@ -126,6 +138,19 @@ let arena_of_relation rel =
   Relation.iter_slices rel (fun data off -> ignore (Arena.push_slice a data off));
   a
 
+(* groups an association-shaped list by key, preserving first-seen key
+   order and per-key element order *)
+let group_by keys_equal key_of items =
+  let groups = ref [] in
+  List.iter
+    (fun item ->
+      let k = key_of item in
+      match List.find_opt (fun (k', _) -> keys_equal k k') !groups with
+      | Some (_, cell) -> cell := item :: !cell
+      | None -> groups := !groups @ [ (k, ref [ item ]) ])
+    items;
+  List.map (fun (k, cell) -> (k, List.rev !cell)) !groups
+
 let make_stratum ~catalog ~copies ~h ~partial_agg (sp : Physical.stratum_plan) =
   (* distribution targets per head predicate, resolved once per stratum:
      the emit path indexes an int array, never a string lookup *)
@@ -136,33 +161,64 @@ let make_stratum ~catalog ~copies ~h ~partial_agg (sp : Physical.stratum_plan) =
       sp.pred_plans
   in
   let targets_of pred = List.assoc pred head_targets in
+  let sx_init =
+    List.map
+      (fun (cr : Physical.compiled_rule) -> (cr, targets_of cr.head.hpred))
+      sp.init_rules
+  in
+  let sx_delta =
+    List.map
+      (fun (cr : Physical.compiled_rule) ->
+        let scan_cid =
+          match cr.scan with
+          | Physical.S_delta { pred; route; _ } -> Exchange.copy_id copies pred route
+          | Physical.S_base _ | Physical.S_unit -> assert false
+        in
+        (cr, targets_of cr.head.hpred, scan_cid))
+      sp.delta_rules
+  in
+  let sx_delta_groups =
+    Array.of_list
+      (List.map
+         (fun (cid, rules) -> (cid, List.map (fun (cr, tg, _) -> (cr, tg)) rules))
+         (group_by ( = ) (fun (_, _, cid) -> cid) sx_delta))
+  in
+  let base_init =
+    List.filter_map
+      (fun ((cr : Physical.compiled_rule), tg) ->
+        match cr.scan with
+        | Physical.S_base { pred; _ } -> Some (pred, (cr, tg))
+        | Physical.S_delta _ | Physical.S_unit -> None)
+      sx_init
+  in
+  let pred_groups = group_by String.equal fst base_init in
+  (* one shared flat snapshot per distinct scanned relation — also the
+     arena init morsels range over *)
+  let sx_scan_sources =
+    List.map (fun (pred, _) -> (pred, arena_of_relation (Catalog.get catalog pred))) pred_groups
+  in
+  let sx_init_groups =
+    Array.of_list
+      (List.map
+         (fun (pred, rules) -> (List.assoc pred sx_scan_sources, List.map snd rules))
+         pred_groups)
+  in
+  let sx_init_unit =
+    List.filter
+      (fun ((cr : Physical.compiled_rule), _) -> cr.scan = Physical.S_unit)
+      sx_init
+  in
   {
     sx_catalog = catalog;
     sx_copies = copies;
     sx_h = h;
     sx_partial_agg = partial_agg;
-    sx_init =
-      List.map
-        (fun (cr : Physical.compiled_rule) -> (cr, targets_of cr.head.hpred))
-        sp.init_rules;
-    sx_delta =
-      List.map
-        (fun (cr : Physical.compiled_rule) ->
-          let scan_cid =
-            match cr.scan with
-            | Physical.S_delta { pred; route; _ } -> Exchange.copy_id copies pred route
-            | Physical.S_base _ | Physical.S_unit -> assert false
-          in
-          (cr, targets_of cr.head.hpred, scan_cid))
-        sp.delta_rules;
-    sx_scan_sources =
-      List.filter_map
-        (fun (cr : Physical.compiled_rule) ->
-          match cr.scan with
-          | Physical.S_base { pred; _ } ->
-            Some (pred, arena_of_relation (Catalog.get catalog pred))
-          | Physical.S_delta _ | Physical.S_unit -> None)
-        sp.init_rules;
+    sx_init;
+    sx_delta;
+    sx_scan_sources;
+    sx_delta_groups;
+    sx_init_groups;
+    sx_init_unit;
   }
 
 let stall_snapshot sh ~strategy ~window =
@@ -192,7 +248,7 @@ type t = {
   sx : stratum_ctx;
   me : int;
   ws : Run_stats.worker;
-  stores : Rec_store.t array;
+  stores : Rec_store.t array; (* own partition: stores.(me) of the run matrix *)
   deltas : Arena.t array;
   (* Per-iteration group index for aggregate copies: the Gather operator
      emits ONE delta entry per changed group, holding the current
@@ -201,8 +257,19 @@ type t = {
      quadratically on high-degree vertices. *)
   delta_groups : (Tuple.t, int) Hashtbl.t option array;
   dist : Distribute.t;
-  emits : (int * Eval.prepared) list; (* scanned copy id, prepared delta rule *)
-  init_rules : (Physical.compiled_rule * Eval.prepared) list;
+  delta_pipes : Eval.prepared list array; (* aligned with sx_delta_groups *)
+  init_pipes : Eval.prepared list array; (* aligned with sx_init_groups *)
+  init_arenas : Arena.t array; (* scan arena per init group *)
+  unit_pipes : Eval.prepared list;
+  (* Steal pipelines: [steal_*_pipes.(v).(g)] evaluates group [g] with
+     recursive lookups bound to victim [v]'s stores — a stolen morsel
+     must probe the partition the discriminating hash routed the
+     matching tuples to — while emitting through THIS worker's
+     Distribute buffers and Exchange row, so every SPSC queue keeps its
+     single producer.  Entry [me] is unused (own morsels run the own
+     pipelines above); empty when stealing is off. *)
+  steal_delta_pipes : Eval.prepared list array array;
+  steal_init_pipes : Eval.prepared list array array;
   mutable on_batch : Exchange.batch -> unit;
 }
 
@@ -235,8 +302,9 @@ let merge_batch w (b : Exchange.batch) =
       | Some fresh -> push_delta w b.bcopy fresh
       | None -> ())
 
-let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores ~ws =
+let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores:all_stores ~ws =
   let copies = sx.sx_copies in
+  let own_stores = all_stores.(me) in
   let deltas = Array.map (fun ci -> take_arena sc ~arity:ci.Exchange.ci_arity) copies in
   let delta_groups =
     Array.map
@@ -250,7 +318,10 @@ let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores ~ws =
     Distribute.create ~exch:sh.exch ~me ~h:sx.sx_h ~partial_agg:sx.sx_partial_agg
       ~take_frame:(fun ~arity ~contrib -> take_frame sc ~arity ~contrib)
   in
-  let ctx =
+  (* one evaluation context per store row the pipelines may probe: own
+     rules bind to this worker's partition, steal pipelines to the
+     victim's *)
+  let ctx_for row_stores =
     {
       Eval.base_iter =
         (fun pred f -> Relation.iter_slices (Catalog.get sx.sx_catalog pred) f);
@@ -262,12 +333,25 @@ let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores ~ws =
             (* Parallel.prebuild_indexes guarantees this cannot happen *)
             assert false);
       rec_resolve = (fun ~pred ~route -> Exchange.copy_id copies pred route);
-      rec_matches = (fun cid ~key f -> Rec_store.iter_matches stores.(cid) ~key f);
+      rec_matches = (fun cid ~key f -> Rec_store.iter_matches row_stores.(cid) ~key f);
     }
   in
   (* Rules prepared once per worker and stratum: recursive lookups, the
      scanned copy, and the head's distribution targets all resolve to
      integer ids here, at setup time. *)
+  let prep ctx (rules : (Physical.compiled_rule * int array) list) =
+    List.map
+      (fun ((cr : Physical.compiled_rule), targets) ->
+        Eval.prepare cr ctx ~emit:(Distribute.emitter dist ~targets))
+      rules
+  in
+  let own_ctx = ctx_for own_stores in
+  let steal_on = Steal.enabled sh.steal in
+  let steal_pipes_of groups =
+    Array.init sh.n (fun v ->
+        if (not steal_on) || v = me then [||]
+        else Array.map (fun (_, rules) -> prep (ctx_for all_stores.(v)) rules) groups)
+  in
   let w =
     {
       sh;
@@ -275,20 +359,16 @@ let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores ~ws =
       sx;
       me;
       ws;
-      stores;
+      stores = own_stores;
       deltas;
       delta_groups;
       dist;
-      emits =
-        List.map
-          (fun ((cr : Physical.compiled_rule), targets, scan_cid) ->
-            (scan_cid, Eval.prepare cr ctx ~emit:(Distribute.emitter dist ~targets)))
-          sx.sx_delta;
-      init_rules =
-        List.map
-          (fun ((cr : Physical.compiled_rule), targets) ->
-            (cr, Eval.prepare cr ctx ~emit:(Distribute.emitter dist ~targets)))
-          sx.sx_init;
+      delta_pipes = Array.map (fun (_, rules) -> prep own_ctx rules) sx.sx_delta_groups;
+      init_pipes = Array.map (fun (_, rules) -> prep own_ctx rules) sx.sx_init_groups;
+      init_arenas = Array.map fst sx.sx_init_groups;
+      unit_pipes = prep own_ctx sx.sx_init_unit;
+      steal_delta_pipes = steal_pipes_of sx.sx_delta_groups;
+      steal_init_pipes = steal_pipes_of sx.sx_init_groups;
       on_batch = ignore;
     }
   in
@@ -322,29 +402,10 @@ let drain_and_merge w =
        this worker active, or it could exit while we still hold
        unprocessed tuples and go on to send to it. *)
     Termination.set_active (Exchange.term w.sh.exch) ~worker:w.me true;
-    Termination.consumed (Exchange.term w.sh.exch) ~worker:w.me total
+    Termination.consumed (Exchange.term w.sh.exch) ~worker:w.me total;
+    w.ws.tuples_drained <- w.ws.tuples_drained + total
   end;
   total
-
-let run_iteration w =
-  let t0 = Clock.now () in
-  let processed = ref 0 in
-  List.iter
-    (fun (scan_cid, prepared) ->
-      let batch = w.deltas.(scan_cid) in
-      if not (Arena.is_empty batch) then begin
-        w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
-        processed := !processed + Eval.run_prepared prepared ~scan:(`Flat batch)
-      end)
-    w.emits;
-  clear_deltas w;
-  flush_outgoing w;
-  let dt = Clock.now () -. t0 in
-  w.ws.busy_time <- w.ws.busy_time +. dt;
-  w.ws.tuples_processed <- w.ws.tuples_processed + !processed;
-  Qmodel.record_service w.sc.qm ~tuples:!processed ~elapsed:dt;
-  w.ws.iterations <- w.ws.iterations + 1;
-  Atomic.incr w.sh.iter_counts.(w.me)
 
 let timed_wait w f =
   let t0 = Clock.now () in
@@ -361,22 +422,187 @@ let bail_if_cancelled w =
     raise Barrier.Poisoned
   end
 
-let decide w = Qmodel.decide w.sc.qm ~buffer_sizes:(Exchange.inbox_sizes w.sh.exch ~dest:w.me)
+let steal_enabled w = Steal.enabled w.sh.steal
+
+(* --- morsel execution --- *)
+
+let exec_morsel w (m : Steal.morsel) =
+  let pipes =
+    match m.Steal.m_kind with
+    | Steal.Delta ->
+      if m.Steal.m_src = w.me then w.delta_pipes.(m.Steal.m_gid)
+      else w.steal_delta_pipes.(m.Steal.m_src).(m.Steal.m_gid)
+    | Steal.Init ->
+      if m.Steal.m_src = w.me then w.init_pipes.(m.Steal.m_gid)
+      else w.steal_init_pipes.(m.Steal.m_src).(m.Steal.m_gid)
+  in
+  let scan = `Flat_range (m.Steal.m_arena, m.Steal.m_first, m.Steal.m_len) in
+  let k = ref 0 in
+  List.iter (fun p -> k := !k + Eval.run_prepared p ~scan) pipes;
+  w.ws.morsels_executed <- w.ws.morsels_executed + 1;
+  !k
+
+let try_steal w =
+  let st = w.sh.steal in
+  if not (Steal.enabled st) then false
+  else
+    match Steal.try_claim st ~me:w.me with
+    | None -> false
+    | Some m ->
+      (* the injection site sits inside the claim window on purpose: a
+         crash here leaves the victim joining on an outstanding morsel,
+         which must resolve through the failed-flag poll below *)
+      w.sh.inject Fault.Steal ~worker:w.me;
+      w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
+      let t0 = Clock.now () in
+      let k = exec_morsel w m in
+      (* Flush-before-complete: the stolen emissions must be in the
+         exchange (sent counters bumped) while the victim is still
+         pinned active by this outstanding morsel — otherwise a peer's
+         quiescence snapshot could certify an empty system with stolen
+         tuples still privately buffered here. *)
+      Distribute.flush w.dist ~ws:w.ws;
+      Steal.complete st m;
+      let dt = Clock.now () -. t0 in
+      w.ws.busy_time <- w.ws.busy_time +. dt;
+      w.ws.tuples_processed <- w.ws.tuples_processed + k;
+      w.ws.steals <- w.ws.steals + 1;
+      w.ws.stolen_tuples <- w.ws.stolen_tuples + m.Steal.m_len;
+      Qmodel.record_service w.sc.qm ~tuples:k ~elapsed:dt;
+      true
+
+(* The owner's join: wait for every outstanding morsel to come back,
+   stealing from peers meanwhile (any outstanding morsel anywhere means
+   some worker is mid-window, so there is often work to take).  Crash
+   containment: if a thief dies holding one of our morsels the pending
+   count never returns to zero — the failed/cancelled poll is the exit.
+   Only the idle fraction is charged as wait time; stolen execution
+   accounts itself as busy inside [try_steal]. *)
+let join_morsels w =
+  let st = w.sh.steal in
+  if Steal.pending st ~me:w.me > 0 then begin
+    let t0 = Clock.now () in
+    let stolen = ref 0. in
+    while Steal.pending st ~me:w.me > 0 do
+      bail_if_cancelled w;
+      let s0 = Clock.now () in
+      if try_steal w then stolen := !stolen +. (Clock.now () -. s0) else Domain.cpu_relax ()
+    done;
+    w.ws.wait_time <- w.ws.wait_time +. Float.max 0. (Clock.now () -. t0 -. !stolen)
+  end
+
+(* Barrier arrival that fills the wait with steals when the board is on
+   (the Global strategy's idle tail, and the non-recursive close). *)
+let await_barrier w =
+  if steal_enabled w then
+    Barrier.await_poll w.sh.barrier (fun () ->
+        if not (try_steal w) then timed_wait w (fun () -> Unix.sleepf 5e-5))
+  else timed_wait w (fun () -> Barrier.await w.sh.barrier)
+
+let run_iteration w =
+  let st = w.sh.steal in
+  let t0 = Clock.now () in
+  let processed = ref 0 in
+  let run_group_whole g batch =
+    List.iter
+      (fun p -> processed := !processed + Eval.run_prepared p ~scan:(`Flat batch))
+      w.delta_pipes.(g)
+  in
+  if Steal.enabled st then begin
+    let msz = Steal.morsel_tuples st in
+    Array.iteri
+      (fun g (cid, _) ->
+        let batch = w.deltas.(cid) in
+        let len = Arena.length batch in
+        if len > 0 then begin
+          w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
+          (* a delta too small to make two morsels is not worth the
+             publish/claim traffic *)
+          if len <= 2 * msz then run_group_whole g batch
+          else
+            Steal.publish_range st ~me:w.me ~kind:Steal.Delta ~gid:g ~arena:batch ~first:0 ~len
+        end)
+      w.sx.sx_delta_groups;
+    let continue_ = ref true in
+    while !continue_ do
+      match Steal.pop_own st ~me:w.me with
+      | Some m ->
+        processed := !processed + exec_morsel w m;
+        Steal.complete st m
+      | None -> continue_ := false
+    done
+  end
+  else
+    Array.iteri
+      (fun g (cid, _) ->
+        let batch = w.deltas.(cid) in
+        if not (Arena.is_empty batch) then begin
+          w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
+          run_group_whole g batch
+        end)
+      w.sx.sx_delta_groups;
+  let own = Clock.now () -. t0 in
+  (* join before clearing: stolen morsels still range over our delta
+     arenas, and our stores must stay frozen until the last one is back *)
+  if Steal.enabled st then join_morsels w;
+  let t1 = Clock.now () in
+  clear_deltas w;
+  flush_outgoing w;
+  let dt = own +. (Clock.now () -. t1) in
+  w.ws.busy_time <- w.ws.busy_time +. dt;
+  w.ws.tuples_processed <- w.ws.tuples_processed + !processed;
+  Qmodel.record_service w.sc.qm ~tuples:!processed ~elapsed:dt;
+  w.ws.iterations <- w.ws.iterations + 1;
+  Atomic.incr w.sh.iter_counts.(w.me)
+
+let decide w =
+  Qmodel.decide
+    ~stealable:(Steal.stealable w.sh.steal ~me:w.me)
+    w.sc.qm
+    ~buffer_sizes:(Exchange.inbox_sizes w.sh.exch ~dest:w.me)
 
 let decay_model w f = Qmodel.decay w.sc.qm f
 
 let inject w site = w.sh.inject site ~worker:w.me
 
-(* --- initialization: base rules over striped scans --- *)
+(* --- initialization: base rules over the shared scan arenas --- *)
 
 let run_init w =
-  List.iter
-    (fun ((cr : Physical.compiled_rule), prepared) ->
-      bail_if_cancelled w;
-      match cr.scan with
-      | Physical.S_unit -> if w.me = 0 then ignore (Eval.run_prepared prepared ~scan:`Unit)
-      | Physical.S_base { pred; _ } ->
-        let src = List.assoc pred w.sx.sx_scan_sources in
+  let st = w.sh.steal in
+  if w.me = 0 then
+    List.iter
+      (fun p ->
+        bail_if_cancelled w;
+        ignore (Eval.run_prepared p ~scan:`Unit))
+      w.unit_pipes;
+  if Steal.enabled st then begin
+    (* publish this worker's contiguous share of every shared scan arena
+       as morsels — peers that finish their own share steal the rest *)
+    Array.iteri
+      (fun g src ->
+        bail_if_cancelled w;
+        let len = Arena.length src in
+        let lo = len * w.me / w.sh.n and hi = len * (w.me + 1) / w.sh.n in
+        if hi > lo then
+          Steal.publish_range st ~me:w.me ~kind:Steal.Init ~gid:g ~arena:src ~first:lo
+            ~len:(hi - lo))
+      w.init_arenas;
+    let continue_ = ref true in
+    while !continue_ do
+      match Steal.pop_own st ~me:w.me with
+      | Some m ->
+        w.ws.tuples_processed <- w.ws.tuples_processed + exec_morsel w m;
+        Steal.complete st m
+      | None -> continue_ := false
+    done;
+    join_morsels w
+  end
+  else
+    (* stealing off: the historical strided stripe, copied into a scratch
+       arena per group *)
+    Array.iteri
+      (fun g src ->
+        bail_if_cancelled w;
         let len = Arena.length src and arity = Arena.arity src in
         let sdata = Arena.data src in
         let stripe = take_arena w.sc ~arity in
@@ -385,20 +611,23 @@ let run_init w =
           ignore (Arena.push_slice stripe sdata (!k * arity));
           k := !k + w.sh.n
         done;
-        w.ws.tuples_processed <-
-          w.ws.tuples_processed + Eval.run_prepared prepared ~scan:(`Flat stripe);
-        give_arena w.sc stripe
-      | Physical.S_delta _ -> assert false)
-    w.init_rules;
+        List.iter
+          (fun p ->
+            w.ws.tuples_processed <-
+              w.ws.tuples_processed + Eval.run_prepared p ~scan:(`Flat stripe))
+          w.init_pipes.(g);
+        give_arena w.sc stripe)
+      w.init_arenas;
   flush_outgoing w
 
 (* Non-recursive strata have no fixpoint loop: after every worker has
-   flushed its striped init-rule output, one barrier makes all pushes
-   visible, and one drain folds each worker's inbox into its partition
-   of the stratum's stores.  Crash containment and cancellation reuse
-   the same poisoning protocol as the recursive loops. *)
+   flushed its init-rule output, one barrier makes all pushes visible,
+   and one drain folds each worker's inbox into its partition of the
+   stratum's stores.  Crash containment and cancellation reuse the same
+   poisoning protocol as the recursive loops; the barrier tail steals
+   leftover init morsels when the board is on. *)
 let finish_nonrecursive w =
-  timed_wait w (fun () -> Barrier.await w.sh.barrier);
+  await_barrier w;
   ignore (drain_and_merge w);
   w.ws.iterations <- w.ws.iterations + 1
 

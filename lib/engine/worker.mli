@@ -7,7 +7,14 @@
     queueing model, drain counters, and free lists of arenas/frames —
     persists for the whole run and is rethreaded into the next stratum's
     worker, so per-stratum evaluation does not reallocate the hot-path
-    buffers. *)
+    buffers.
+
+    With the morsel board ({!Steal}) enabled, every delta and init scan
+    is split into fixed-size morsels published on the owner's deque;
+    idle peers claim them, evaluate them against the {e victim's} stores
+    (the discriminating hash routed the matching recursive tuples
+    there), and emit through their {e own} Distribute buffers and
+    Exchange row, keeping every SPSC queue single-producer. *)
 
 open Dcd_planner
 
@@ -24,6 +31,7 @@ type shared = {
   n : int;
   exch : Exchange.t;
   barrier : Dcd_concurrent.Barrier.t;
+  steal : Steal.t; (** the stratum's morsel board *)
   failed : bool Atomic.t;
   token : Dcd_concurrent.Cancel.t;
   heartbeats : int array;
@@ -39,13 +47,15 @@ val make_shared :
   token:Dcd_concurrent.Cancel.t ->
   fault:Dcd_concurrent.Fault.t option ->
   max_iterations:int ->
+  steal:Steal.t ->
   shared
 
 (** Read-only per-stratum compilation context, built once by the
     orchestrator and shared by every worker: rules paired with their
     head-target copy arrays (resolved at rule-compile time, so the emit
-    path never does a string lookup), and the shared flat scan sources
-    the init rules stripe over. *)
+    path never does a string lookup), the shared flat scan sources the
+    init rules range over, and the morsel group tables (a morsel names a
+    group id that means the same thing to its owner and to any thief). *)
 type stratum_ctx = {
   sx_catalog : Catalog.t;
   sx_copies : Exchange.copy_info array;
@@ -55,6 +65,14 @@ type stratum_ctx = {
   sx_delta : (Physical.compiled_rule * int array * int) list;
       (** (rule, head targets, scanned copy id) *)
   sx_scan_sources : (string * Dcd_storage.Arena.t) list;
+  sx_delta_groups : (int * (Physical.compiled_rule * int array) list) array;
+      (** delta rules grouped by scanned copy id; the group index is the
+          [m_gid] of [Delta] morsels *)
+  sx_init_groups : (Dcd_storage.Arena.t * (Physical.compiled_rule * int array) list) array;
+      (** [S_base] init rules grouped by scanned relation (one shared
+          flat arena per distinct relation); the group index is the
+          [m_gid] of [Init] morsels *)
+  sx_init_unit : (Physical.compiled_rule * int array) list;
 }
 
 val make_stratum :
@@ -64,8 +82,9 @@ val make_stratum :
   partial_agg:bool ->
   Physical.stratum_plan ->
   stratum_ctx
-(** Resolves every rule's head targets and scanned copy to integer ids
-    and snapshots the init-rule scan relations into flat arenas. *)
+(** Resolves every rule's head targets and scanned copy to integer ids,
+    snapshots the init-rule scan relations into flat arenas (one per
+    distinct relation), and builds the morsel group tables. *)
 
 val stall_snapshot : shared -> strategy:string -> window:float -> Engine_error.stall_diagnostic
 (** The watchdog's evidence on stall: global and per-worker termination
@@ -80,12 +99,15 @@ val create :
   scratch:scratch ->
   stratum:stratum_ctx ->
   me:int ->
-  stores:Rec_store.t array ->
+  stores:Rec_store.t array array ->
   ws:Run_stats.worker ->
   t
 (** Prepares every rule pipeline against this worker's stores and
-    scratch.  Runs on the pool domain itself, so preparation is
-    parallel across workers. *)
+    scratch.  [stores] is the full per-worker store matrix
+    ([stores.(v).(cid)]): row [me] backs the worker's own pipelines, and
+    when stealing is on, one extra pipeline set per victim row binds
+    recursive lookups to that victim's partition.  Runs on the pool
+    domain itself, so preparation is parallel across workers. *)
 
 val me : t -> int
 
@@ -95,12 +117,15 @@ val stats : t -> Run_stats.worker
 
 val run_init : t -> unit
 (** Evaluates the init rules ([S_unit] on worker 0 only; [S_base] scans
-    striped across workers) and flushes the produced deltas into the
-    exchange. *)
+    of the shared flat arenas: published as stealable [Init] morsels
+    over this worker's contiguous share when the board is on, otherwise
+    striped into a scratch arena) and flushes the produced deltas into
+    the exchange. *)
 
 val finish_nonrecursive : t -> unit
 (** The whole evaluation of a non-recursive stratum after {!run_init}:
-    one barrier (all flushes visible), one drain into this worker's
+    one barrier (all flushes visible, stealing leftover init morsels in
+    the barrier tail when the board is on), one drain into this worker's
     partition of the stores. *)
 
 val drain_and_merge : t -> int
@@ -110,8 +135,25 @@ val drain_and_merge : t -> int
     count drained. *)
 
 val run_iteration : t -> unit
-(** One local semi-naive iteration: evaluate every delta rule over the
-    current delta arenas, clear them, flush the produced tuples. *)
+(** One local semi-naive iteration: evaluate every delta rule group over
+    the current delta arenas (publishing large scans as stealable
+    morsels and joining on their completion when the board is on), clear
+    them, flush the produced tuples. *)
+
+val steal_enabled : t -> bool
+(** The morsel board is on for this stratum (workers > 1 and the config
+    did not disable it). *)
+
+val try_steal : t -> bool
+(** One steal attempt: claim a morsel from the most-loaded peer, execute
+    it against the victim's stores, flush the emissions through this
+    worker's own exchange row, then release it.  Returns [false] when
+    nothing was claimed.  Accounts its own busy time, steal counters and
+    service-model samples. *)
+
+val await_barrier : t -> unit
+(** Barrier arrival that fills the wait with {!try_steal} attempts when
+    the board is on (plain timed await otherwise). *)
 
 val delta_size : t -> int
 
@@ -128,7 +170,8 @@ val bail_if_cancelled : t -> unit
     {!Dcd_concurrent.Barrier.Poisoned} (the quiet exit path). *)
 
 val decide : t -> Qmodel.decision
-(** {!Qmodel.decide} against the live occupancy of this worker's inbox. *)
+(** {!Qmodel.decide} against the live occupancy of this worker's inbox,
+    with the stealable-work signal from the morsel board. *)
 
 val decay_model : t -> float -> unit
 

@@ -8,19 +8,17 @@ let create ~workers =
 
 let workers t = t.workers
 
-let mix k =
-  (* Fibonacci hashing: golden-ratio multiply, take high bits. *)
-  let h = k * 0x1E3779B97F4A7C15 in
-  (h lsr 17) land max_int
+(* The partition hash is Tuple's: an FNV-1a fold over the key columns
+   finished with the splitmix64 avalanche.  The previous scheme (one
+   golden-ratio multiply, take high bits) has no avalanche — structured
+   key streams (sequential vertex ids, strided ids from generators)
+   alias onto few residues once reduced mod [workers], which is exactly
+   the skew the discriminating hash exists to prevent.  Going through
+   [Tuple.hash_int]/[Tuple.hash_cols] also makes partition placement
+   consistent with every other hash in the storage layer. *)
+let of_key t k = Tuple.hash_int k mod t.workers
 
-let of_key t k = mix k mod t.workers
-
-(* Top-level tail recursion: this runs once per emitted tuple, so no
-   ref cell or closure may be allocated. *)
-let rec fold_cols (tup : int array) (cols : int array) i n h =
-  if i = n then h else fold_cols tup cols (i + 1) n (mix (h lxor tup.(Array.unsafe_get cols i)))
-
-let of_tuple t ~cols tup = fold_cols tup cols 0 (Array.length cols) 0 mod t.workers
+let of_tuple t ~cols tup = Tuple.hash_cols tup ~base:0 cols mod t.workers
 
 let split t batch ~cols =
   let parts = Array.init t.workers (fun _ -> Vec.create ()) in

@@ -13,8 +13,10 @@ val workers : t -> int
 
 val of_key : t -> int -> int
 (** [of_key h k] is the owning worker of key value [k], in
-    [0 .. workers-1].  Fibonacci multiplicative hashing — resilient to
-    the sequential vertex ids synthetic generators produce. *)
+    [0 .. workers-1].  Uses {!Tuple.hash_int} (FNV fold + 64-bit
+    avalanche finalizer), so sequential and strided key streams spread
+    evenly over the workers and a single-column key places identically
+    to {!of_tuple} on that column. *)
 
 val of_tuple : t -> cols:int array -> Tuple.t -> int
 (** Owner of a tuple according to its key columns (the multi-column key

@@ -53,6 +53,8 @@ let hash_slice (data : int array) ~off ~len =
 
 let hash (a : t) = hash_slice a ~off:0 ~len:(Array.length a)
 
+let hash_int x = hash_finish (hash_step fnv_seed x)
+
 let hash_cols (data : int array) ~base (cols : int array) =
   let h = ref fnv_seed in
   for i = 0 to Array.length cols - 1 do

@@ -34,6 +34,12 @@ val hash : t -> int
     value sequences hash equally across {!hash}, {!hash_slice} and
     {!hash_cols}. *)
 
+val hash_int : int -> int
+(** Hash of the single-field tuple [[| x |]] — equal to
+    [hash [| x |]] without the allocation.  The partitioner hashes
+    single-column keys through this so a key value lands on the same
+    worker whether it is hashed boxed, flat, or bare. *)
+
 val hash_slice : int array -> off:int -> len:int -> int
 (** Hash of the tuple stored flat at [data.(off .. off+len-1)]. *)
 

@@ -35,6 +35,45 @@ let rmat ?(a = 0.57) ?(b = 0.19) ?(c = 0.19) ?(weights = 100) ~seed ~scale ~edge
   done;
   g
 
+let zipf ?(alpha = 1.2) ?(weights = 100) ~seed ~n ~edges () =
+  if n < 2 then invalid_arg "Gen.zipf: n must be >= 2";
+  if alpha <= 0. then invalid_arg "Gen.zipf: alpha must be > 0";
+  let g = Graph.create ~n in
+  let rng = Rng.create seed in
+  (* CDF over the harmonic weights i^-alpha; a source vertex is drawn by
+     binary search on a uniform variate, so low ranks absorb most of the
+     out-degree mass — the per-partition skew the morsel board exists
+     to flatten *)
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) alpha);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  let draw () =
+    let r = Rng.float rng total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < r then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let seen = Hashtbl.create (edges * 2) in
+  let attempts = ref 0 in
+  let max_attempts = edges * 8 in
+  while Graph.edge_count g < edges && !attempts < max_attempts do
+    incr attempts;
+    let u = draw () in
+    let v = Rng.int rng n in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      Graph.add_edge g ~w:(1 + Rng.int rng weights) u v
+    end
+  done;
+  g
+
 let gnp ?(weights = 100) ~seed ~n ~p () =
   if p <= 0. || p >= 1. then invalid_arg "Gen.gnp: p must be in (0, 1)";
   let g = Graph.create ~n in

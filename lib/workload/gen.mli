@@ -19,6 +19,17 @@ val rmat :
     slightly fewer may result).  [weights] draws uniform weights in
     [1..weights] (default 100). *)
 
+val zipf :
+  ?alpha:float -> ?weights:int -> seed:int -> n:int -> edges:int -> unit -> Graph.t
+(** Power-law out-degree graph: each edge's source is drawn from a
+    Zipf([alpha]) distribution over the [n] vertices (default
+    [alpha = 1.2]), its target uniformly.  A handful of hub vertices
+    own most of the out-degree, so hash partitioning concentrates the
+    delta work on a few workers — the skewed workload the work-stealing
+    experiments use.  Duplicate edges and self-loops are dropped (the
+    retry budget is 8× [edges], so extreme parameters still terminate
+    with slightly fewer edges).  Deterministic in all arguments. *)
+
 val gnp : ?weights:int -> seed:int -> n:int -> p:float -> unit -> Graph.t
 (** Erdős–Rényi via geometric skipping; O(edges) expected time. *)
 

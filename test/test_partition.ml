@@ -34,6 +34,43 @@ let test_balance () =
       Alcotest.(check bool) "within 15% of even" true (abs (c - 10_000) < 1_500))
     counts
 
+(* The avalanche finalizer must spread structured key streams evenly:
+   a chi-square-style bound on bucket counts, for sequential keys and
+   for strided ones (vertex ids scaled by a constant — the stream a
+   weak multiplicative mix folds onto few buckets). *)
+let test_mixing () =
+  let workers = 8 in
+  let h = P.create ~workers in
+  let check_stream name keys =
+    let n = List.length keys in
+    let counts = Array.make workers 0 in
+    List.iter
+      (fun k ->
+        let w = P.of_key h k in
+        counts.(w) <- counts.(w) + 1)
+      keys;
+    let expected = float_of_int n /. float_of_int workers in
+    let chi2 =
+      Array.fold_left
+        (fun acc c ->
+          let d = float_of_int c -. expected in
+          acc +. (d *. d /. expected))
+        0. counts
+    in
+    (* 7 degrees of freedom: the 99.9% quantile is ~24.3; a generous 40
+       still rejects any real clustering (a stuck bucket scores in the
+       thousands) *)
+    if chi2 > 40. then
+      Alcotest.fail (Printf.sprintf "%s stream clusters: chi2 = %.1f" name chi2)
+  in
+  check_stream "sequential" (List.init 40_000 Fun.id);
+  List.iter
+    (fun stride ->
+      check_stream
+        (Printf.sprintf "stride %d" stride)
+        (List.init 40_000 (fun i -> i * stride)))
+    [ 2; 8; 64; 1024; 4096 ]
+
 let test_split () =
   let h = P.create ~workers:3 in
   let batch = Vec.of_list (List.init 100 (fun i -> [| i; i * 2 |])) in
@@ -64,6 +101,7 @@ let () =
           Alcotest.test_case "stable" `Quick test_stable;
           Alcotest.test_case "tuple/key consistency" `Quick test_tuple_vs_key_consistency;
           Alcotest.test_case "balance" `Quick test_balance;
+          Alcotest.test_case "mixing" `Quick test_mixing;
           Alcotest.test_case "split" `Quick test_split;
           Alcotest.test_case "single worker" `Quick test_single_worker;
         ] );

@@ -41,6 +41,33 @@ let test_rmat_skew () =
   let avg = 10_000 / 1024 in
   Alcotest.(check bool) "hub degree >> average" true (top > 5 * avg)
 
+let test_zipf_deterministic () =
+  let a = Gen.zipf ~seed:11 ~n:512 ~edges:4000 () in
+  let b = Gen.zipf ~seed:11 ~n:512 ~edges:4000 () in
+  Alcotest.(check bool) "same seed same edge multiset" true
+    (Vec.to_list (Graph.edges a) = Vec.to_list (Graph.edges b));
+  let c = Gen.zipf ~seed:12 ~n:512 ~edges:4000 () in
+  Alcotest.(check bool) "different seed differs" true
+    (Vec.to_list (Graph.edges a) <> Vec.to_list (Graph.edges c))
+
+let test_zipf_skew () =
+  let g = Gen.zipf ~seed:11 ~n:1024 ~edges:10_000 () in
+  Alcotest.(check bool) "close to requested edges" true (Graph.edge_count g > 8_000);
+  let deg = Graph.out_degrees g in
+  (* the rank-1 hub must own far more than its uniform share, and no
+     self loops or duplicates survive *)
+  Array.sort compare deg;
+  let top = deg.(Array.length deg - 1) in
+  let avg = Graph.edge_count g / 1024 in
+  Alcotest.(check bool) "hub degree >> average" true (top > 20 * avg);
+  let seen = Hashtbl.create 4096 in
+  Vec.iter
+    (fun (u, v, _) ->
+      if u = v then Alcotest.fail "self loop";
+      if Hashtbl.mem seen (u, v) then Alcotest.fail "duplicate edge";
+      Hashtbl.add seen (u, v) ())
+    (Graph.edges g)
+
 let test_gnp_edge_count () =
   let g = Gen.gnp ~seed:9 ~n:500 ~p:0.01 () in
   let expected = int_of_float (500. *. 500. *. 0.01) in
@@ -141,6 +168,8 @@ let () =
           Alcotest.test_case "rmat deterministic" `Quick test_rmat_deterministic;
           Alcotest.test_case "rmat properties" `Quick test_rmat_properties;
           Alcotest.test_case "rmat skew" `Quick test_rmat_skew;
+          Alcotest.test_case "zipf deterministic" `Quick test_zipf_deterministic;
+          Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
           Alcotest.test_case "gnp edge count" `Quick test_gnp_edge_count;
           Alcotest.test_case "random tree" `Quick test_random_tree_is_tree;
           Alcotest.test_case "bom tree" `Quick test_bom_tree;

@@ -1,0 +1,112 @@
+module Q = Dcd_concurrent.Ws_deque
+
+let test_lifo_fifo () =
+  let q = Q.create () in
+  Alcotest.(check bool) "fresh empty" true (Q.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Q.pop q);
+  Alcotest.(check (option int)) "steal empty" None (Q.steal q);
+  for i = 1 to 5 do
+    Q.push q i
+  done;
+  Alcotest.(check int) "size" 5 (Q.size q);
+  (* owner pops the newest, thief steals the oldest *)
+  Alcotest.(check (option int)) "pop newest" (Some 5) (Q.pop q);
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (Q.steal q);
+  Alcotest.(check (option int)) "steal next" (Some 2) (Q.steal q);
+  Alcotest.(check (option int)) "pop" (Some 4) (Q.pop q);
+  Alcotest.(check (option int)) "pop last" (Some 3) (Q.pop q);
+  Alcotest.(check bool) "drained" true (Q.is_empty q)
+
+let test_growth () =
+  (* push far past the initial capacity; nothing may be lost or reordered *)
+  let q = Q.create ~capacity:2 () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Q.push q i
+  done;
+  Alcotest.(check int) "all present" n (Q.size q);
+  for i = 0 to (n / 2) - 1 do
+    Alcotest.(check (option int)) "fifo from top" (Some i) (Q.steal q)
+  done;
+  for i = n - 1 downto n / 2 do
+    Alcotest.(check (option int)) "lifo from bottom" (Some i) (Q.pop q)
+  done;
+  Alcotest.(check bool) "empty" true (Q.is_empty q)
+
+let test_interleaved_reuse () =
+  let q = Q.create ~capacity:4 () in
+  for round = 0 to 99 do
+    for i = 0 to 7 do
+      Q.push q ((round * 8) + i)
+    done;
+    for _ = 0 to 3 do
+      if Q.pop q = None then Alcotest.fail "pop lost an element"
+    done;
+    for _ = 0 to 3 do
+      if Q.steal q = None then Alcotest.fail "steal lost an element"
+    done
+  done;
+  Alcotest.(check bool) "balanced" true (Q.is_empty q)
+
+(* One owner domain pushing and popping, several thief domains stealing:
+   every pushed element must be claimed by exactly one side, no element
+   lost, none duplicated.  This is the exactly-once property the morsel
+   pending counters build on. *)
+let test_concurrent_exactly_once () =
+  let q = Q.create ~capacity:8 () in
+  let n = 50_000 in
+  let thieves = 3 in
+  let done_ = Atomic.make false in
+  let stolen_sum = Atomic.make 0 in
+  let stolen_count = Atomic.make 0 in
+  let thief () =
+    let sum = ref 0 and count = ref 0 in
+    while not (Atomic.get done_ && Q.is_empty q) do
+      match Q.steal q with
+      | Some v ->
+        sum := !sum + v;
+        incr count
+      | None -> Domain.cpu_relax ()
+    done;
+    ignore (Atomic.fetch_and_add stolen_sum !sum);
+    ignore (Atomic.fetch_and_add stolen_count !count)
+  in
+  let ds = List.init thieves (fun _ -> Domain.spawn thief) in
+  let own_sum = ref 0 and own_count = ref 0 in
+  for i = 1 to n do
+    Q.push q i;
+    (* pop roughly half back, so both ends stay contended *)
+    if i land 1 = 0 then
+      match Q.pop q with
+      | Some v ->
+        own_sum := !own_sum + v;
+        incr own_count
+      | None -> ()
+  done;
+  (* drain what's left from the owner side *)
+  let continue_ = ref true in
+  while !continue_ do
+    match Q.pop q with
+    | Some v ->
+      own_sum := !own_sum + v;
+      incr own_count
+    | None -> if Q.is_empty q then continue_ := false
+  done;
+  Atomic.set done_ true;
+  List.iter Domain.join ds;
+  let total = !own_count + Atomic.get stolen_count in
+  let sum = !own_sum + Atomic.get stolen_sum in
+  Alcotest.(check int) "every element claimed exactly once" n total;
+  Alcotest.(check int) "claimed values are the pushed values" (n * (n + 1) / 2) sum
+
+let () =
+  Alcotest.run "ws_deque"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "lifo/fifo" `Quick test_lifo_fifo;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "interleaved reuse" `Quick test_interleaved_reuse;
+        ] );
+      ("concurrent", [ Alcotest.test_case "exactly once" `Slow test_concurrent_exactly_once ]);
+    ]
