@@ -35,6 +35,9 @@ type 'a t = {
   branching : int;
   mutable root : 'a node;
   mutable count : int;
+  mutable version : int;
+      (* bumped on every mutating entry point; cursors cache a leaf
+         position and re-descend from the root when this moves *)
 }
 
 let dummy_key : key = [||]
@@ -46,7 +49,7 @@ let new_internal b =
 
 let create ?(branching = 32) () =
   if branching < 4 then invalid_arg "Bptree.create: branching must be >= 4";
-  { branching; root = Leaf (new_leaf branching); count = 0 }
+  { branching; root = Leaf (new_leaf branching); count = 0; version = 0 }
 
 let length t = t.count
 
@@ -151,6 +154,7 @@ let split_root t =
   | _ -> ()
 
 let upsert t k f =
+  t.version <- t.version + 1;
   split_root t;
   let rec descend node =
     match node with
@@ -194,6 +198,7 @@ let insert t k v = upsert t k (fun _ -> v)
    — the primitive behind set-semantics merging, which otherwise needs
    a [mem] probe followed by an [insert] (two descents per candidate). *)
 let add_if_absent t k v =
+  t.version <- t.version + 1;
   split_root t;
   let rec descend node =
     match node with
@@ -232,6 +237,7 @@ let add_if_absent t k v =
    materialized by [make] only on an actual insert, so a probe that
    finds an existing binding allocates nothing. *)
 let add_if_absent_lazy t k make =
+  t.version <- t.version + 1;
   split_root t;
   let rec descend node =
     match node with
@@ -274,6 +280,7 @@ let leaf_min t = t.branching / 2
 let internal_min t = (t.branching - 2) / 2 (* 2*min+1 <= b-1: preemptive merge cannot overflow *)
 
 let remove t k =
+  t.version <- t.version + 1;
   let removed = ref false in
   let rec descend node =
     match node with
@@ -458,7 +465,112 @@ let max_binding t =
 
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
 
-(* --- bulk load --- *)
+(* --- sorted cursors (leapfrog substrate) --- *)
+
+(* A cursor caches its leaf + slot so that the monotone forward seeks a
+   leapfrog join performs resolve with one in-leaf binary search instead
+   of a root descent whenever the target still lands in the current
+   leaf.  Staleness is detected with the tree's [version]: any mutation
+   bumps it, and a stale cursor re-descends from the root.  [ckey] holds
+   the key *object* at the current position — key arrays are only ever
+   moved between slots, never mutated in place, so the reference stays a
+   valid search target across splits, merges and blits. *)
+type 'a cursor = {
+  ctree : 'a t;
+  mutable cversion : int;
+  mutable cleaf : 'a leaf option; (* None = not positioned / exhausted *)
+  mutable cidx : int;
+  mutable ckey : key;
+}
+
+let cursor t = { ctree = t; cversion = t.version - 1; cleaf = None; cidx = 0; ckey = dummy_key }
+
+let cursor_at_slot c l i =
+  c.cleaf <- Some l;
+  c.cidx <- i;
+  c.ckey <- l.lkeys.(i);
+  true
+
+let cursor_exhaust c =
+  c.cleaf <- None;
+  c.cidx <- 0;
+  false
+
+(* Full root descent; also re-syncs the cursor's version. *)
+let seek_slow c k =
+  let t = c.ctree in
+  c.cversion <- t.version;
+  let l = find_leaf t.root k in
+  let i = match leaf_search l k with Ok i -> i | Error i -> i in
+  if i < l.ln then cursor_at_slot c l i
+  else
+    (* the insertion point sits past this leaf's last key; the first key
+       of the next leaf (if any) is the answer — non-root leaves are
+       never empty, so one hop suffices *)
+    match l.next with
+    | Some l' when l'.ln > 0 -> cursor_at_slot c l' 0
+    | _ -> cursor_exhaust c
+
+let seek_geq c k =
+  let t = c.ctree in
+  if c.cversion <> t.version then seek_slow c k
+  else
+    match c.cleaf with
+    | Some l
+      when c.cidx < l.ln
+           && compare_key l.lkeys.(c.cidx) k <= 0
+           && compare_key l.lkeys.(l.ln - 1) k >= 0 ->
+      (* forward seek landing in the current leaf: binary search the
+         suffix [cidx, ln) *)
+      let lo = ref c.cidx and hi = ref l.ln in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if compare_key l.lkeys.(mid) k < 0 then lo := mid + 1 else hi := mid
+      done;
+      cursor_at_slot c l !lo
+    | _ -> seek_slow c k
+
+let cursor_positioned c = c.cleaf <> None
+
+let cursor_key c =
+  match c.cleaf with
+  | None -> invalid_arg "Bptree.cursor_key: cursor not positioned"
+  | Some _ -> c.ckey
+
+let cursor_value c =
+  match c.cleaf with
+  | None -> invalid_arg "Bptree.cursor_value: cursor not positioned"
+  | Some l ->
+    if c.cversion <> c.ctree.version then begin
+      (* the slot may have been blitted away; re-locate our key *)
+      ignore (seek_slow c c.ckey);
+      match c.cleaf with
+      | Some l' -> l'.lvals.(c.cidx)
+      | None -> invalid_arg "Bptree.cursor_value: key vanished under cursor"
+    end
+    else l.lvals.(c.cidx)
+
+let rec cursor_next c =
+  match c.cleaf with
+  | None -> false
+  | Some l ->
+    if c.cversion = c.ctree.version then begin
+      let i = c.cidx + 1 in
+      if i < l.ln then cursor_at_slot c l i
+      else
+        match l.next with
+        | Some l' when l'.ln > 0 -> cursor_at_slot c l' 0
+        | _ -> cursor_exhaust c
+    end
+    else begin
+      (* interleaved mutation: resume from the remembered key.  If the
+         key still exists we land on it and must step once more; if it
+         was removed we land on its successor, which is the answer. *)
+      let here = c.ckey in
+      if not (seek_slow c here) then false
+      else if compare_key c.ckey here = 0 then cursor_next c
+      else true
+    end
 
 let of_sorted ?(branching = 32) entries =
   if branching < 4 then invalid_arg "Bptree.of_sorted";

@@ -67,6 +67,43 @@ val iter_range : 'a t -> lo:key -> hi:key -> (key -> 'a -> unit) -> unit
 val iter_prefix : 'a t -> prefix:key -> (key -> 'a -> unit) -> unit
 (** All bindings whose key starts with [prefix], ascending. *)
 
+(** {2 Sorted cursors}
+
+    The substrate for leapfrog-style generic joins: a cursor supports
+    monotone [seek_geq] probes that resolve with a single in-leaf binary
+    search when the target lands in the current leaf, falling back to a
+    root descent otherwise.  Cursors survive interleaved mutation: every
+    mutating operation bumps an internal version counter, and a stale
+    cursor transparently re-positions from the root using the key it was
+    parked on (so a [seek_geq]/[cursor_next] sequence over a tree being
+    concurrently grown by its single owner never observes torn state —
+    it resumes at the remembered key's successor). *)
+
+type 'a cursor
+
+val cursor : 'a t -> 'a cursor
+(** A fresh, unpositioned cursor.  Position it with {!seek_geq}. *)
+
+val seek_geq : 'a cursor -> key -> bool
+(** [seek_geq c k] positions [c] on the smallest key [>= k]; returns
+    [false] (and exhausts the cursor) if every key is [< k].  Because a
+    strict prefix sorts before its extensions, seeking a prefix lands on
+    the first key carrying that prefix, which is how trie-level descent
+    is expressed over the flattened composite keys. *)
+
+val cursor_positioned : 'a cursor -> bool
+
+val cursor_key : 'a cursor -> key
+(** Current key. @raise Invalid_argument when not positioned. *)
+
+val cursor_value : 'a cursor -> 'a
+(** Current value. @raise Invalid_argument when not positioned. *)
+
+val cursor_next : 'a cursor -> bool
+(** Advance to the successor key; [false] exhausts the cursor.  After an
+    interleaved mutation, resumes at the successor of the key the cursor
+    was parked on. *)
+
 val min_binding : 'a t -> (key * 'a) option
 
 val max_binding : 'a t -> (key * 'a) option

@@ -43,7 +43,7 @@ type config = Parallel.config = {
 
 let default_config = Parallel.default_config
 
-let prepare ?(params = []) source =
+let prepare ?(params = []) ?generic_join source =
   match Parser.parse_program source with
   | exception Dcd_datalog.Lexer.Lex_error e -> Error e
   | exception Parser.Parse_error e -> Error e
@@ -51,7 +51,7 @@ let prepare ?(params = []) source =
     match Analysis.analyze program with
     | Error e -> Error e
     | Ok info -> (
-      match Physical.compile ~params info with
+      match Physical.compile ~params ?generic_join info with
       | Error e -> Error e
       | Ok plan -> Ok { source; info; plan }))
 
@@ -63,8 +63,8 @@ let try_run prepared ~edb ?(config = default_config) () =
   | result -> Ok result
   | exception Engine_error.Error e -> Error e
 
-let query ?params ?config source ~edb =
-  match prepare ?params source with
+let query ?params ?generic_join ?config source ~edb =
+  match prepare ?params ?generic_join source with
   | Error e -> Error e
   | Ok prepared -> Ok (run prepared ~edb ?config ())
 

@@ -73,10 +73,18 @@ type config = Parallel.config = {
 
 val default_config : config
 
-val prepare : ?params:(string * int) list -> string -> (prepared, string) result
+val prepare :
+  ?params:(string * int) list ->
+  ?generic_join:[ `Auto | `Off | `Force ] ->
+  string ->
+  (prepared, string) result
 (** Parses, analyzes and compiles a Datalog program.  [params] binds
     symbolic constants (e.g. [("start", 42)] for the SSSP query) at
-    plan time. *)
+    plan time.  [generic_join] controls whether eligible rule bodies
+    compile to the worst-case-optimal multiway join instead of a binary
+    lookup chain: [`Auto] (default) uses it only for cyclic bodies,
+    [`Off] never, [`Force] for every eligible body (see
+    {!Physical.compile}). *)
 
 val run :
   prepared ->
@@ -102,6 +110,7 @@ val try_run :
 
 val query :
   ?params:(string * int) list ->
+  ?generic_join:[ `Auto | `Off | `Force ] ->
   ?config:config ->
   string ->
   edb:(string * Tuple.t Vec.t) list ->

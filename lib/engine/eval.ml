@@ -2,11 +2,13 @@ open Dcd_planner
 module Tuple = Dcd_storage.Tuple
 module Arena = Dcd_storage.Arena
 module Hash_index = Dcd_storage.Hash_index
+module Bptree = Dcd_btree.Bptree
 module Vec = Dcd_util.Vec
 
 type context = {
   base_iter : string -> (int array -> int -> unit) -> unit;
   base_index : string -> int array -> Hash_index.t;
+  base_sorted : string -> int array -> unit Bptree.t;
   rec_resolve : pred:string -> route:int array -> int;
   rec_matches : int -> key:int array -> (int array -> int -> unit) -> unit;
 }
@@ -15,73 +17,34 @@ type emit = tuple:Tuple.t -> contributor:Tuple.t -> unit
 
 exception Found
 
-let src_value regs = function
-  | Physical.Const c -> c
-  | Physical.Reg r -> Array.unsafe_get regs r
-
 (* Tuples flow through the pipeline as (data, off) cursors into flat
    storage — an arena, an index arena, a packed frame — never as boxed
-   arrays.  A boxed tuple is just the cursor (tup, 0). *)
-(* Top-level recursion, not a local [let rec]: this runs once per
-   scanned tuple and once per join match, and a local recursive closure
-   would be heap-allocated on every call by the non-flambda compiler. *)
-let rec checks_loop regs (data : int array) off checks i n =
-  i = n
-  ||
-  let col, src = Array.unsafe_get checks i in
-  Array.unsafe_get data (off + col) = src_value regs src
-  && checks_loop regs data off checks (i + 1) n
-
-let checks_pass regs (data : int array) off checks =
-  checks_loop regs data off checks 0 (Array.length checks)
-
-let apply_binds regs (data : int array) off binds =
-  for i = 0 to Array.length binds - 1 do
-    let col, r = Array.unsafe_get binds i in
-    Array.unsafe_set regs r (Array.unsafe_get data (off + col))
-  done
+   arrays.  A boxed tuple is just the cursor (tup, 0).  The per-field
+   work (binds, checks, key/head fills) runs through the monomorphic
+   closures of {!Kernel}, specialized once at prepare time. *)
 
 type prepared = {
   cr : Physical.compiled_rule;
   regs : int array;
   entry : unit -> unit; (* pipeline from the first step *)
-  scan_binds : (int * int) array;
-  scan_checks : (int * Physical.src) array;
+  scan_bind : int array -> int -> unit;
+  scan_check : int array -> int -> bool;
 }
 
-let prepare (cr : Physical.compiled_rule) ctx ~emit =
-  let regs = Array.make (max 1 cr.nregs) 0 in
-  let head = cr.head in
-  (* The emitted tuple and contributor are filled into scratch buffers
-     reused across emissions: [emit] sees them transiently and must
-     copy on retention (the flat sinks blit them into frames/arenas). *)
-  let head_buf = Array.make (Array.length head.args) 0 in
-  let contrib_src =
-    match head.agg with
-    | Some (_, _, contrib) when Array.length contrib > 0 -> Some contrib
-    | _ -> None
-  in
-  let contrib_buf =
-    match contrib_src with Some c -> Array.make (Array.length c) 0 | None -> [||]
-  in
-  let emit_stage () =
-    for i = 0 to Array.length head.args - 1 do
-      Array.unsafe_set head_buf i (src_value regs (Array.unsafe_get head.args i))
-    done;
-    (match contrib_src with
-    | Some contrib ->
-      for i = 0 to Array.length contrib - 1 do
-        Array.unsafe_set contrib_buf i (src_value regs (Array.unsafe_get contrib i))
-      done
-    | None -> ());
-    emit ~tuple:head_buf ~contributor:contrib_buf
-  in
-  let nsteps = Array.length cr.steps in
+(* Top-level recursion, not a local [let rec]: runs on every trie probe,
+   and a local recursive closure would be heap-allocated per call by the
+   non-flambda compiler. *)
+let rec prefix_eq_loop (a : int array) (b : int array) i n =
+  i = n || (Array.unsafe_get a i = Array.unsafe_get b i && prefix_eq_loop a b (i + 1) n)
+
+(* Compiles a step array into a closure chain ending in [cont]. *)
+let build_steps ctx regs (steps : Physical.step array) cont =
+  let nsteps = Array.length steps in
   let rec build k =
-    if k = nsteps then emit_stage
+    if k = nsteps then cont
     else begin
       let next = build (k + 1) in
-      match cr.steps.(k) with
+      match steps.(k) with
       | Physical.Filter { op; lhs; rhs } ->
         fun () ->
           (match (Physical.eval_code lhs regs, Physical.eval_code rhs regs) with
@@ -97,17 +60,14 @@ let prepare (cr : Physical.compiled_rule) ctx ~emit =
       | Physical.Lookup { rel; key_cols; key_src; binds; checks; negated; _ } ->
         (* binds first: a residual check may compare against a register
            bound by this very tuple (within-atom variable repeats) *)
+        let bind = Kernel.binder binds ~regs in
+        let check = Kernel.checker checks ~regs in
         let on_match data off =
-          apply_binds regs data off binds;
-          if checks_pass regs data off checks then if negated then raise Found else next ()
+          bind data off;
+          if check data off then if negated then raise Found else next ()
         in
-        let nkey = Array.length key_src in
-        let key = Array.make nkey 0 in
-        let fill_key () =
-          for i = 0 to nkey - 1 do
-            Array.unsafe_set key i (src_value regs (Array.unsafe_get key_src i))
-          done
-        in
+        let key = Array.make (Array.length key_src) 0 in
+        let fill_key = Kernel.filler key_src ~regs ~buf:key in
         let iterate =
           match rel with
           | Physical.R_rec { pred; route } ->
@@ -135,13 +95,157 @@ let prepare (cr : Physical.compiled_rule) ctx ~emit =
         else iterate
     end
   in
+  build 0
+
+(* --- generic (worst-case-optimal) join ---
+
+   One closure per elimination level.  Each participating atom holds a
+   B⁺-tree cursor over its sorted trie index plus a full-length working
+   key buffer: the scan fills the bound-prefix slots once per scanned
+   tuple, and each level writes its resolved value into the slot the
+   variable occupies in that atom's trie order.  Within one scanned
+   tuple every cursor only moves forward (leapfrog), so almost all seeks
+   resolve inside the current leaf; the backward seek at the next
+   scanned tuple re-descends from the root. *)
+let build_gj ctx (g : Physical.gj) ~regs ~emit_stage =
+  let atoms = g.gj_atoms in
+  let na = Array.length atoms in
+  let cursors =
+    Array.map
+      (fun (ga : Physical.gj_atom) -> Bptree.cursor (ctx.base_sorted ga.ga_pred ga.ga_cols))
+      atoms
+  in
+  let keybufs =
+    Array.map (fun (ga : Physical.gj_atom) -> Array.make (Array.length ga.ga_cols) 0) atoms
+  in
+  let prefix_fills =
+    Array.mapi
+      (fun i (ga : Physical.gj_atom) -> Kernel.filler ga.ga_prefix ~regs ~buf:keybufs.(i))
+      atoms
+  in
+  let nlevels = Array.length g.gj_levels in
+  let rec build_level li =
+    if li = nlevels then emit_stage
+    else begin
+      let lv = g.gj_levels.(li) in
+      let after = build_steps ctx regs lv.gv_steps (build_level (li + 1)) in
+      let np = Array.length lv.gv_atoms in
+      let ais = Array.map fst lv.gv_atoms in
+      let depths = Array.map snd lv.gv_atoms in
+      let entry_bufs = Array.map (fun d -> Array.make (d - 1) 0) depths in
+      let cand_bufs = Array.map (fun d -> Array.make d 0) depths in
+      let cands = Array.make np 0 in
+      let reg = lv.gv_reg in
+      (* Position participant [j] at its first value >= [v] under the
+         current prefix; false when the subtrie is exhausted. *)
+      let probe j v =
+        let ai = ais.(j) in
+        let d = depths.(j) in
+        let kb = keybufs.(ai) in
+        let cb = cand_bufs.(j) in
+        Array.blit kb 0 cb 0 (d - 1);
+        cb.(d - 1) <- v;
+        Bptree.seek_geq cursors.(ai) cb
+        &&
+        let k = Bptree.cursor_key cursors.(ai) in
+        prefix_eq_loop k kb 0 (d - 1)
+        &&
+        (cands.(j) <- Array.unsafe_get k (d - 1);
+         true)
+      in
+      (* First value of participant [j] under the current prefix. *)
+      let enter j =
+        let ai = ais.(j) in
+        let d = depths.(j) in
+        let kb = keybufs.(ai) in
+        let eb = entry_bufs.(j) in
+        Array.blit kb 0 eb 0 (d - 1);
+        Bptree.seek_geq cursors.(ai) eb
+        &&
+        let k = Bptree.cursor_key cursors.(ai) in
+        prefix_eq_loop k kb 0 (d - 1)
+        &&
+        (cands.(j) <- Array.unsafe_get k (d - 1);
+         true)
+      in
+      let bind_match v =
+        Array.unsafe_set regs reg v;
+        for j = 0 to np - 1 do
+          keybufs.(ais.(j)).(depths.(j) - 1) <- v
+        done;
+        after ()
+      in
+      (* Leapfrog: raise every candidate to the common frontier [v];
+         when all [np] agree, bind and descend, then resume past [v].
+         All recursive calls are tail calls. *)
+      let rec settle v j =
+        if j = np then begin
+          bind_match v;
+          if v < max_int && probe 0 (v + 1) then settle cands.(0) 0
+        end
+        else if cands.(j) = v then settle v (j + 1)
+        else if cands.(j) > v then settle cands.(j) 0
+        else if probe j v then
+          if cands.(j) = v then settle v (j + 1) else settle cands.(j) 0
+      in
+      let rec init j vmax =
+        if j = np then settle vmax 0
+        else if enter j then init (j + 1) (if cands.(j) > vmax then cands.(j) else vmax)
+      in
+      fun () -> init 0 min_int
+    end
+  in
+  let levels_entry = build_level 0 in
+  build_steps ctx regs g.gj_prelude (fun () ->
+      for i = 0 to na - 1 do
+        (Array.unsafe_get prefix_fills i) ()
+      done;
+      levels_entry ())
+
+let prepare (cr : Physical.compiled_rule) ctx ~emit =
+  let regs = Array.make (max 1 cr.nregs) 0 in
+  let head = cr.head in
+  (* The emitted tuple and contributor are filled into scratch buffers
+     reused across emissions: [emit] sees them transiently and must
+     copy on retention (the flat sinks blit them into frames/arenas). *)
+  let head_buf = Array.make (Array.length head.args) 0 in
+  let contrib_src =
+    match head.agg with
+    | Some (_, _, contrib) when Array.length contrib > 0 -> Some contrib
+    | _ -> None
+  in
+  let contrib_buf =
+    match contrib_src with Some c -> Array.make (Array.length c) 0 | None -> [||]
+  in
+  let head_fill = Kernel.filler head.args ~regs ~buf:head_buf in
+  let contrib_fill =
+    Kernel.filler
+      (match contrib_src with Some c -> c | None -> [||])
+      ~regs ~buf:contrib_buf
+  in
+  let emit_stage () =
+    head_fill ();
+    contrib_fill ();
+    emit ~tuple:head_buf ~contributor:contrib_buf
+  in
+  let entry =
+    match cr.gj with
+    | Some g -> build_gj ctx g ~regs ~emit_stage
+    | None -> build_steps ctx regs cr.steps emit_stage
+  in
   let scan_binds, scan_checks =
     match cr.scan with
     | Physical.S_base { binds; checks; _ } -> (binds, checks)
     | Physical.S_delta { binds; checks; _ } -> (binds, checks)
     | Physical.S_unit -> ([||], [||])
   in
-  { cr; regs; entry = build 0; scan_binds; scan_checks }
+  {
+    cr;
+    regs;
+    entry;
+    scan_bind = Kernel.binder scan_binds ~regs;
+    scan_check = Kernel.checker scan_checks ~regs;
+  }
 
 let check_scan_kind p ~unit_input =
   match (p.cr.scan, unit_input) with
@@ -158,36 +262,36 @@ let run_prepared p ~scan =
     1
   | `Tuples batch ->
     check_scan_kind p ~unit_input:false;
-    let regs = p.regs and binds = p.scan_binds and checks = p.scan_checks in
+    let bind = p.scan_bind and check = p.scan_check in
     Vec.iter
       (fun tup ->
-        apply_binds regs tup 0 binds;
-        if checks_pass regs tup 0 checks then p.entry ())
+        bind tup 0;
+        if check tup 0 then p.entry ())
       batch;
     Vec.length batch
   | `Flat arena ->
     check_scan_kind p ~unit_input:false;
-    let regs = p.regs and binds = p.scan_binds and checks = p.scan_checks in
+    let bind = p.scan_bind and check = p.scan_check in
     (* Read count/data once: rules must not grow the scanned arena
        (deltas are only mutated between iterations). *)
     let n = Arena.length arena and k = Arena.arity arena in
     let data = Arena.data arena in
     let off = ref 0 in
     for _ = 1 to n do
-      apply_binds regs data !off binds;
-      if checks_pass regs data !off checks then p.entry ();
+      bind data !off;
+      if check data !off then p.entry ();
       off := !off + k
     done;
     n
   | `Flat_range (arena, first, len) ->
     check_scan_kind p ~unit_input:false;
-    let regs = p.regs and binds = p.scan_binds and checks = p.scan_checks in
+    let bind = p.scan_bind and check = p.scan_check in
     let k = Arena.arity arena in
     let data = Arena.data arena in
     let off = ref (first * k) in
     for _ = 1 to len do
-      apply_binds regs data !off binds;
-      if checks_pass regs data !off checks then p.entry ();
+      bind data !off;
+      if check data !off then p.entry ();
       off := !off + k
     done;
     len

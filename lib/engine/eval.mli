@@ -5,7 +5,10 @@
     shared base indexes or the worker's partitioned recursive stores,
     [Filter]/[Compute] steps evaluate compiled arithmetic, and every
     complete binding is projected through the head and handed to [emit]
-    (the entry point of the Distribute operator).
+    (the entry point of the Distribute operator).  Rules compiled to a
+    {!Physical.gj} plan replace the lookup chain with a leapfrog
+    multiway intersection over sorted base indexes, one level per
+    variable in the elimination order.
 
     Tuples flow through the pipeline as [(data, off)] cursors into flat
     storage — the delta arena being scanned, a hash index's arena, a
@@ -37,6 +40,11 @@ type context = {
           call *)
   base_index : string -> int array -> Dcd_storage.Hash_index.t;
       (** prebuilt shared hash index on the given key columns *)
+  base_sorted : string -> int array -> unit Dcd_btree.Bptree.t;
+      (** prebuilt shared sorted (trie) index whose keys are the
+          relation's tuples permuted to the given column order; probed
+          by generic-join pipelines with prefix seeks.  Read-only during
+          evaluation. *)
   rec_resolve : pred:string -> route:int array -> int;
       (** called once per recursive lookup at prepare time: the integer
           id under which {!rec_matches} will be probed *)

@@ -1,0 +1,112 @@
+open Dcd_planner
+
+(* The three per-tuple primitives of a prepared pipeline — binding
+   matched columns into registers, residual equality checks, and filling
+   a scratch buffer (lookup key, trie prefix, head projection) from
+   sources — specialized at prepare time into monomorphic closures.
+   The common arities capture their columns/registers as immediate ints,
+   so the per-tuple work is array reads and int compares with a single
+   indirect call, no per-field tuple unpacking and no [src] variant
+   dispatch.  The fallbacks pre-split constants from registers once, at
+   prepare time. *)
+
+let bind0 (_ : int array) (_ : int) = ()
+
+let binder (binds : (int * int) array) ~(regs : int array) =
+  match binds with
+  | [||] -> bind0
+  | [| (c0, r0) |] ->
+    fun data off -> Array.unsafe_set regs r0 (Array.unsafe_get data (off + c0))
+  | [| (c0, r0); (c1, r1) |] ->
+    fun data off ->
+      Array.unsafe_set regs r0 (Array.unsafe_get data (off + c0));
+      Array.unsafe_set regs r1 (Array.unsafe_get data (off + c1))
+  | [| (c0, r0); (c1, r1); (c2, r2) |] ->
+    fun data off ->
+      Array.unsafe_set regs r0 (Array.unsafe_get data (off + c0));
+      Array.unsafe_set regs r1 (Array.unsafe_get data (off + c1));
+      Array.unsafe_set regs r2 (Array.unsafe_get data (off + c2))
+  | binds ->
+    fun data off ->
+      for i = 0 to Array.length binds - 1 do
+        let c, r = Array.unsafe_get binds i in
+        Array.unsafe_set regs r (Array.unsafe_get data (off + c))
+      done
+
+let check_true (_ : int array) (_ : int) = true
+
+(* Top-level recursions: a local [let rec] closure would be allocated
+   per call by the non-flambda compiler. *)
+let rec const_checks_loop (data : int array) off a i n =
+  i = n
+  ||
+  let c, k = Array.unsafe_get a i in
+  Array.unsafe_get data (off + c) = k && const_checks_loop data off a (i + 1) n
+
+let rec reg_checks_loop (regs : int array) (data : int array) off a i n =
+  i = n
+  ||
+  let c, r = Array.unsafe_get a i in
+  Array.unsafe_get data (off + c) = Array.unsafe_get regs r
+  && reg_checks_loop regs data off a (i + 1) n
+
+let checker (checks : (int * Physical.src) array) ~(regs : int array) =
+  match checks with
+  | [||] -> check_true
+  | [| (c0, Physical.Const k0) |] -> fun data off -> Array.unsafe_get data (off + c0) = k0
+  | [| (c0, Physical.Reg r0) |] ->
+    fun data off -> Array.unsafe_get data (off + c0) = Array.unsafe_get regs r0
+  | [| (c0, Physical.Reg r0); (c1, Physical.Reg r1) |] ->
+    fun data off ->
+      Array.unsafe_get data (off + c0) = Array.unsafe_get regs r0
+      && Array.unsafe_get data (off + c1) = Array.unsafe_get regs r1
+  | checks ->
+    let consts =
+      Array.of_list
+        (List.filter_map
+           (function c, Physical.Const k -> Some (c, k) | _, Physical.Reg _ -> None)
+           (Array.to_list checks))
+    in
+    let regchecks =
+      Array.of_list
+        (List.filter_map
+           (function c, Physical.Reg r -> Some (c, r) | _, Physical.Const _ -> None)
+           (Array.to_list checks))
+    in
+    let nc = Array.length consts and nr = Array.length regchecks in
+    fun data off ->
+      const_checks_loop data off consts 0 nc && reg_checks_loop regs data off regchecks 0 nr
+
+let fill0 () = ()
+
+let filler (srcs : Physical.src array) ~(regs : int array) ~(buf : int array) =
+  match srcs with
+  | [||] -> fill0
+  | [| Physical.Reg r0 |] -> fun () -> Array.unsafe_set buf 0 (Array.unsafe_get regs r0)
+  | [| Physical.Reg r0; Physical.Reg r1 |] ->
+    fun () ->
+      Array.unsafe_set buf 0 (Array.unsafe_get regs r0);
+      Array.unsafe_set buf 1 (Array.unsafe_get regs r1)
+  | [| Physical.Reg r0; Physical.Reg r1; Physical.Reg r2 |] ->
+    fun () ->
+      Array.unsafe_set buf 0 (Array.unsafe_get regs r0);
+      Array.unsafe_set buf 1 (Array.unsafe_get regs r1);
+      Array.unsafe_set buf 2 (Array.unsafe_get regs r2)
+  | srcs ->
+    (* constants never change between calls: written once, here *)
+    Array.iteri
+      (fun i s -> match s with Physical.Const c -> buf.(i) <- c | Physical.Reg _ -> ())
+      srcs;
+    let regsrcs = ref [] in
+    Array.iteri
+      (fun i s ->
+        match s with Physical.Reg r -> regsrcs := (i, r) :: !regsrcs | Physical.Const _ -> ())
+      srcs;
+    let regsrcs = Array.of_list (List.rev !regsrcs) in
+    if Array.length regsrcs = 0 then fill0
+    else
+      fun () ->
+        for j = 0 to Array.length regsrcs - 1 do
+          let i, r = Array.unsafe_get regsrcs j in
+          Array.unsafe_set buf i (Array.unsafe_get regs r)
+        done

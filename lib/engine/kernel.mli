@@ -1,0 +1,30 @@
+(** Monomorphic per-tuple kernels.
+
+    A prepared pipeline's inner loop decomposes into three primitives:
+    binding matched columns into registers, residual equality checks
+    against a [(data, off)] slice, and filling a scratch buffer (lookup
+    key, trie prefix, head projection) from compiled sources.  These
+    specializers are invoked once, at prepare time, and return closures
+    keyed on the arity and shape of their spec: the common cases (0–3
+    fields, constant vs register sources) capture their columns and
+    registers as immediate ints so the per-tuple path is arena reads and
+    int compares behind a single indirect call — no per-field tuple
+    unpacking, no [Physical.src] variant dispatch.  The generic
+    fallbacks pre-split constants from registers once; constants in a
+    {!filler} are written into the buffer at specialization time and
+    never touched again. *)
+
+open Dcd_planner
+
+val binder : (int * int) array -> regs:int array -> int array -> int -> unit
+(** [binder binds ~regs] returns [bind] with [bind data off] setting
+    [regs.(r) <- data.(off + c)] for each [(c, r)]. *)
+
+val checker : (int * Physical.src) array -> regs:int array -> int array -> int -> bool
+(** [checker checks ~regs] returns [check] with [check data off] true
+    iff [data.(off + c)] equals each source's value. *)
+
+val filler : Physical.src array -> regs:int array -> buf:int array -> unit -> unit
+(** [filler srcs ~regs ~buf] returns [fill] with [fill ()] writing each
+    source's current value into [buf] positionally.  Constant sources
+    are written immediately and not per call. *)

@@ -60,28 +60,37 @@ let arity_of (plan : Physical.t) pred =
    any worker starts (the shared catalog is read-only during parallel
    execution). *)
 let prebuild_indexes (plan : Physical.t) catalog (sp : Physical.stratum_plan) =
-  let note cr =
+  let note_steps steps =
     Array.iter
       (fun step ->
         match step with
-        | Physical.Lookup { rel = Physical.R_base pred; key_cols; _ }
-          when Array.length key_cols > 0 ->
+        | Physical.Lookup { rel = Physical.R_base pred; key_cols; _ } ->
+          (* scanned and nested-loop relations must at least exist *)
           let rel = Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred) in
-          ignore (Relation.ensure_index rel ~key_cols)
+          if Array.length key_cols > 0 then ignore (Relation.ensure_index rel ~key_cols)
         | Physical.Lookup _ | Physical.Filter _ | Physical.Compute _ -> ())
-      cr.Physical.steps;
-    (* scanned and nested-loop relations must at least exist *)
-    (match cr.Physical.scan with
+      steps
+  in
+  let note cr =
+    note_steps cr.Physical.steps;
+    (match cr.Physical.gj with
+    | Some g ->
+      note_steps g.Physical.gj_prelude;
+      Array.iter (fun lv -> note_steps lv.Physical.gv_steps) g.Physical.gj_levels;
+      (* sorted trie indexes, one per generic-join atom, bulk-loaded
+         here so workers only ever read them *)
+      Array.iter
+        (fun (ga : Physical.gj_atom) ->
+          let rel =
+            Catalog.ensure catalog ~name:ga.ga_pred ~arity:(arity_of plan ga.ga_pred)
+          in
+          ignore (Relation.ensure_sorted_index rel ~cols:ga.ga_cols))
+        g.Physical.gj_atoms
+    | None -> ());
+    match cr.Physical.scan with
     | Physical.S_base { pred; _ } ->
       ignore (Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred))
-    | Physical.S_delta _ | Physical.S_unit -> ());
-    Array.iter
-      (fun step ->
-        match step with
-        | Physical.Lookup { rel = Physical.R_base pred; _ } ->
-          ignore (Catalog.ensure catalog ~name:pred ~arity:(arity_of plan pred))
-        | Physical.Lookup _ | Physical.Filter _ | Physical.Compute _ -> ())
-      cr.Physical.steps
+    | Physical.S_delta _ | Physical.S_unit -> ()
   in
   List.iter note sp.init_rules;
   List.iter note sp.delta_rules

@@ -332,6 +332,13 @@ let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores:all_stores ~ws =
           | None ->
             (* Parallel.prebuild_indexes guarantees this cannot happen *)
             assert false);
+      base_sorted =
+        (fun pred cols ->
+          match Relation.find_sorted_index (Catalog.get sx.sx_catalog pred) ~cols with
+          | Some tree -> tree
+          | None ->
+            (* Parallel.prebuild_indexes guarantees this cannot happen *)
+            assert false);
       rec_resolve = (fun ~pred ~route -> Exchange.copy_id copies pred route);
       rec_matches = (fun cid ~key f -> Rec_store.iter_matches row_stores.(cid) ~key f);
     }

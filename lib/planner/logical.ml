@@ -168,6 +168,95 @@ let order stratum (r : Ast.rule) ~delta_occurrence =
   | Error e -> Error e
   | Ok pipeline -> Ok { rule = r; scan; pipeline }
 
+(* --- cyclic-body analysis (generic-join path selection) --- *)
+
+let positive_atoms (r : Ast.rule) =
+  List.filter_map (function Ast.Pos a -> Some a | _ -> None) r.body
+
+let atom_vars (a : Ast.atom) = List.concat_map Ast.vars_of_term a.args
+
+(* Join-graph cycle check via GYO ear removal (alpha-acyclicity of the
+   body hypergraph).  An "ear" is an atom whose variables shared with
+   the rest of the body are covered by one other single atom; repeatedly
+   plucking ears empties an acyclic body.  Triangle (arc(X,Y), arc(Y,Z),
+   arc(X,Z)) has no ear and is cyclic; SG's recursive body (arc(A,X),
+   sg(A,B), arc(B,Y)) is a chain; subsumed-atom shapes like
+   a(X,Z), c(Z), d(Z) reduce away and correctly stay on the binary
+   path. *)
+let body_cyclic (r : Ast.rule) =
+  let edges =
+    List.map (fun a -> List.sort_uniq compare (atom_vars a)) (positive_atoms r)
+  in
+  let rec reduce edges =
+    match edges with
+    | [] | [ _ ] -> true
+    | _ -> (
+      let is_ear e others =
+        let shared =
+          List.filter (fun v -> List.exists (fun o -> List.mem v o) others) e
+        in
+        shared = []
+        || List.exists (fun o -> List.for_all (fun v -> List.mem v o) shared) others
+      in
+      let rec find_ear acc = function
+        | [] -> None
+        | e :: rest ->
+          let others = List.rev_append acc rest in
+          if is_ear e others then Some others else find_ear (e :: acc) rest
+      in
+      match find_ear [] edges with
+      | Some rest -> reduce rest
+      | None -> false)
+  in
+  not (reduce edges)
+
+(* Greedy elimination order for the variables not bound by the scan:
+   highest atom-degree first (intersecting more iterators earlier prunes
+   harder), ties broken toward variables adjacent to already-bound ones
+   (keeps trie prefixes usable), then lexicographically so plans are
+   deterministic. *)
+let elimination_order ~bound atoms =
+  let boundset = ref (Sset.of_list bound) in
+  let unbound =
+    List.concat_map atom_vars atoms
+    |> List.sort_uniq compare
+    |> List.filter (fun v -> not (Sset.mem v !boundset))
+  in
+  let degree v =
+    List.length (List.filter (fun a -> List.mem v (atom_vars a)) atoms)
+  in
+  let adjacent_bound v =
+    List.exists
+      (fun a ->
+        let vs = atom_vars a in
+        List.mem v vs && List.exists (fun w -> Sset.mem w !boundset) vs)
+      atoms
+  in
+  let rec loop acc remaining =
+    match remaining with
+    | [] -> List.rev acc
+    | _ -> (
+      let best =
+        List.fold_left
+          (fun best v ->
+            let s = (degree v, adjacent_bound v) in
+            match best with
+            | Some (bv, (bo, ba)) ->
+              let o, a = s in
+              if o > bo || (o = bo && a && not ba) || (o = bo && a = ba && v < bv) then
+                Some (v, s)
+              else best
+            | None -> Some (v, s))
+          None remaining
+      in
+      match best with
+      | None -> List.rev acc
+      | Some (v, _) ->
+        boundset := Sset.add v !boundset;
+        loop (v :: acc) (List.filter (fun w -> w <> v) remaining))
+  in
+  loop [] unbound
+
 let pp fmt { rule; scan; pipeline } =
   (match scan with
   | Scan_base a -> Format.fprintf fmt "SCAN %s" a.Ast.pred

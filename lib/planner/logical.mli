@@ -49,6 +49,18 @@ val order :
 val recursive_occurrences : Analysis.stratum -> Ast.rule -> int
 (** Number of same-stratum atoms in the body. *)
 
+val body_cyclic : Ast.rule -> bool
+(** Join-graph cycle check over the positive body atoms: GYO ear
+    removal, i.e. alpha-acyclicity of the body hypergraph.  Cyclic
+    bodies — triangles, clique patterns — are where binary join
+    pipelines materialize doomed intermediates and the generic-join
+    path is selected. *)
+
+val elimination_order : bound:string list -> Ast.atom list -> string list
+(** Greedy variable elimination order over [atoms] for the variables not
+    in [bound]: highest atom-degree first, ties toward variables
+    adjacent to bound ones, then name order (deterministic plans). *)
+
 val pp : Format.formatter -> rule_pipeline -> unit
 (** One-line rendering, e.g.
     [SCAN δcc2 ⋈ arc[X] → σ(...) → π cc2(Y, min<Z>)]. *)

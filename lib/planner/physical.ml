@@ -62,12 +62,41 @@ type head = {
   agg : (int * Ast.agg_kind * src array) option;
 }
 
+(* Generic (worst-case-optimal) join: the non-scan atoms become trie
+   iterators over sorted indexes and the unbound variables are resolved
+   one level at a time by multiway intersection (leapfrog). *)
+type gj_atom = {
+  ga_pred : string; (* base / lower-stratum relation *)
+  ga_cols : int array;
+      (* full column permutation defining the trie order: the
+         scan-bound/constant columns first, then the eliminated
+         variables' columns in elimination order *)
+  ga_prefix : src array; (* sources filling the leading bound columns *)
+}
+
+type gj_level = {
+  gv_reg : int; (* register receiving this level's variable *)
+  gv_atoms : (int * int) array;
+      (* (atom index, probe depth): at this level the atom's trie key is
+         probed on its first [depth] columns, the candidate value living
+         at slot [depth - 1] *)
+  gv_steps : step array; (* residual steps runnable once this binds *)
+}
+
+type gj = {
+  gj_atoms : gj_atom array;
+  gj_prelude : step array; (* steps runnable from the scan bindings alone *)
+  gj_levels : gj_level array;
+  gj_elim : string list; (* elimination order, for explain *)
+}
+
 type compiled_rule = {
   source : Ast.rule;
   logical : string;
   nregs : int;
   scan : scan_spec;
-  steps : step array;
+  steps : step array; (* binary pipeline; [||] when [gj] is chosen *)
+  gj : gj option;
   head : head;
 }
 
@@ -280,7 +309,162 @@ let analyze_routes (info : Analysis.info) (pl : Logical.rule_pipeline) =
     pl.pipeline;
   (!scan_route, !lookup_routes)
 
-let compile_rule (info : Analysis.info) ctx (prep : prepared) ~scan_route_of =
+(* --- generic-join construction --- *)
+
+let gj_joins (pl : Logical.rule_pipeline) =
+  List.filter_map
+    (function Logical.L_join { atom; recursive } -> Some (atom, recursive) | _ -> None)
+    pl.pipeline
+
+(* The generic path is restricted to bodies whose non-scan atoms are all
+   base (or lower-stratum) relations: those live in shared, read-only
+   sorted indexes that any worker — victim or thief — can leapfrog over,
+   whereas recursive predicates are stored route-permuted per partition
+   and mutate every iteration.  Recursive occurrences other than the
+   scanned delta keep the binary pipeline. *)
+let gj_eligible (pl : Logical.rule_pipeline) =
+  let joins = gj_joins pl in
+  pl.scan <> Logical.Scan_unit
+  && List.length joins >= 2
+  && List.for_all (fun (_, recursive) -> not recursive) joins
+  && List.for_all
+       (fun ((a : Ast.atom), _) ->
+         (* a within-atom variable repeat would put the same variable at
+            two trie levels; keep those on the binary path *)
+         let vs = List.concat_map Ast.vars_of_term a.args in
+         List.length vs = List.length (List.sort_uniq compare vs))
+       joins
+  && List.for_all
+       (fun elem ->
+         match elem with
+         | Logical.L_assign (x, _) ->
+           (* an assigned variable feeding a trie prefix would have to
+              be bound before the levels run; disallow *)
+           not
+             (List.exists
+                (fun ((a : Ast.atom), _) ->
+                  List.exists (fun t -> List.mem x (Ast.vars_of_term t)) a.args)
+                (gj_joins pl))
+         | _ -> true)
+       pl.pipeline
+
+(* Builds the generic-join body.  Must run right after the scan has been
+   compiled: the registers live at that point are exactly the
+   scan-bound variables; elimination variables are allocated here, in
+   elimination order. *)
+let build_generic ctx (pl : Logical.rule_pipeline) =
+  let atoms = Array.of_list (List.map fst (gj_joins pl)) in
+  let scan_vars = Hashtbl.fold (fun v _ acc -> v :: acc) ctx.regs [] in
+  let elim =
+    Logical.elimination_order ~bound:scan_vars
+      (Array.to_list atoms)
+  in
+  if elim = [] then None
+  else begin
+    let elim_pos = List.mapi (fun i v -> (v, i)) elim in
+    let level_regs = Array.of_list (List.map (reg_of ctx) elim) in
+    let atom_vars (a : Ast.atom) = List.concat_map Ast.vars_of_term a.args in
+    let gj_atoms =
+      Array.map
+        (fun (a : Ast.atom) ->
+          let bound = ref [] and unbound = ref [] in
+          List.iteri
+            (fun col t ->
+              match t with
+              | Ast.Int _ | Ast.Sym _ -> bound := (col, src_of_term ctx t) :: !bound
+              | Ast.Var v -> (
+                match List.assoc_opt v elim_pos with
+                | Some p -> unbound := (col, p) :: !unbound
+                | None -> bound := (col, Reg (reg_of ctx v)) :: !bound))
+            a.args;
+          let bound = List.rev !bound in
+          let unbound =
+            List.sort (fun (_, p1) (_, p2) -> compare p1 p2) (List.rev !unbound)
+          in
+          {
+            ga_pred = a.Ast.pred;
+            ga_cols = Array.of_list (List.map fst bound @ List.map fst unbound);
+            ga_prefix = Array.of_list (List.map snd bound);
+          })
+        atoms
+    in
+    (* residual steps: prelude when readable from the scan alone,
+       otherwise attached to the deepest level they mention *)
+    let var_level = Hashtbl.create 8 in
+    List.iter (fun (v, p) -> Hashtbl.add var_level v p) elim_pos;
+    let level_of_vars vars =
+      List.fold_left
+        (fun m v -> max m (Option.value ~default:(-1) (Hashtbl.find_opt var_level v)))
+        (-1) vars
+    in
+    let nlevels = List.length elim in
+    let prelude = ref [] in
+    let per_level = Array.make nlevels [] in
+    let put l step = if l < 0 then prelude := step :: !prelude else per_level.(l) <- step :: per_level.(l) in
+    List.iter
+      (fun elem ->
+        match elem with
+        | Logical.L_join _ -> ()
+        | Logical.L_filter (op, lhs, rhs) ->
+          let l = level_of_vars (Ast.vars_of_expr lhs @ Ast.vars_of_expr rhs) in
+          put l (Filter { op; lhs = code_of_expr ctx lhs; rhs = code_of_expr ctx rhs })
+        | Logical.L_assign (x, e) ->
+          let l = level_of_vars (Ast.vars_of_expr e) in
+          let code = code_of_expr ctx e in
+          let reg = reg_of ctx x in
+          if l >= 0 then Hashtbl.replace var_level x l;
+          put l (Compute { reg; code })
+        | Logical.L_neg a ->
+          let key, binds, checks = compile_match ctx a.Ast.args in
+          if Array.length binds > 0 then
+            fail "negated atom with unbound variables (%s)" (Ast.rule_to_string pl.rule);
+          let l = level_of_vars (List.concat_map Ast.vars_of_term a.Ast.args) in
+          put l
+            (Lookup
+               {
+                 rel = R_base a.Ast.pred;
+                 method_ = (if key <> [] then Index else Nested_loop);
+                 key_cols = Array.of_list (List.map fst key);
+                 key_src = Array.of_list (List.map snd key);
+                 binds;
+                 checks;
+                 negated = true;
+               }))
+      pl.pipeline;
+    let gj_levels =
+      Array.of_list
+        (List.mapi
+           (fun li v ->
+             let parts = ref [] in
+             Array.iteri
+               (fun ai a ->
+                 let avars = atom_vars a in
+                 if List.mem v avars then begin
+                   let prefix_len = Array.length gj_atoms.(ai).ga_prefix in
+                   let earlier =
+                     List.length
+                       (List.filter (fun (w, p) -> p <= li && List.mem w avars) elim_pos)
+                   in
+                   parts := (ai, prefix_len + earlier) :: !parts
+                 end)
+               atoms;
+             {
+               gv_reg = level_regs.(li);
+               gv_atoms = Array.of_list (List.rev !parts);
+               gv_steps = Array.of_list (List.rev per_level.(li));
+             })
+           elim)
+    in
+    Some
+      {
+        gj_atoms;
+        gj_prelude = Array.of_list (List.rev !prelude);
+        gj_levels;
+        gj_elim = elim;
+      }
+  end
+
+let compile_rule (info : Analysis.info) ctx (prep : prepared) ~scan_route_of ~gj_mode =
   let pl = prep.p_pipeline in
   Hashtbl.reset ctx.regs;
   ctx.next_reg <- 0;
@@ -299,9 +483,16 @@ let compile_rule (info : Analysis.info) ctx (prep : prepared) ~scan_route_of =
       in
       S_delta { pred = atom.Ast.pred; route; binds; checks }
   in
+  let gj =
+    match gj_mode with
+    | `Off -> None
+    | `Auto when not (Logical.body_cyclic pl.rule) -> None
+    | `Auto | `Force -> if gj_eligible pl then build_generic ctx pl else None
+  in
   let prev_base_key : (string * src array) option ref = ref None in
   let steps =
-    List.map
+    if gj <> None then []
+    else List.map
       (fun elem ->
         match elem with
         | Logical.L_filter (op, lhs, rhs) ->
@@ -420,12 +611,14 @@ let compile_rule (info : Analysis.info) ctx (prep : prepared) ~scan_route_of =
     nregs = ctx.next_reg;
     scan;
     steps = Array.of_list steps;
+    gj;
     head = { hpred = r.head_pred; args; agg = !agg };
   }
 
 (* --- program compilation --- *)
 
-let compile ?(params = []) (info : Analysis.info) =
+let compile ?(params = []) ?(generic_join = `Auto) (info : Analysis.info) =
+  let gj_mode = generic_join in
   let symbols = Dcd_util.Symbol.create () in
   let ctx = { symbols; cparams = params; regs = Hashtbl.create 16; next_reg = 0 } in
   try
@@ -490,10 +683,10 @@ let compile ?(params = []) (info : Analysis.info) =
               stratum.preds
           in
           let init_rules =
-            List.map (fun p -> compile_rule info ctx p ~scan_route_of) init_prepared
+            List.map (fun p -> compile_rule info ctx p ~scan_route_of ~gj_mode) init_prepared
           in
           let delta_rules =
-            List.map (fun p -> compile_rule info ctx p ~scan_route_of) delta_prepared
+            List.map (fun p -> compile_rule info ctx p ~scan_route_of ~gj_mode) delta_prepared
           in
           { stratum; pred_plans; init_rules; delta_rules })
         info.strata
@@ -509,16 +702,42 @@ let base_relations_needed t =
     if Array.length cols > 0 && not (List.mem (pred, cols) !acc) then
       acc := (pred, cols) :: !acc
   in
+  let note_steps steps =
+    Array.iter
+      (fun step ->
+        match step with
+        | Lookup { rel = R_base pred; key_cols; _ } -> note pred key_cols
+        | Lookup _ | Filter _ | Compute _ -> ())
+      steps
+  in
   List.iter
     (fun sp ->
       List.iter
         (fun cr ->
-          Array.iter
-            (fun step ->
-              match step with
-              | Lookup { rel = R_base pred; key_cols; _ } -> note pred key_cols
-              | Lookup _ | Filter _ | Compute _ -> ())
-            cr.steps)
+          note_steps cr.steps;
+          match cr.gj with
+          | Some g ->
+            note_steps g.gj_prelude;
+            Array.iter (fun lv -> note_steps lv.gv_steps) g.gj_levels
+          | None -> ())
+        (sp.init_rules @ sp.delta_rules))
+    t.strata;
+  !acc
+
+let sorted_indexes_needed t =
+  let acc = ref [] in
+  List.iter
+    (fun sp ->
+      List.iter
+        (fun cr ->
+          match cr.gj with
+          | Some g ->
+            Array.iter
+              (fun ga ->
+                if not (List.mem (ga.ga_pred, ga.ga_cols) !acc) then
+                  acc := (ga.ga_pred, ga.ga_cols) :: !acc)
+              g.gj_atoms
+          | None -> ())
         (sp.init_rules @ sp.delta_rules))
     t.strata;
   !acc
@@ -563,6 +782,17 @@ let explain t =
           | S_delta { pred; route; _ } -> Printf.sprintf "d.%s%s" pred (route_str route)
         in
         Buffer.add_string buf (Printf.sprintf "  %s: [scan %s] %s\n" kind scan_s cr.logical);
+        (match cr.gj with
+        | Some g ->
+          Buffer.add_string buf
+            (Printf.sprintf "      generic join: elim [%s]\n" (String.concat "," g.gj_elim));
+          Array.iter
+            (fun ga ->
+              Buffer.add_string buf
+                (Printf.sprintf "        trie %s cols=%s prefix=%d\n" ga.ga_pred
+                   (route_str ga.ga_cols) (Array.length ga.ga_prefix)))
+            g.gj_atoms
+        | None -> ());
         Array.iter
           (fun step ->
             match step with
@@ -650,7 +880,21 @@ let to_dot t =
               out "    %s [label=\"%s\"];\n" (id (k + 1)) (esc label);
               out "    %s -> %s;\n" (id k) (id (k + 1)))
             cr.steps;
-          let last = id (Array.length cr.steps) in
+          (match cr.gj with
+          | Some g ->
+            let k = Array.length cr.steps in
+            let label =
+              Printf.sprintf "GenericJoin [%s] {%s}"
+                (String.concat "," g.gj_elim)
+                (String.concat ","
+                   (Array.to_list (Array.map (fun ga -> ga.ga_pred) g.gj_atoms)))
+            in
+            out "    %s [label=\"%s\"];\n" (id (k + 1)) (esc label);
+            out "    %s -> %s;\n" (id k) (id (k + 1))
+          | None -> ());
+          let last =
+            id (Array.length cr.steps + match cr.gj with Some _ -> 1 | None -> 0)
+          in
           let dist = Printf.sprintf "dist_%d_%d" si ri in
           if recursive then begin
             out "    %s [label=\"Distribute %s\", shape=ellipse];\n" dist cr.head.hpred;

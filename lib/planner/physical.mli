@@ -81,12 +81,46 @@ type head = {
       (** (value position, kind, contributor sources) *)
 }
 
+(** {2 Generic (worst-case-optimal) join}
+
+    Selected when the rule body is join-graph cyclic (see
+    {!Logical.body_cyclic}) and every non-scan atom is a base or
+    lower-stratum relation: each such atom becomes a trie iterator over
+    a sorted index whose column order is the scan-bound prefix followed
+    by the eliminated variables in elimination order, and the engine
+    resolves one variable per level by leapfrog intersection.  Recursive
+    non-scan atoms keep the binary pipeline — their stores are
+    route-permuted per partition and mutate every iteration, so no
+    shared trie in elimination order exists for them. *)
+
+type gj_atom = {
+  ga_pred : string; (** base / lower-stratum relation *)
+  ga_cols : int array; (** trie column order (a full permutation) *)
+  ga_prefix : src array; (** sources filling the leading bound columns *)
+}
+
+type gj_level = {
+  gv_reg : int; (** register receiving this level's variable *)
+  gv_atoms : (int * int) array;
+      (** (atom index, probe depth): probe the atom's first [depth] trie
+          columns; the candidate value lives at slot [depth - 1] *)
+  gv_steps : step array; (** residual steps runnable once this binds *)
+}
+
+type gj = {
+  gj_atoms : gj_atom array;
+  gj_prelude : step array; (** runnable from the scan bindings alone *)
+  gj_levels : gj_level array;
+  gj_elim : string list; (** elimination order, for explain *)
+}
+
 type compiled_rule = {
   source : Ast.rule;
   logical : string; (** rendering of the ordered logical pipeline *)
   nregs : int;
   scan : scan_spec;
-  steps : step array;
+  steps : step array; (** binary pipeline; [[||]] when [gj] is chosen *)
+  gj : gj option; (** the generic-join body, when selected *)
   head : head;
 }
 
@@ -112,12 +146,23 @@ type t = {
   strata : stratum_plan list;
 }
 
-val compile : ?params:(string * int) list -> Analysis.info -> (t, string) result
+val compile :
+  ?params:(string * int) list ->
+  ?generic_join:[ `Auto | `Off | `Force ] ->
+  Analysis.info ->
+  (t, string) result
 (** Orders every rule body (via {!Logical.order}), allocates registers,
     selects join methods, and derives the partition routes of each
     recursive predicate.  Fails with a message when a body cannot be
     ordered or a recursive lookup's key cannot be colocated with the
-    scanned delta (a documented engine limitation). *)
+    scanned delta (a documented engine limitation).
+
+    [generic_join] controls the worst-case-optimal path: [`Auto]
+    (default) selects it for join-graph-cyclic, eligible bodies; [`Off]
+    disables it; [`Force] selects it for every eligible body regardless
+    of cyclicity (benchmarking and differential testing — e.g. SG's
+    chain-shaped recursive body is acyclic but still profits when the
+    binary plan's intermediate explodes). *)
 
 val eval_code : code -> int array -> int
 (** Evaluates compiled arithmetic against a register file.  Division and
@@ -128,6 +173,11 @@ val eval_cmp : Ast.cmp_op -> int -> int -> bool
 val base_relations_needed : t -> (string * int array) list
 (** Distinct (predicate, key columns) pairs for which the engine should
     build shared hash indexes before execution. *)
+
+val sorted_indexes_needed : t -> (string * int array) list
+(** Distinct (predicate, trie column order) pairs for which the engine
+    should build shared sorted (B⁺-tree) indexes before execution — one
+    per generic-join atom. *)
 
 val explain : t -> string
 (** Human-readable plan: strata, routes, and each rule's pipeline with

@@ -1,15 +1,27 @@
 module Vec = Dcd_util.Vec
+module Bptree = Dcd_btree.Bptree
+
+(* A sorted index stores each tuple re-ordered by [si_cols] (a full
+   permutation of the columns) as a composite B⁺-tree key, giving the
+   generic-join path trie iteration in that column order.  [si_scratch]
+   is the permutation buffer — [Bptree] copies keys defensively. *)
+type sorted_index = {
+  si_cols : int array;
+  si_tree : unit Bptree.t;
+  si_scratch : int array;
+}
 
 type t = {
   name : string;
   arity : int;
   tuples : Tuple_set.t;
   mutable indexes : (int array * Hash_index.t) list;
+  mutable sorted : sorted_index list;
 }
 
 let create ?(size_hint = 16) ~name ~arity () =
   if arity < 0 then invalid_arg "Relation.create";
-  { name; arity; tuples = Tuple_set.create ~capacity:size_hint (); indexes = [] }
+  { name; arity; tuples = Tuple_set.create ~capacity:size_hint (); indexes = []; sorted = [] }
 
 let name t = t.name
 
@@ -23,13 +35,30 @@ let add t tup =
       (Printf.sprintf "Relation.add: arity mismatch on %s (got %d, want %d)" t.name
          (Array.length tup) t.arity);
   let fresh = Tuple_set.add t.tuples tup in
-  if fresh then List.iter (fun (_, idx) -> Hash_index.add idx tup) t.indexes;
+  if fresh then begin
+    List.iter (fun (_, idx) -> Hash_index.add idx tup) t.indexes;
+    List.iter
+      (fun si ->
+        for i = 0 to Array.length si.si_cols - 1 do
+          si.si_scratch.(i) <- tup.(si.si_cols.(i))
+        done;
+        ignore (Bptree.add_if_absent si.si_tree si.si_scratch ()))
+      t.sorted
+  end;
   fresh
 
 let add_slice t data off =
   let fresh = Tuple_set.add_slice t.tuples data off t.arity in
-  if fresh then
+  if fresh then begin
     List.iter (fun (_, idx) -> Hash_index.add_slice idx data off ~arity:t.arity) t.indexes;
+    List.iter
+      (fun si ->
+        for i = 0 to Array.length si.si_cols - 1 do
+          si.si_scratch.(i) <- data.(off + si.si_cols.(i))
+        done;
+        ignore (Bptree.add_if_absent si.si_tree si.si_scratch ()))
+      t.sorted
+  end;
   fresh
 
 let mem t tup = Tuple_set.mem t.tuples tup
@@ -56,3 +85,30 @@ let ensure_index t ~key_cols =
     idx
 
 let indexes t = t.indexes
+
+let find_sorted_index t ~cols =
+  List.find_map (fun si -> if si.si_cols = cols then Some si.si_tree else None) t.sorted
+
+let ensure_sorted_index t ~cols =
+  if Array.length cols <> t.arity then invalid_arg "Relation.ensure_sorted_index";
+  match find_sorted_index t ~cols with
+  | Some tree -> tree
+  | None ->
+    (* bulk path: permute every stored tuple, sort once, load at high
+       fill with [of_sorted] — distinct tuples stay distinct under a
+       full column permutation, so keys are strictly increasing *)
+    let n = length t in
+    let keys = Array.make n [||] in
+    let i = ref 0 in
+    Tuple_set.iter_slices t.tuples (fun data off _len ->
+        let k = Array.make t.arity 0 in
+        for j = 0 to t.arity - 1 do
+          k.(j) <- data.(off + cols.(j))
+        done;
+        keys.(!i) <- k;
+        incr i);
+    Array.sort Bptree.compare_key keys;
+    let entries = Array.map (fun k -> (k, ())) keys in
+    let tree = Bptree.of_sorted entries in
+    t.sorted <- { si_cols = Array.copy cols; si_tree = tree; si_scratch = Array.make t.arity 0 } :: t.sorted;
+    tree

@@ -47,3 +47,13 @@ val ensure_index : t -> key_cols:int array -> Hash_index.t
 val find_index : t -> key_cols:int array -> Hash_index.t option
 
 val indexes : t -> (int array * Hash_index.t) list
+
+val ensure_sorted_index : t -> cols:int array -> unit Dcd_btree.Bptree.t
+(** Returns the B⁺-tree over tuples re-ordered by [cols] (a permutation
+    of all columns), building it by bulk load on first request and
+    maintaining it incrementally on later inserts.  This is the trie the
+    generic-join path leapfrogs over: seeking a key prefix enumerates
+    the distinct continuations in [cols] order.
+    @raise Invalid_argument if [cols] is not of full arity. *)
+
+val find_sorted_index : t -> cols:int array -> unit Dcd_btree.Bptree.t option

@@ -115,7 +115,18 @@ let attend =
     max_iterations = 0;
   }
 
-let all = [ tc; sg; cc; sssp; pagerank; delivery; apsp; attend ]
+let triangle =
+  {
+    name = "triangle";
+    description = "Triangle listing (cyclic conjunctive query, generic join)";
+    source =
+      "tri(X, Y, Z) <- arc(X, Y), arc(Y, Z), arc(X, Z), X < Y, Y < Z.";
+    default_params = [];
+    output = "tri";
+    max_iterations = 0;
+  }
+
+let all = [ tc; sg; cc; sssp; pagerank; delivery; apsp; attend; triangle ]
 
 let find name = List.find_opt (fun s -> String.equal s.name name) all
 

@@ -25,6 +25,11 @@ val delivery : spec
 val apsp : spec
 val attend : spec
 
+val triangle : spec
+(** Not from the paper: triangle listing over [arc], the canonical
+    cyclic body the generic-join path targets.  Pair with
+    {!arc_sym_edb} so the [X < Y < Z] ordering sees every triangle. *)
+
 val all : spec list
 
 val find : string -> spec option

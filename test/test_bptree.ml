@@ -233,6 +233,125 @@ let prop_range_matches_map =
       in
       List.rev !got = expect)
 
+(* --- sorted cursors --- *)
+
+(* small branching so a few dozen keys span several leaves, exercising
+   the leaf-boundary hops of seek_geq and cursor_next *)
+let cursor_tree n =
+  let t = B.create ~branching:4 () in
+  for i = 0 to n - 1 do
+    B.insert t [| (2 * i) + 1 |] i (* odd keys 1, 3, ..., 2n-1 *)
+  done;
+  t
+
+let test_cursor_seek_geq () =
+  let t = cursor_tree 40 in
+  let c = B.cursor t in
+  (* exact hits and between-key seeks across every leaf boundary *)
+  for i = 0 to 39 do
+    let k = (2 * i) + 1 in
+    Alcotest.(check bool) "exact hit" true (B.seek_geq c [| k |]);
+    Alcotest.(check key) "lands on key" [| k |] (B.cursor_key c);
+    Alcotest.(check int) "value" i (B.cursor_value c);
+    Alcotest.(check bool) "between keys" true (B.seek_geq c [| k - 1 |]);
+    Alcotest.(check key) "rounds up" [| k |] (B.cursor_key c)
+  done;
+  (* forward-only leapfrog pattern: re-seek to the same position *)
+  Alcotest.(check bool) "re-seek same key" true (B.seek_geq c [| 79 |]);
+  Alcotest.(check key) "stays" [| 79 |] (B.cursor_key c)
+
+let test_cursor_empty_and_past_max () =
+  let t = B.create ~branching:4 () in
+  let c = B.cursor t in
+  Alcotest.(check bool) "empty tree" false (B.seek_geq c [| 0 |]);
+  Alcotest.(check bool) "not positioned" false (B.cursor_positioned c);
+  let t = cursor_tree 10 in
+  let c = B.cursor t in
+  Alcotest.(check bool) "past max" false (B.seek_geq c [| 20 |]);
+  Alcotest.(check bool) "exhausted" false (B.cursor_positioned c);
+  Alcotest.(check bool) "can re-seek after exhaustion" true (B.seek_geq c [| 0 |]);
+  Alcotest.(check key) "back to min" [| 1 |] (B.cursor_key c)
+
+let test_cursor_scan_matches_to_list () =
+  let t = cursor_tree 64 in
+  let c = B.cursor t in
+  let got = ref [] in
+  if B.seek_geq c [| min_int |] then begin
+    got := [ (B.cursor_key c, B.cursor_value c) ];
+    while B.cursor_next c do
+      got := (B.cursor_key c, B.cursor_value c) :: !got
+    done
+  end;
+  Alcotest.(check int) "full scan" 64 (List.length !got);
+  Alcotest.(check bool) "matches to_list" true (List.rev !got = B.to_list t)
+
+let test_cursor_prefix_seek () =
+  (* composite keys: a prefix seek (shorter key) lands on the first key
+     carrying that prefix, the contract generic join relies on *)
+  let t = B.create ~branching:4 () in
+  List.iter
+    (fun (a, b) -> B.insert t [| a; b |] (10 * a + b))
+    [ (1, 5); (1, 9); (2, 0); (2, 7); (4, 2) ];
+  let c = B.cursor t in
+  Alcotest.(check bool) "prefix 1" true (B.seek_geq c [| 1 |]);
+  Alcotest.(check key) "first under 1" [| 1; 5 |] (B.cursor_key c);
+  Alcotest.(check bool) "prefix 2" true (B.seek_geq c [| 2 |]);
+  Alcotest.(check key) "first under 2" [| 2; 0 |] (B.cursor_key c);
+  Alcotest.(check bool) "absent prefix 3 rounds up" true (B.seek_geq c [| 3 |]);
+  Alcotest.(check key) "lands on 4" [| 4; 2 |] (B.cursor_key c);
+  Alcotest.(check bool) "prefix past max" false (B.seek_geq c [| 5 |])
+
+let test_cursor_resume_after_inserts () =
+  let t = cursor_tree 20 in
+  (* position mid-tree, then mutate: inserts before, at-gap and after
+     the cursor, enough to split leaves *)
+  let c = B.cursor t in
+  Alcotest.(check bool) "position" true (B.seek_geq c [| 21 |]);
+  for i = 0 to 19 do
+    B.insert t [| 2 * i |] (100 + i)
+  done;
+  (* value read re-locates through the version check *)
+  Alcotest.(check int) "value after split" 10 (B.cursor_value c);
+  (* next steps to the key now between 21 and 23 *)
+  Alcotest.(check bool) "next" true (B.cursor_next c);
+  Alcotest.(check key) "sees interleaved key" [| 22 |] (B.cursor_key c);
+  (* removing the key under the cursor: next resumes at its successor *)
+  ignore (B.remove t [| 22 |]);
+  Alcotest.(check bool) "next after remove" true (B.cursor_next c);
+  Alcotest.(check key) "successor" [| 23 |] (B.cursor_key c);
+  B.check_invariants t
+
+let prop_cursor_heavy =
+  (* interleave inserts/removes with seeks and bounded walks; the tree
+     must keep its invariants and every seek must agree with a Map *)
+  QCheck.Test.make ~name:"cursor-heavy workload keeps invariants" ~count:60
+    QCheck.(list (pair (int_range 0 3) (int_range 0 60)))
+    (fun ops ->
+      let t = B.create ~branching:4 () in
+      let m = ref M.empty in
+      let c = B.cursor t in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 | 1 ->
+            B.insert t [| k |] k;
+            m := M.add [| k |] k !m
+          | 2 ->
+            ignore (B.remove t [| k |]);
+            m := M.remove [| k |] !m
+          | _ ->
+            let want = M.find_first_opt (fun key -> key.(0) >= k) !m in
+            let got = B.seek_geq c [| k |] in
+            assert (got = (want <> None));
+            (match want with
+            | Some (wk, _) -> assert (B.compare_key (B.cursor_key c) wk = 0)
+            | None -> ());
+            (* short walk from the landing point *)
+            if got then ignore (B.cursor_next c))
+        ops;
+      B.check_invariants t;
+      B.length t = M.cardinal !m)
+
 let () =
   Alcotest.run "bptree"
     [
@@ -253,6 +372,16 @@ let () =
           Alcotest.test_case "min/max" `Quick test_min_max;
           Alcotest.test_case "of_sorted" `Quick test_of_sorted;
           Alcotest.test_case "defensive key copy" `Quick test_defensive_key_copy;
+        ] );
+      ( "cursor",
+        [
+          Alcotest.test_case "seek_geq across leaves" `Quick test_cursor_seek_geq;
+          Alcotest.test_case "empty tree and past-max" `Quick test_cursor_empty_and_past_max;
+          Alcotest.test_case "full scan = to_list" `Quick test_cursor_scan_matches_to_list;
+          Alcotest.test_case "prefix seek" `Quick test_cursor_prefix_seek;
+          Alcotest.test_case "resume after interleaved inserts" `Quick
+            test_cursor_resume_after_inserts;
+          QCheck_alcotest.to_alcotest prop_cursor_heavy;
         ] );
       ( "property",
         [

@@ -11,6 +11,8 @@ let make_ctx rels =
     Eval.base_iter = (fun pred f -> Relation.iter_slices (find pred) f);
     base_index =
       (fun pred cols -> Relation.ensure_index (find pred) ~key_cols:cols);
+    base_sorted =
+      (fun pred cols -> Relation.ensure_sorted_index (find pred) ~cols);
     rec_resolve =
       (fun ~pred ~route:_ -> Alcotest.fail ("unexpected rec lookup " ^ pred));
     rec_matches = (fun _ ~key:_ _ -> Alcotest.fail "unexpected rec probe");
