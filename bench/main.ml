@@ -53,6 +53,240 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Minimal JSON reader for the self-generated result files — just enough
+   to flatten numeric leaves into ["perf.workloads.tc.wall_mean_s"]-style
+   paths so two runs can be diffed.  Array elements carrying a "name"
+   member are keyed by it rather than by position, keeping paths stable
+   when an experiment adds or reorders entries. *)
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Num of float
+    | Str of string
+    | Lit (* true/false/null — never compared *)
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos >= n then raise (Bad "unexpected end of input") else s.[!pos] in
+    let rec skip_ws () =
+      if !pos < n then
+        match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> incr pos; skip_ws () | _ -> ()
+    in
+    let expect c =
+      skip_ws ();
+      if peek () <> c then raise (Bad (Printf.sprintf "expected '%c' at offset %d" c !pos));
+      incr pos
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        let c = peek () in
+        incr pos;
+        if c = '"' then Buffer.contents b
+        else if c = '\\' then begin
+          let e = peek () in
+          incr pos;
+          (match e with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'u' ->
+            pos := !pos + 4;
+            Buffer.add_char b '?'
+          | e -> Buffer.add_char b e);
+          go ()
+        end
+        else begin
+          Buffer.add_char b c;
+          go ()
+        end
+      in
+      go ()
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = '}' then (incr pos; Obj [])
+        else begin
+          let rec members acc =
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> incr pos; skip_ws (); members ((k, v) :: acc)
+            | '}' -> incr pos; Obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Bad "malformed object")
+          in
+          members []
+        end
+      | '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = ']' then (incr pos; Arr [])
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> incr pos; elems (v :: acc)
+            | ']' -> incr pos; Arr (List.rev (v :: acc))
+            | _ -> raise (Bad "malformed array")
+          in
+          elems []
+        end
+      | '"' -> Str (parse_string ())
+      | 't' -> pos := !pos + 4; Lit
+      | 'f' -> pos := !pos + 5; Lit
+      | 'n' -> pos := !pos + 4; Lit
+      | _ ->
+        let start = !pos in
+        let is_num c =
+          (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        in
+        while !pos < n && is_num s.[!pos] do
+          incr pos
+        done;
+        (try Num (float_of_string (String.sub s start (!pos - start)))
+         with Failure _ -> raise (Bad (Printf.sprintf "bad number at offset %d" start)))
+    in
+    parse_value ()
+
+  let leaves t =
+    let out = ref [] in
+    let rec go path = function
+      | Num f -> out := (path, f) :: !out
+      | Str _ | Lit -> ()
+      | Obj kvs ->
+        List.iter (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v) kvs
+      | Arr vs ->
+        List.iteri
+          (fun i v ->
+            let key =
+              match v with
+              | Obj kvs -> (
+                match List.assoc_opt "name" kvs with
+                | Some (Str s) -> s
+                | _ -> string_of_int i)
+              | _ -> string_of_int i
+            in
+            go (path ^ "." ^ key) v)
+          vs
+    in
+    go "" t;
+    List.rev !out
+end
+
+(* Snapshot of the previous latest.json, taken at startup so this run's
+   own [write_results] cannot clobber the baseline first. *)
+let previous_latest =
+  let path = "bench/results/latest.json" in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Some s
+  end
+  else None
+
+(* Regression threshold (percent slowdown) past which the compare step
+   exits non-zero; BENCH_REGRESSION_PCT overrides. *)
+let regression_threshold_pct =
+  match Sys.getenv_opt "BENCH_REGRESSION_PCT" with
+  | Some s -> ( try float_of_string s with Failure _ -> 25.)
+  | None -> 25.
+
+(* Per-experiment deltas vs the previous latest.json.  Every shared
+   timing leaf ([*_s]) is compared; stable best-of means — the perf
+   workloads' wall_mean_s and the merge microbench's *_mean_s — are the
+   gated subset: a slowdown beyond max(threshold, 2σ noise allowance)
+   fails the run.  Single-shot metrics (skew/gj best-of-3, sweep grid
+   cells) are reported but never gate: on a shared vCPU their spread
+   owns the margin.  The gate itself arms only on multi-core runners,
+   same convention as the skew/gj bars. *)
+let compare_with_previous current =
+  match previous_latest with
+  | None ->
+    Printf.printf "no previous bench/results/latest.json — this run is the new baseline\n"
+  | Some old_text -> (
+    match (Json.parse old_text, Json.parse current) with
+    | exception Json.Bad msg ->
+      Printf.printf "regression compare skipped (unreadable results JSON: %s)\n" msg
+    | old_j, new_j ->
+      let old_leaves = Json.leaves old_j in
+      let new_leaves = Json.leaves new_j in
+      let gated path =
+        String.ends_with ~suffix:"_mean_s" path
+        && (String.starts_with ~prefix:"perf." path
+           || String.starts_with ~prefix:"merge." path)
+      in
+      let stddev_for leaves path =
+        (* wall_mean_s -> wall_stddev_s sibling, when recorded *)
+        if String.ends_with ~suffix:"_mean_s" path then
+          let stem = String.sub path 0 (String.length path - String.length "_mean_s") in
+          List.assoc_opt (stem ^ "_stddev_s") leaves
+        else None
+      in
+      let compared = ref 0 in
+      let failures = ref [] in
+      let t =
+        Report.create ~title:"Regression compare vs previous latest.json"
+          ~header:[ "metric"; "prev (s)"; "now (s)"; "delta"; "±σ"; "gate" ]
+      in
+      List.iter
+        (fun (path, now) ->
+          match List.assoc_opt path old_leaves with
+          | None -> ()
+          | Some prev when String.ends_with ~suffix:"_s" path && prev > 1e-9 ->
+            incr compared;
+            let delta_pct = (now -. prev) /. prev *. 100. in
+            let sigma =
+              match (stddev_for old_leaves path, stddev_for new_leaves path) with
+              | Some a, Some b -> Some (a +. b)
+              | _ -> None
+            in
+            let allow =
+              max regression_threshold_pct
+                (match sigma with Some s -> 2. *. s /. prev *. 100. | None -> 0.)
+            in
+            let is_gated = gated path in
+            let failed = is_gated && delta_pct > allow in
+            if failed then failures := (path, delta_pct) :: !failures;
+            (* keep the table readable: gated metrics always shown, the
+               rest only when they moved past the threshold *)
+            if is_gated || Float.abs delta_pct >= regression_threshold_pct then
+              Report.add_row t
+                [ path; Printf.sprintf "%.4f" prev; Printf.sprintf "%.4f" now;
+                  Printf.sprintf "%+.1f%%" delta_pct;
+                  (match sigma with Some s -> Printf.sprintf "%.4f" s | None -> "-");
+                  (if not is_gated then "info"
+                   else if failed then "FAIL"
+                   else "ok") ]
+          | Some _ -> ())
+        new_leaves;
+      Report.print t;
+      Printf.printf "%d shared timing metrics compared (threshold %.0f%%)\n" !compared
+        regression_threshold_pct;
+      if !failures <> [] then begin
+        let cores = Domain.recommended_domain_count () in
+        List.iter
+          (fun (path, pct) ->
+            Printf.eprintf "bench-regression: %s slowed down %.1f%% vs previous run\n" path pct)
+          (List.rev !failures);
+        if cores >= 2 then exit 1
+        else
+          Printf.printf
+            "(1 hardware thread: the regression gate is informational only on this machine)\n"
+      end)
+
 let write_results () =
   if !json_blocks <> [] then begin
     let dir = "bench/results" in
@@ -81,7 +315,8 @@ let write_results () =
     in
     write file;
     write (Filename.concat dir "latest.json");
-    Printf.printf "\nresults recorded in %s (and %s/latest.json)\n" file dir
+    Printf.printf "\nresults recorded in %s (and %s/latest.json)\n" file dir;
+    compare_with_previous (Buffer.contents buf)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1114,6 +1349,312 @@ let gj () =
     Printf.printf
       "(1 hardware thread: the >=2x generic-join gate is informational only on this machine)\n"
 
+(* ------------------------------------------------------------------ *)
+(* merge: batch-sorted delta merge vs the per-tuple insert loop         *)
+
+(* Store-level microbench first: fold one deterministic candidate stream
+   (with duplicates) into an empty Set store in drain-sized rounds, once
+   through [merge_slice] per tuple and once through [stage_slice] +
+   [merge_run].  The keyspace is sized so the final store crosses 1M
+   keys — the regime the tentpole targets, where per-tuple descents pay
+   a full root-to-leaf walk each.  Both paths must produce the same
+   fresh count and store size, or the bench aborts.  The >=1.3x gate
+   arms only on multi-core runners (skew/gj convention); the numbers
+   are recorded honestly either way. *)
+
+let merge_bench () =
+  let reps = bench_reps ~default:3 in
+  (* End-to-end control first (before the microbench balloons the major
+     heap): the same engine run under both --merge paths must reach the
+     identical fixpoint, and records what the batch path buys (or
+     costs) once exchange and join time dilute the merge.  Reps are
+     interleaved so neither path systematically runs on a colder heap. *)
+  let tc_edb = D.Queries.arc_edb (D.Datasets.rmat 300) in
+  let e2e_times_b = ref [] and e2e_times_p = ref [] in
+  let e2e_counts = ref [] in
+  for _ = 1 to reps do
+    List.iter
+      (fun merge ->
+        let cfg = { (config D.Coord.dws) with D.merge } in
+        let secs, n = run_query D.Queries.tc tc_edb cfg in
+        (match merge with
+        | D.Parallel.Batch_sorted -> e2e_times_b := secs :: !e2e_times_b
+        | D.Parallel.Per_tuple -> e2e_times_p := secs :: !e2e_times_p);
+        e2e_counts := n :: !e2e_counts)
+      [ D.Parallel.Batch_sorted; D.Parallel.Per_tuple ]
+  done;
+  let eb, eb_mean, eb_sd = sample_stats !e2e_times_b in
+  let ep, ep_mean, ep_sd = sample_stats !e2e_times_p in
+  let eb_n = List.hd !e2e_counts in
+  if List.exists (fun n -> n <> eb_n) !e2e_counts then begin
+    Printf.eprintf "bench-merge: TC fixpoints disagree across merge paths\n";
+    exit 1
+  end;
+  let total = 3_000_000 in
+  let keyspace = 2_000_000 in
+  let round = 262_144 in
+  let arity = 2 in
+  let data =
+    let rng = Dcd_util.Rng.create 2025 in
+    let a = Array.make (total * arity) 0 in
+    for i = 0 to total - 1 do
+      (* distinct pairs = distinct draws of [p], so the duplicate rate
+         is set by keyspace alone *)
+      let p = Dcd_util.Rng.int rng keyspace in
+      a.(arity * i) <- p / 4;
+      a.((arity * i) + 1) <- p mod 4
+    done;
+    a
+  in
+  let fresh_store () =
+    D.Rec_store.create ~arity ~agg:None ~route:[| 0 |] ~opts:D.Rec_store.default_opts ()
+  in
+  let run_per_tuple () =
+    let store = fresh_store () in
+    let fresh = ref 0 in
+    let (), secs =
+      Clock.time (fun () ->
+          for i = 0 to total - 1 do
+            match
+              D.Rec_store.merge_slice store ~data ~off:(arity * i) ~cdata:data ~coff:0 ~clen:0
+            with
+            | Some _ -> incr fresh
+            | None -> ()
+          done)
+    in
+    (secs, !fresh, D.Rec_store.length store)
+  in
+  let run_batch () =
+    let store = fresh_store () in
+    let fresh = ref 0 in
+    let on_fresh _ = incr fresh in
+    let (), secs =
+      Clock.time (fun () ->
+          let i = ref 0 in
+          while !i < total do
+            let stop = min total (!i + round) in
+            while !i < stop do
+              D.Rec_store.stage_slice store ~data ~off:(arity * !i) ~cdata:data ~coff:0 ~clen:0;
+              incr i
+            done;
+            ignore (D.Rec_store.merge_run store ~on_fresh)
+          done)
+    in
+    (secs, !fresh, D.Rec_store.length store)
+  in
+  let sample runner =
+    let times = ref [] and fresh = ref 0 and keys = ref 0 in
+    for _ = 1 to reps do
+      let secs, f, k = runner () in
+      times := secs :: !times;
+      fresh := f;
+      keys := k
+    done;
+    let best, mean, stddev = sample_stats !times in
+    (best, mean, stddev, !fresh, !keys)
+  in
+  let pt, pt_mean, pt_sd, pt_fresh, pt_keys = sample run_per_tuple in
+  let bt, bt_mean, bt_sd, bt_fresh, bt_keys = sample run_batch in
+  if pt_fresh <> bt_fresh || pt_keys <> bt_keys then begin
+    Printf.eprintf
+      "bench-merge: paths disagree (per-tuple %d fresh / %d keys, batch %d fresh / %d keys)\n"
+      pt_fresh pt_keys bt_fresh bt_keys;
+    exit 1
+  end;
+  let speedup = pt /. Float.max 1e-9 bt in
+  let rate secs = float_of_int total /. Float.max 1e-9 secs in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf "Delta merge — %dk candidates into a %dk-key store (best of %d)"
+           (total / 1000) (pt_keys / 1000) reps)
+      ~header:[ "path"; "time (s)"; "±σ"; "Mtuples/s"; "vs per-tuple" ]
+  in
+  Report.add_row t
+    [ "per-tuple"; Report.cell_time pt; Printf.sprintf "%.3f" pt_sd;
+      Printf.sprintf "%.2f" (rate pt /. 1e6); Report.cell_speedup 1.0 ];
+  Report.add_row t
+    [ Printf.sprintf "batch-sorted (%d/run)" round; Report.cell_time bt;
+      Printf.sprintf "%.3f" bt_sd; Printf.sprintf "%.2f" (rate bt /. 1e6);
+      Report.cell_speedup (bt /. pt) ];
+  Report.print t;
+  Printf.printf
+    "store microbench: batch-sorted is %.2fx per-tuple; TC rmat-300 end-to-end: %.2fx\n" speedup
+    (ep /. Float.max 1e-9 eb);
+  add_json_block "merge"
+    (Printf.sprintf
+       "{\"total_candidates\": %d, \"keyspace\": %d, \"round_tuples\": %d, \"store_keys\": %d,\n\
+       \    \"reps\": %d, \"cores\": %d,\n\
+       \    \"per_tuple_s\": %.6f, \"per_tuple_mean_s\": %.6f, \"per_tuple_stddev_s\": %.6f,\n\
+       \    \"batch_s\": %.6f, \"batch_mean_s\": %.6f, \"batch_stddev_s\": %.6f,\n\
+       \    \"speedup\": %.3f,\n\
+       \    \"tc_dataset\": \"rmat-300\", \"tc_tuples\": %d,\n\
+       \    \"tc_batch_s\": %.6f, \"tc_batch_mean_s\": %.6f, \"tc_batch_stddev_s\": %.6f,\n\
+       \    \"tc_per_tuple_s\": %.6f, \"tc_per_tuple_mean_s\": %.6f, \
+        \"tc_per_tuple_stddev_s\": %.6f,\n\
+       \    \"tc_speedup\": %.3f}"
+       total keyspace round pt_keys reps
+       (Domain.recommended_domain_count ())
+       pt pt_mean pt_sd bt bt_mean bt_sd speedup eb_n eb eb_mean eb_sd ep ep_mean ep_sd
+       (ep /. Float.max 1e-9 eb));
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 2 then begin
+    if speedup < 1.3 then begin
+      Printf.eprintf "bench-merge: batch-sorted speedup %.2fx below the 1.3x bar\n" speedup;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "(1 hardware thread: the >=1.3x merge gate is informational only on this machine)\n"
+
+(* ------------------------------------------------------------------ *)
+(* sweep: knob grid + data-scaling curve (ROADMAP item 4)               *)
+
+(* One TC workload swept over workers x strategy x steal x batch_tuples
+   x morsel_tuples (morsel size only matters with stealing on, so the
+   off rows fix it), every cell checked against the same fixpoint — a
+   correctness sweep and a tuning map in one.  A per-workload scaling
+   curve (TC/CC/SSSP over growing rmat inputs) rides along so the
+   recorded history tracks how evaluation time grows with data size. *)
+
+let sweep () =
+  let reps = bench_reps ~default:1 in
+  let spec = D.Queries.tc in
+  let dataset = "rmat-250" in
+  let edb = D.Queries.arc_edb (D.Datasets.rmat 250) in
+  let prepared = prepare_spec spec in
+  let measure cfg =
+    let cfg = { cfg with D.max_iterations = spec.max_iterations } in
+    let times = ref [] and count = ref 0 in
+    for _ = 1 to reps do
+      let result, secs = time_run prepared edb cfg in
+      times := secs :: !times;
+      count := D.relation_count result spec.output
+    done;
+    let best, mean, stddev = sample_stats !times in
+    (best, mean, stddev, !count)
+  in
+  let strategy_axis = [ ("global", D.Coord.Global); ("ssp5", D.Coord.Ssp 5); ("dws", D.Coord.dws) ] in
+  let cells = ref [] in
+  let expected = ref (-1) in
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun (sname, strat) ->
+          List.iter
+            (fun steal ->
+              let morsel_axis = if steal then [ 512; 2048 ] else [ 2048 ] in
+              List.iter
+                (fun batch_tuples ->
+                  List.iter
+                    (fun morsel_tuples ->
+                      let cfg =
+                        { (config ~workers strat) with D.steal; D.batch_tuples; D.morsel_tuples }
+                      in
+                      let best, mean, stddev, count = measure cfg in
+                      if !expected < 0 then expected := count
+                      else if count <> !expected then begin
+                        Printf.eprintf
+                          "bench-sweep: fixpoint changed under w=%d %s steal=%b b=%d m=%d (%d \
+                           vs %d tuples)\n"
+                          workers sname steal batch_tuples morsel_tuples count !expected;
+                        exit 1
+                      end;
+                      let name =
+                        Printf.sprintf "w%d-%s-steal%d-b%d-m%d" workers sname
+                          (if steal then 1 else 0)
+                          batch_tuples morsel_tuples
+                      in
+                      cells :=
+                        (name, workers, sname, steal, batch_tuples, morsel_tuples, best, mean,
+                         stddev)
+                        :: !cells)
+                    morsel_axis)
+                [ 0; 1024 ])
+            [ false; true ])
+        strategy_axis)
+    [ 1; 4 ];
+  let cells = List.rev !cells in
+  let best_cells =
+    List.sort (fun (_, _, _, _, _, _, a, _, _) (_, _, _, _, _, _, b, _, _) -> compare a b) cells
+  in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf "Knob sweep — TC %s, %d cells, fastest first (top 8)" dataset
+           (List.length cells))
+      ~header:[ "config"; "time (s)"; "±σ" ]
+  in
+  List.iteri
+    (fun i (name, _, _, _, _, _, best, _, stddev) ->
+      if i < 8 then
+        Report.add_row t [ name; Report.cell_time best; Printf.sprintf "%.3f" stddev ])
+    best_cells;
+  Report.print t;
+  (* data-scaling curve per workload, default knobs *)
+  let sizes = [ 100; 200; 400 ] in
+  let curve_specs =
+    [ ("tc", D.Queries.tc, fun n -> D.Queries.arc_edb (D.Datasets.rmat n));
+      ("cc", D.Queries.cc, fun n -> D.Queries.arc_sym_edb (D.Datasets.rmat n));
+      ("sssp", D.Queries.sssp, fun n -> D.Queries.warc_edb (D.Datasets.rmat n)) ]
+  in
+  let ct =
+    Report.create ~title:"Data scaling — DWS, default knobs"
+      ~header:("workload" :: List.map (fun n -> Printf.sprintf "rmat-%d (s)" n) sizes)
+  in
+  let curves =
+    List.map
+      (fun (name, spec, edb_of) ->
+        let pts =
+          List.map
+            (fun n ->
+              let secs, count = run_query spec (edb_of n) (config D.Coord.dws) in
+              (n, secs, count))
+            sizes
+        in
+        Report.add_row ct (name :: List.map (fun (_, s, _) -> Report.cell_time s) pts);
+        (name, pts))
+      curve_specs
+  in
+  Report.print ct;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"query\": \"tc\", \"dataset\": %S, \"reps\": %d, \"cores\": %d, \"tuples\": %d,\n\
+       \    \"grid\": [\n"
+       dataset reps
+       (Domain.recommended_domain_count ())
+       !expected);
+  List.iteri
+    (fun i (name, workers, sname, steal, batch_tuples, morsel_tuples, best, mean, stddev) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      {\"name\": %S, \"workers\": %d, \"strategy\": %S, \"steal\": %b, \
+            \"batch_tuples\": %d, \"morsel_tuples\": %d, \"wall_s\": %.6f, \"wall_mean_s\": \
+            %.6f, \"wall_stddev_s\": %.6f}%s\n"
+           name workers sname steal batch_tuples morsel_tuples best mean stddev
+           (if i = List.length cells - 1 then "" else ",")))
+    cells;
+  Buffer.add_string buf "    ],\n    \"scaling\": [\n";
+  List.iteri
+    (fun i (name, pts) ->
+      Buffer.add_string buf
+        (Printf.sprintf "      {\"name\": %S, \"points\": [" name);
+      List.iteri
+        (fun j (n, secs, count) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{\"name\": \"rmat-%d\", \"vertices\": %d, \"wall_s\": %.6f, \
+                             \"tuples\": %d}"
+               (if j = 0 then "" else ", ")
+               n n secs count))
+        pts;
+      Buffer.add_string buf
+        (Printf.sprintf "]}%s\n" (if i = List.length curves - 1 then "" else ",")))
+    curves;
+  Buffer.add_string buf "    ]}";
+  add_json_block "sweep" (Buffer.contents buf)
+
 let experiments =
   [
     ("fig1", fig1, "Figure 1: SSSP engine comparison");
@@ -1130,6 +1671,8 @@ let experiments =
     ("perf", perf, "Perf trajectory: bench/results/<stamp>.json (4 workers, DWS)");
     ("skew", skew, "Morsel work stealing on zipf vs uniform inputs");
     ("gj", gj, "Generic join vs binary pipeline on triangle and SG");
+    ("merge", merge_bench, "Batch-sorted delta merge vs per-tuple inserts");
+    ("sweep", sweep, "Knob grid (workers/strategy/steal/batch/morsel) + data-scaling curve");
     ("smoke", smoke, "CI smoke: tiny workload per coordination strategy");
   ]
 

@@ -109,6 +109,24 @@ let unopt_arg =
   Arg.(value & flag & info [ "unoptimized" ]
          ~doc:"Disable the \xc2\xa76.2 optimizations (aggregate index, existence cache).")
 
+let merge_conv =
+  let parse = function
+    | "batch" -> Ok D.Parallel.Batch_sorted
+    | "per-tuple" -> Ok D.Parallel.Per_tuple
+    | s -> Error (`Msg (Printf.sprintf "unknown merge path %s (batch | per-tuple)" s))
+  in
+  let print fmt = function
+    | D.Parallel.Batch_sorted -> Format.pp_print_string fmt "batch"
+    | D.Parallel.Per_tuple -> Format.pp_print_string fmt "per-tuple"
+  in
+  Arg.conv (parse, print)
+
+let merge_arg =
+  Arg.(value & opt merge_conv D.Parallel.Batch_sorted & info [ "merge" ] ~docv:"PATH"
+         ~doc:"Delta-merge path: 'batch' (sort the drained run, one B+-tree descent per leaf \
+               segment; the default) or 'per-tuple' (the historical one-descent-per-tuple \
+               escape hatch).")
+
 let params_arg =
   Arg.(value & opt_all param_conv [] & info [ "param" ] ~docv:"K=V"
          ~doc:"Bind a program parameter, e.g. --param start=7.")
@@ -187,7 +205,7 @@ let resolve_source query program =
 (* --- commands --- *)
 
 let run_cmd query program dataset rmat edges_file edb_files workers strategy no_steal unopt
-    params show stats timeout stall_window fault_seed fault_crash fault_delay =
+    merge params show stats timeout stall_window fault_seed fault_crash fault_delay =
   Printexc.record_backtrace true;
   if workers < 1 then input_error "--workers must be at least 1"
   else
@@ -229,6 +247,7 @@ let run_cmd query program dataset rmat edges_file edb_files workers strategy no_
               workers;
               strategy;
               steal = not no_steal;
+              merge;
               max_iterations = (match spec with Some s -> s.max_iterations | None -> 0);
               store_opts =
                 (if unopt then D.Rec_store.unoptimized_opts else D.Rec_store.default_opts);
@@ -311,7 +330,7 @@ let list_cmd () =
 let run_term =
   Term.(
     const run_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
-    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ params_arg $ show_arg $ stats_arg $ timeout_arg
+    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg $ params_arg $ show_arg $ stats_arg $ timeout_arg
     $ stall_window_arg $ fault_seed_arg $ fault_crash_arg $ fault_delay_arg)
 
 let explain_term = Term.(const explain_cmd $ query_arg $ program_arg $ params_arg $ dot_arg)

@@ -572,6 +572,49 @@ let rec cursor_next c =
       else true
     end
 
+(* --- bulk construction (of_sorted, merge_sorted_slice) --- *)
+
+(* The group count is clamped so that even spreading can neither
+   overflow capacity nor underflow the minimum fill (a single group is
+   always legal: it becomes the root or hangs under one). *)
+let clamp_groups ~items ~target ~cap ~min_fill =
+  let lo = (items + cap - 1) / cap in
+  let hi = max 1 (items / min_fill) in
+  max lo (min hi (max 1 ((items + target - 1) / target)))
+
+(* Builds internal levels at ~3/4 fill over [entries] — ascending
+   (subtree min key, node) pairs — until one node remains.  The first
+   entry's min key is never consulted (only entries [> 0] supply
+   separators), so callers may pass [dummy_key] for it. *)
+let build_internal_levels ~branching entries =
+  let per_node = max ((branching + 1) / 2) (branching * 3 / 4) in
+  (* min children of a non-root internal node = internal_min + 1 *)
+  let min_children = ((branching - 2) / 2) + 1 in
+  let level = ref entries in
+  while Array.length !level > 1 do
+    let cur = !level in
+    let m = Array.length cur in
+    let nparents = clamp_groups ~items:m ~target:per_node ~cap:branching ~min_fill:min_children in
+    let parents = Array.make nparents (dummy_key, Leaf (new_leaf branching)) in
+    let pos = ref 0 in
+    for pi = 0 to nparents - 1 do
+      let node = new_internal branching in
+      let remaining = m - !pos in
+      let parents_left = nparents - pi in
+      let take = (remaining + parents_left - 1) / parents_left in
+      for j = 0 to take - 1 do
+        let min_k, child = cur.(!pos + j) in
+        node.ichildren.(j) <- child;
+        if j > 0 then node.ikeys.(j - 1) <- min_k
+      done;
+      node.ik <- take - 1;
+      parents.(pi) <- (fst cur.(!pos), Internal node);
+      pos := !pos + take
+    done;
+    level := parents
+  done;
+  snd (!level).(0)
+
 let of_sorted ?(branching = 32) entries =
   if branching < 4 then invalid_arg "Bptree.of_sorted";
   let n = Array.length entries in
@@ -582,15 +625,7 @@ let of_sorted ?(branching = 32) entries =
   let t = create ~branching () in
   if n = 0 then t
   else begin
-    (* Build the leaf level at ~3/4 fill, then internal levels on top.
-       The group count is clamped so that even spreading can neither
-       overflow capacity nor underflow the minimum fill (a single group
-       is always legal: it becomes the root or hangs under one). *)
-    let clamp_groups ~items ~target ~cap ~min_fill =
-      let lo = (items + cap - 1) / cap in
-      let hi = max 1 (items / min_fill) in
-      max lo (min hi (max 1 ((items + target - 1) / target)))
-    in
+    (* Build the leaf level at ~3/4 fill, then internal levels on top. *)
     let per_leaf = max (branching / 2) (branching * 3 / 4) in
     let nleaves =
       clamp_groups ~items:n ~target:per_leaf ~cap:branching ~min_fill:(max 1 (branching / 2))
@@ -614,35 +649,243 @@ let of_sorted ?(branching = 32) entries =
       if li > 0 then leaves.(li - 1).next <- Some l
     done;
     (* minimum key of each node, used as separators one level up *)
-    let level = ref (Array.map (fun l -> (l.lkeys.(0), Leaf l)) leaves) in
-    let per_node = max ((branching + 1) / 2) (branching * 3 / 4) in
-    (* min children of a non-root internal node = internal_min + 1 *)
-    let min_children = ((branching - 2) / 2) + 1 in
-    while Array.length !level > 1 do
-      let cur = !level in
-      let m = Array.length cur in
-      let nparents = clamp_groups ~items:m ~target:per_node ~cap:branching ~min_fill:min_children in
-      let parents = Array.make nparents (dummy_key, Leaf (new_leaf branching)) in
-      let pos = ref 0 in
-      for pi = 0 to nparents - 1 do
-        let node = new_internal branching in
-        let remaining = m - !pos in
-        let parents_left = nparents - pi in
-        let take = (remaining + parents_left - 1) / parents_left in
-        for j = 0 to take - 1 do
-          let min_k, child = cur.(!pos + j) in
-          node.ichildren.(j) <- child;
-          if j > 0 then node.ikeys.(j - 1) <- min_k
-        done;
-        node.ik <- take - 1;
-        parents.(pi) <- (fst cur.(!pos), Internal node);
-        pos := !pos + take
-      done;
-      level := parents
-    done;
-    t.root <- snd (!level).(0);
+    t.root <- build_internal_levels ~branching (Array.map (fun l -> (l.lkeys.(0), Leaf l)) leaves);
     t.count <- n;
     t
+  end
+
+(* Batch-sorted merge: folds a strictly-increasing run of keys into the
+   tree with ONE root descent per leaf *segment* (the maximal run prefix
+   that belongs to the current leaf), instead of one descent per key.
+   Each descent records the internal path and the tightest right-hand
+   separator bound seen on the way down — run keys at or past that bound
+   belong to a later leaf and must re-descend even if they would
+   physically fit here, or the separator invariant breaks.  A segment is
+   merged co-sequentially with the leaf's entries into scratch; if the
+   result overflows, the leaf is rebuilt as k siblings at ~3/4 fill and
+   the new (min key, leaf) pairs are spliced into the parent path with
+   cascading bulk internal splits ([of_sorted]-style level building when
+   the root itself overflows). *)
+let merge_sorted_slice t ~n ~key:keyf ~merge =
+  if n < 0 then invalid_arg "Bptree.merge_sorted_slice";
+  if n > 0 then begin
+    t.version <- t.version + 1;
+    let b = t.branching in
+    let per_leaf = max (b / 2) (b * 3 / 4) in
+    let leaf_min_fill = max 1 (b / 2) in
+    let internal_min_children = ((b - 2) / 2) + 1 in
+    let per_node_children = max internal_min_children (b * 3 / 4) in
+    (* descent path, root first: internal node + child index taken *)
+    let path_nodes : 'a internal array = Array.make 64 (Obj.magic 0) in
+    let path_idx = Array.make 64 0 in
+    (* Splice [news] — ascending (separator, node) pairs — as new right
+       siblings after child [path_idx.(d)] of [path_nodes.(d)],
+       rebuilding (and bulk-splitting) upward as needed.  [d = -1] grows
+       the tree above the current root. *)
+    let rec splice_up d (news : (key * 'a node) array) =
+      let added = Array.length news in
+      if added = 0 then ()
+      else if d < 0 then begin
+        let entries = Array.make (1 + added) (dummy_key, t.root) in
+        Array.blit news 0 entries 1 added;
+        t.root <- build_internal_levels ~branching:b entries
+      end
+      else begin
+        let p = path_nodes.(d) and ci = path_idx.(d) in
+        if p.ik + added <= b - 1 then begin
+          (* fits: shift the tail right and write the new entries *)
+          Array.blit p.ikeys ci p.ikeys (ci + added) (p.ik - ci);
+          Array.blit p.ichildren (ci + 1) p.ichildren (ci + 1 + added) (p.ik - ci);
+          for j = 0 to added - 1 do
+            let sep, node = news.(j) in
+            p.ikeys.(ci + j) <- sep;
+            p.ichildren.(ci + 1 + j) <- node
+          done;
+          p.ik <- p.ik + added
+        end
+        else begin
+          (* overflow: regroup the spliced child list into sibling
+             internals at ~3/4 fill; [p] keeps the first group (its
+             subtree min key is unchanged), the rest are promoted *)
+          let old_ik = p.ik in
+          let c_total = old_ik + 1 + added in
+          let children = Array.make c_total (Obj.magic 0 : 'a node) in
+          (* seps.(i) separates children.(i-1) and children.(i); (0) unused *)
+          let seps = Array.make c_total dummy_key in
+          Array.blit p.ichildren 0 children 0 (ci + 1);
+          Array.blit p.ikeys 0 seps 1 ci;
+          for j = 0 to added - 1 do
+            let sep, node = news.(j) in
+            seps.(ci + 1 + j) <- sep;
+            children.(ci + 1 + j) <- node
+          done;
+          Array.blit p.ichildren (ci + 1) children (ci + 1 + added) (old_ik - ci);
+          Array.blit p.ikeys ci seps (ci + 1 + added) (old_ik - ci);
+          let ngroups =
+            clamp_groups ~items:c_total ~target:per_node_children ~cap:b
+              ~min_fill:internal_min_children
+          in
+          let promoted = Array.make (ngroups - 1) (dummy_key, (Obj.magic 0 : 'a node)) in
+          let pos = ref 0 in
+          for g = 0 to ngroups - 1 do
+            let remaining = c_total - !pos in
+            let groups_left = ngroups - g in
+            let take = (remaining + groups_left - 1) / groups_left in
+            if g = 0 then begin
+              for j = 0 to take - 1 do
+                p.ichildren.(j) <- children.(!pos + j);
+                if j > 0 then p.ikeys.(j - 1) <- seps.(!pos + j)
+              done;
+              for j = take - 1 to old_ik - 1 do
+                p.ikeys.(j) <- dummy_key
+              done;
+              for j = take to old_ik do
+                p.ichildren.(j) <- (Obj.magic 0 : 'a node)
+              done;
+              p.ik <- take - 1
+            end
+            else begin
+              let node = new_internal b in
+              for j = 0 to take - 1 do
+                node.ichildren.(j) <- children.(!pos + j);
+                if j > 0 then node.ikeys.(j - 1) <- seps.(!pos + j)
+              done;
+              node.ik <- take - 1;
+              promoted.(g - 1) <- (seps.(!pos), Internal node)
+            end;
+            pos := !pos + take
+          done;
+          splice_up (d - 1) promoted
+        end
+      end
+    in
+    let inserted = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let k0 = keyf !i in
+      let depth = ref 0 in
+      let ub = ref dummy_key in
+      let has_ub = ref false in
+      let rec down = function
+        | Leaf l -> l
+        | Internal nd ->
+          let ci = child_index nd k0 in
+          path_nodes.(!depth) <- nd;
+          path_idx.(!depth) <- ci;
+          incr depth;
+          (* deeper bounds nest inside shallower ones, so the last
+             assignment is the tightest *)
+          if ci < nd.ik then begin
+            ub := nd.ikeys.(ci);
+            has_ub := true
+          end;
+          down nd.ichildren.(ci)
+      in
+      let leaf = down t.root in
+      (* segment end: the first run index whose key falls past the bound *)
+      let stop = ref (!i + 1) in
+      if !has_ub then begin
+        let u = !ub in
+        while !stop < n && compare_key (keyf !stop) u < 0 do
+          incr stop
+        done
+      end
+      else stop := n;
+      let stop = !stop in
+      (* co-sequential merge of leaf entries and the run segment *)
+      let ln = leaf.ln in
+      let mk = Array.make (ln + (stop - !i)) dummy_key in
+      let mv = Array.make (ln + (stop - !i)) (Obj.magic 0 : 'a) in
+      let m = ref 0 in
+      let p = ref 0 and q = ref !i in
+      while !p < ln && !q < stop do
+        let kq = keyf !q in
+        let c = compare_key leaf.lkeys.(!p) kq in
+        if c < 0 then begin
+          mk.(!m) <- leaf.lkeys.(!p);
+          mv.(!m) <- leaf.lvals.(!p);
+          incr m;
+          incr p
+        end
+        else if c = 0 then begin
+          let v0 = leaf.lvals.(!p) in
+          let v = match merge !q (Some v0) with Some v -> v | None -> v0 in
+          mk.(!m) <- leaf.lkeys.(!p);
+          mv.(!m) <- v;
+          incr m;
+          incr p;
+          incr q
+        end
+        else begin
+          (match merge !q None with
+          | Some v ->
+            mk.(!m) <- kq;
+            mv.(!m) <- v;
+            incr m;
+            incr inserted
+          | None -> ());
+          incr q
+        end
+      done;
+      while !p < ln do
+        mk.(!m) <- leaf.lkeys.(!p);
+        mv.(!m) <- leaf.lvals.(!p);
+        incr m;
+        incr p
+      done;
+      while !q < stop do
+        (match merge !q None with
+        | Some v ->
+          mk.(!m) <- keyf !q;
+          mv.(!m) <- v;
+          incr m;
+          incr inserted
+        | None -> ());
+        incr q
+      done;
+      let m = !m in
+      if m <= b then begin
+        (* fits in place; [m >= ln] always (no removals), so slots past
+           [m] are already clear *)
+        Array.blit mk 0 leaf.lkeys 0 m;
+        Array.blit mv 0 leaf.lvals 0 m;
+        leaf.ln <- m
+      end
+      else begin
+        (* bulk leaf split: rebuild this leaf plus fresh right siblings
+           at ~3/4 fill, relink the chain, splice the new (min key,
+           leaf) pairs into the parent path *)
+        let nl = clamp_groups ~items:m ~target:per_leaf ~cap:b ~min_fill:leaf_min_fill in
+        let old_next = leaf.next in
+        let news = Array.make (nl - 1) (dummy_key, (Obj.magic 0 : 'a node)) in
+        let pos = ref 0 in
+        let prev = ref leaf in
+        for li = 0 to nl - 1 do
+          let l = if li = 0 then leaf else new_leaf b in
+          let remaining = m - !pos in
+          let leaves_left = nl - li in
+          let take = (remaining + leaves_left - 1) / leaves_left in
+          Array.blit mk !pos l.lkeys 0 take;
+          Array.blit mv !pos l.lvals 0 take;
+          if li = 0 then
+            for x = take to b - 1 do
+              l.lkeys.(x) <- dummy_key;
+              l.lvals.(x) <- (Obj.magic 0 : 'a)
+            done;
+          l.ln <- take;
+          if li > 0 then begin
+            (!prev).next <- Some l;
+            news.(li - 1) <- (l.lkeys.(0), Leaf l)
+          end;
+          prev := l;
+          pos := !pos + take
+        done;
+        (!prev).next <- old_next;
+        splice_up (!depth - 1) news
+      end;
+      i := stop
+    done;
+    t.count <- t.count + !inserted
   end
 
 (* --- invariant checking --- *)

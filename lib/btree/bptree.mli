@@ -114,6 +114,34 @@ val of_sorted : ?branching:int -> (key * 'a) array -> 'a t
 (** Bulk load from a strictly-sorted array of distinct keys; O(n).
     @raise Invalid_argument if the input is not strictly sorted. *)
 
+val merge_sorted_slice :
+  'a t -> n:int -> key:(int -> key) -> merge:(int -> 'a option -> 'a option) -> unit
+(** [merge_sorted_slice t ~n ~key ~merge] folds a {e strictly
+    increasing} run of [n] keys into the tree with one root descent per
+    leaf {e segment} instead of one per key: the leaf chain is walked
+    co-sequentially with the run, leaves are rewritten in place when the
+    merged result fits, and overflowing leaves bulk-split into siblings
+    at ~3/4 fill with cascading bulk internal splits up the recorded
+    descent path ([of_sorted]-style level building when the root
+    overflows).
+
+    For each run index [i] (ascending, exactly once), [merge i cur] is
+    called with the current binding of [key i] ([None] when absent) and
+    decides the outcome: [Some v] binds [key i] to [v] (insert or
+    overwrite), [None] leaves the tree untouched (no binding created, an
+    existing one kept).  This single callback shape expresses both
+    set-semantics merging ([None] on [Some _]) and monotone aggregate
+    upserts.
+
+    [key i] may be evaluated more than once per index and must be
+    stable; on an actual insert the returned array is {e adopted}, not
+    copied — callers must not mutate it afterwards (materialize fresh
+    arrays, as the run-sorting layer does).
+
+    An empty tree degenerates to a pure [of_sorted]-style bulk load.
+    Cost: O(n + touched leaves · log-splits) descents instead of
+    O(n · log |t|). *)
+
 val check_invariants : 'a t -> unit
 (** Asserts structural invariants (key order, node fill, uniform leaf
     depth, leaf chain consistency).  For tests. @raise Failure on

@@ -67,6 +67,9 @@ type config = Parallel.config = {
   batch_tuples : int;
   steal : bool; (** morsel-driven work stealing (default [true]) *)
   morsel_tuples : int; (** scan tuples per stealable morsel (default 2048) *)
+  merge : Parallel.merge_path;
+      (** delta-merge path: [Batch_sorted] (default) or the historical
+          [Per_tuple] escape hatch *)
   coord : Coord.config;
   fault : Fault.spec option;
 }

@@ -18,6 +18,12 @@ val find : t -> Dcd_storage.Tuple.t -> int option
 
 val put : t -> Dcd_storage.Tuple.t -> int -> unit
 
+val warm : t -> n:int -> key:(int -> Dcd_storage.Tuple.t) -> value:(int -> int) -> unit
+(** Bulk refresh after a batch-sorted merge pass: caches [key i ↦
+    value i] for [i < n] without touching the hit/miss counters.  Keys
+    are retained as given — callers pass the (now immutable) arrays the
+    B⁺-tree adopted. *)
+
 val length : t -> int
 
 val hits : t -> int

@@ -15,6 +15,10 @@ type exchange = Exchange.kind =
   | Spsc_exchange
   | Locked_exchange
 
+type merge_path =
+  | Batch_sorted
+  | Per_tuple
+
 type config = {
   workers : int;
   strategy : Coord.t;
@@ -25,6 +29,7 @@ type config = {
   batch_tuples : int;
   steal : bool;
   morsel_tuples : int;
+  merge : merge_path;
   coord : Coord.config;
   fault : Fault.spec option;
 }
@@ -40,6 +45,7 @@ let default_config =
     batch_tuples = 0;
     steal = true;
     morsel_tuples = 2048;
+    merge = Batch_sorted;
     coord = Coord.default_config;
     fault = None;
   }
@@ -132,6 +138,7 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
   in
   let shared =
     Worker.make_shared ~exch ~token ~fault ~max_iterations:config.max_iterations ~steal
+      ~merge_sorted:(config.merge = Batch_sorted)
   in
   let stores =
     Array.init n (fun _ ->
@@ -229,6 +236,18 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
     | None -> raise_cancelled token
   end;
   let evaluate = Clock.now () -. t1 in
+  (* fold each worker's existence-cache counters into its stratum stats
+     (stores are per-stratum, so these are per-stratum totals) *)
+  for w = 0 to n - 1 do
+    Array.iter
+      (fun st ->
+        match Rec_store.cache_stats st with
+        | Some (h, m) ->
+          wstats.(w).Run_stats.cache_hits <- wstats.(w).Run_stats.cache_hits + h;
+          wstats.(w).Run_stats.cache_misses <- wstats.(w).Run_stats.cache_misses + m
+        | None -> ())
+      stores.(w)
+  done;
   (* --- materialize the primary-route union into the catalog --- *)
   let t2 = Clock.now () in
   List.iter
@@ -240,9 +259,13 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
         total := !total + Rec_store.length stores.(w).(cid)
       done;
       let rel = Relation.create ~size_hint:!total ~name:pp.pred ~arity:pp.arity () in
+      (* one bulk add per predicate: partitions are disjoint, and any
+         sorted trie index present refreshes from one sorted run *)
+      let batch = Vec.create ~capacity:!total () in
       for w = 0 to n - 1 do
-        Rec_store.iter stores.(w).(cid) (fun tup -> ignore (Relation.add rel tup))
+        Rec_store.iter stores.(w).(cid) (fun tup -> Vec.push batch tup)
       done;
+      ignore (Relation.add_batch rel batch);
       Catalog.add_relation catalog rel)
     sp.pred_plans;
   let materialize = Clock.now () -. t2 in

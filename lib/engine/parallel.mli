@@ -38,6 +38,17 @@ type exchange = Exchange.kind =
   | Spsc_exchange
   | Locked_exchange
 
+(** How drained candidates are folded into the recursive stores.
+    [Batch_sorted] (the default) stages a drain's candidates into a
+    per-store run, sorts it, self-dedups, and walks the B⁺-tree
+    co-sequentially — one descent per leaf segment
+    ({!Rec_store.merge_run}).  [Per_tuple] is the historical path — one
+    index descent per drained tuple — kept as an escape hatch and for
+    differential testing.  Fixpoints are identical for both. *)
+type merge_path =
+  | Batch_sorted
+  | Per_tuple
+
 type config = {
   workers : int;
   strategy : Coord.t;
@@ -65,6 +76,8 @@ type config = {
       (** scan tuples per morsel (default 2048).  Scans of at most
           twice this size run unsplit — too small to be worth the
           publish/claim traffic. *)
+  merge : merge_path;
+      (** delta-merge path (default [Batch_sorted]). *)
   coord : Coord.config;
       (** run guard: wall-clock timeout, caller-owned cancel token, and
           the stall watchdog.  All off by default; when off, the only

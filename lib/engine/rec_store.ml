@@ -1,6 +1,7 @@
 open Dcd_datalog
 module Tuple = Dcd_storage.Tuple
 module Agg_table = Dcd_storage.Agg_table
+module Run_buffer = Dcd_storage.Run_buffer
 module Bptree = Dcd_btree.Bptree
 
 type opts = {
@@ -32,6 +33,9 @@ type t = {
      aggregate value position for aggregate stores *)
   order : int array;
   store : store;
+  (* batch-sorted merge scratch: candidates staged during a drain, then
+     sorted and folded in one co-sequential index walk (merge_run) *)
+  run : Run_buffer.t;
   cache : Exist_cache.t option;
   (* reusable permuted-key buffer: a merge probe that is absorbed (cache
      hit or existing tuple) allocates nothing.  Everything the scratch
@@ -70,6 +74,12 @@ let create ~arity ~agg ~route ~opts () =
     arity;
     order;
     store;
+    run =
+      (* aggregate copies' frames carry a contributor suffix (empty for
+         min/max), matching Exchange.contrib *)
+      Run_buffer.create ~arity
+        ~contrib:(match store with Agg _ -> true | Set _ -> false)
+        ~key_cols:order ();
     cache = (if opts.use_cache then Some (Exist_cache.create ()) else None);
     scratch = Array.make (Array.length order) 0;
   }
@@ -141,6 +151,129 @@ let merge_slice t ~data ~off ~cdata ~coff ~clen =
 let merge t ~tuple ~contributor =
   merge_slice t ~data:tuple ~off:0 ~cdata:contributor ~coff:0
     ~clen:(Array.length contributor)
+
+(* --- batch-sorted merge path --- *)
+
+(* Stages one candidate into the run instead of merging it immediately.
+   The existence cache is still probed here — a hit drops the candidate
+   without staging it, exactly like the per-tuple path's front cache —
+   but the authoritative index is not touched until [merge_run]. *)
+let stage_slice t ~data ~off ~cdata ~coff ~clen =
+  match t.store with
+  | Set _ -> (
+    match t.cache with
+    | Some cache when Exist_cache.find cache (permute t data off) <> None -> ()
+    | _ -> Run_buffer.stage_slice t.run ~data ~off ~cdata ~coff ~clen)
+  | Agg { kind; value_pos; _ } ->
+    let absorbed =
+      match t.cache with
+      | Some cache -> (
+        match Exist_cache.find cache (permute t data off) with
+        | Some cached -> absorbed_by_cache kind cached data.(off + value_pos)
+        | None -> false)
+      | None -> false
+    in
+    if not absorbed then Run_buffer.stage_slice t.run ~data ~off ~cdata ~coff ~clen
+
+let staged t = Run_buffer.length t.run
+
+(* Folds the staged run into the store in one sorted pass: sort by
+   permuted key (stable on ties), self-dedup inside the run, then one
+   co-sequential B⁺-tree walk ([Bptree.merge_sorted_slice] /
+   [Agg_table.apply_sorted]) instead of one descent per tuple.  Calls
+   [on_fresh] with the canonical delta tuple for every store change and
+   returns [(merged, dup_dropped)]: candidates handed to the index walk
+   after self-dedup / contributor absorption, and candidates dropped
+   before reaching it. *)
+let merge_run t ~on_fresh =
+  let rb = t.run in
+  let n = Run_buffer.length rb in
+  if n = 0 then (0, 0)
+  else begin
+    Run_buffer.sort rb;
+    let pool = Run_buffer.data rb in
+    let result =
+      match t.store with
+      | Set tree ->
+        (* the key covers every column, so equal keys are identical
+           tuples: keep the first, like repeated add_if_absent would *)
+        let ukeys = Array.make n [||] in
+        let uoff = Array.make n 0 in
+        let u = ref 0 in
+        for i = 0 to n - 1 do
+          if i = 0 || not (Run_buffer.equal_keys rb (i - 1) i) then begin
+            ukeys.(!u) <- Run_buffer.key rb i;
+            uoff.(!u) <- Run_buffer.off rb i;
+            incr u
+          end
+        done;
+        let m = !u in
+        Bptree.merge_sorted_slice tree ~n:m
+          ~key:(fun i -> ukeys.(i))
+          ~merge:(fun i existing ->
+            match existing with
+            | Some _ -> None
+            | None ->
+              let tuple = Array.sub pool uoff.(i) t.arity in
+              on_fresh tuple;
+              Some tuple);
+        (* every probed key now has a known answer: bulk-refresh the
+           cache from the walk instead of per-probe puts *)
+        (match t.cache with
+        | Some c -> Exist_cache.warm c ~n:m ~key:(fun i -> ukeys.(i)) ~value:(fun _ -> 1)
+        | None -> ());
+        (m, n - m)
+      | Agg { table; value_pos; _ } ->
+        let akind = Agg_table.kind table in
+        let groups = Array.make n [||] in
+        let values = Array.make n 0 in
+        let g = ref 0 in
+        let i = ref 0 in
+        while !i < n do
+          let s = !i in
+          let group = Run_buffer.key rb s in
+          (* normalize the group's candidates in staging order (the sort
+             is stable), so Sum's last-contribution-wins replacement
+             matches the per-tuple path, then pre-combine survivors *)
+          let acc = ref None in
+          let j = ref s in
+          let more = ref true in
+          while !more do
+            let o = Run_buffer.off rb !j in
+            let v = pool.(o + value_pos) in
+            let cl = Run_buffer.clen rb !j in
+            let contributor =
+              if cl = 0 then None else Some (Array.sub pool (Run_buffer.coff rb !j) cl)
+            in
+            (match Agg_table.normalize_candidate table ~group ?contributor v with
+            | None -> ()
+            | Some nv ->
+              acc := Some (match !acc with None -> nv | Some a -> Agg_table.combine akind a nv));
+            incr j;
+            if !j >= n || not (Run_buffer.equal_keys rb (!j - 1) !j) then more := false
+          done;
+          (match !acc with
+          | Some v ->
+            groups.(!g) <- group;
+            values.(!g) <- v;
+            incr g
+          | None -> ());
+          i := !j
+        done;
+        let m = !g in
+        Agg_table.apply_sorted table ~n:m
+          ~group:(fun i -> groups.(i))
+          ~value:(fun i -> values.(i))
+          ~changed:(fun i v' ->
+            (* cache refreshed only on change, like the per-tuple path:
+               stale cached values stay sound monotone bounds *)
+            (match t.cache with Some c -> Exist_cache.put c groups.(i) v' | None -> ());
+            on_fresh (canonical_of_group t groups.(i) v' value_pos));
+        (m, n - m)
+    in
+    Run_buffer.clear rb;
+    result
+  end
 
 let iter_matches t ~key f =
   match t.store with

@@ -54,6 +54,38 @@ val merge_slice :
     packed exchange frames are folded in without materializing boxed
     tuples for absorbed candidates. *)
 
+val stage_slice :
+  t ->
+  data:int array ->
+  off:int ->
+  cdata:int array ->
+  coff:int ->
+  clen:int ->
+  unit
+(** The batch-sorted alternative to {!merge_slice}: stages the candidate
+    into the store's scratch run instead of merging it immediately.  The
+    existence cache is still probed here (a hit drops the candidate
+    without staging), but the authoritative index is untouched until
+    {!merge_run}.  Inputs are copied into the run pool. *)
+
+val staged : t -> int
+(** Candidates currently staged and not yet folded by {!merge_run}. *)
+
+val merge_run : t -> on_fresh:(Dcd_storage.Tuple.t -> unit) -> int * int
+(** Folds the staged run into the store in one sorted pass: sorts the
+    run by permuted key, self-dedups it, and walks the index
+    co-sequentially — one descent per leaf segment instead of one per
+    tuple ({!Dcd_btree.Bptree.merge_sorted_slice}).  [on_fresh] fires
+    with the canonical delta tuple for every store change, in key order.
+    Returns [(merged, dup_dropped)]: candidates handed to the index walk
+    after self-dedup/contributor absorption, and candidates dropped
+    before reaching it.  Equivalent to {!merge_slice} per staged
+    candidate in staging order: final store state identical, and the
+    deltas match the per-tuple path's last delta per group — except a
+    Sum run whose contributions net to zero against an existing group,
+    where the per-tuple path emits a cancelling delta pair and the
+    batch path (soundly) emits nothing. *)
+
 val iter_matches : t -> key:int array -> (int array -> int -> unit) -> unit
 (** All current tuples whose route columns equal [key], canonical
     order, passed as [(data, off)] cursors valid only during the call.

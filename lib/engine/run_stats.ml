@@ -5,6 +5,11 @@ type worker = {
   mutable batches_sent : int;
   mutable words_sent : int;
   mutable tuples_drained : int;
+  mutable merge_time : float;
+  mutable merged_tuples : int;
+  mutable dup_dropped : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   mutable steals : int;
   mutable morsels_executed : int;
   mutable stolen_tuples : int;
@@ -37,6 +42,11 @@ let fresh_worker () =
     batches_sent = 0;
     words_sent = 0;
     tuples_drained = 0;
+    merge_time = 0.;
+    merged_tuples = 0;
+    dup_dropped = 0;
+    cache_hits = 0;
+    cache_misses = 0;
     steals = 0;
     morsels_executed = 0;
     stolen_tuples = 0;
@@ -68,6 +78,19 @@ let total_words t = sum_strata t (fun w -> w.words_sent)
 let total_batches t = sum_strata t (fun w -> w.batches_sent)
 
 let total_drained t = sum_strata t (fun w -> w.tuples_drained)
+
+let total_merged t = sum_strata t (fun w -> w.merged_tuples)
+
+let total_dup_dropped t = sum_strata t (fun w -> w.dup_dropped)
+
+let total_cache_hits t = sum_strata t (fun w -> w.cache_hits)
+
+let total_cache_misses t = sum_strata t (fun w -> w.cache_misses)
+
+let total_merge_time t =
+  List.fold_left
+    (fun acc s -> acc +. Array.fold_left (fun a w -> a +. w.merge_time) 0. s.workers)
+    0. t.strata
 
 let total_steals t = sum_strata t (fun w -> w.steals)
 
@@ -123,6 +146,9 @@ let pp fmt t =
             "    w%d: %d iters, %d in, %d out (%d batches, %d words), %d morsels (%d stolen, %d \
              tuples), busy %.3fs, idle %.3fs@."
             i w.iterations w.tuples_processed w.tuples_sent w.batches_sent w.words_sent
-            w.morsels_executed w.steals w.stolen_tuples w.busy_time w.wait_time)
+            w.morsels_executed w.steals w.stolen_tuples w.busy_time w.wait_time;
+          Format.fprintf fmt
+            "        merge %.3fs: %d merged, %d dups dropped, cache %d hit / %d miss@."
+            w.merge_time w.merged_tuples w.dup_dropped w.cache_hits w.cache_misses)
         s.workers)
     t.strata

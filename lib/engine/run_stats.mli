@@ -22,6 +22,19 @@ type worker = {
           completed run, [total_drained = total_sent] — exact
           termination means nothing was left in flight, stolen
           emissions included (asserted by the stress suite) *)
+  mutable merge_time : float;
+      (** seconds in [drain_and_merge] — inbox drain plus the store
+          merge, whichever merge path is active *)
+  mutable merged_tuples : int;
+      (** candidates handed to the authoritative index: unique run
+          candidates under the batch-sorted path, every drained record
+          under the per-tuple path *)
+  mutable dup_dropped : int;
+      (** candidates dropped by the batch path's run self-dedup and
+          contributor absorption before reaching the index (0 under the
+          per-tuple path — its duplicates cost a full descent each) *)
+  mutable cache_hits : int; (** existence-cache hits (§6.2.2), per stratum *)
+  mutable cache_misses : int;
   mutable steals : int; (** morsels stolen from other workers *)
   mutable morsels_executed : int; (** morsels executed, own and stolen *)
   mutable stolen_tuples : int; (** scan tuples in the stolen morsels *)
@@ -77,6 +90,17 @@ val total_drained : t -> int
 (** Tuples consumed across all workers and strata.  Equal to
     {!total_sent} after any completed run — the produced/consumed
     balance that certifies exact termination with stealing on. *)
+
+val total_merged : t -> int
+
+val total_dup_dropped : t -> int
+
+val total_cache_hits : t -> int
+
+val total_cache_misses : t -> int
+
+val total_merge_time : t -> float
+(** Seconds across all workers and strata spent draining and merging. *)
 
 val total_steals : t -> int
 

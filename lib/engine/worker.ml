@@ -77,9 +77,13 @@ type shared = {
   nonempty : bool Atomic.t array;
   inject : Fault.site -> worker:int -> unit;
   max_iterations : int;
+  (* batch-sorted merge path: drains stage candidates into per-store
+     runs, folded by one sorted index walk at the end of the drain,
+     instead of one descent per tuple *)
+  merge_batch_sorted : bool;
 }
 
-let make_shared ~exch ~token ~fault ~max_iterations ~steal =
+let make_shared ~exch ~token ~fault ~max_iterations ~steal ~merge_sorted =
   let n = Exchange.workers exch in
   let failed = Atomic.make false in
   (* Fault injection: [inject] is a no-op closure when disabled, so the
@@ -104,6 +108,7 @@ let make_shared ~exch ~token ~fault ~max_iterations ~steal =
     nonempty = Array.init n (fun _ -> Atomic.make false);
     inject;
     max_iterations;
+    merge_batch_sorted = merge_sorted;
   }
 
 (* --- per-stratum compiled context, shared read-only by all workers --- *)
@@ -295,12 +300,24 @@ let merge_batch w (b : Exchange.batch) =
   w.sh.inject Fault.Merge ~worker:w.me;
   w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
   let store = w.stores.(b.bcopy) in
+  w.ws.merged_tuples <- w.ws.merged_tuples + Frame.count b.bframe;
   (* records are folded in straight from the packed frame: absorbed
      candidates never exist as heap objects on the consumer side *)
   Frame.iter b.bframe (fun data ~toff ~clen ~coff ->
       match Rec_store.merge_slice store ~data ~off:toff ~cdata:data ~coff ~clen with
       | Some fresh -> push_delta w b.bcopy fresh
       | None -> ())
+
+(* Batch-sorted alternative: the drain only *stages* candidates into the
+   store's scratch run (the existence cache still filters here); the
+   sorted fold into the index happens once per drain in
+   [drain_and_merge], after the termination counters are updated. *)
+let stage_batch w (b : Exchange.batch) =
+  w.sh.inject Fault.Merge ~worker:w.me;
+  w.sh.heartbeats.(w.me) <- w.sh.heartbeats.(w.me) + 1;
+  let store = w.stores.(b.bcopy) in
+  Frame.iter b.bframe (fun data ~toff ~clen ~coff ->
+      Rec_store.stage_slice store ~data ~off:toff ~cdata:data ~coff ~clen)
 
 let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores:all_stores ~ws =
   let copies = sx.sx_copies in
@@ -379,7 +396,7 @@ let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores:all_stores ~ws =
       on_batch = ignore;
     }
   in
-  w.on_batch <- merge_batch w;
+  w.on_batch <- (if sh.merge_batch_sorted then stage_batch w else merge_batch w);
   w
 
 let clear_deltas w =
@@ -395,6 +412,7 @@ let flush_outgoing w =
   Distribute.flush w.dist ~ws:w.ws
 
 let drain_and_merge w =
+  let t0 = Clock.now () in
   let total = Exchange.drain w.sh.exch ~me:w.me ~drained_from:w.sc.drained_from w.on_batch in
   if total > 0 then begin
     (* one clock read per drain, not per tuple: the arrival model keeps
@@ -410,7 +428,22 @@ let drain_and_merge w =
        unprocessed tuples and go on to send to it. *)
     Termination.set_active (Exchange.term w.sh.exch) ~worker:w.me true;
     Termination.consumed (Exchange.term w.sh.exch) ~worker:w.me total;
-    w.ws.tuples_drained <- w.ws.tuples_drained + total
+    w.ws.tuples_drained <- w.ws.tuples_drained + total;
+    if w.sh.merge_batch_sorted then begin
+      (* Fold every staged run now, with this worker already visibly
+         active for the drained tuples — safe, because only the worker
+         itself ever clears its own active flag.  One sorted pass per
+         store replaces one index descent per drained tuple. *)
+      let stores = w.stores in
+      for cid = 0 to Array.length stores - 1 do
+        if Rec_store.staged stores.(cid) > 0 then begin
+          let merged, dups = Rec_store.merge_run stores.(cid) ~on_fresh:(push_delta w cid) in
+          w.ws.merged_tuples <- w.ws.merged_tuples + merged;
+          w.ws.dup_dropped <- w.ws.dup_dropped + dups
+        end
+      done
+    end;
+    w.ws.merge_time <- w.ws.merge_time +. (Clock.now () -. t0)
   end;
   total
 

@@ -40,6 +40,9 @@ type shared = {
   nonempty : bool Atomic.t array; (** per-worker votes of the Global barrier round *)
   inject : Dcd_concurrent.Fault.site -> worker:int -> unit;
   max_iterations : int;
+  merge_batch_sorted : bool;
+      (** batch-sorted merge path on: drains stage candidates into
+          per-store runs, folded in one sorted index walk per drain *)
 }
 
 val make_shared :
@@ -48,6 +51,7 @@ val make_shared :
   fault:Dcd_concurrent.Fault.t option ->
   max_iterations:int ->
   steal:Steal.t ->
+  merge_sorted:bool ->
   shared
 
 (** Read-only per-stratum compilation context, built once by the
@@ -131,8 +135,11 @@ val finish_nonrecursive : t -> unit
 val drain_and_merge : t -> int
 (** Drains this worker's inbox, folds every batch into its stores
     (new-delta tuples land in the delta arenas), feeds the arrival
-    model, and updates the termination counters.  Returns the tuple
-    count drained. *)
+    model, and updates the termination counters.  Under the
+    batch-sorted merge path the drain stages candidates into per-store
+    runs and the fold happens here, after the termination counters, as
+    one sorted index walk per store ({!Rec_store.merge_run}).  Returns
+    the tuple count drained. *)
 
 val run_iteration : t -> unit
 (** One local semi-naive iteration: evaluate every delta rule group over

@@ -142,6 +142,42 @@ let merge t ~group ?contributor v =
     | Tree tree -> apply_tree t tree group v
     | Flat flat -> apply_flat t flat group v)
 
+let normalize_candidate t ~group ?contributor v = normalize t ~group ~contributor v
+
+let combine kind a b =
+  match kind with
+  | Min -> min a b
+  | Max -> max a b
+  | Count | Sum -> a + b
+
+let apply_sorted t ~n ~group ~value ~changed =
+  match t.store with
+  | Tree tree ->
+    (* one co-sequential leaf walk for the whole run: the group keys are
+       strictly increasing, so the B⁺-tree merge does one descent per
+       leaf segment instead of one upsert per group *)
+    Bptree.merge_sorted_slice tree ~n ~key:group ~merge:(fun i cur ->
+        let v = value i in
+        match cur with
+        | None ->
+          changed i v;
+          Some v
+        | Some cur ->
+          if better t.kind cur v then begin
+            let v' = match t.kind with Min | Max -> v | Count | Sum -> cur + v in
+            changed i v';
+            Some v'
+          end
+          else None)
+  | Flat flat ->
+    (* unoptimized backend: per-group linear passes, the ablation's cost
+       model — the batch path gains nothing here by design *)
+    for i = 0 to n - 1 do
+      match apply_flat t flat (group i) (value i) with
+      | Some v' -> changed i v'
+      | None -> ()
+    done
+
 module Group_tbl = Hashtbl.Make (struct
   type t = Tuple.t
 

@@ -56,6 +56,35 @@ val merge : t -> group:Tuple.t -> ?contributor:Tuple.t -> int -> int option
     @raise Invalid_argument if [contributor] is missing for [Count]/[Sum]
     or supplied for [Min]/[Max]. *)
 
+val normalize_candidate : t -> group:Tuple.t -> ?contributor:Tuple.t -> int -> int option
+(** The contribution-dedup half of {!merge} alone: applies contributor
+    set-semantics ([Count]) or partial-value replacement ([Sum]) and
+    returns the additive/candidate value to fold into the group's
+    aggregate, or [None] when the candidate is absorbed outright.
+    [Min]/[Max] candidates pass through unchanged.  Mutates the
+    contributor tables exactly like {!merge}; the caller owns applying
+    the returned value (see {!apply_sorted}).
+
+    @raise Invalid_argument on the same contributor-shape errors as
+    {!merge}. *)
+
+val combine : kind -> int -> int -> int
+(** How two {e normalized} candidate values for the same group fold into
+    one before hitting the store: min/max pick the better, count/sum
+    add their deltas. *)
+
+val apply_sorted :
+  t -> n:int -> group:(int -> Tuple.t) -> value:(int -> int) -> changed:(int -> int -> unit) -> unit
+(** [apply_sorted t ~n ~group ~value ~changed] folds a run of [n]
+    pre-normalized, pre-combined candidates — [group i] strictly
+    increasing, [value i] the combined candidate value — into the store.
+    [changed i v'] fires for every group whose stored aggregate changed,
+    with the {e updated} value.  For the [Indexed] backend this is one
+    co-sequential B⁺-tree walk ({!Dcd_btree.Bptree.merge_sorted_slice},
+    group keys adopted on insert: callers must pass fresh arrays and not
+    mutate them after); the [Scan] backend falls back to per-group
+    linear passes, preserving the ablation's cost model. *)
+
 val merge_batch : t -> (Tuple.t * Tuple.t option * int) Dcd_util.Vec.t -> (Tuple.t * int) Dcd_util.Vec.t
 (** Folds a batch of [(group, contributor, value)] candidates; returns
     the changed [(group, new_value)] pairs (each group at most once, with

@@ -1,0 +1,220 @@
+(* A per-store scratch run for the batch-sorted merge path: candidate
+   records staged flat during a drain, then sorted by their permuted key
+   columns and walked in key order.
+
+   Record layout in [pool], at tuple offset [off]:
+     field_0 .. field_{arity-1}                      (canonical order)
+   followed, when [contrib] is true, by
+     clen; c_0 .. c_{clen-1}                         (contributor key)
+
+   Sorting permutes an index array over the staged records — the pool is
+   never moved — comparing the key columns read straight out of the
+   pool.  The sort is stable (ties keep staging order), which is what
+   keeps last-contribution-wins Sum semantics identical to the per-tuple
+   merge path.  An LSD counting-radix pass per key column is used when
+   the key is narrow (<= 3 columns) and every column's value range is
+   small enough that the count array stays O(n); anything else falls
+   back to a comparison merge sort with the staging index as the final
+   tie-break. *)
+
+type t = {
+  arity : int;
+  contrib : bool;
+  key_cols : int array; (* canonical column ids, in key (permuted) order *)
+  mutable pool : int array;
+  mutable used : int;
+  mutable offs : int array; (* tuple offset per staged record *)
+  mutable n : int;
+  mutable order : int array; (* sorted permutation of [0, n); valid after [sort] *)
+  mutable scratch : int array; (* radix/merge double buffer *)
+}
+
+let create ~arity ~contrib ~key_cols () =
+  if arity < 0 then invalid_arg "Run_buffer.create";
+  {
+    arity;
+    contrib;
+    key_cols;
+    pool = Array.make (max 64 (arity * 16)) 0;
+    used = 0;
+    offs = Array.make 64 0;
+    n = 0;
+    order = [||];
+    scratch = [||];
+  }
+
+let length t = t.n
+
+let is_empty t = t.n = 0
+
+let data t = t.pool
+
+let clear t =
+  t.used <- 0;
+  t.n <- 0
+
+let ensure_pool t extra =
+  if t.used + extra > Array.length t.pool then begin
+    let cap = max (t.used + extra) (Array.length t.pool * 2) in
+    let pool' = Array.make cap 0 in
+    Array.blit t.pool 0 pool' 0 t.used;
+    t.pool <- pool'
+  end
+
+let ensure_offs t =
+  if t.n = Array.length t.offs then begin
+    let offs' = Array.make (Array.length t.offs * 2) 0 in
+    Array.blit t.offs 0 offs' 0 t.n;
+    t.offs <- offs'
+  end
+
+let stage_slice t ~data ~off ~cdata ~coff ~clen =
+  if (not t.contrib) && clen > 0 then invalid_arg "Run_buffer.stage_slice: unexpected contributor";
+  ensure_pool t (t.arity + if t.contrib then 1 + clen else 0);
+  ensure_offs t;
+  let dst = t.used in
+  Array.blit data off t.pool dst t.arity;
+  t.used <- t.used + t.arity;
+  if t.contrib then begin
+    t.pool.(t.used) <- clen;
+    Array.blit cdata coff t.pool (t.used + 1) clen;
+    t.used <- t.used + 1 + clen
+  end;
+  t.offs.(t.n) <- dst;
+  t.n <- t.n + 1
+
+(* --- accessors over sorted ranks (valid after [sort]) --- *)
+
+let off t rank = t.offs.(t.order.(rank))
+
+let clen t rank = if t.contrib then t.pool.(t.offs.(t.order.(rank)) + t.arity) else 0
+
+let coff t rank = t.offs.(t.order.(rank)) + t.arity + 1
+
+(* key equality of two sorted ranks, by key columns *)
+let equal_keys t r1 r2 =
+  let o1 = t.offs.(t.order.(r1)) and o2 = t.offs.(t.order.(r2)) in
+  let cols = t.key_cols in
+  let rec loop i =
+    i = Array.length cols
+    ||
+    let c = Array.unsafe_get cols i in
+    Array.unsafe_get t.pool (o1 + c) = Array.unsafe_get t.pool (o2 + c) && loop (i + 1)
+  in
+  loop 0
+
+(* materializes the permuted key of a sorted rank into a fresh array
+   (the shape the B⁺-tree adopts on insert) *)
+let key t rank =
+  let o = t.offs.(t.order.(rank)) in
+  let cols = t.key_cols in
+  Array.map (fun c -> t.pool.(o + c)) cols
+
+(* --- sorting --- *)
+
+(* Comparison path: merge sort over the index array, comparing key
+   columns from the pool with the staging index as tie-break (stable by
+   construction, and [Array.sort] would not be). *)
+let compare_records t i j =
+  let oi = t.offs.(i) and oj = t.offs.(j) in
+  let cols = t.key_cols in
+  let rec loop c =
+    if c = Array.length cols then Int.compare i j
+    else
+      let col = Array.unsafe_get cols c in
+      let d =
+        Int.compare (Array.unsafe_get t.pool (oi + col)) (Array.unsafe_get t.pool (oj + col))
+      in
+      if d <> 0 then d else loop (c + 1)
+  in
+  loop 0
+
+(* Counting sort of [src] into [dst] by one key column, stable. *)
+let counting_pass t src dst ~col ~base ~range =
+  let n = t.n in
+  let counts = Array.make range 0 in
+  for i = 0 to n - 1 do
+    let v = t.pool.(t.offs.(src.(i)) + col) - base in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let acc = ref 0 in
+  for v = 0 to range - 1 do
+    let c = counts.(v) in
+    counts.(v) <- !acc;
+    acc := !acc + c
+  done;
+  for i = 0 to n - 1 do
+    let v = t.pool.(t.offs.(src.(i)) + col) - base in
+    dst.(counts.(v)) <- src.(i);
+    counts.(v) <- counts.(v) + 1
+  done
+
+let sort t =
+  let n = t.n in
+  if Array.length t.order < n then begin
+    t.order <- Array.make (max n (Array.length t.order * 2)) 0;
+    t.scratch <- Array.make (Array.length t.order) 0
+  end;
+  let order = t.order in
+  for i = 0 to n - 1 do
+    order.(i) <- i
+  done;
+  let klen = Array.length t.key_cols in
+  if n <= 1 || klen = 0 then ()
+  else begin
+    (* radix eligibility: narrow key, every column's range O(n) *)
+    let radix_ok = ref (klen <= 3 && n >= 64) in
+    let bases = Array.make klen 0 in
+    let ranges = Array.make klen 0 in
+    let max_range = max 1024 (4 * n) in
+    if !radix_ok then begin
+      for c = 0 to klen - 1 do
+        let col = t.key_cols.(c) in
+        let mn = ref max_int and mx = ref min_int in
+        for i = 0 to n - 1 do
+          let v = t.pool.(t.offs.(i) + col) in
+          if v < !mn then mn := v;
+          if v > !mx then mx := v
+        done;
+        bases.(c) <- !mn;
+        let r = !mx - !mn + 1 in
+        ranges.(c) <- r;
+        if r > max_range || r < 1 then radix_ok := false
+      done
+    end;
+    if !radix_ok then begin
+      (* LSD: least-significant key column first, each pass stable *)
+      let src = ref order and dst = ref t.scratch in
+      for c = klen - 1 downto 0 do
+        counting_pass t !src !dst ~col:t.key_cols.(c) ~base:bases.(c) ~range:ranges.(c);
+        let tmp = !src in
+        src := !dst;
+        dst := tmp
+      done;
+      if !src != order then Array.blit !src 0 order 0 n
+    end
+    else begin
+      (* stable merge sort on the index array *)
+      let a = order and b = t.scratch in
+      Array.blit a 0 b 0 n;
+      let rec msort src dst lo hi =
+        if hi - lo > 1 then begin
+          let mid = (lo + hi) / 2 in
+          msort dst src lo mid;
+          msort dst src mid hi;
+          let i = ref lo and j = ref mid in
+          for k = lo to hi - 1 do
+            if !i < mid && (!j >= hi || compare_records t src.(!i) src.(!j) <= 0) then begin
+              dst.(k) <- src.(!i);
+              incr i
+            end
+            else begin
+              dst.(k) <- src.(!j);
+              incr j
+            end
+          done
+        end
+      in
+      msort b a 0 n
+    end
+  end

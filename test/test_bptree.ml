@@ -233,6 +233,167 @@ let prop_range_matches_map =
       in
       List.rev !got = expect)
 
+(* --- batch-sorted merge (merge_sorted_slice) --- *)
+
+let msorted t keys ~merge =
+  let keys = Array.of_list keys in
+  B.merge_sorted_slice t ~n:(Array.length keys) ~key:(fun i -> Array.copy keys.(i)) ~merge
+
+let test_merge_sorted_empty_tree () =
+  (* an empty tree degenerates to a bulk load *)
+  let t = B.create ~branching:4 () in
+  let keys = List.init 500 (fun i -> [| i * 3 |]) in
+  msorted t keys ~merge:(fun i -> function None -> Some i | Some _ -> None);
+  B.check_invariants t;
+  Alcotest.(check int) "bulk loaded" 500 (B.length t);
+  Alcotest.(check (option int)) "found" (Some 123) (B.find_opt t [| 369 |]);
+  Alcotest.(check bool) "sorted contents" true
+    (List.map fst (B.to_list t) = List.init 500 (fun i -> [| i * 3 |]))
+
+let test_merge_sorted_semantics () =
+  let t = B.create ~branching:4 () in
+  for i = 0 to 9 do
+    B.insert t [| 2 * i |] 100
+  done;
+  (* keys 0,2,..,18 bound to 100; merge a run overlapping half of them *)
+  let seen = ref [] in
+  msorted t
+    (List.init 10 (fun i -> [| i |]))
+    ~merge:(fun i cur ->
+      seen := (i, cur) :: !seen;
+      match cur with
+      | Some v -> if i < 4 then Some (v + 1) else None (* overwrite vs keep *)
+      | None -> if i mod 2 = 1 then Some (-i) else None (* insert vs skip *));
+  B.check_invariants t;
+  (* each index visited exactly once, ascending, with the right binding *)
+  Alcotest.(check int) "all indices visited" 10 (List.length !seen);
+  List.iteri
+    (fun j (i, cur) ->
+      Alcotest.(check int) "ascending order" j i;
+      Alcotest.(check bool) "existing binding seen" (i mod 2 = 0) (cur <> None))
+    (List.rev !seen);
+  Alcotest.(check (option int)) "overwritten" (Some 101) (B.find_opt t [| 0 |]);
+  Alcotest.(check (option int)) "kept" (Some 100) (B.find_opt t [| 4 |]);
+  Alcotest.(check (option int)) "inserted" (Some (-1)) (B.find_opt t [| 1 |]);
+  Alcotest.(check (option int)) "skipped" None (B.find_opt t [| 8; 0 |]);
+  Alcotest.(check int) "count tracks inserts only" (10 + 5) (B.length t)
+
+let test_merge_sorted_bulk_split () =
+  (* a run much larger than one leaf forces bulk leaf splits, cascading
+     internal splits and root growth in a single call *)
+  let t = B.create ~branching:4 () in
+  for i = 0 to 30 do
+    B.insert t [| i * 100 |] i
+  done;
+  B.check_invariants t;
+  (* dense run landing almost entirely inside existing leaf segments *)
+  let keys = List.init 2000 (fun i -> [| i * 7 mod 3100; i * 7 / 3100 |]) in
+  let keys = List.sort_uniq B.compare_key keys in
+  msorted t keys ~merge:(fun _ -> function None -> Some (-1) | Some _ -> None);
+  B.check_invariants t;
+  Alcotest.(check int) "all inserted" (31 + List.length keys) (B.length t);
+  (* leaf chain still enumerates ascending (checked by invariants) and
+     old bindings survived *)
+  Alcotest.(check (option int)) "old binding survives" (Some 30) (B.find_opt t [| 3000 |])
+
+let test_merge_sorted_repeated_runs () =
+  (* many successive runs over the same tree: the steady-state shape the
+     iteration merge path produces *)
+  let t = B.create ~branching:6 () in
+  let m = ref M.empty in
+  let rng = Random.State.make [| 7 |] in
+  for _round = 1 to 40 do
+    let batch =
+      List.init (1 + Random.State.int rng 200) (fun _ ->
+          [| Random.State.int rng 500; Random.State.int rng 4 |])
+      |> List.sort_uniq B.compare_key
+    in
+    let batch_arr = Array.of_list batch in
+    B.merge_sorted_slice t ~n:(Array.length batch_arr)
+      ~key:(fun i -> batch_arr.(i))
+      ~merge:(fun i -> function
+        | Some _ -> None
+        | None ->
+          m := M.add batch_arr.(i) i !m;
+          Some i);
+    B.check_invariants t
+  done;
+  Alcotest.(check int) "cardinality matches model" (M.cardinal !m) (B.length t);
+  Alcotest.(check bool) "contents match model" true
+    (List.for_all2
+       (fun (k1, v1) (k2, v2) -> B.compare_key k1 k2 = 0 && v1 = v2)
+       (B.to_list t) (M.bindings !m))
+
+let prop_merge_sorted_matches_add_if_absent =
+  (* differential: a batch-sorted merge of each run must leave exactly
+     the tree that per-tuple add_if_absent builds, insert decisions
+     included, across random branchings and interleaved run shapes *)
+  QCheck.Test.make ~name:"merge_sorted_slice = per-tuple add_if_absent" ~count:60
+    QCheck.(
+      pair (int_range 4 9)
+        (small_list (small_list (pair (int_range 0 120) (int_range 0 5)))))
+    (fun (branching, runs) ->
+      let bulk = B.create ~branching () in
+      let ref_t = B.create ~branching () in
+      List.iteri
+        (fun round run ->
+          let keys =
+            List.map (fun (a, b) -> [| a; b |]) run |> List.sort_uniq B.compare_key
+          in
+          let arr = Array.of_list keys in
+          let decisions = Array.make (Array.length arr) false in
+          B.merge_sorted_slice bulk ~n:(Array.length arr)
+            ~key:(fun i -> arr.(i))
+            ~merge:(fun i -> function
+              | Some _ -> None
+              | None ->
+                decisions.(i) <- true;
+                Some round);
+          Array.iteri
+            (fun i k ->
+              let ins = B.add_if_absent ref_t k round in
+              assert (ins = decisions.(i)))
+            arr;
+          B.check_invariants bulk)
+        runs;
+      B.check_invariants ref_t;
+      B.length bulk = B.length ref_t
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> B.compare_key k1 k2 = 0 && v1 = v2)
+           (B.to_list bulk) (B.to_list ref_t))
+
+let prop_merge_sorted_upsert_matches_map =
+  (* aggregate-shaped merges (min upsert) against the Map model *)
+  QCheck.Test.make ~name:"merge_sorted_slice min-upsert matches Map" ~count:60
+    QCheck.(small_list (small_list (pair (int_range 0 60) (int_range 0 100))))
+    (fun runs ->
+      let t = B.create ~branching:4 () in
+      let m = ref M.empty in
+      List.iter
+        (fun run ->
+          (* combine duplicates within the run like the run-sorter does *)
+          let combined =
+            List.fold_left
+              (fun acc (k, v) ->
+                M.update [| k |] (function None -> Some v | Some v0 -> Some (min v0 v)) acc)
+              M.empty run
+          in
+          let arr = Array.of_list (M.bindings combined) in
+          B.merge_sorted_slice t ~n:(Array.length arr)
+            ~key:(fun i -> fst arr.(i))
+            ~merge:(fun i cur ->
+              let v = snd arr.(i) in
+              match cur with
+              | None -> Some v
+              | Some v0 -> if v < v0 then Some v else None);
+          M.iter
+            (fun k v ->
+              m := M.update k (function None -> Some v | Some v0 -> Some (min v0 v)) !m)
+            combined;
+          B.check_invariants t)
+        runs;
+      B.length t = M.cardinal !m && M.for_all (fun k v -> B.find_opt t k = Some v) !m)
+
 (* --- sorted cursors --- *)
 
 (* small branching so a few dozen keys span several leaves, exercising
@@ -372,6 +533,15 @@ let () =
           Alcotest.test_case "min/max" `Quick test_min_max;
           Alcotest.test_case "of_sorted" `Quick test_of_sorted;
           Alcotest.test_case "defensive key copy" `Quick test_defensive_key_copy;
+        ] );
+      ( "bulk merge",
+        [
+          Alcotest.test_case "empty tree = bulk load" `Quick test_merge_sorted_empty_tree;
+          Alcotest.test_case "merge-callback semantics" `Quick test_merge_sorted_semantics;
+          Alcotest.test_case "bulk leaf/internal splits" `Quick test_merge_sorted_bulk_split;
+          Alcotest.test_case "repeated runs" `Quick test_merge_sorted_repeated_runs;
+          QCheck_alcotest.to_alcotest prop_merge_sorted_matches_add_if_absent;
+          QCheck_alcotest.to_alcotest prop_merge_sorted_upsert_matches_map;
         ] );
       ( "cursor",
         [

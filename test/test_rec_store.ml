@@ -77,6 +77,131 @@ let test_cache_stats () =
   let s2 = Rs.create ~arity:2 ~agg:None ~route:[| 0 |] ~opts:Rs.unoptimized_opts () in
   Alcotest.(check bool) "no cache when off" true (Rs.cache_stats s2 = None)
 
+(* --- batch-sorted staging path ------------------------------------ *)
+
+let dump s =
+  let out = ref [] in
+  Rs.iter s (fun t -> out := Array.to_list t :: !out);
+  List.sort compare !out
+
+let test_stage_and_merge_run opts =
+  let s = Rs.create ~arity:2 ~agg:None ~route:[| 0 |] ~opts () in
+  let stage tup =
+    Rs.stage_slice s ~data:tup ~off:0 ~cdata:tup ~coff:0 ~clen:0
+  in
+  stage [| 3; 1 |];
+  stage [| 1; 2 |];
+  stage [| 3; 1 |];
+  (* in-run duplicate *)
+  stage [| 2; 9 |];
+  Alcotest.(check int) "staged counts candidates" 4 (Rs.staged s);
+  Alcotest.(check int) "index untouched before merge_run" 0 (Rs.length s);
+  let fresh = ref [] in
+  let merged, dups = Rs.merge_run s ~on_fresh:(fun t -> fresh := Array.to_list t :: !fresh) in
+  Alcotest.(check int) "staged drained" 0 (Rs.staged s);
+  Alcotest.(check int) "merged = unique candidates" 3 merged;
+  Alcotest.(check int) "in-run duplicate dropped" 1 dups;
+  Alcotest.check tuple_list "deltas in key order" [ [ 1; 2 ]; [ 2; 9 ]; [ 3; 1 ] ]
+    (List.rev !fresh);
+  (* a second run: cross-run duplicates absorbed, fresh tuples kept *)
+  stage [| 1; 2 |];
+  stage [| 4; 4 |];
+  let fresh2 = ref [] in
+  let merged2, _ = Rs.merge_run s ~on_fresh:(fun t -> fresh2 := Array.to_list t :: !fresh2) in
+  Alcotest.(check bool) "cross-run duplicate absorbed" true (merged2 <= 2);
+  Alcotest.check tuple_list "only the new tuple is a delta" [ [ 4; 4 ] ] !fresh2;
+  Alcotest.check (Alcotest.list (Alcotest.list Alcotest.int)) "store contents"
+    [ [ 1; 2 ]; [ 2; 9 ]; [ 3; 1 ]; [ 4; 4 ] ]
+    (dump s)
+
+(* Differential pinning of the batch path to the per-tuple path: the
+   same candidate stream, split into the same drain-sized runs, must
+   leave both stores identical and produce equivalent deltas.  The
+   per-tuple path may emit several deltas for one aggregate group
+   within a run (each monotone improvement); the batch path emits one
+   delta per changed group carrying the run's final value — so the
+   comparison keys deltas by group and keeps the last per run.  One
+   sanctioned divergence: a Sum run whose contributions net to zero
+   against an existing group makes the per-tuple path emit a cancelling
+   delta pair (ending on the unchanged stored value) where the batch
+   path emits nothing — the store states still agree, and skipping the
+   no-op delta only removes spurious frontier work. *)
+let merge_run_matches_per_tuple ~agg ~contrib name =
+  let gen =
+    QCheck.(
+      pair
+        (list (triple (int_range 0 8) (int_range 0 30) (int_range 0 3)))
+        (list_of_size QCheck.Gen.(int_range 1 5) (int_range 1 40)))
+  in
+  QCheck.Test.make ~name ~count:80 gen (fun (candidates, chunk_sizes) ->
+      let mk () = Rs.create ~arity:2 ~agg ~route:[| 0 |] ~opts:Rs.default_opts () in
+      let a = mk () and b = mk () in
+      let group_of tup =
+        match agg with
+        | None -> tup
+        | Some (vpos, _) -> List.filteri (fun i _ -> i <> vpos) tup
+      in
+      (* split the stream into runs of the generated sizes, cycling;
+         the shrinker may empty the size list, so keep a fallback *)
+      let runs =
+        let sizes = Array.of_list (if chunk_sizes = [] then [ 3 ] else chunk_sizes) in
+        let rec go i si acc cur = function
+          | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+          | c :: rest ->
+            let cur = c :: cur in
+            if List.length cur >= sizes.(si mod Array.length sizes) then
+              go (i + 1) (si + 1) (List.rev cur :: acc) [] rest
+            else go (i + 1) si acc cur rest
+        in
+        go 0 0 [] [] candidates
+      in
+      List.for_all
+        (fun run ->
+          (* path A: per-tuple, keeping the LAST delta per group *)
+          let deltas_a = Hashtbl.create 8 in
+          List.iter
+            (fun (g, v, c) ->
+              let tup = [| g; v |] in
+              let contributor = if contrib then [| c |] else [||] in
+              match Rs.merge a ~tuple:tup ~contributor with
+              | Some d -> Hashtbl.replace deltas_a (group_of (Array.to_list d)) (Array.to_list d)
+              | None -> ())
+            run;
+          (* path B: stage the whole run, then one merge_run *)
+          let deltas_b = Hashtbl.create 8 in
+          List.iter
+            (fun (g, v, c) ->
+              let tup = [| g; v |] in
+              let cdata = if contrib then [| c |] else [||] in
+              Rs.stage_slice b ~data:tup ~off:0 ~cdata ~coff:0
+                ~clen:(Array.length cdata))
+            run;
+          let _ = Rs.merge_run b ~on_fresh:(fun d ->
+              Hashtbl.replace deltas_b (group_of (Array.to_list d)) (Array.to_list d))
+          in
+          let db = dump b in
+          let is_sum = match agg with Some (_, Ast.Sum) -> true | _ -> false in
+          let b_matches_a =
+            Hashtbl.fold
+              (fun g d acc ->
+                acc && (match Hashtbl.find_opt deltas_a g with Some d' -> d' = d | None -> false))
+              deltas_b true
+          in
+          let a_only_are_sum_noops =
+            Hashtbl.fold
+              (fun g d acc ->
+                acc && (Hashtbl.mem deltas_b g || (is_sum && List.mem d db)))
+              deltas_a true
+          in
+          b_matches_a && a_only_are_sum_noops && dump a = db)
+        runs)
+
+let test_merge_run_set = merge_run_matches_per_tuple ~agg:None ~contrib:false "set: merge_run = per-tuple merges"
+let test_merge_run_min = merge_run_matches_per_tuple ~agg:(Some (1, Ast.Min)) ~contrib:false "min: merge_run = per-tuple merges"
+let test_merge_run_max = merge_run_matches_per_tuple ~agg:(Some (1, Ast.Max)) ~contrib:false "max: merge_run = per-tuple merges"
+let test_merge_run_count = merge_run_matches_per_tuple ~agg:(Some (1, Ast.Count)) ~contrib:true "count: merge_run = per-tuple merges"
+let test_merge_run_sum = merge_run_matches_per_tuple ~agg:(Some (1, Ast.Sum)) ~contrib:true "sum: merge_run = per-tuple merges"
+
 let test_optimized_and_unoptimized_agree =
   QCheck.Test.make ~name:"store contents identical across opts" ~count:60
     QCheck.(list (pair (int_range 0 8) (int_range 0 30)))
@@ -107,6 +232,12 @@ let () =
           Alcotest.test_case "agg route != prefix" `Quick (for_all_opts test_agg_value_not_in_route);
           Alcotest.test_case "agg count" `Quick (for_all_opts test_agg_count);
           Alcotest.test_case "cache stats" `Quick test_cache_stats;
+          Alcotest.test_case "stage + merge_run" `Quick (for_all_opts test_stage_and_merge_run);
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest test_optimized_and_unoptimized_agree ]);
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_optimized_and_unoptimized_agree; test_merge_run_set; test_merge_run_min;
+            test_merge_run_max; test_merge_run_count; test_merge_run_sum;
+          ] );
     ]
