@@ -157,6 +157,51 @@ let fault_delay_arg =
   Arg.(value & opt float 0. & info [ "fault-delay" ] ~docv:"P"
          ~doc:"With --fault-seed: per-site probability of an extra sub-millisecond delay.")
 
+let fault_sites_conv =
+  let parse s =
+    let names = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+        match D.Fault.site_of_string (String.trim name) with
+        | Some site -> go (site :: acc) rest
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown fault site %s (loop | flush | merge | quiesce | steal | \
+                   checkpoint | recover)"
+                  name)))
+    in
+    go [] names
+  in
+  let print fmt sites =
+    Format.pp_print_string fmt (String.concat "," (List.map D.Fault.site_to_string sites))
+  in
+  Arg.conv (parse, print)
+
+let fault_sites_arg =
+  Arg.(value & opt (some fault_sites_conv) None & info [ "fault-sites" ] ~docv:"SITES"
+         ~doc:"With --fault-seed: comma-separated list of sites where crashes may fire \
+               (default: all of loop, flush, merge, quiesce, steal, checkpoint, recover).")
+
+let fault_max_crashes_arg =
+  Arg.(value & opt int 2 & info [ "fault-max-crashes" ] ~docv:"N"
+         ~doc:"With --fault-seed: global budget of induced crashes (default 2).")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"N"
+         ~doc:"Cut a crash-recovery epoch every N fixpoint iterations (0 = off).  An epoch \
+               is a consistent cut of the recursive stratum's state taken at a globally \
+               quiescent point; after a worker crash the run can roll back to the last \
+               committed epoch instead of aborting.")
+
+let max_recoveries_arg =
+  Arg.(value & opt int 0 & info [ "max-recoveries" ] ~docv:"N"
+         ~doc:"Number of worker crashes a single run may recover from by rolling back to \
+               the last committed epoch, replacing the crashed domain, and re-running \
+               (0 = fail fast, the historical behavior).")
+
 (* --- input assembly --- *)
 
 let load_graph dataset rmat edges_file =
@@ -205,9 +250,11 @@ let resolve_source query program =
 (* --- commands --- *)
 
 let run_cmd query program dataset rmat edges_file edb_files workers strategy no_steal unopt
-    merge params show stats timeout stall_window fault_seed fault_crash fault_delay =
-  Printexc.record_backtrace true;
+    merge params show stats timeout stall_window checkpoint_every max_recoveries fault_seed
+    fault_crash fault_delay fault_sites fault_max_crashes =
   if workers < 1 then input_error "--workers must be at least 1"
+  else if checkpoint_every < 0 then input_error "--checkpoint-every must be non-negative"
+  else if max_recoveries < 0 then input_error "--max-recoveries must be non-negative"
   else
   match (resolve_source query program, load_graph dataset rmat edges_file) with
   | Error e, _ | _, Error e -> input_error e
@@ -251,11 +298,23 @@ let run_cmd query program dataset rmat edges_file edb_files workers strategy no_
               max_iterations = (match spec with Some s -> s.max_iterations | None -> 0);
               store_opts =
                 (if unopt then D.Rec_store.unoptimized_opts else D.Rec_store.default_opts);
+              checkpoint_every;
+              max_recoveries;
               coord = { D.Coord.default_config with timeout; stall_window };
               fault =
                 Option.map
                   (fun seed ->
-                    { D.Fault.off with seed; crash_prob = fault_crash; delay_prob = fault_delay })
+                    {
+                      D.Fault.off with
+                      seed;
+                      crash_prob = fault_crash;
+                      delay_prob = fault_delay;
+                      max_crashes = fault_max_crashes;
+                      crash_sites =
+                        (match fault_sites with
+                        | Some sites -> sites
+                        | None -> D.Fault.off.D.Fault.crash_sites);
+                    })
                   fault_seed;
             }
           in
@@ -331,13 +390,15 @@ let run_term =
   Term.(
     const run_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
     $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg $ params_arg $ show_arg $ stats_arg $ timeout_arg
-    $ stall_window_arg $ fault_seed_arg $ fault_crash_arg $ fault_delay_arg)
+    $ stall_window_arg $ checkpoint_every_arg $ max_recoveries_arg $ fault_seed_arg
+    $ fault_crash_arg $ fault_delay_arg $ fault_sites_arg $ fault_max_crashes_arg)
 
 let explain_term = Term.(const explain_cmd $ query_arg $ program_arg $ params_arg $ dot_arg)
 
 let list_term = Term.(const list_cmd $ const ())
 
 let () =
+  Printexc.record_backtrace true;
   let info = Cmd.info "dcdatalog" ~doc:"Parallel recursive Datalog engine (SIGMOD 2022 reproduction)" in
   let cmds =
     Cmd.group info

@@ -73,6 +73,17 @@ let await_poll t work =
     done
   end
 
+(* Recovery reset: un-poisons a barrier whose round was abandoned.
+   Only legal between rounds, when every party has been collected — a
+   waiter that exited through [Poisoned] leaves its [arrived] increment
+   behind, so the counter is cleared here rather than asserted zero. *)
+let reset t =
+  Mutex.lock t.mutex;
+  t.poisoned <- false;
+  t.arrived <- 0;
+  t.generation <- 0;
+  Mutex.unlock t.mutex
+
 let poison t =
   Mutex.lock t.mutex;
   t.poisoned <- true;

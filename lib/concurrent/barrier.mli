@@ -29,6 +29,12 @@ val await_poll : t -> (unit -> unit) -> unit
     useful or nap briefly; it must not call back into this barrier.
     @raise Poisoned as {!await}. *)
 
+val reset : t -> unit
+(** Clears the poison (and the arrival count left behind by waiters
+    that exited through {!Poisoned}) so the barrier can serve another
+    round after a crashed attempt.  Recovery-only: the caller must
+    guarantee every party has been collected first. *)
+
 val poison : t -> unit
 (** Marks the barrier broken and wakes every waiter with {!Poisoned}.
     Called by a worker that is about to die with an exception, so its

@@ -161,6 +161,32 @@ let submit t body =
   | [] -> Ok ()
   | fs -> Error fs
 
+(* Recovery respawn: retire pool domain [i] and put a fresh domain in
+   its slot.  The crashed round's body has already returned (its
+   exception was parked and collected by [submit]), so the old domain is
+   sitting in [next_job] waiting on Idle; a targeted Quit releases
+   exactly it.  Bumps the spawn counter by one — the spawn-accounting
+   invariant for a recovered run is [workers + watchdog + replacements].
+
+   Only legal between rounds (never racing [submit]); the same
+   single-owner discipline [submit]/[shutdown] already require. *)
+let replace t i =
+  if i < 0 || i >= t.psize then invalid_arg "Domain_pool.replace";
+  Mutex.lock t.mutex;
+  if not t.live then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.replace: pool is shut down"
+  end;
+  t.slots.(i) <- Quit;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  Domain.join t.domains.(i);
+  Mutex.lock t.mutex;
+  t.slots.(i) <- Idle;
+  t.errs.(i) <- None;
+  Mutex.unlock t.mutex;
+  t.domains.(i) <- spawn_counted (fun () -> worker_loop t i)
+
 let shutdown t =
   Mutex.lock t.mutex;
   if not t.live then Mutex.unlock t.mutex

@@ -47,6 +47,16 @@ val submit : t -> (int -> unit) -> (unit, failure list) result
     backtraces.  Not reentrant: one round at a time.
     @raise Invalid_argument after {!shutdown}. *)
 
+val replace : t -> int -> unit
+(** [replace t i] retires pool domain [i] (join) and spawns a fresh
+    domain into its slot.  The crash-recovery path uses this to swap
+    out a worker whose round crashed — the pool itself survives a
+    crashed round fine (the exception is parked), but a replaced domain
+    gives the retried round a clean stack and drops any domain-local
+    state the crash may have corrupted.  Counts one extra spawn in
+    {!total_spawned}.  Between rounds only; must not race {!submit}.
+    @raise Invalid_argument if out of range or after {!shutdown}. *)
+
 val shutdown : t -> unit
 (** Joins every pool domain.  Idempotent.  Must not race a concurrent
     {!submit}. *)

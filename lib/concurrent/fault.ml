@@ -6,6 +6,8 @@ type site =
   | Merge
   | Quiesce
   | Steal
+  | Checkpoint
+  | Recover
 
 let site_to_string = function
   | Loop -> "loop"
@@ -13,6 +15,18 @@ let site_to_string = function
   | Merge -> "merge"
   | Quiesce -> "quiesce"
   | Steal -> "steal"
+  | Checkpoint -> "checkpoint"
+  | Recover -> "recover"
+
+let site_of_string = function
+  | "loop" -> Some Loop
+  | "flush" -> Some Flush
+  | "merge" -> Some Merge
+  | "quiesce" -> Some Quiesce
+  | "steal" -> Some Steal
+  | "checkpoint" -> Some Checkpoint
+  | "recover" -> Some Recover
+  | _ -> None
 
 type spec = {
   seed : int;
@@ -30,7 +44,7 @@ let off =
   {
     seed = 0;
     crash_prob = 0.;
-    crash_sites = [ Loop; Flush; Merge; Quiesce; Steal ];
+    crash_sites = [ Loop; Flush; Merge; Quiesce; Steal; Checkpoint; Recover ];
     crash_workers = [];
     max_crashes = 1;
     delay_prob = 0.;

@@ -10,7 +10,15 @@
     - [Steal]: after a thief has claimed a morsel, before executing it
       (the window where a crash leaves the victim joining on an
       outstanding morsel — exercised to prove stealing coexists with
-      crash containment).
+      crash containment),
+    - [Checkpoint]: while a worker is cutting an epoch — a crash here
+      must leave the previously committed epoch intact (double-banked
+      slots),
+    - [Recover]: during rollback itself.  Unlike the other sites this
+      one is evaluated by the {e orchestrator} on the rolled-back
+      worker's lane (the worker's domain is being replaced at that
+      point); a crash here exercises the second-level retry, consuming
+      another unit of the recovery budget.
 
     Each hit may (a) raise {!Injected} — an induced worker crash,
     exercising the poison/failed-flag containment path, (b) sleep a
@@ -31,8 +39,13 @@ type site =
   | Merge
   | Quiesce
   | Steal
+  | Checkpoint
+  | Recover
 
 val site_to_string : site -> string
+
+val site_of_string : string -> site option
+(** Inverse of {!site_to_string} (CLI [--fault-sites] parsing). *)
 
 type spec = {
   seed : int;

@@ -18,6 +18,15 @@ let create ~workers =
 
 let workers t = t.nworkers
 
+(* Recovery reset: back to the just-created state (all counters zero,
+   every worker active).  Only sound between rounds — no worker may be
+   running, no tuple may be in flight. *)
+let reset t =
+  Atomic.set t.sent_total 0;
+  Array.iter (fun c -> Atomic.set c 0) t.consumed_by;
+  Array.iter (fun a -> Atomic.set a true) t.active;
+  Atomic.set t.active_count t.nworkers
+
 let sent t n = if n > 0 then ignore (Atomic.fetch_and_add t.sent_total n)
 
 let consumed t ~worker n = if n > 0 then ignore (Atomic.fetch_and_add t.consumed_by.(worker) n)

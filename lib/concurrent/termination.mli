@@ -29,6 +29,12 @@ val create : workers:int -> t
 
 val workers : t -> int
 
+val reset : t -> unit
+(** Back to the freshly-created state: counters zeroed, all workers
+    active.  Recovery-only; the caller must guarantee no worker is
+    running and no tuple is in flight (the orchestrator calls this
+    between rounds, after the pool has collected every worker). *)
+
 val sent : t -> int -> unit
 (** [sent t n] records that [n] tuples entered some buffer. Any worker. *)
 

@@ -40,6 +40,8 @@ type config = Parallel.config = {
   merge : Parallel.merge_path;
   coord : Coord.config;
   fault : Fault.spec option;
+  checkpoint_every : int;
+  max_recoveries : int;
 }
 
 let default_config = Parallel.default_config

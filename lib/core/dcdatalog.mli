@@ -72,6 +72,12 @@ type config = Parallel.config = {
           [Per_tuple] escape hatch *)
   coord : Coord.config;
   fault : Fault.spec option;
+  checkpoint_every : int;
+      (** cut a crash-recovery epoch every [n] fixpoint iterations
+          ([0] = off) *)
+  max_recoveries : int;
+      (** worker crashes one run may recover from by rolling back to
+          the last epoch and re-running ([0] = fail fast) *)
 }
 
 val default_config : config

@@ -179,6 +179,22 @@ let drain t ~me ~drained_from consume =
   done;
   !total
 
+(* Recovery reset: discard every in-flight batch, zero the occupancy
+   matrix, and reset the termination counters — back to the state a
+   fresh exchange starts a stratum in.  In-flight batches are safe to
+   drop because rollback restores every worker to the same committed
+   epoch: the senders re-run from the cut and regenerate them (and
+   re-merges are idempotent under set semantics / restored contributor
+   state).  Between rounds only — no worker may be running. *)
+let reset t =
+  let discard (_ : batch) = () in
+  (match t.fabric with
+  | Spsc q ->
+    Array.iter (fun row -> Array.iter (fun sq -> ignore (Chunk_queue.drain sq discard)) row) q
+  | Locked q -> Array.iter (fun lq -> ignore (Locked_queue.drain lq discard)) q);
+  Array.iter (fun row -> Array.iter (fun c -> Atomic.set c 0) row) t.occupancy;
+  Termination.reset t.term
+
 let inbox_sizes t ~dest = Array.init t.workers (fun j -> Atomic.get t.occupancy.(dest).(j))
 
 let inbox_tuples t ~dest =

@@ -89,6 +89,14 @@ val drain : t -> me:int -> drained_from:int array -> (batch -> unit) -> int
     and returns the total tuple count.  Consumer side only; the caller
     owns the termination-counter update. *)
 
+val reset : t -> unit
+(** Recovery reset: discards every in-flight batch, zeroes the
+    occupancy matrix, and resets the termination counters.  Sound only
+    between rounds with every worker collected, and only because
+    rollback restores {e all} workers to the same committed epoch — the
+    senders of the discarded batches re-run from the cut and regenerate
+    them. *)
+
 val inbox_sizes : t -> dest:int -> int array
 (** Per-source occupancy snapshot |M_dest^j| (tuples), for
     {!Qmodel.decide}. *)

@@ -34,6 +34,13 @@ let warm t ~n ~key ~value =
     Key_tbl.replace t.table (key i) (value i)
   done
 
+(* Recovery rollback: cached values may describe state newer than the
+   restored store (for a monotone aggregate even a *bound* that no
+   longer holds, which would wrongly absorb re-derived candidates), so
+   the whole table is dropped.  Hit/miss counters survive — they are
+   cumulative run diagnostics, not correctness state. *)
+let clear t = Key_tbl.reset t.table
+
 let length t = Key_tbl.length t.table
 
 let hits t = t.hits

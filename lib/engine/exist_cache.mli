@@ -24,6 +24,12 @@ val warm : t -> n:int -> key:(int -> Dcd_storage.Tuple.t) -> value:(int -> int) 
     are retained as given — callers pass the (now immutable) arrays the
     B⁺-tree adopted. *)
 
+val clear : t -> unit
+(** Drops every cached entry (hit/miss counters survive).  Required on
+    checkpoint rollback: a cached aggregate value can be {e newer} than
+    the restored store and would silently absorb candidates that must
+    re-derive. *)
+
 val length : t -> int
 
 val hits : t -> int

@@ -32,6 +32,8 @@ type config = {
   merge : merge_path;
   coord : Coord.config;
   fault : Fault.spec option;
+  checkpoint_every : int;
+  max_recoveries : int;
 }
 
 let default_config =
@@ -48,6 +50,8 @@ let default_config =
     merge = Batch_sorted;
     coord = Coord.default_config;
     fault = None;
+    checkpoint_every = 0;
+    max_recoveries = 0;
   }
 
 type result = {
@@ -136,52 +140,84 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
   let steal =
     Steal.create ~workers:n ~enabled:config.steal ~morsel_tuples:config.morsel_tuples
   in
+  let recursive = sp.stratum.kind <> Analysis.Nonrecursive in
+  let recovery_on = config.max_recoveries > 0 in
+  (* Epoch checkpoints only make sense inside a fixpoint loop; a
+     non-recursive stratum recovers by restarting from its base
+     snapshots (it is one init round). *)
+  let ckpt =
+    if recursive && config.checkpoint_every > 0 then
+      Some (Checkpoint.create ~workers:n ~every:config.checkpoint_every)
+    else None
+  in
+  (* Set-store snapshots are watermarks into the canonical-tuple log,
+     so both the cut path and the base snapshots need the log armed. *)
+  let store_opts =
+    if recovery_on || Option.is_some ckpt then
+      { config.store_opts with Rec_store.track_log = true }
+    else config.store_opts
+  in
   let shared =
     Worker.make_shared ~exch ~token ~fault ~max_iterations:config.max_iterations ~steal
-      ~merge_sorted:(config.merge = Batch_sorted)
+      ~merge_sorted:(config.merge = Batch_sorted) ~ckpt
   in
   let stores =
     Array.init n (fun _ ->
         Array.map
           (fun (ci : Exchange.copy_info) ->
             Rec_store.create ~arity:ci.ci_arity ~agg:ci.ci_agg ~route:ci.ci_route
-              ~opts:config.store_opts ())
+              ~opts:store_opts ())
           copies)
+  in
+  (* epoch-0 rollback target: the empty stores, before any init rule
+     ran (also the only target for non-recursive strata and for crashes
+     before the first committed cut) *)
+  let base_snaps =
+    if recovery_on then Some (Array.map (Array.map Rec_store.snapshot) stores) else None
   in
   let wstats = Array.init n (fun _ -> Run_stats.fresh_worker ()) in
   let sx = Worker.make_stratum ~catalog ~copies ~h ~partial_agg:config.partial_agg sp in
-  let recursive = sp.stratum.kind <> Analysis.Nonrecursive in
   let setup = Clock.now () -. t0 in
-  (* arm the run guardian on this stratum's state *)
+  (* The run guardian's closures read [shared.token] through the record
+     so they follow the per-attempt token swaps during recovery; the
+     external run [token] is bridged onto the current attempt by the
+     tick. *)
   let idle = ref 0 in
-  Atomic.set monitor
-    (Some
-       {
-         g_progress =
-           (if recursive then fun () ->
-              let term = Exchange.term exch in
-              let acc = ref (Termination.total_sent term + Termination.total_consumed term) in
-              for w = 0 to n - 1 do
-                acc := !acc + shared.Worker.heartbeats.(w) + Atomic.get shared.Worker.iter_counts.(w)
-              done;
-              !acc
-            else fun () ->
-              (* non-recursive strata have no quiescence protocol to
-                 livelock; keep the stall window quiet and let the tick
-                 handle cancellation *)
-              incr idle;
-              !idle);
-         g_stall =
-           (fun () ->
-             stall_diag :=
-               Some
-                 (Worker.stall_snapshot shared
-                    ~strategy:(Coord.to_string config.strategy)
-                    ~window:(Option.value config.coord.stall_window ~default:0.));
-             ignore (Cancel.cancel token Cancel.Stall);
-             Barrier.poison shared.Worker.barrier);
-         g_tick = (fun () -> if Cancel.check token then Barrier.poison shared.Worker.barrier);
-       });
+  let arm_monitor () =
+    Atomic.set monitor
+      (Some
+         {
+           g_progress =
+             (if recursive then fun () ->
+                let term = Exchange.term exch in
+                let acc = ref (Termination.total_sent term + Termination.total_consumed term) in
+                for w = 0 to n - 1 do
+                  acc :=
+                    !acc + shared.Worker.heartbeats.(w) + Atomic.get shared.Worker.iter_counts.(w)
+                done;
+                !acc
+              else fun () ->
+                (* non-recursive strata have no quiescence protocol to
+                   livelock; keep the stall window quiet and let the tick
+                   handle cancellation *)
+                incr idle;
+                !idle);
+           g_stall =
+             (fun () ->
+               stall_diag :=
+                 Some
+                   (Worker.stall_snapshot shared
+                      ~strategy:(Coord.to_string config.strategy)
+                      ~window:(Option.value config.coord.stall_window ~default:0.));
+               ignore (Cancel.cancel shared.Worker.token Cancel.Stall);
+               Barrier.poison shared.Worker.barrier);
+           g_tick =
+             (fun () ->
+               if Cancel.check token && not (Cancel.is_set shared.Worker.token) then
+                 ignore (Cancel.cancel shared.Worker.token (cancel_reason token));
+               if Cancel.is_set shared.Worker.token then Barrier.poison shared.Worker.barrier);
+         })
+  in
   (* Fault containment: if a worker dies (plan bug, arithmetic fault in
      a hook, OOM, injected crash), its peers must not wait for it
      forever — poison the barrier and raise a flag the barrier-free
@@ -194,7 +230,11 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
       let w =
         Worker.create ~shared ~scratch:scratches.(me) ~stratum:sx ~me ~stores ~ws:wstats.(me)
       in
-      Worker.run_init w;
+      (* a committed epoch means the orchestrator rolled the stores back
+         to it: refill the deltas and iteration counters from its banks
+         and skip straight into the fixpoint loop *)
+      let resumed = recursive && Worker.restore w in
+      if not resumed then Worker.run_init w;
       if recursive then Strategy.run config.strategy w else Worker.finish_nonrecursive w;
       Worker.recycle w
     in
@@ -203,22 +243,18 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
     | e ->
       let bt = Printexc.get_raw_backtrace () in
       Atomic.set shared.Worker.failed true;
-      ignore (Cancel.cancel token Cancel.Peer_crash);
+      ignore (Cancel.cancel shared.Worker.token Cancel.Peer_crash);
       Barrier.poison shared.Worker.barrier;
       Printexc.raise_with_backtrace e bt
   in
-  let pool_result = Domain_pool.submit pool worker in
-  Atomic.set monitor None;
-  (match pool_result with
-  | Ok () -> ()
-  | Error failures ->
+  let raise_crashed (failures : Domain_pool.failure list) =
     let crashes =
       List.map
         (fun (f : Domain_pool.failure) ->
           { Engine_error.worker = f.index; error = f.error; backtrace = f.backtrace })
         failures
     in
-    (match crashes with
+    match crashes with
     | first :: others ->
       raise
         (Engine_error.Error
@@ -229,12 +265,109 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
                 backtrace = first.backtrace;
                 others;
               }))
-    | [] -> assert false));
-  if Cancel.is_set token then begin
+    | [] -> assert false
+  in
+  let rec_stats = stats.Run_stats.recovery in
+  (* Roll every worker's store row back to the committed epoch (or to
+     the empty base state when none is committed).  Sound only because
+     ALL workers restore from the SAME epoch: anything discarded from
+     the exchange was produced after the cut and is regenerated when
+     the senders re-run from it.  The [Recover] fault site is evaluated
+     here, on each rolled-back worker's lane, so crash schedules can
+     also hit the recovery path itself. *)
+  let rollback_all () =
+    let epoch = match ckpt with Some c -> Checkpoint.epoch c | None -> 0 in
+    for wk = 0 to n - 1 do
+      (match fault with Some f -> Fault.hit f Fault.Recover ~worker:wk | None -> ());
+      let target_iters, snap_of =
+        if epoch > 0 then begin
+          let bank = Checkpoint.bank (Option.get ckpt) ~worker:wk ~epoch in
+          (bank.Checkpoint.bk_iterations, fun cid -> bank.Checkpoint.bk_snaps.(cid))
+        end
+        else (0, fun cid -> (Option.get base_snaps).(wk).(cid))
+      in
+      rec_stats.Run_stats.rerun_iterations <-
+        rec_stats.Run_stats.rerun_iterations
+        + max 0 (wstats.(wk).Run_stats.iterations - target_iters);
+      wstats.(wk).Run_stats.iterations <- target_iters;
+      Array.iteri
+        (fun cid st ->
+          rec_stats.Run_stats.rolled_back_tuples <-
+            rec_stats.Run_stats.rolled_back_tuples + Rec_store.rollback st (snap_of cid))
+        stores.(wk)
+    done
+  in
+  (* Each recovery attempt gets its own cancellation token (carrying the
+     run deadline) so a peer-crash cancellation dies with the round it
+     aborted; with recovery off the run token is used directly and
+     behavior is exactly the pre-recovery protocol. *)
+  let fresh_attempt_token () =
+    if not recovery_on then token else Cancel.create ?deadline:(Cancel.deadline token) ()
+  in
+  let rec attempt ~left =
+    arm_monitor ();
+    let pool_result = Domain_pool.submit pool worker in
+    Atomic.set monitor None;
+    match pool_result with
+    | Ok () -> ()
+    | Error failures ->
+      let recoverable =
+        recovery_on && left > 0
+        (* only genuine crashes are retried: a stall, deadline or user
+           cancellation on the attempt means retrying cannot help *)
+        && (match Cancel.reason shared.Worker.token with
+           | None | Some Cancel.Peer_crash -> true
+           | Some _ -> false)
+        && not (Cancel.check token)
+      in
+      if not recoverable then raise_crashed failures
+      else begin
+        rec_stats.Run_stats.recoveries <- rec_stats.Run_stats.recoveries + 1;
+        (* the crashed domains are parked on their exceptions: replace
+           them so the pool is whole again before the retry *)
+        List.iter (fun (f : Domain_pool.failure) -> Domain_pool.replace pool f.index) failures;
+        (* exponential backoff, clipped to the run deadline *)
+        let used = config.max_recoveries - left in
+        let delay = 0.001 *. (2. ** float_of_int used) in
+        let delay =
+          match Cancel.deadline token with
+          | Some at -> Float.min delay (Float.max 0. (at -. Clock.now () -. 0.001))
+          | None -> delay
+        in
+        if delay > 0. then Unix.sleepf delay;
+        (* rollback can itself crash (the Recover site): each such crash
+           consumes budget and the rollback is retried — it is
+           idempotent, snapshots survive being restored from *)
+        let rec roll left =
+          match rollback_all () with
+          | () -> Some left
+          | exception Fault.Injected _ ->
+            if left > 0 then begin
+              rec_stats.Run_stats.recoveries <- rec_stats.Run_stats.recoveries + 1;
+              roll (left - 1)
+            end
+            else None
+        in
+        match roll (left - 1) with
+        | None -> raise_crashed failures
+        | Some left ->
+          Exchange.reset exch;
+          Steal.reset steal;
+          Worker.reset_shared shared ~token:(fresh_attempt_token ());
+          attempt ~left
+      end
+  in
+  if recovery_on then shared.Worker.token <- fresh_attempt_token ();
+  attempt ~left:config.max_recoveries;
+  if Cancel.is_set shared.Worker.token then begin
     match !stall_diag with
     | Some d -> raise (Engine_error.Error (Stalled d))
-    | None -> raise_cancelled token
+    | None -> raise_cancelled shared.Worker.token
   end;
+  (match ckpt with
+  | Some c ->
+    rec_stats.Run_stats.epochs_cut <- rec_stats.Run_stats.epochs_cut + Checkpoint.epoch c
+  | None -> ());
   let evaluate = Clock.now () -. t1 in
   (* fold each worker's existence-cache counters into its stratum stats
      (stores are per-stratum, so these are per-stratum totals) *)

@@ -87,6 +87,17 @@ type config = {
           default) compiles the injection sites down to a static no-op
           closure call per loop pass / flush / batch — the per-tuple hot
           path has no hook at all. *)
+  checkpoint_every : int;
+      (** cut a recovery epoch every [n] fixpoint iterations ([0], the
+          default, disables checkpointing).  Under the Global strategy
+          the cut is taken at the vote barrier — already a quiescent
+          point; SSP/DWS briefly rendezvous to force one. *)
+  max_recoveries : int;
+      (** how many worker crashes one run may transparently recover
+          from by rolling back to the last committed epoch (or the
+          stratum's base state) and re-running on a repaired pool.  [0]
+          (the default) keeps the historical fail-fast behavior:
+          {!Engine_error.Worker_crashed} on the first crash. *)
 }
 
 val default_config : config

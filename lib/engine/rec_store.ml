@@ -1,5 +1,6 @@
 open Dcd_datalog
 module Tuple = Dcd_storage.Tuple
+module Arena = Dcd_storage.Arena
 module Agg_table = Dcd_storage.Agg_table
 module Run_buffer = Dcd_storage.Run_buffer
 module Bptree = Dcd_btree.Bptree
@@ -7,11 +8,12 @@ module Bptree = Dcd_btree.Bptree
 type opts = {
   agg_backend : Agg_table.backend;
   use_cache : bool;
+  track_log : bool;
 }
 
-let default_opts = { agg_backend = Agg_table.Indexed; use_cache = true }
+let default_opts = { agg_backend = Agg_table.Indexed; use_cache = true; track_log = false }
 
-let unoptimized_opts = { agg_backend = Agg_table.Scan; use_cache = false }
+let unoptimized_opts = { agg_backend = Agg_table.Scan; use_cache = false; track_log = false }
 
 let agg_kind_of_ast = function
   | Ast.Min -> Agg_table.Min
@@ -32,7 +34,12 @@ type t = {
   (* canonical column ids in permuted (route-first) order; excludes the
      aggregate value position for aggregate stores *)
   order : int array;
-  store : store;
+  mutable store : store; (* reassigned only by checkpoint [rollback] *)
+  (* append-only insertion log of canonical tuples (Set stores under
+     [track_log] only): a checkpoint of a set store is just this log's
+     length, and rollback is truncate + index rebuild from the surviving
+     prefix.  Invariant: [Arena.length log = Bptree.length tree]. *)
+  log : Arena.t option;
   (* batch-sorted merge scratch: candidates staged during a drain, then
      sorted and folded in one co-sequential index walk (merge_run) *)
   run : Run_buffer.t;
@@ -74,6 +81,10 @@ let create ~arity ~agg ~route ~opts () =
     arity;
     order;
     store;
+    log =
+      (match store with
+      | Set _ when opts.track_log -> Some (Arena.create ~arity ())
+      | _ -> None);
     run =
       (* aggregate copies' frames carry a contributor suffix (empty for
          min/max), matching Exchange.contrib *)
@@ -125,6 +136,9 @@ let merge_slice t ~data ~off ~cdata ~coff ~clen =
       let stored = Bptree.add_if_absent_lazy tree key (fun () -> Array.sub data off t.arity) in
       (* the cache retains its key beyond this call: materialize the scratch *)
       (match t.cache with Some c -> Exist_cache.put c (Array.copy key) 1 | None -> ());
+      (match stored, t.log with
+      | Some tuple, Some log -> ignore (Arena.push log tuple)
+      | _ -> ());
       stored)
   | Agg { table; kind; value_pos } -> (
     let group = permute t data off in
@@ -215,6 +229,7 @@ let merge_run t ~on_fresh =
             | Some _ -> None
             | None ->
               let tuple = Array.sub pool uoff.(i) t.arity in
+              (match t.log with Some log -> ignore (Arena.push log tuple) | None -> ());
               on_fresh tuple;
               Some tuple);
         (* every probed key now has a known answer: bulk-refresh the
@@ -295,3 +310,52 @@ let length t =
 
 let cache_stats t =
   Option.map (fun c -> (Exist_cache.hits c, Exist_cache.misses c)) t.cache
+
+(* --- checkpoint snapshot / rollback --- *)
+
+type snapshot =
+  | Snap_set of int (* insertion-log watermark *)
+  | Snap_agg of Agg_table.snapshot
+
+let snapshot t =
+  match t.store with
+  | Set _ -> (
+    match t.log with
+    | Some log -> Snap_set (Arena.length log)
+    | None -> invalid_arg "Rec_store.snapshot: set store created without track_log")
+  | Agg { table; _ } -> Snap_agg (Agg_table.snapshot table)
+
+(* Restores the store to the snapshotted state, returning the number of
+   tuples (set) / groups (aggregate) rolled back.  The existence cache
+   is dropped wholesale: a cached entry can describe state newer than
+   the restored store — for a monotone aggregate even a bound that no
+   longer holds — and would silently absorb candidates that must
+   re-derive.  Any candidates staged in the run buffer belong to the
+   crashed round and are dropped too. *)
+let rollback t snap =
+  Run_buffer.clear t.run;
+  (match t.cache with Some c -> Exist_cache.clear c | None -> ());
+  match (t.store, snap) with
+  | Set _, Snap_set wm ->
+    let log =
+      match t.log with
+      | Some l -> l
+      | None -> invalid_arg "Rec_store.rollback: set store created without track_log"
+    in
+    let rolled = Arena.length log - wm in
+    if rolled < 0 then invalid_arg "Rec_store.rollback: watermark ahead of log";
+    Arena.truncate log ~count:wm;
+    (* index rebuild from the surviving log prefix; [Bptree] copies keys
+       defensively, so the permute scratch is safe to pass *)
+    let tree = Bptree.create () in
+    Arena.iter_slices log (fun data off ->
+        let key = permute t data off in
+        ignore (Bptree.add_if_absent_lazy tree key (fun () -> Array.sub data off t.arity)));
+    t.store <- Set tree;
+    rolled
+  | Agg agg, Snap_agg sn ->
+    let before = Agg_table.length agg.table in
+    Agg_table.restore agg.table sn;
+    max 0 (before - Agg_table.length agg.table)
+  | Set _, Snap_agg _ | Agg _, Snap_set _ ->
+    invalid_arg "Rec_store.rollback: snapshot shape mismatch"

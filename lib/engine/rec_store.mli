@@ -20,6 +20,10 @@ type opts = {
   agg_backend : Dcd_storage.Agg_table.backend;
       (** [Indexed] = paper-optimized merge; [Scan] = Table 4 "w/o" *)
   use_cache : bool; (** §6.2.2 existence-check cache *)
+  track_log : bool;
+      (** keep an append-only insertion log on set stores so the store
+          can be checkpointed ({!snapshot} is then an O(1) watermark)
+          and rolled back.  Off by default: crash recovery turns it on. *)
 }
 
 val default_opts : opts
@@ -98,3 +102,26 @@ val length : t -> int
 
 val cache_stats : t -> (int * int) option
 (** (hits, misses) of the existence cache, if enabled. *)
+
+(** {1 Checkpoint snapshot / rollback} *)
+
+type snapshot
+(** The store's contribution to a checkpoint epoch.  For a set store
+    this is an O(1) watermark into its append-only insertion log (so
+    cutting an epoch costs nothing proportional to the relation); for an
+    aggregate store it is a deep value snapshot including the
+    contributor-dedup state ({!Dcd_storage.Agg_table.snapshot}). *)
+
+val snapshot : t -> snapshot
+(** @raise Invalid_argument on a set store created without
+    [track_log]. *)
+
+val rollback : t -> snapshot -> int
+(** Restores the store to exactly the snapshotted state: set stores
+    truncate the log to the watermark and rebuild the B⁺-tree from the
+    surviving prefix; aggregate stores restore groups {e and}
+    contributor state.  The existence cache is dropped (a cached value
+    can be newer than the restored store and would wrongly absorb
+    re-derived candidates) and any staged run candidates are discarded.
+    Returns the number of tuples/groups rolled back.  The snapshot
+    survives the call — a second-level retry may roll back again. *)

@@ -15,6 +15,14 @@ type worker = {
   mutable stolen_tuples : int;
   mutable wait_time : float;
   mutable busy_time : float;
+  mutable checkpoint_time : float;
+}
+
+type recovery = {
+  mutable recoveries : int;
+  mutable epochs_cut : int;
+  mutable rolled_back_tuples : int;
+  mutable rerun_iterations : int;
 }
 
 type stratum = {
@@ -30,9 +38,15 @@ type stratum = {
 type t = {
   mutable strata : stratum list;
   mutable total_wall : float;
+  recovery : recovery;
 }
 
-let create () = { strata = []; total_wall = 0. }
+let create () =
+  {
+    strata = [];
+    total_wall = 0.;
+    recovery = { recoveries = 0; epochs_cut = 0; rolled_back_tuples = 0; rerun_iterations = 0 };
+  }
 
 let fresh_worker () =
   {
@@ -52,6 +66,7 @@ let fresh_worker () =
     stolen_tuples = 0;
     wait_time = 0.;
     busy_time = 0.;
+    checkpoint_time = 0.;
   }
 
 let add_stratum t s = t.strata <- t.strata @ [ s ]
@@ -94,6 +109,11 @@ let total_merge_time t =
 
 let total_steals t = sum_strata t (fun w -> w.steals)
 
+let total_checkpoint_time t =
+  List.fold_left
+    (fun acc s -> acc +. Array.fold_left (fun a w -> a +. w.checkpoint_time) 0. s.workers)
+    0. t.strata
+
 let total_stolen_tuples t = sum_strata t (fun w -> w.stolen_tuples)
 
 (* max/mean of per-worker busy time summed across strata: 1.0 is a
@@ -134,6 +154,12 @@ let pp fmt t =
      busy imbalance %.2f@."
     t.total_wall (total_iterations t) (total_wait t) (total_sent t) (total_steals t)
     (total_stolen_tuples t) (busy_imbalance t);
+  let r = t.recovery in
+  if r.recoveries > 0 || r.epochs_cut > 0 then
+    Format.fprintf fmt
+      "  recovery: %d recoveries, %d epochs cut (%.3fs checkpointing), %d tuples rolled back, %d \
+       iterations re-run@."
+      r.recoveries r.epochs_cut (total_checkpoint_time t) r.rolled_back_tuples r.rerun_iterations;
   List.iter
     (fun s ->
       Format.fprintf fmt

@@ -41,6 +41,21 @@ type worker = {
   mutable wait_time : float; (** seconds idle: barrier + DWS/SSP waits *)
   mutable busy_time : float; (** seconds computing (stolen morsels count
                                  toward the thief) *)
+  mutable checkpoint_time : float;
+      (** seconds this worker spent cutting checkpoint epochs (snapshot
+          of its stores + delta copy) *)
+}
+
+(** Run-level crash-recovery counters (zero on a crash-free run with
+    checkpoints off). *)
+type recovery = {
+  mutable recoveries : int; (** crashed rounds recovered from *)
+  mutable epochs_cut : int; (** committed checkpoint epochs, all strata *)
+  mutable rolled_back_tuples : int;
+      (** tuples/groups discarded from stores by rollbacks *)
+  mutable rerun_iterations : int;
+      (** worker-iterations re-executed after rollbacks (sum over
+          workers of iterations lost per rollback) *)
 }
 
 type stratum = {
@@ -58,6 +73,7 @@ type stratum = {
 type t = {
   mutable strata : stratum list; (** in evaluation order *)
   mutable total_wall : float;
+  recovery : recovery;
 }
 
 val create : unit -> t
@@ -103,6 +119,9 @@ val total_merge_time : t -> float
 (** Seconds across all workers and strata spent draining and merging. *)
 
 val total_steals : t -> int
+
+val total_checkpoint_time : t -> float
+(** Seconds across all workers and strata spent cutting epochs. *)
 
 val total_stolen_tuples : t -> int
 

@@ -139,6 +139,24 @@ let complete t m = ignore (Atomic.fetch_and_add t.pending.(m.m_src) (-1))
 
 let pending t ~me = Atomic.get t.pending.(me)
 
+(* Recovery reset: abandon every published morsel and zero the
+   counters.  A crashed round can leave morsels on deques (and pending
+   counts above zero) with no executor left to complete them; the
+   retried round republishes its own scans from the restored state.
+   Between rounds only — draining via [steal] is then race-free. *)
+let reset t =
+  Array.iter
+    (fun dq ->
+      let rec drain () =
+        match Ws_deque.steal dq with
+        | Some _ -> drain ()
+        | None -> if not (Ws_deque.is_empty dq) then drain ()
+      in
+      drain ())
+    t.deques;
+  Array.iter (fun c -> Atomic.set c 0) t.pending;
+  Array.iter (fun c -> Atomic.set c 0) t.published
+
 let stealable t ~me =
   t.on
   &&

@@ -73,3 +73,8 @@ val pending : t -> me:int -> int
 val stealable : t -> me:int -> bool
 (** Whether any other worker currently advertises stealable tuples
     (advisory; feeds the queueing model's wait decision). *)
+
+val reset : t -> unit
+(** Recovery reset: abandons every published morsel and zeroes the
+    pending/published counters (a crashed round can orphan morsels with
+    no executor left).  Between rounds only. *)

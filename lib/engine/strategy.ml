@@ -19,6 +19,10 @@ let global w =
   let sh = Worker.shared w in
   let me = Worker.me w in
   let continue_ = ref true in
+  (* lockstep pass count: every worker runs the same barrier rounds, so
+     a local counter agrees across workers and decides checkpoint cuts
+     without extra coordination *)
+  let pass = ref 0 in
   while !continue_ do
     Worker.inject w Fault.Loop;
     Worker.bail_if_cancelled w;
@@ -29,7 +33,14 @@ let global w =
     Worker.await_barrier w;
     let any = Array.exists Atomic.get sh.Worker.nonempty in
     if not any then continue_ := false
-    else if Atomic.get sh.Worker.nonempty.(me) then Worker.run_iteration w
+    else begin
+      incr pass;
+      (* the vote barrier is already a globally quiescent point —
+         exchange drained, morsels joined — so the cut is free of extra
+         synchronization beyond its own commit dance *)
+      if Worker.cut_due_global w ~pass:!pass then Worker.cut_epoch w;
+      if Atomic.get sh.Worker.nonempty.(me) then Worker.run_iteration w
+    end
   done
 
 (* Stale-synchronous: at most [s] local iterations ahead of the slowest
@@ -43,12 +54,20 @@ let ssp w s =
   while !continue_ do
     Worker.inject w Fault.Loop;
     Worker.bail_if_cancelled w;
+    (* a peer asked for a checkpoint: rendezvous before anything else
+       this pass (the requester stays active until the cut commits, so
+       quiescence cannot be observed while we converge on it) *)
+    if Worker.cut_pending w then Worker.join_cut w;
     ignore (Worker.drain_and_merge w);
     if Worker.frozen w then Worker.clear_deltas w;
     if Worker.delta_size w = 0 then begin
       Termination.set_active term ~worker:me false;
       Worker.inject w Fault.Quiesce;
-      if Termination.quiescent term then continue_ := false
+      if Termination.quiescent term then begin
+        (* re-check after the quiescence read: a cut request ordered
+           before our snapshot must be joined, not abandoned *)
+        if Worker.cut_pending w then Worker.join_cut w else continue_ := false
+      end
       else if Worker.try_steal w then Backoff.reset backoff
       else Worker.timed_wait w (fun () -> Backoff.once backoff)
     end
@@ -64,8 +83,15 @@ let ssp w s =
         done;
         !m
       in
+      (* a pending checkpoint unblocks the gate: the straggler we are
+         waiting on may already be parked at the cut barrier with its
+         iteration count frozen — gating on it would deadlock the
+         rendezvous.  We run the iteration and join the cut at the next
+         loop top (all our sends land before barrier 1, so the cut's
+         drain still sees them). *)
       while
         (not (Atomic.get sh.Worker.failed || Cancel.is_set sh.Worker.token))
+        && (not (Worker.cut_pending w))
         && Atomic.get sh.Worker.iter_counts.(me) - min_active () > s
       do
         (* gated on a straggler: take some of its work instead of
@@ -75,7 +101,8 @@ let ssp w s =
           Worker.timed_wait w (fun () -> Unix.sleepf 0.0002);
         ignore (Worker.drain_and_merge w)
       done;
-      Worker.run_iteration w
+      Worker.run_iteration w;
+      Worker.maybe_request_cut w
     end
   done
 
@@ -93,12 +120,16 @@ let dws w (opts : Coord.dws_opts) =
   while !continue_ do
     Worker.inject w Fault.Loop;
     Worker.bail_if_cancelled w;
+    (* checkpoint rendezvous, same protocol as SSP *)
+    if Worker.cut_pending w then Worker.join_cut w;
     ignore (Worker.drain_and_merge w);
     if Worker.frozen w then Worker.clear_deltas w;
     if Worker.delta_size w = 0 then begin
       Termination.set_active term ~worker:me false;
       Worker.inject w Fault.Quiesce;
-      if Termination.quiescent term then continue_ := false
+      if Termination.quiescent term then begin
+        if Worker.cut_pending w then Worker.join_cut w else continue_ := false
+      end
       else if Worker.try_steal w then Backoff.reset backoff
       else Worker.timed_wait w (fun () -> Backoff.once backoff)
     end
@@ -114,6 +145,10 @@ let dws w (opts : Coord.dws_opts) =
         let waiting = ref true in
         while !waiting do
           if Atomic.get sh.Worker.failed || Cancel.is_set sh.Worker.token then waiting := false
+          else if Worker.cut_pending w then
+            (* peers are converging on a checkpoint barrier — run now
+               and join at the next loop top instead of waiting out τ *)
+            waiting := false
           else if Clock.now () >= deadline then waiting := false
           else begin
             if not (Worker.try_steal w) then
@@ -125,6 +160,7 @@ let dws w (opts : Coord.dws_opts) =
         done
       end;
       Worker.run_iteration w;
+      Worker.maybe_request_cut w;
       Worker.decay_model w opts.decay
     end
   done

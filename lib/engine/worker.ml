@@ -66,7 +66,12 @@ type shared = {
   barrier : Barrier.t;
   steal : Steal.t;
   failed : bool Atomic.t;
-  token : Cancel.t;
+  (* Swapped for a fresh token on every recovery attempt (a peer-crash
+     cancellation must not outlive the round it aborted).  Written only
+     between rounds with the pool idle — the submit path's mutex
+     publishes the new value to the worker domains. *)
+  mutable token : Cancel.t;
+  ckpt : Checkpoint.t option; (* epoch store; [None] = no checkpointing *)
   (* Per-worker heartbeats of *useful* work (rules evaluated, batches
      merged), bumped only between units of real progress: an idle worker
      spinning through backoff does not beat, so a quiescence livelock
@@ -75,7 +80,7 @@ type shared = {
   heartbeats : int array;
   iter_counts : int Atomic.t array;
   nonempty : bool Atomic.t array;
-  inject : Fault.site -> worker:int -> unit;
+  mutable inject : Fault.site -> worker:int -> unit;
   max_iterations : int;
   (* batch-sorted merge path: drains stage candidates into per-store
      runs, folded by one sorted index walk at the end of the drain,
@@ -83,33 +88,48 @@ type shared = {
   merge_batch_sorted : bool;
 }
 
-let make_shared ~exch ~token ~fault ~max_iterations ~steal ~merge_sorted =
+let make_shared ~exch ~token ~fault ~max_iterations ~steal ~merge_sorted ~ckpt =
   let n = Exchange.workers exch in
-  let failed = Atomic.make false in
-  (* Fault injection: [inject] is a no-op closure when disabled, so the
-     sites cost one static call on a frame/batch/loop-pass granularity —
-     never per tuple. *)
-  let inject =
-    match fault with
-    | None -> fun _site ~worker:_ -> ()
-    | Some f ->
-      Fault.set_stop f (fun () -> Atomic.get failed || Cancel.is_set token);
-      fun site ~worker -> Fault.hit f site ~worker
+  let sh =
+    {
+      n;
+      exch;
+      barrier = Barrier.create n;
+      steal;
+      failed = Atomic.make false;
+      token;
+      ckpt;
+      heartbeats = Array.make n 0;
+      iter_counts = Array.init n (fun _ -> Atomic.make 0);
+      nonempty = Array.init n (fun _ -> Atomic.make false);
+      inject = (fun _site ~worker:_ -> ());
+      max_iterations;
+      merge_batch_sorted = merge_sorted;
+    }
   in
-  {
-    n;
-    exch;
-    barrier = Barrier.create n;
-    steal;
-    failed;
-    token;
-    heartbeats = Array.make n 0;
-    iter_counts = Array.init n (fun _ -> Atomic.make 0);
-    nonempty = Array.init n (fun _ -> Atomic.make false);
-    inject;
-    max_iterations;
-    merge_batch_sorted = merge_sorted;
-  }
+  (* Fault injection: [inject] stays the no-op closure when disabled, so
+     the sites cost one static call on a frame/batch/loop-pass
+     granularity — never per tuple.  The stop predicate reads
+     [sh.token] through the record so it tracks per-attempt token swaps
+     during recovery. *)
+  (match fault with
+  | None -> ()
+  | Some f ->
+    Fault.set_stop f (fun () -> Atomic.get sh.failed || Cancel.is_set sh.token);
+    sh.inject <- (fun site ~worker -> Fault.hit f site ~worker));
+  sh
+
+(* Between recovery attempts only, every worker collected: clears the
+   crash flag and the per-round coordination counters, and installs the
+   next attempt's cancellation token.  The exchange, steal board and
+   store rollback are the orchestrator's side of the reset. *)
+let reset_shared sh ~token =
+  Atomic.set sh.failed false;
+  sh.token <- token;
+  Array.fill sh.heartbeats 0 sh.n 0;
+  Array.iter (fun c -> Atomic.set c 0) sh.iter_counts;
+  Array.iter (fun c -> Atomic.set c false) sh.nonempty;
+  Barrier.reset sh.barrier
 
 (* --- per-stratum compiled context, shared read-only by all workers --- *)
 
@@ -276,6 +296,7 @@ type t = {
   steal_delta_pipes : Eval.prepared list array array;
   steal_init_pipes : Eval.prepared list array array;
   mutable on_batch : Exchange.batch -> unit;
+  mutable last_cut : int; (* local iteration count at the last epoch cut *)
 }
 
 let me t = t.me
@@ -394,6 +415,7 @@ let create ~shared:sh ~scratch:sc ~stratum:sx ~me ~stores:all_stores ~ws =
       steal_delta_pipes = steal_pipes_of sx.sx_delta_groups;
       steal_init_pipes = steal_pipes_of sx.sx_init_groups;
       on_batch = ignore;
+      last_cut = 0;
     }
   in
   w.on_batch <- (if sh.merge_batch_sorted then stage_batch w else merge_batch w);
@@ -604,6 +626,110 @@ let decide w =
 let decay_model w f = Qmodel.decay w.sc.qm f
 
 let inject w site = w.sh.inject site ~worker:w.me
+
+(* --- checkpoint epochs (crash recovery) --- *)
+
+(* Cut this worker's slice of the next epoch: snapshot every store of
+   the row, deep-copy the delta arenas, record the local iteration
+   count.  The caller guarantees global quiescence — nothing in the
+   exchange, every morsel joined, every drained tuple merged — so these
+   three pieces ARE the whole evaluation state. *)
+let cut_epoch_local w =
+  match w.sh.ckpt with
+  | None -> ()
+  | Some c ->
+    w.sh.inject Fault.Checkpoint ~worker:w.me;
+    let t0 = Clock.now () in
+    let bank = Checkpoint.bank c ~worker:w.me ~epoch:(Checkpoint.next_epoch c) in
+    Checkpoint.write_bank bank
+      ~snaps:(Array.map Rec_store.snapshot w.stores)
+      ~deltas:w.deltas ~iterations:w.ws.iterations;
+    w.last_cut <- w.ws.iterations;
+    w.ws.checkpoint_time <- w.ws.checkpoint_time +. (Clock.now () -. t0)
+
+(* The commit dance: everyone cuts into the uncommitted bank, a barrier
+   collects the bank writes, worker 0 promotes the epoch, and a second
+   barrier keeps anyone from mutating post-cut state before the
+   promotion is visible.  A crash anywhere in the dance is harmless:
+   [committed] still names the previous epoch, whose parity bank was
+   never touched. *)
+let cut_epoch w =
+  match w.sh.ckpt with
+  | None -> ()
+  | Some c ->
+    let e = Checkpoint.next_epoch c in
+    cut_epoch_local w;
+    await_barrier w;
+    if w.me = 0 then begin
+      Checkpoint.commit c ~epoch:e;
+      Checkpoint.clear_request c
+    end;
+    await_barrier w
+
+let cut_due_global w ~pass =
+  match w.sh.ckpt with
+  | Some c -> pass mod Checkpoint.every c = 0
+  | None -> false
+
+let cut_pending w =
+  match w.sh.ckpt with Some c -> Checkpoint.requested c | None -> false
+
+let maybe_request_cut w =
+  match w.sh.ckpt with
+  | Some c when w.ws.iterations - w.last_cut >= Checkpoint.every c -> Checkpoint.request c
+  | Some _ | None -> ()
+
+(* SSP/DWS cut rendezvous: the asynchronous strategies have no natural
+   quiescent point, so a pending request briefly forces one.  Barrier 1
+   stops every worker at its loop top (no one is producing); the drain
+   then empties every inbox (all sends happened before barrier 1);
+   barrier 2 certifies the exchange empty; [cut_epoch] takes and
+   commits the cut.  Deadlock-free because the requesting worker is
+   Termination-active from before its request until the cut completes
+   (it requested right after running an iteration and never clears its
+   flag while joining), so no peer can observe quiescence and exit
+   while a request is outstanding. *)
+let join_cut w =
+  if Option.is_some w.sh.ckpt then begin
+    await_barrier w;
+    ignore (drain_and_merge w);
+    await_barrier w;
+    cut_epoch w
+  end
+
+(* Resume from the committed epoch after a rollback: refill the delta
+   arenas from the bank copies, rebuild the aggregate group index over
+   them, and rewind the iteration counters.  [false] when no epoch is
+   committed — the caller restarts the stratum from [run_init]. *)
+let restore w =
+  match w.sh.ckpt with
+  | None -> false
+  | Some c ->
+    let e = Checkpoint.epoch c in
+    if e = 0 then false
+    else begin
+      let bank = Checkpoint.bank c ~worker:w.me ~epoch:e in
+      clear_deltas w;
+      Array.iteri
+        (fun cid src ->
+          let len = Arena.length src in
+          if len > 0 then begin
+            ignore (Arena.append_block w.deltas.(cid) (Arena.data src) ~off:0 ~tuples:len);
+            match w.delta_groups.(cid) with
+            | None -> ()
+            | Some groups ->
+              let pos, _ = Option.get w.sx.sx_copies.(cid).Exchange.ci_agg in
+              let arena = w.deltas.(cid) in
+              for slot = 0 to Arena.length arena - 1 do
+                Hashtbl.replace groups (Tuple.group_key (Arena.get arena slot) ~agg_pos:pos) slot
+              done
+          end)
+        bank.Checkpoint.bk_deltas;
+      w.ws.iterations <- bank.Checkpoint.bk_iterations;
+      w.last_cut <- bank.Checkpoint.bk_iterations;
+      Atomic.set w.sh.iter_counts.(w.me) bank.Checkpoint.bk_iterations;
+      true
+    end
 
 (* --- initialization: base rules over the shared scan arenas --- *)
 

@@ -33,12 +33,15 @@ type shared = {
   barrier : Dcd_concurrent.Barrier.t;
   steal : Steal.t; (** the stratum's morsel board *)
   failed : bool Atomic.t;
-  token : Dcd_concurrent.Cancel.t;
+  mutable token : Dcd_concurrent.Cancel.t;
+      (** the round's cancellation token; swapped for a fresh one per
+          recovery attempt, only between rounds with the pool idle *)
+  ckpt : Checkpoint.t option; (** epoch store; [None] = no checkpointing *)
   heartbeats : int array;
       (** useful-work beats, plain ints read racily by the watchdog *)
   iter_counts : int Atomic.t array;
   nonempty : bool Atomic.t array; (** per-worker votes of the Global barrier round *)
-  inject : Dcd_concurrent.Fault.site -> worker:int -> unit;
+  mutable inject : Dcd_concurrent.Fault.site -> worker:int -> unit;
   max_iterations : int;
   merge_batch_sorted : bool;
       (** batch-sorted merge path on: drains stage candidates into
@@ -52,7 +55,15 @@ val make_shared :
   max_iterations:int ->
   steal:Steal.t ->
   merge_sorted:bool ->
+  ckpt:Checkpoint.t option ->
   shared
+
+val reset_shared : shared -> token:Dcd_concurrent.Cancel.t -> unit
+(** Between recovery attempts only, every worker collected: clears the
+    crash flag, heartbeats, iteration counts and votes, resets the
+    barrier, and installs the next attempt's token.  The exchange,
+    steal board and store rollback are reset separately by the
+    orchestrator. *)
 
 (** Read-only per-stratum compilation context, built once by the
     orchestrator and shared by every worker: rules paired with their
@@ -184,6 +195,39 @@ val decay_model : t -> float -> unit
 
 val inject : t -> Dcd_concurrent.Fault.site -> unit
 (** Evaluate one fault-injection site as this worker. *)
+
+(** {1 Checkpoint epochs (crash recovery)}
+
+    All of these are no-ops (or [false]) when the stratum has no
+    {!Checkpoint.t}. *)
+
+val cut_epoch : t -> unit
+(** Cut and commit the next epoch.  Caller guarantees global
+    quiescence: exchange empty, morsels joined, deltas merged.  Runs
+    the full commit dance (cut, barrier, worker-0 promote, barrier), so
+    {e every} worker must call it — the Global strategy does so in
+    lockstep when {!cut_due_global}. *)
+
+val cut_due_global : t -> pass:int -> bool
+(** Whether the Global strategy's lockstep pass count says to cut. *)
+
+val maybe_request_cut : t -> unit
+(** SSP/DWS: raise the cut-request flag when this worker is
+    [checkpoint_every] local iterations past its last cut. *)
+
+val cut_pending : t -> bool
+
+val join_cut : t -> unit
+(** SSP/DWS cut rendezvous: force global quiescence (barrier, drain,
+    barrier) and run {!cut_epoch}.  Every worker must call it once per
+    pending request — they poll {!cut_pending} at their loop tops. *)
+
+val restore : t -> bool
+(** Resume from the committed epoch after the orchestrator rolled the
+    stores back: refill the delta arenas and aggregate group indexes
+    from the epoch's banks and rewind the iteration counters.  [false]
+    when no epoch is committed — the caller restarts from
+    {!run_init}. *)
 
 val recycle : t -> unit
 (** End of stratum: return the delta arenas and outgoing frames to the

@@ -30,7 +30,7 @@ end)
 type t = {
   kind : kind;
   group_arity : int;
-  store : store;
+  mutable store : store; (* reassigned only by checkpoint [restore] *)
   contribs : Tuple_set.t; (* (group ++ contributor) seen; Count only *)
   partials : int Contrib_tbl.t; (* (group ++ contributor) -> value; Sum only *)
 }
@@ -255,3 +255,62 @@ let to_vec t =
   let out = Vec.create ~capacity:(length t) () in
   iter t (fun k v -> Vec.push out (k, v));
   out
+
+(* --- checkpoint snapshot / restore --- *)
+
+(* A deep value snapshot: group entries plus the contributor-dedup state
+   that makes Count/Sum re-merges idempotent.  Restoring contributor
+   state is a correctness requirement, not an optimization — a recovered
+   worker re-derives contributions it already folded in before the cut,
+   and without the restored (group, contributor) sets those would
+   double-count.
+
+   Key arrays are shared between the snapshot and the live table: stored
+   keys are immutable by convention once adopted, and merges mutate only
+   values, so sharing is safe and keeps the snapshot O(groups) shallow
+   words.  Aggregate snapshots are therefore O(state) — unlike the O(1)
+   watermark a set relation gets from its append-only log. *)
+type snapshot = {
+  sn_backend : backend;
+  sn_entries : (Tuple.t * int) array; (* ascending group order for [Indexed] *)
+  sn_contribs : Tuple.t array;
+  sn_partials : (Tuple.t * int) array;
+}
+
+let snapshot t =
+  let entries = Array.make (length t) ([||], 0) in
+  let i = ref 0 in
+  iter t (fun k v ->
+      entries.(!i) <- (k, v);
+      incr i);
+  let contribs = Vec.to_array (Tuple_set.to_vec t.contribs) in
+  let partials = Array.make (Contrib_tbl.length t.partials) ([||], 0) in
+  let j = ref 0 in
+  Contrib_tbl.iter
+    (fun k v ->
+      partials.(!j) <- (k, v);
+      incr j)
+    t.partials;
+  {
+    sn_backend = (match t.store with Tree _ -> Indexed | Flat _ -> Scan);
+    sn_entries = entries;
+    sn_contribs = contribs;
+    sn_partials = partials;
+  }
+
+(* Rebuilds fresh structures from the snapshot (the snapshot itself is
+   never adopted, so it stays valid for a second-level retry). *)
+let restore t sn =
+  (match sn.sn_backend with
+  | Indexed ->
+    (* [iter] on a Tree is ascending, so the snapshot is sorted and
+       distinct: a pure bulk load. *)
+    t.store <- Tree (Bptree.of_sorted sn.sn_entries)
+  | Scan ->
+    let v = Vec.create ~capacity:(Array.length sn.sn_entries) () in
+    Array.iter (fun (gkey, value) -> Vec.push v { gkey; value }) sn.sn_entries;
+    t.store <- Flat v);
+  Tuple_set.clear t.contribs;
+  Array.iter (fun c -> ignore (Tuple_set.add t.contribs c)) sn.sn_contribs;
+  Contrib_tbl.reset t.partials;
+  Array.iter (fun (k, v) -> Contrib_tbl.replace t.partials k v) sn.sn_partials

@@ -100,3 +100,23 @@ val iter_prefix : t -> prefix:Tuple.t -> (Tuple.t -> int -> unit) -> unit
     [Indexed] (B⁺-tree range), O(n) for [Scan]. *)
 
 val to_vec : t -> (Tuple.t * int) Dcd_util.Vec.t
+
+(** {1 Checkpoint snapshot / restore} *)
+
+type snapshot
+(** A deep value snapshot of the table: group entries {e plus} the
+    contributor-dedup state ([Count]'s contributor set, [Sum]'s partial
+    values).  Restoring contributor state is a correctness requirement:
+    a recovered worker re-derives contributions it had already folded in
+    before the cut, and without the restored sets those would
+    double-count.  Key arrays are shared with the live table (stored
+    keys are immutable once adopted), so the snapshot costs O(groups +
+    contributors) words — proportional to aggregate state, unlike the
+    O(1) watermark of an append-only set log. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Rebuilds the table to exactly the snapshotted state.  Fresh
+    structures are built each time — the snapshot is never adopted, so
+    it remains valid for a second-level retry. *)

@@ -79,3 +79,10 @@ let iter_slices t f =
   done
 
 let clear t = t.count <- 0
+
+(* Rollback to a recovery watermark: slots >= [count] become invalid,
+   the surviving prefix keeps its slots and contents.  The backing
+   buffer is retained (no shrink) — a recovered run re-fills it. *)
+let truncate t ~count =
+  if count < 0 || count > t.count then invalid_arg "Arena.truncate";
+  t.count <- count

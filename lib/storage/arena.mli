@@ -64,3 +64,11 @@ val iter_slices : t -> (int array -> int -> unit) -> unit
     [data]). *)
 
 val clear : t -> unit
+
+val truncate : t -> count:int -> unit
+(** [truncate t ~count] rolls the arena back to its first [count]
+    tuples: the surviving prefix keeps its slots, later slots become
+    invalid, capacity is retained.  This is the storage half of a
+    checkpoint rollback — a watermark recorded at a quiescent point is
+    simply [length t].  @raise Invalid_argument unless
+    [0 <= count <= length t]. *)

@@ -46,12 +46,16 @@ type outcome =
   | Wrong_fixpoint
   | Raw_exception of string
 
-let run_case ~seed ~workers ~strategy ~crash_prob ~delay_prob ?params src edb out expected =
+let run_case ~seed ~workers ~strategy ~crash_prob ~delay_prob ?(steal = true)
+    ?(checkpoint_every = 0) ?(max_recoveries = 0) ?params src edb out expected =
   let config =
     {
       D.default_config with
       workers;
       strategy;
+      steal;
+      checkpoint_every;
+      max_recoveries;
       coord =
         {
           D.Coord.default_config with
@@ -135,6 +139,42 @@ let () =
             [ 2; 4 ])
         strategies)
     cases;
+  (* Recovery rounds: the same kind of seeded crash schedules, but with
+     checkpointing and recovery armed — now a crash may silently consume
+     a retry, and EVERY run must reach the exact oracle fixpoint.  A
+     clean error here is a failure: the whole point of recovery is that
+     crashes stop being terminal. *)
+  let tc_src = D.Queries.tc.source in
+  let tc_edb = [ ("arc", arc2) ] in
+  let tc_expected = oracle tc_src tc_edb "tc" in
+  List.iter
+    (fun (sname, strategy) ->
+      List.iter
+        (fun steal ->
+          List.iter
+            (fun workers ->
+              let seed = (base_seed * 1000) + (workers * 10) + if steal then 1 else 2 in
+              incr total;
+              let label =
+                Printf.sprintf "tc-recover/%s w=%d steal=%b seed=%d" sname workers steal seed
+              in
+              match
+                run_case ~seed ~workers ~strategy ~crash_prob:0.05 ~delay_prob:0.1 ~steal
+                  ~checkpoint_every:2 ~max_recoveries:3 tc_src tc_edb "tc" tc_expected
+              with
+              | Fixpoint_ok -> incr ok
+              | Clean_error msg ->
+                Printf.printf "FAIL %s: error despite recovery: %s\n" label msg;
+                failed := label :: !failed
+              | Wrong_fixpoint ->
+                Printf.printf "FAIL %s: recovered fixpoint differs from oracle\n" label;
+                failed := label :: !failed
+              | Raw_exception msg ->
+                Printf.printf "FAIL %s: raw exception escaped: %s\n" label msg;
+                failed := label :: !failed)
+            [ 1; 4 ])
+        [ true; false ])
+    strategies;
   Printf.printf "fault-sched: %d runs, %d exact fixpoints, %d clean errors, %d failures\n"
     !total !ok !clean (List.length !failed);
   if !failed <> [] then begin
