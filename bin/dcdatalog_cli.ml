@@ -353,6 +353,113 @@ let run_cmd query program dataset rmat edges_file edb_files workers strategy no_
             if stats then Format.printf "%a" D.Run_stats.pp result.stats;
             0)))
 
+(* --- resident serving (serve / repl subcommands) --- *)
+
+let socket_arg =
+  Arg.(value & opt string "dcdatalog.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path for $(b,dcdatalog serve).")
+
+let request_timeout_arg =
+  Arg.(value & opt (some float) None & info [ "request-timeout" ] ~docv:"SECS"
+         ~doc:"Per-request deadline: bounds each scan and gates update-batch admission.")
+
+(* Same input assembly as `run`, ending in a resident session instead of
+   a one-shot evaluation. *)
+let open_serving_session query program dataset rmat edges_file edb_files workers strategy
+    no_steal unopt merge params k =
+  if workers < 1 then input_error "--workers must be at least 1"
+  else
+  match (resolve_source query program, load_graph dataset rmat edges_file) with
+  | Error e, _ | _, Error e -> input_error e
+  | Ok (source, default_params, spec), Ok graph -> (
+    match spec with
+    | Some s when s.D.Queries.max_iterations > 0 ->
+      input_error
+        (Printf.sprintf
+           "%s converges only under bounded iterations and cannot be served incrementally"
+           s.D.Queries.name)
+    | _ -> (
+      let computed =
+        match spec with
+        | Some { D.Queries.name = "pagerank"; _ } -> [ ("vnum", D.Graph.max_vertex graph + 1) ]
+        | _ -> []
+      in
+      let params = params @ computed @ default_params in
+      match D.prepare ~params source with
+      | Error e -> program_error e
+      | Ok prepared -> (
+        let edb =
+          match spec with
+          | Some spec -> edb_for_query spec graph
+          | None -> D.Queries.arc_edb graph @ D.Queries.warc_edb graph
+        in
+        match
+          List.fold_left
+            (fun edb (rel, path) ->
+              match edb with
+              | Error _ -> edb
+              | Ok acc -> (
+                match D.Loader.tuples_of_file path with
+                | tuples -> Ok ((rel, tuples) :: acc)
+                | exception (Sys_error msg | Failure msg) -> Error msg))
+            (Ok edb) edb_files
+        with
+        | Error msg -> input_error msg
+        | Ok edb -> (
+          let config =
+            {
+              D.default_config with
+              workers;
+              strategy;
+              steal = not no_steal;
+              merge;
+              store_opts =
+                (if unopt then D.Rec_store.unoptimized_opts else D.Rec_store.default_opts);
+            }
+          in
+          match D.open_session prepared ~edb ~config () with
+          | exception D.Engine_error.Error (D.Engine_error.Cancelled _ as e) ->
+            prerr_endline ("error: " ^ D.Engine_error.to_string e);
+            exit_cancelled
+          | exception D.Engine_error.Error (D.Engine_error.Worker_crashed _ as e) ->
+            prerr_endline ("error: " ^ D.Engine_error.to_string e);
+            exit_crashed
+          | exception D.Engine_error.Error (D.Engine_error.Stalled _ as e) ->
+            prerr_endline ("error: " ^ D.Engine_error.to_string e);
+            exit_stalled
+          | exception Invalid_argument msg -> input_error msg
+          | session ->
+            Fun.protect ~finally:(fun () -> D.Session.close session) (fun () -> k session)))))
+
+let repl_cmd query program dataset rmat edges_file edb_files workers strategy no_steal unopt
+    merge params request_timeout =
+  open_serving_session query program dataset rmat edges_file edb_files workers strategy
+    no_steal unopt merge params (fun session ->
+      let tty = Unix.isatty Unix.stdin in
+      if tty then begin
+        Printf.printf "dcdatalog repl — %d relations resident, version %d. 'help' lists commands.\n"
+          (List.length (D.Session.predicates session))
+          (D.Session.version session);
+        flush stdout
+      end;
+      Dcd_serve.Serve.repl ?request_timeout ~prompt:tty session stdin stdout;
+      0)
+
+let serve_cmd query program dataset rmat edges_file edb_files workers strategy no_steal unopt
+    merge params socket request_timeout =
+  open_serving_session query program dataset rmat edges_file edb_files workers strategy
+    no_steal unopt merge params (fun session ->
+      let server = Dcd_serve.Serve.listen_unix ?request_timeout session ~path:socket in
+      Printf.printf "serving on %s (version %d; EOF on stdin shuts down)\n" socket
+        (D.Session.version session);
+      flush stdout;
+      (* the foreground stays a REPL too: handy for stats, and EOF is
+         the shutdown signal *)
+      Dcd_serve.Serve.repl ?request_timeout ~prompt:(Unix.isatty Unix.stdin) session stdin
+        stdout;
+      Dcd_serve.Serve.stop server;
+      0)
+
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit the plan as a Graphviz digraph instead of text.")
 
@@ -395,6 +502,18 @@ let run_term =
 
 let explain_term = Term.(const explain_cmd $ query_arg $ program_arg $ params_arg $ dot_arg)
 
+let repl_term =
+  Term.(
+    const repl_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
+    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg $ params_arg
+    $ request_timeout_arg)
+
+let serve_term =
+  Term.(
+    const serve_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
+    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg $ params_arg
+    $ socket_arg $ request_timeout_arg)
+
 let list_term = Term.(const list_cmd $ const ())
 
 let () =
@@ -406,6 +525,14 @@ let () =
         Cmd.v (Cmd.info "run" ~doc:"Evaluate a query over a dataset") run_term;
         Cmd.v (Cmd.info "explain" ~doc:"Show the physical plan and AND/OR tree") explain_term;
         Cmd.v (Cmd.info "list" ~doc:"List built-in queries and datasets") list_term;
+        Cmd.v
+          (Cmd.info "repl"
+             ~doc:"Keep the fixpoint resident and answer queries/updates interactively")
+          repl_term;
+        Cmd.v
+          (Cmd.info "serve"
+             ~doc:"Serve the resident fixpoint to concurrent clients on a Unix socket")
+          serve_term;
       ]
   in
   exit (Cmd.eval' cmds)

@@ -19,7 +19,11 @@ module Queries = Dcd_workload.Queries
 module Datasets = Dcd_workload.Datasets
 module Loader = Dcd_workload.Loader
 module Tuple = Dcd_storage.Tuple
+module Relation = Dcd_storage.Relation
 module Vec = Dcd_util.Vec
+module Maintain = Dcd_engine.Maintain
+module Snapshot = Dcd_storage.Snapshot
+module Session = Session
 
 type prepared = {
   source : string;
@@ -80,6 +84,9 @@ let relation result name =
 let relation_count result name = Vec.length (Parallel.relation_vec result name)
 
 let tuples rows = Vec.of_list (List.map Array.of_list rows)
+
+let open_session prepared ~edb ?config () =
+  Session.open_session ~plan:prepared.plan ~edb ?config ()
 
 let explain prepared = Physical.explain prepared.plan
 

@@ -49,7 +49,14 @@ module Queries = Dcd_workload.Queries
 module Datasets = Dcd_workload.Datasets
 module Loader = Dcd_workload.Loader
 module Tuple = Dcd_storage.Tuple
+module Relation = Dcd_storage.Relation
 module Vec = Dcd_util.Vec
+module Maintain = Dcd_engine.Maintain
+module Snapshot = Dcd_storage.Snapshot
+
+module Session = Session
+(** The resident serving runtime: open once, query and update many
+    times (see {!Session.open_session} and {!open_session}). *)
 
 type prepared = {
   source : string;
@@ -135,6 +142,17 @@ val relation_count : Parallel.result -> string -> int
 
 val tuples : int list list -> Tuple.t Vec.t
 (** EDB construction helper. *)
+
+val open_session :
+  prepared ->
+  edb:(string * Tuple.t Vec.t) list ->
+  ?config:config ->
+  unit ->
+  Session.t
+(** Runs the initial fixpoint and keeps it resident: the returned
+    session serves wait-free snapshot reads and maintains the fixpoint
+    incrementally under {!Session.apply_batch} update batches, on a
+    persistent worker pool, until {!Session.close}. *)
 
 val explain : prepared -> string
 (** The physical plan: strata, partition routes, join methods. *)

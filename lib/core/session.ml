@@ -1,0 +1,312 @@
+module Physical = Dcd_planner.Physical
+module Parallel = Dcd_engine.Parallel
+module Maintain = Dcd_engine.Maintain
+module Run_stats = Dcd_engine.Run_stats
+module Catalog = Dcd_engine.Catalog
+module Engine_error = Dcd_engine.Engine_error
+module Cancel = Dcd_concurrent.Cancel
+module Relation = Dcd_storage.Relation
+module Snapshot = Dcd_storage.Snapshot
+module Tuple = Dcd_storage.Tuple
+module Clock = Dcd_util.Clock
+module Vec = Dcd_util.Vec
+
+type state =
+  | Live
+  | Poisoned
+  | Closed
+
+module Tset = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* A published relation: a materialized base plus a small overlay of
+   net changes since the base was last (re)built.  Publishing a batch
+   then costs O(|delta|) instead of O(|relation|); when the overlay
+   outgrows a fraction of the base the next publish compacts it back
+   into a fresh materialization.  Views are immutable once published —
+   a new batch builds new overlay tables, so concurrent readers keep a
+   consistent value forever. *)
+type view = {
+  v_base : Relation.t;
+  v_dead : unit Tset.t; (* ⊆ base: deleted since materialization *)
+  v_extra : Tuple.t list; (* inserted since; disjoint from base \ dead *)
+  v_extra_mem : unit Tset.t; (* [v_extra] as a set *)
+  v_count : int; (* |base| - |dead| + |extra| *)
+}
+
+let view_of_rel rel =
+  {
+    v_base = rel;
+    v_dead = Tset.create 1;
+    v_extra = [];
+    v_extra_mem = Tset.create 1;
+    v_count = Relation.length rel;
+  }
+
+let view_mem v tup =
+  (Relation.mem v.v_base tup && not (Tset.mem v.v_dead tup)) || Tset.mem v.v_extra_mem tup
+
+let view_iter_prefix v ~prefix f =
+  (if Tset.length v.v_dead = 0 then Relation.iter_prefix v.v_base ~prefix f
+   else Relation.iter_prefix v.v_base ~prefix (fun tup -> if not (Tset.mem v.v_dead tup) then f tup));
+  match v.v_extra with
+  | [] -> ()
+  | extra ->
+    let plen = Array.length prefix in
+    List.iter
+      (fun tup ->
+        let ok = ref true in
+        for i = 0 to plen - 1 do
+          if tup.(i) <> prefix.(i) then ok := false
+        done;
+        if !ok then f tup)
+      extra
+
+type t = {
+  plan : Physical.t;
+  config : Parallel.config;
+  runtime : Parallel.runtime;
+  maintain : Maintain.t;
+  stats : Run_stats.t;
+  snap : (string * view) list Snapshot.t;
+  write_mutex : Mutex.t; (* serializes update batches and close *)
+  idx_mutex : Mutex.t; (* guards idx_wanted only *)
+  idx_wanted : (string, unit) Hashtbl.t;
+      (* predicates whose rebuilt snapshots should carry a sorted index
+         (sticky: set by the first prefix scan against each) *)
+  mutable state : state;
+}
+
+let check_deadline = function
+  | Some d when Clock.now () > d ->
+    raise (Engine_error.Error (Engine_error.Cancelled Cancel.Deadline))
+  | _ -> ()
+
+let open_session ~plan ~edb ?(config = Parallel.default_config) () =
+  let runtime = Parallel.create_runtime ~workers:config.Parallel.workers in
+  match
+    let result = Parallel.run ~runtime plan ~edb ~config in
+    let maintain = Maintain.create ~plan ~config ~runtime ~catalog:result.Parallel.catalog () in
+    (result, maintain)
+  with
+  | exception e ->
+    Parallel.destroy_runtime runtime;
+    raise e
+  | result, maintain ->
+    (* version 0 reuses the engine's own materializations: nothing
+       mutates them once the run has returned *)
+    let rels =
+      List.map
+        (fun p ->
+          match Catalog.find result.Parallel.catalog p with
+          | Some rel -> (p, view_of_rel rel)
+          | None ->
+            (p, view_of_rel (Relation.create ~name:p ~arity:(Maintain.arity maintain p) ())))
+        (Maintain.predicates maintain)
+    in
+    {
+      plan;
+      config;
+      runtime;
+      maintain;
+      stats = result.Parallel.stats;
+      snap = Snapshot.create rels;
+      write_mutex = Mutex.create ();
+      idx_mutex = Mutex.create ();
+      idx_wanted = Hashtbl.create 8;
+      state = Live;
+    }
+
+let require_open t =
+  match t.state with
+  | Live -> ()
+  | Poisoned ->
+    invalid_arg "Session: poisoned by an escaped maintenance error; close and reopen"
+  | Closed -> invalid_arg "Session: closed"
+
+(* --- writes --- *)
+
+let apply_batch t ?deadline updates =
+  Mutex.protect t.write_mutex (fun () ->
+      require_open t;
+      (* the deadline gates admission only: once admitted, a batch runs
+         to completion — a half-applied batch is not a state readers
+         could ever be allowed to see *)
+      check_deadline deadline;
+      let t0 = Clock.now () in
+      let report =
+        try Maintain.apply t.maintain updates with
+        | Invalid_argument _ as e -> raise e (* pre-validation: state untouched *)
+        | e ->
+          t.state <- Poisoned;
+          raise e
+      in
+      match
+        let wanted =
+          Mutex.protect t.idx_mutex (fun () ->
+              Hashtbl.fold (fun k () acc -> k :: acc) t.idx_wanted [])
+        in
+        (* full rematerialization of one relation, from the maintenance
+           state; the once-per-batch fallback when a view's overlay has
+           outgrown its base or a sorted index was requested *)
+        let materialize name =
+          let arity = Maintain.arity t.maintain name in
+          let nr =
+            Relation.create
+              ~size_hint:(max 16 (Maintain.visible_count t.maintain name))
+              ~name ~arity ()
+          in
+          Maintain.visible t.maintain name (fun tup -> ignore (Relation.add nr tup));
+          if List.mem name wanted then
+            ignore (Relation.ensure_sorted_index nr ~cols:(Array.init arity Fun.id));
+          view_of_rel nr
+        in
+        let _, old_views = Snapshot.read t.snap in
+        let rels =
+          List.map
+            (fun (name, v) ->
+              match
+                List.find_opt (fun (n, _, _) -> n = name) report.Maintain.br_deltas
+              with
+              | None -> (name, v)
+              | Some (_, ins, del) ->
+                let n_ins = List.length ins and n_del = List.length del in
+                let count = v.v_count + n_ins - n_del in
+                let osize =
+                  Tset.length v.v_dead + Tset.length v.v_extra_mem + n_ins + n_del
+                in
+                let needs_index =
+                  List.mem name wanted
+                  && Relation.find_sorted_index v.v_base
+                       ~cols:(Array.init (Relation.arity v.v_base) Fun.id)
+                     = None
+                in
+                if needs_index || osize * 8 > count then (name, materialize name)
+                else begin
+                  (* fold the net batch delta into fresh overlay tables;
+                     the published ones are never mutated *)
+                  let dead = Tset.copy v.v_dead in
+                  let extra_mem = Tset.copy v.v_extra_mem in
+                  List.iter
+                    (fun tup ->
+                      if Tset.mem extra_mem tup then Tset.remove extra_mem tup
+                      else Tset.replace dead tup ())
+                    del;
+                  let fresh =
+                    List.filter
+                      (fun tup ->
+                        if Tset.mem dead tup then begin
+                          (* deleted earlier, back now: still in base *)
+                          Tset.remove dead tup;
+                          false
+                        end
+                        else begin
+                          Tset.replace extra_mem tup ();
+                          true
+                        end)
+                      ins
+                  in
+                  let extra =
+                    fresh @ List.filter (fun tup -> Tset.mem extra_mem tup) v.v_extra
+                  in
+                  ( name,
+                    { v_base = v.v_base; v_dead = dead; v_extra = extra; v_extra_mem = extra_mem; v_count = count } )
+                end)
+            old_views
+        in
+        ignore (Snapshot.publish t.snap rels);
+        let m = t.stats.Run_stats.maintenance in
+        m.Run_stats.batches <- m.Run_stats.batches + 1;
+        m.Run_stats.base_inserted <- m.Run_stats.base_inserted + report.Maintain.br_base_inserted;
+        m.Run_stats.base_deleted <- m.Run_stats.base_deleted + report.Maintain.br_base_deleted;
+        m.Run_stats.inserted <- m.Run_stats.inserted + report.Maintain.br_derived_inserted;
+        m.Run_stats.deleted <- m.Run_stats.deleted + report.Maintain.br_derived_deleted;
+        m.Run_stats.overdeleted <- m.Run_stats.overdeleted + report.Maintain.br_overdeleted;
+        m.Run_stats.rederived <- m.Run_stats.rederived + report.Maintain.br_rederived;
+        m.Run_stats.recomputed_strata <-
+          m.Run_stats.recomputed_strata + report.Maintain.br_recomputed_strata;
+        m.Run_stats.maintain_s <- m.Run_stats.maintain_s +. (Clock.now () -. t0)
+      with
+      | () -> report
+      | exception e ->
+        (* the fixpoint moved but the snapshot did not: readers are
+           still consistent, the session is not *)
+        t.state <- Poisoned;
+        raise e)
+
+(* --- snapshot reads (no locks; safe against a concurrent batch) --- *)
+
+let version t = Snapshot.version t.snap
+
+let snapshot t =
+  let ver, views = Snapshot.read t.snap in
+  ( ver,
+    List.map
+      (fun (name, v) ->
+        match (Tset.length v.v_dead, v.v_extra) with
+        | 0, [] -> (name, v.v_base)
+        | _ ->
+          (* collapse the overlay into a standalone relation *)
+          let nr =
+            Relation.create ~size_hint:(max 16 v.v_count) ~name
+              ~arity:(Relation.arity v.v_base) ()
+          in
+          view_iter_prefix v ~prefix:[||] (fun tup -> ignore (Relation.add nr (Array.copy tup)));
+          (name, nr))
+      views )
+
+let snap_view t name =
+  let ver, views = Snapshot.read t.snap in
+  match List.assoc_opt name views with
+  | Some v -> (ver, v)
+  | None -> invalid_arg (Printf.sprintf "Session: unknown relation %s" name)
+
+let lookup t name tup =
+  let ver, v = snap_view t name in
+  if Array.length tup <> Relation.arity v.v_base then
+    invalid_arg (Printf.sprintf "Session: arity mismatch for %s" name);
+  (ver, view_mem v tup)
+
+let count t name =
+  let ver, v = snap_view t name in
+  (ver, v.v_count)
+
+let scan t ?deadline ?(prefix = [||]) name =
+  let ver, v = snap_view t name in
+  if Array.length prefix > 0 then
+    (* remember the access pattern so the next publish of this relation
+       carries a sorted index; this snapshot may still scan-filter *)
+    Mutex.protect t.idx_mutex (fun () -> Hashtbl.replace t.idx_wanted name ());
+  let out = ref [] in
+  let n = ref 0 in
+  view_iter_prefix v ~prefix (fun tup ->
+      incr n;
+      if !n land 255 = 0 then check_deadline deadline;
+      out := Array.copy tup :: !out);
+  (ver, List.sort Tuple.compare !out)
+
+let predicates t = Maintain.predicates t.maintain
+
+let is_base t name = Maintain.is_base t.maintain name
+
+let arity t name =
+  let _, v = snap_view t name in
+  Relation.arity v.v_base
+
+let stats t = t.stats
+
+let config t = t.config
+
+let closed t = t.state <> Live
+
+let close t =
+  Mutex.protect t.write_mutex (fun () ->
+      match t.state with
+      | Closed -> ()
+      | Live | Poisoned ->
+        t.state <- Closed;
+        Parallel.destroy_runtime t.runtime)

@@ -1,0 +1,1617 @@
+(* Incremental maintenance of a materialized fixpoint under batched
+   base-relation updates.
+
+   The maintenance state mirrors the engine's catalog as hash-table
+   stores with per-tuple support, processed stratum by stratum in the
+   same bottom-up order the engine evaluated them:
+
+   - non-recursive strata use counting (Gupta–Mumick–Subrahmanian):
+     per-tuple derivation counts, updated by signed delta rules where
+     the delta atom at body position [i] sees the batch delta, positions
+     [< i] see the new state and positions [> i] the old one — the
+     telescoping N0⋈N1 − O0⋈O1 = ∆0⋈O1 + N0⋈∆1, so every changed
+     derivation is counted exactly once with its net sign;
+   - recursive plain strata use DRed: overdelete closure w.r.t. the old
+     database, physical removal, goal-directed rederivation, then
+     worklist insert propagation (semi-naive from the current fixpoint);
+   - recursive strata whose aggregates are all min/max propagate inserts
+     monotonically (improvements only — sound because a grown database
+     can only improve a monotone aggregate) and fall back to a stratum
+     recompute for deletions;
+   - strata with negation, or recursive count/sum aggregates, recompute
+     through the parallel engine itself ({!Parallel.run} on the resident
+     {!Parallel.runtime} pool), then diff against the previous state.
+
+   The old (pre-batch) state of a finished lower stratum is
+   reconstructed per predicate as [(current \ d_ins) ∪ d_del] from the
+   per-batch delta recorder, with lazily built overlay indexes over the
+   delete set for keyed lookups. *)
+
+open Dcd_planner
+module Ast = Dcd_datalog.Ast
+module Analysis = Dcd_datalog.Analysis
+module Tuple = Dcd_storage.Tuple
+module Relation = Dcd_storage.Relation
+module Vec = Dcd_util.Vec
+
+module Tup_tbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type update =
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+
+type batch_report = {
+  br_base_inserted : int;
+  br_base_deleted : int;
+  br_derived_inserted : int;
+  br_derived_deleted : int;
+  br_overdeleted : int;
+  br_rederived : int;
+  br_recomputed_strata : int;
+  br_changed : (string * int * int) list;
+  br_deltas : (string * Dcd_storage.Tuple.t list * Dcd_storage.Tuple.t list) list;
+}
+
+(* --- state --- *)
+
+(* Counting support for an aggregated head in a non-recursive stratum:
+   enough to recompute the group's visible value after any mix of
+   derivation gains and losses. *)
+type agg_support =
+  | Sminmax of (int, int) Hashtbl.t (* value -> derivation count *)
+  | Scount of int Tup_tbl.t (* contributor -> derivation count *)
+  | Ssum of (int, int) Hashtbl.t Tup_tbl.t (* contributor -> value -> count *)
+
+type apred = {
+  a_pos : int;
+  a_kind : Ast.agg_kind;
+  a_best : int Tup_tbl.t; (* group -> visible aggregate value *)
+  a_support : agg_support Tup_tbl.t option; (* counting strata only *)
+}
+
+type pbody =
+  | Pplain of int Tup_tbl.t (* tuple -> derivation count (sets: 1) *)
+  | Pagg of apred
+
+type index = {
+  ix_cols : int array;
+  ix_buckets : unit Tup_tbl.t Tup_tbl.t; (* projected key -> visible tuples *)
+}
+
+(* Per-batch net change recorder.  Invariants after cancellation:
+   d_del ∩ visible = ∅ and d_ins ⊆ visible, so the old state is exactly
+   (visible \ d_ins) ∪ d_del. *)
+type delta = {
+  d_ins : unit Tup_tbl.t;
+  d_del : unit Tup_tbl.t;
+  mutable d_overlays : (int array * unit Tup_tbl.t Tup_tbl.t) list;
+      (* lazy keyed indexes over d_del, for Old-visibility lookups *)
+}
+
+type pred_state = {
+  ps_name : string;
+  ps_arity : int;
+  ps_body : pbody;
+  mutable ps_indexes : index list;
+  ps_delta : delta;
+  ps_ranks : int Tup_tbl.t;
+      (* DRed strata only: a well-founded derivation rank per visible
+         tuple, grounding the rank-decreasing support counts that brake
+         the overdeletion cascade *)
+  ps_supports : int Tup_tbl.t;
+      (* DRed strata only: a lower bound on the number of surviving
+         rank-decreasing derivations of each visible tuple (exact after
+         [build_ranks]; deletions decrement, insertions start at 1).  A
+         positive count proves the tuple derivable in the new fixpoint,
+         so only zero-count tuples join the overdeletion frontier.
+         Lower-bound discipline keeps this sound: decrements may
+         over-fire and increments under-fire — a premature zero only
+         costs a rederivation check, never a wrong fixpoint. *)
+}
+
+(* --- compiled rules --- *)
+
+type catom = {
+  ca_pred : string;
+  ca_args : Ast.term array;
+}
+
+type oelem =
+  | O_atom of int (* index into cr_atoms *)
+  | O_neg of Ast.atom
+  | O_filter of Ast.cmp_op * Ast.expr * Ast.expr
+  | O_assign of string * Ast.expr
+
+type crule = {
+  cr_rule : Ast.rule;
+  cr_head : string;
+  cr_agg : (int * Ast.agg_kind) option;
+  cr_atoms : catom array;
+  cr_others : Ast.literal list; (* negations and comparisons *)
+  mutable cr_orders : (int * oelem list) list;
+      (* greedy orderings cached by scan key: the delta atom index,
+         [-1] = full evaluation, [-2] = head-bound (rederive check) *)
+}
+
+type mode =
+  | M_counting
+  | M_dred
+  | M_aggrec
+  | M_subrun
+
+type cstratum = {
+  cs_stratum : Analysis.stratum;
+  cs_mode : mode;
+  cs_insert_ok : bool; (* aggrec: every aggregate is min/max *)
+  cs_body_preds : string list; (* lower predicates feeding this stratum *)
+  cs_rules : crule array;
+  mutable cs_sub : Physical.t option; (* cached recompute sub-plan *)
+}
+
+type t = {
+  plan : Physical.t;
+  config : Parallel.config;
+  runtime : Parallel.runtime option;
+  preds : (string, pred_state) Hashtbl.t;
+  edb : (string, unit) Hashtbl.t;
+  mutable strata : cstratum list;
+  mutable recording : bool;
+  mutable rank_counter : int;
+      (* strictly above every assigned rank; fresh insertions take the
+         next value so later tuples always outrank their supports *)
+  mutable cur_overdeleted : int;
+  mutable cur_rederived : int;
+  mutable cur_recomputed : int;
+}
+
+type vis =
+  | Cur
+  | Old
+
+exception Found
+
+(* --- basic helpers --- *)
+
+let get_pred mt name =
+  match Hashtbl.find_opt mt.preds name with
+  | Some ps -> ps
+  | None -> invalid_arg (Printf.sprintf "Maintain: unknown predicate %s" name)
+
+let sym_value mt s =
+  match List.assoc_opt s mt.plan.Physical.params with
+  | Some v -> v
+  | None -> Dcd_util.Symbol.intern mt.plan.Physical.symbols s
+
+let term_value mt env = function
+  | Ast.Int i -> i
+  | Ast.Sym s -> sym_value mt s
+  | Ast.Var v -> (
+    match Hashtbl.find_opt env v with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Maintain: unbound variable %s" v))
+
+let rec expr_value mt env = function
+  | Ast.Term t -> term_value mt env t
+  | Ast.Binop (op, a, b) -> (
+    let x = expr_value mt env a and y = expr_value mt env b in
+    match op with
+    | Ast.Add -> x + y
+    | Ast.Sub -> x - y
+    | Ast.Mul -> x * y
+    | Ast.Div -> x / y
+    | Ast.Mod -> x mod y)
+  | Ast.Neg e -> -expr_value mt env e
+
+let group_of a tup =
+  let arity = Array.length tup in
+  let g = Array.make (arity - 1) 0 in
+  let gi = ref 0 in
+  for c = 0 to arity - 1 do
+    if c <> a.a_pos then begin
+      g.(!gi) <- tup.(c);
+      incr gi
+    end
+  done;
+  g
+
+let assemble a group v =
+  let arity = Array.length group + 1 in
+  let tup = Array.make arity 0 in
+  let gi = ref 0 in
+  for c = 0 to arity - 1 do
+    if c = a.a_pos then tup.(c) <- v
+    else begin
+      tup.(c) <- group.(!gi);
+      incr gi
+    end
+  done;
+  tup
+
+let cols_equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+(* --- visibility --- *)
+
+let iter_vis_cur ps f =
+  match ps.ps_body with
+  | Pplain counts -> Tup_tbl.iter (fun tup _ -> f tup) counts
+  | Pagg a -> Tup_tbl.iter (fun g v -> f (assemble a g v)) a.a_best
+
+let mem_cur ps tup =
+  match ps.ps_body with
+  | Pplain counts -> Tup_tbl.mem counts tup
+  | Pagg a -> (
+    let g = group_of a tup in
+    match Tup_tbl.find_opt a.a_best g with
+    | Some v -> v = tup.(a.a_pos)
+    | None -> false)
+
+let mem_vis ps visk tup =
+  match visk with
+  | Cur -> mem_cur ps tup
+  | Old ->
+    let d = ps.ps_delta in
+    (mem_cur ps tup && not (Tup_tbl.mem d.d_ins tup)) || Tup_tbl.mem d.d_del tup
+
+let iter_vis ps visk f =
+  match visk with
+  | Cur -> iter_vis_cur ps f
+  | Old ->
+    let d = ps.ps_delta in
+    iter_vis_cur ps (fun tup -> if not (Tup_tbl.mem d.d_ins tup) then f tup);
+    Tup_tbl.iter (fun tup () -> f tup) d.d_del
+
+let visible_count_ps ps =
+  match ps.ps_body with
+  | Pplain counts -> Tup_tbl.length counts
+  | Pagg a -> Tup_tbl.length a.a_best
+
+(* --- indexes and delta recording --- *)
+
+let bucket_add buckets key tup =
+  let b =
+    match Tup_tbl.find_opt buckets key with
+    | Some b -> b
+    | None ->
+      let b = Tup_tbl.create 4 in
+      Tup_tbl.add buckets key b;
+      b
+  in
+  Tup_tbl.replace b tup ()
+
+let ensure_index ps cols =
+  match List.find_opt (fun ix -> cols_equal ix.ix_cols cols) ps.ps_indexes with
+  | Some ix -> ix
+  | None ->
+    let ix = { ix_cols = Array.copy cols; ix_buckets = Tup_tbl.create 64 } in
+    iter_vis_cur ps (fun tup -> bucket_add ix.ix_buckets (Tuple.project tup ix.ix_cols) tup);
+    ps.ps_indexes <- ix :: ps.ps_indexes;
+    ix
+
+let overlay ps cols =
+  let d = ps.ps_delta in
+  match List.find_opt (fun (c, _) -> cols_equal c cols) d.d_overlays with
+  | Some (_, tbl) -> tbl
+  | None ->
+    let tbl = Tup_tbl.create 16 in
+    Tup_tbl.iter (fun tup () -> bucket_add tbl (Tuple.project tup cols) tup) d.d_del;
+    d.d_overlays <- (Array.copy cols, tbl) :: d.d_overlays;
+    tbl
+
+let record_ins ps tup =
+  let d = ps.ps_delta in
+  if Tup_tbl.mem d.d_del tup then begin
+    Tup_tbl.remove d.d_del tup;
+    d.d_overlays <- []
+  end
+  else if not (Tup_tbl.mem d.d_ins tup) then Tup_tbl.add d.d_ins tup ()
+
+let record_del ps tup =
+  let d = ps.ps_delta in
+  if Tup_tbl.mem d.d_ins tup then Tup_tbl.remove d.d_ins tup
+  else if not (Tup_tbl.mem d.d_del tup) then begin
+    Tup_tbl.add d.d_del tup ();
+    d.d_overlays <- []
+  end
+
+(* The single entry points for a visibility flip: maintain every built
+   index and (once serving) the per-batch delta recorder.  Callers own
+   the support tables. *)
+let visible_insert mt ps tup =
+  List.iter (fun ix -> bucket_add ix.ix_buckets (Tuple.project tup ix.ix_cols) tup) ps.ps_indexes;
+  if mt.recording then record_ins ps tup
+
+let visible_remove mt ps tup =
+  List.iter
+    (fun ix ->
+      match Tup_tbl.find_opt ix.ix_buckets (Tuple.project tup ix.ix_cols) with
+      | Some b -> Tup_tbl.remove b tup
+      | None -> ())
+    ps.ps_indexes;
+  if mt.recording then record_del ps tup
+
+(* --- support updates --- *)
+
+let plain_add mt ps counts tup sign =
+  let cur = Option.value ~default:0 (Tup_tbl.find_opt counts tup) in
+  let nv = cur + sign in
+  if nv < 0 then
+    invalid_arg (Printf.sprintf "Maintain: negative support for %s %s" ps.ps_name (Tuple.to_string tup));
+  if nv = 0 then Tup_tbl.remove counts tup else Tup_tbl.replace counts tup nv;
+  if cur = 0 && nv > 0 then visible_insert mt ps tup
+  else if cur > 0 && nv = 0 then visible_remove mt ps tup
+
+let bump_int tbl k sign =
+  let cur = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
+  let nv = cur + sign in
+  if nv < 0 then invalid_arg "Maintain: negative aggregate support";
+  if nv = 0 then Hashtbl.remove tbl k else Hashtbl.replace tbl k nv
+
+let bump_tup tbl k sign =
+  let cur = Option.value ~default:0 (Tup_tbl.find_opt tbl k) in
+  let nv = cur + sign in
+  if nv < 0 then invalid_arg "Maintain: negative aggregate support";
+  if nv = 0 then Tup_tbl.remove tbl k else Tup_tbl.replace tbl k nv
+
+(* Recomputes a group's visible value from its support after an update,
+   flipping the assembled tuple's visibility when it changed.  Sum
+   groups fold each contributor's largest pending value — a contributor
+   carrying several distinct values at once has no engine-defined order,
+   and the initial-build verification rejects programs where this
+   matters. *)
+let refresh_group mt ps a support_tbl group =
+  let newbest =
+    match Tup_tbl.find_opt support_tbl group with
+    | None -> None
+    | Some (Sminmax vt) ->
+      if Hashtbl.length vt = 0 then None
+      else
+        Hashtbl.fold
+          (fun v _ acc ->
+            match acc with
+            | None -> Some v
+            | Some b -> Some (if a.a_kind = Ast.Min then min b v else max b v))
+          vt None
+    | Some (Scount ct) ->
+      let n = Tup_tbl.length ct in
+      if n = 0 then None else Some n
+    | Some (Ssum st) ->
+      if Tup_tbl.length st = 0 then None
+      else
+        Some
+          (Tup_tbl.fold
+             (fun _ vt acc -> acc + Hashtbl.fold (fun v _ m -> max v m) vt min_int)
+             st 0)
+  in
+  if newbest = None then Tup_tbl.remove support_tbl group;
+  let oldbest = Tup_tbl.find_opt a.a_best group in
+  if oldbest <> newbest then begin
+    (match oldbest with
+    | Some v ->
+      Tup_tbl.remove a.a_best group;
+      visible_remove mt ps (assemble a group v)
+    | None -> ());
+    match newbest with
+    | Some v ->
+      Tup_tbl.replace a.a_best group v;
+      visible_insert mt ps (assemble a group v)
+    | None -> ()
+  end
+
+let agg_support_add mt ps a tuple contrib sign =
+  let group = group_of a tuple in
+  let support_tbl =
+    match a.a_support with
+    | Some s -> s
+    | None -> invalid_arg "Maintain: aggregate support missing"
+  in
+  let sup =
+    match Tup_tbl.find_opt support_tbl group with
+    | Some s -> s
+    | None ->
+      let s =
+        match a.a_kind with
+        | Ast.Min | Ast.Max -> Sminmax (Hashtbl.create 8)
+        | Ast.Count -> Scount (Tup_tbl.create 8)
+        | Ast.Sum -> Ssum (Tup_tbl.create 8)
+      in
+      Tup_tbl.add support_tbl group s;
+      s
+  in
+  (match sup with
+  | Sminmax vt -> bump_int vt tuple.(a.a_pos) sign
+  | Scount ct -> bump_tup ct contrib sign
+  | Ssum st ->
+    let vt =
+      match Tup_tbl.find_opt st contrib with
+      | Some vt -> vt
+      | None ->
+        let vt = Hashtbl.create 4 in
+        Tup_tbl.add st contrib vt;
+        vt
+    in
+    bump_int vt tuple.(a.a_pos) sign;
+    if Hashtbl.length vt = 0 then Tup_tbl.remove st contrib);
+  refresh_group mt ps a support_tbl group
+
+(* --- head emission --- *)
+
+let head_tuple mt cr env =
+  Array.of_list
+    (List.map
+       (fun (arg : Ast.head_arg) ->
+         match arg with
+         | Ast.Plain t -> term_value mt env t
+         | Ast.Agg (Ast.Count, _) -> 0
+         | Ast.Agg ((Ast.Min | Ast.Max), [ t ]) -> term_value mt env t
+         | Ast.Agg (Ast.Sum, ts) -> term_value mt env (List.nth ts (List.length ts - 1))
+         | Ast.Agg _ -> invalid_arg "Maintain: malformed aggregate")
+       cr.cr_rule.Ast.head_args)
+
+(* Reconstructs the tuple a fully-matched body atom is bound to. *)
+let atom_tuple mt env ca = Array.map (term_value mt env) ca.ca_args
+
+let head_contrib mt cr env =
+  Array.of_list
+    (List.concat_map
+       (fun (arg : Ast.head_arg) ->
+         match arg with
+         | Ast.Agg (Ast.Count, ts) -> List.map (term_value mt env) ts
+         | Ast.Agg (Ast.Sum, ts) ->
+           List.map (term_value mt env) (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+         | Ast.Agg ((Ast.Min | Ast.Max), _) | Ast.Plain _ -> [])
+       cr.cr_rule.Ast.head_args)
+
+let emit_counting mt cr env sign =
+  let ps = get_pred mt cr.cr_head in
+  let tuple = head_tuple mt cr env in
+  match (ps.ps_body, cr.cr_agg) with
+  | Pplain counts, None -> plain_add mt ps counts tuple sign
+  | Pagg a, Some _ -> agg_support_add mt ps a tuple (head_contrib mt cr env) sign
+  | _ -> invalid_arg "Maintain: aggregate/plain mismatch"
+
+(* --- rule compilation and greedy ordering --- *)
+
+let compile_rule (r : Ast.rule) =
+  let atoms =
+    Array.of_list
+      (List.filter_map
+         (function
+           | Ast.Pos a -> Some { ca_pred = a.Ast.pred; ca_args = Array.of_list a.Ast.args }
+           | Ast.Neg_lit _ | Ast.Cmp _ -> None)
+         r.Ast.body)
+  in
+  let others =
+    List.filter
+      (function
+        | Ast.Pos _ -> false
+        | Ast.Neg_lit _ | Ast.Cmp _ -> true)
+      r.Ast.body
+  in
+  {
+    cr_rule = r;
+    cr_head = r.Ast.head_pred;
+    cr_agg = Ast.agg_of_rule r;
+    cr_atoms = atoms;
+    cr_others = others;
+    cr_orders = [];
+  }
+
+(* Orders the remaining body for a given scan key: drain every
+   placeable comparison (filter once bound, Eq-with-unbound-var as an
+   assignment) and negation, then the atom with the most bound argument
+   positions — ties broken toward the smaller visible relation, which
+   keeps head-bound probes scanning a narrow EDB bucket instead of a
+   wide recursive one — and repeat. *)
+let compute_order mt cr key =
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let bind_vars vars = List.iter (fun v -> Hashtbl.replace bound v ()) vars in
+  (match key with
+  | -2 ->
+    List.iter
+      (function
+        | Ast.Plain t -> bind_vars (Ast.vars_of_term t)
+        | Ast.Agg _ -> ())
+      cr.cr_rule.Ast.head_args
+  | i when i >= 0 -> Array.iter (fun t -> bind_vars (Ast.vars_of_term t)) cr.cr_atoms.(i).ca_args
+  | _ -> ());
+  let all_bound vars = List.for_all (Hashtbl.mem bound) vars in
+  let remaining_atoms =
+    ref
+      (List.filter
+         (fun i -> i <> key)
+         (List.init (Array.length cr.cr_atoms) (fun i -> i)))
+  in
+  let remaining_others = ref cr.cr_others in
+  let out = ref [] in
+  let rec drain_others () =
+    let placed = ref false in
+    remaining_others :=
+      List.filter
+        (fun lit ->
+          match lit with
+          | Ast.Cmp (op, lhs, rhs) -> (
+            if all_bound (Ast.vars_of_expr lhs) && all_bound (Ast.vars_of_expr rhs) then begin
+              out := O_filter (op, lhs, rhs) :: !out;
+              placed := true;
+              false
+            end
+            else if op <> Ast.Eq then true
+            else
+              match (lhs, rhs) with
+              | Ast.Term (Ast.Var x), e
+                when (not (Hashtbl.mem bound x)) && all_bound (Ast.vars_of_expr e) ->
+                out := O_assign (x, e) :: !out;
+                bind_vars [ x ];
+                placed := true;
+                false
+              | e, Ast.Term (Ast.Var x)
+                when (not (Hashtbl.mem bound x)) && all_bound (Ast.vars_of_expr e) ->
+                out := O_assign (x, e) :: !out;
+                bind_vars [ x ];
+                placed := true;
+                false
+              | _ -> true)
+          | Ast.Neg_lit a ->
+            if all_bound (List.concat_map Ast.vars_of_term a.Ast.args) then begin
+              out := O_neg a :: !out;
+              placed := true;
+              false
+            end
+            else true
+          | Ast.Pos _ -> assert false)
+        !remaining_others;
+    if !placed then drain_others ()
+  in
+  drain_others ();
+  while !remaining_atoms <> [] do
+    let score i =
+      Array.fold_left
+        (fun acc t ->
+          match t with
+          | Ast.Int _ | Ast.Sym _ -> acc + 1
+          | Ast.Var v -> if Hashtbl.mem bound v then acc + 1 else acc)
+        0
+        cr.cr_atoms.(i).ca_args
+    in
+    let size i = visible_count_ps (get_pred mt cr.cr_atoms.(i).ca_pred) in
+    let best =
+      List.fold_left
+        (fun acc i ->
+          match acc with
+          | None -> Some (i, score i)
+          | Some (j, s) ->
+            let si = score i in
+            if si > s || (si = s && size i < size j) then Some (i, si) else acc)
+        None !remaining_atoms
+    in
+    let i, _ = Option.get best in
+    out := O_atom i :: !out;
+    Array.iter (fun t -> bind_vars (Ast.vars_of_term t)) cr.cr_atoms.(i).ca_args;
+    remaining_atoms := List.filter (fun j -> j <> i) !remaining_atoms;
+    drain_others ()
+  done;
+  if !remaining_others <> [] then
+    invalid_arg ("Maintain: cannot order body of " ^ Ast.rule_to_string cr.cr_rule);
+  List.rev !out
+
+let get_order mt cr key =
+  match List.assoc_opt key cr.cr_orders with
+  | Some o -> o
+  | None ->
+    let o = compute_order mt cr key in
+    cr.cr_orders <- (key, o) :: cr.cr_orders;
+    o
+
+(* --- evaluation --- *)
+
+let match_atom mt env (args : Ast.term array) (tup : Tuple.t) =
+  let n = Array.length args in
+  if Array.length tup <> n then None
+  else begin
+    let added = ref [] in
+    let rec go i =
+      if i = n then true
+      else
+        match args.(i) with
+        | Ast.Var v -> (
+          match Hashtbl.find_opt env v with
+          | Some b -> b = tup.(i) && go (i + 1)
+          | None ->
+            Hashtbl.add env v tup.(i);
+            added := v :: !added;
+            go (i + 1))
+        | t -> term_value mt env t = tup.(i) && go (i + 1)
+    in
+    if go 0 then Some !added
+    else begin
+      List.iter (Hashtbl.remove env) !added;
+      None
+    end
+  end
+
+let with_match mt env args tup k =
+  match match_atom mt env args tup with
+  | Some added ->
+    k ();
+    List.iter (Hashtbl.remove env) added
+  | None -> ()
+
+(* Iterates the tuples of [ps] under [visk] matching the atom's
+   argument list against the environment: membership probe when fully
+   bound, keyed bucket scan (with the delete-overlay for Old) when
+   partially bound, full visible scan otherwise. *)
+let iter_match mt ps visk env (args : Ast.term array) k =
+  let arity = Array.length args in
+  if arity <> ps.ps_arity then
+    invalid_arg (Printf.sprintf "Maintain: arity mismatch for %s" ps.ps_name);
+  let vals = Array.make (max arity 1) 0 in
+  let bnd = Array.make (max arity 1) false in
+  let nbound = ref 0 in
+  Array.iteri
+    (fun i t ->
+      match t with
+      | Ast.Int v ->
+        vals.(i) <- v;
+        bnd.(i) <- true;
+        incr nbound
+      | Ast.Sym s ->
+        vals.(i) <- sym_value mt s;
+        bnd.(i) <- true;
+        incr nbound
+      | Ast.Var v -> (
+        match Hashtbl.find_opt env v with
+        | Some x ->
+          vals.(i) <- x;
+          bnd.(i) <- true;
+          incr nbound
+        | None -> ()))
+    args;
+  if !nbound = arity then begin
+    (* [vals] already has length [arity] unless the atom is nullary;
+       the membership probe only hashes and compares, never retains *)
+    let tup = if arity = Array.length vals then vals else Array.sub vals 0 arity in
+    if mem_vis ps visk tup then k ()
+  end
+  else if !nbound = 0 then iter_vis ps visk (fun tup -> with_match mt env args tup k)
+  else begin
+    let cols = Array.make !nbound 0 in
+    let key = Array.make !nbound 0 in
+    let j = ref 0 in
+    for i = 0 to arity - 1 do
+      if bnd.(i) then begin
+        cols.(!j) <- i;
+        key.(!j) <- vals.(i);
+        incr j
+      end
+    done;
+    let ix = ensure_index ps cols in
+    match visk with
+    | Cur -> (
+      match Tup_tbl.find_opt ix.ix_buckets key with
+      | Some b -> Tup_tbl.iter (fun tup () -> with_match mt env args tup k) b
+      | None -> ())
+    | Old ->
+      let d = ps.ps_delta in
+      (match Tup_tbl.find_opt ix.ix_buckets key with
+      | Some b ->
+        Tup_tbl.iter
+          (fun tup () -> if not (Tup_tbl.mem d.d_ins tup) then with_match mt env args tup k)
+          b
+      | None -> ());
+      let ov = overlay ps cols in
+      (match Tup_tbl.find_opt ov key with
+      | Some b -> Tup_tbl.iter (fun tup () -> with_match mt env args tup k) b
+      | None -> ())
+  end
+
+let rec eval_elems mt cr env elems ~vis_of ~emit =
+  match elems with
+  | [] -> emit ()
+  | O_atom i :: rest ->
+    let ca = cr.cr_atoms.(i) in
+    let ps = get_pred mt ca.ca_pred in
+    iter_match mt ps (vis_of i) env ca.ca_args (fun () ->
+        eval_elems mt cr env rest ~vis_of ~emit)
+  | O_neg a :: rest ->
+    let tup = Array.of_list (List.map (term_value mt env) a.Ast.args) in
+    let ps = get_pred mt a.Ast.pred in
+    if not (mem_vis ps Cur tup) then eval_elems mt cr env rest ~vis_of ~emit
+  | O_filter (op, lhs, rhs) :: rest -> (
+    match (expr_value mt env lhs, expr_value mt env rhs) with
+    | x, y -> if Physical.eval_cmp op x y then eval_elems mt cr env rest ~vis_of ~emit
+    | exception Division_by_zero -> ())
+  | O_assign (x, e) :: rest -> (
+    match expr_value mt env e with
+    | v ->
+      Hashtbl.add env x v;
+      eval_elems mt cr env rest ~vis_of ~emit;
+      Hashtbl.remove env x
+    | exception Division_by_zero -> ())
+
+(* --- counting strata --- *)
+
+let counting_pass mt cs =
+  let env : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          let d = (get_pred mt ca.ca_pred).ps_delta in
+          if Tup_tbl.length d.d_ins > 0 || Tup_tbl.length d.d_del > 0 then begin
+            let order = get_order mt cr i in
+            let vis_of j = if j < i then Cur else Old in
+            let run_delta tbl sign =
+              Tup_tbl.iter
+                (fun tup () ->
+                  with_match mt env ca.ca_args tup (fun () ->
+                      eval_elems mt cr env order ~vis_of ~emit:(fun () ->
+                          emit_counting mt cr env sign)))
+                tbl
+            in
+            run_delta d.d_del (-1);
+            run_delta d.d_ins 1
+          end)
+        cr.cr_atoms)
+    cs.cs_rules
+
+(* --- recursive plain strata (DRed) --- *)
+
+(* Binds [tup] against the rule head, extending [env]; false when the
+   head cannot produce this tuple (constant clash or aggregate). *)
+let bind_head mt cr env tup =
+  try
+    List.iteri
+      (fun i (arg : Ast.head_arg) ->
+        match arg with
+        | Ast.Plain (Ast.Var v) -> (
+          match Hashtbl.find_opt env v with
+          | Some b -> if b <> tup.(i) then raise Exit
+          | None -> Hashtbl.add env v tup.(i))
+        | Ast.Plain t -> if term_value mt env t <> tup.(i) then raise Exit
+        | Ast.Agg _ -> raise Exit)
+      cr.cr_rule.Ast.head_args;
+    true
+  with Exit -> false
+
+(* Head-bound goal check: does any rule for [tup]'s predicate still
+   derive it from the current (post-delete) state? *)
+let rederive_check mt cr tup =
+  let env : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  bind_head mt cr env tup
+  &&
+  let order = get_order mt cr (-2) in
+  match eval_elems mt cr env order ~vis_of:(fun _ -> Cur) ~emit:(fun () -> raise Found) with
+  | () -> false
+  | exception Found -> true
+
+(* Derivation ranks for a DRed stratum: rank(t) = 1 + max rank over the
+   same-stratum atoms of some derivation (0 when a rule without
+   same-stratum atoms derives it) — a layered, well-founded labelling
+   of the adopted fixpoint.  The overdelete phase counts surviving
+   rank-decreasing derivations; soundness needs only well-foundedness,
+   so approximate or drifting ranks merely make the counts more
+   conservative, never wrong. *)
+let build_ranks mt cs =
+  let stratum = cs.cs_stratum in
+  let in_stratum p = List.mem p stratum.Analysis.preds in
+  let env : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let frontier = Vec.create () in
+  let try_rank p tup r =
+    let ps = get_pred mt p in
+    if mem_cur ps tup && not (Tup_tbl.mem ps.ps_ranks tup) then begin
+      Tup_tbl.replace ps.ps_ranks tup r;
+      Vec.push frontier (p, tup)
+    end
+  in
+  (* A derivation is usable once every same-stratum atom is ranked; an
+     instantiation blocked on an unranked atom re-emerges when that
+     atom's own frontier entry is processed.  The same enumeration
+     seeds the support counts: a rank-decreasing instantiation is
+     counted when found from its lexicographically greatest
+     (rank, position) same-stratum atom — by then the others are
+     already ranked, and no other frontier entry claims the same
+     instantiation as its own maximum, so nothing is counted twice
+     (an instantiation missed because an atom ranked late merely
+     leaves the lower bound tighter).  Instantiations binding the same
+     tuple to several same-stratum atoms are never counted: once that
+     tuple dies the survivors cannot re-enumerate them to decrement.
+     [i] is the frontier atom position, [-1] in the base pass. *)
+  let emit cr i () =
+    let n = Array.length cr.cr_atoms in
+    let tups = Array.make n [||] in
+    let ok = ref true and r = ref 0 and best = ref (-1) and best_r = ref (-1) in
+    Array.iteri
+      (fun j ca ->
+        if !ok && in_stratum ca.ca_pred then begin
+          let t = atom_tuple mt env ca in
+          tups.(j) <- t;
+          match Tup_tbl.find_opt (get_pred mt ca.ca_pred).ps_ranks t with
+          | Some x ->
+            if x >= !r then r := x + 1;
+            if x > !best_r || (x = !best_r && j > !best) then begin
+              best_r := x;
+              best := j
+            end
+          | None -> ok := false
+        end)
+      cr.cr_atoms;
+    if !ok then begin
+      let h = head_tuple mt cr env in
+      try_rank cr.cr_head h !r;
+      if !best = i then begin
+        let dup = ref false in
+        Array.iteri
+          (fun j ca ->
+            if in_stratum ca.ca_pred then
+              for k = j + 1 to n - 1 do
+                if cr.cr_atoms.(k).ca_pred = ca.ca_pred && tups.(j) = tups.(k) then dup := true
+              done)
+          cr.cr_atoms;
+        if not !dup then
+          let ps = get_pred mt cr.cr_head in
+          match Tup_tbl.find_opt ps.ps_ranks h with
+          | Some hr when hr = !r ->
+            Tup_tbl.replace ps.ps_supports h
+              (1 + Option.value ~default:0 (Tup_tbl.find_opt ps.ps_supports h))
+          | _ -> ()
+      end
+    end
+  in
+  Array.iter
+    (fun cr ->
+      if Array.for_all (fun ca -> not (in_stratum ca.ca_pred)) cr.cr_atoms then
+        eval_elems mt cr env (get_order mt cr (-1)) ~vis_of:(fun _ -> Cur) ~emit:(emit cr (-1)))
+    cs.cs_rules;
+  let cursor = ref 0 in
+  while !cursor < Vec.length frontier do
+    let p, tup = Vec.get frontier !cursor in
+    incr cursor;
+    Array.iter
+      (fun cr ->
+        Array.iteri
+          (fun i ca ->
+            if ca.ca_pred = p then
+              with_match mt env ca.ca_args tup (fun () ->
+                  eval_elems mt cr env (get_order mt cr i) ~vis_of:(fun _ -> Cur)
+                    ~emit:(emit cr i)))
+          cr.cr_atoms)
+      cs.cs_rules
+  done;
+  List.iter
+    (fun p ->
+      let ps = get_pred mt p in
+      let m = Tup_tbl.fold (fun _ r acc -> max acc r) ps.ps_ranks mt.rank_counter in
+      mt.rank_counter <- m + 1)
+    stratum.Analysis.preds
+
+let dred_pass mt cs =
+  let stratum = cs.cs_stratum in
+  let in_stratum p = List.mem p stratum.Analysis.preds in
+  let env : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let dsets = List.map (fun p -> (p, Tup_tbl.create 64)) stratum.Analysis.preds in
+  let dset p = List.assoc p dsets in
+  (* phases 1 and 2: support-counted overdeletion.  Instead of the
+     classic DRed closure — overdelete everything the dead tuples ever
+     helped derive, then rederive most of it back — each death
+     decrements the rank-decreasing support counts of the derivations
+     it kills, and a tuple dies only when its count reaches zero, i.e.
+     when no surviving well-founded derivation is left.  On densely
+     supported fixpoints (transitive closure over one big SCC is the
+     canonical case) the cascade stops at roughly the true deleted
+     delta instead of unravelling the whole stratum.  A zero count is
+     still only a *candidate* death: phase 3 rederives any tuple that
+     survives via a rank-increasing derivation, so conservative counts
+     cost time, never correctness. *)
+  let dead = Vec.create () in
+  let kill p tup =
+    let ds = dset p in
+    if not (Tup_tbl.mem ds tup) then begin
+      let r =
+        match Tup_tbl.find_opt (get_pred mt p).ps_ranks tup with
+        | Some r -> r
+        | None -> 0
+      in
+      Tup_tbl.add ds tup ();
+      Vec.push dead (p, tup, r)
+    end
+  in
+  let rank_of p tup = Tup_tbl.find_opt (get_pred mt p).ps_ranks tup in
+  (* Decrement the head's support for the instantiation bound in [env],
+     provided the count could have included it: a rank-decreasing
+     derivation of a still-live head.  [delta_rank] carries the dying
+     delta atom's rank (None for a lower-stratum delta, which the rank
+     condition ignores).  The stratum stays physically untouched for
+     the whole cascade, so a derivation with several dying atoms is
+     re-enumerated — and decremented — once per death; counted once,
+     decremented possibly more, the bound only drops, which stays
+     sound. *)
+  let decrement cr i delta_rank =
+    let head_ps = get_pred mt cr.cr_head in
+    let h = head_tuple mt cr env in
+    if mem_cur head_ps h && not (Tup_tbl.mem (dset cr.cr_head) h) then
+      match Tup_tbl.find_opt head_ps.ps_ranks h with
+      | None -> ()
+      | Some hr ->
+        let ok = ref (match delta_rank with Some r -> r < hr | None -> true) in
+        Array.iteri
+          (fun j ca ->
+            if !ok && j <> i && in_stratum ca.ca_pred then
+              match rank_of ca.ca_pred (atom_tuple mt env ca) with
+              | Some r -> if r >= hr then ok := false
+              | None -> ok := false)
+          cr.cr_atoms;
+        if !ok then begin
+          let s =
+            match Tup_tbl.find_opt head_ps.ps_supports h with
+            | Some s -> s
+            | None -> 0
+          in
+          if s <= 1 then kill cr.cr_head h
+          else Tup_tbl.replace head_ps.ps_supports h (s - 1)
+        end
+  in
+  (* seed: derivations lost to lower-stratum deletions — lower atoms
+     read Old, same-stratum atoms the physically untouched pre-batch
+     fixpoint *)
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          if not (in_stratum ca.ca_pred) then begin
+            let d = (get_pred mt ca.ca_pred).ps_delta in
+            if Tup_tbl.length d.d_del > 0 then begin
+              let order = get_order mt cr i in
+              let vis_of j = if in_stratum cr.cr_atoms.(j).ca_pred then Cur else Old in
+              Tup_tbl.iter
+                (fun tup () ->
+                  with_match mt env ca.ca_args tup (fun () ->
+                      eval_elems mt cr env order ~vis_of ~emit:(fun () -> decrement cr i None)))
+                d.d_del
+            end
+          end)
+        cr.cr_atoms)
+    cs.cs_rules;
+  (* cascade: deaths propagate by decrement; lower relations read their
+     new fixpoint (derivations through same-batch lower insertions were
+     never counted, so decrementing or skipping them is equally sound) *)
+  let cursor = ref 0 in
+  while !cursor < Vec.length dead do
+    let p, tup, r = Vec.get dead !cursor in
+    incr cursor;
+    Array.iter
+      (fun cr ->
+        Array.iteri
+          (fun i ca ->
+            if ca.ca_pred = p then
+              with_match mt env ca.ca_args tup (fun () ->
+                  eval_elems mt cr env (get_order mt cr i) ~vis_of:(fun _ -> Cur)
+                    ~emit:(fun () -> decrement cr i (Some r))))
+          cr.cr_atoms)
+      cs.cs_rules
+  done;
+  (* phase 2: physically remove the dead set *)
+  List.iter
+    (fun (p, ds) ->
+      let ps = get_pred mt p in
+      let counts =
+        match ps.ps_body with
+        | Pplain c -> c
+        | Pagg _ -> invalid_arg "Maintain: aggregate in DRed stratum"
+      in
+      Tup_tbl.iter
+        (fun tup () ->
+          if Tup_tbl.mem counts tup then begin
+            Tup_tbl.remove counts tup;
+            Tup_tbl.remove ps.ps_ranks tup;
+            Tup_tbl.remove ps.ps_supports tup;
+            visible_remove mt ps tup
+          end)
+        ds;
+      mt.cur_overdeleted <- mt.cur_overdeleted + Tup_tbl.length ds)
+    dsets;
+  (* phases 3 and 4: goal-directed rederivation of the overdeleted
+     tuples, then worklist insert propagation — rederived tuples and
+     lower-stratum insertions enter the same semi-naive frontier.
+     Emissions are buffered per evaluation so no table is mutated while
+     one of its buckets is being iterated. *)
+  let prop = Vec.create () in
+  let buffer = Vec.create () in
+  let try_insert p tup =
+    let ps = get_pred mt p in
+    let counts =
+      match ps.ps_body with
+      | Pplain c -> c
+      | Pagg _ -> assert false
+    in
+    if not (Tup_tbl.mem counts tup) then begin
+      Tup_tbl.replace counts tup 1;
+      (* any fresh well-founded rank keeps future counts sound; the
+         monotone counter also orders same-batch inserts by derivation.
+         One support is a lower bound — further derivations discovered
+         later go uncounted, which only risks a premature candidate. *)
+      Tup_tbl.replace ps.ps_ranks tup mt.rank_counter;
+      Tup_tbl.replace ps.ps_supports tup 1;
+      mt.rank_counter <- mt.rank_counter + 1;
+      visible_insert mt ps tup;
+      if Tup_tbl.mem (dset p) tup then mt.cur_rederived <- mt.cur_rederived + 1;
+      Vec.push prop (p, tup)
+    end
+  in
+  let flush_buffer () =
+    Vec.iter (fun (p, h) -> try_insert p h) buffer;
+    Vec.clear buffer
+  in
+  List.iter
+    (fun (p, ds) ->
+      let rules_for =
+        List.filter (fun cr -> cr.cr_head = p) (Array.to_list cs.cs_rules)
+      in
+      Tup_tbl.iter
+        (fun tup () ->
+          if List.exists (fun cr -> rederive_check mt cr tup) rules_for then
+            Vec.push buffer (p, tup))
+        ds;
+      flush_buffer ())
+    dsets;
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          if not (in_stratum ca.ca_pred) then begin
+            let d = (get_pred mt ca.ca_pred).ps_delta in
+            if Tup_tbl.length d.d_ins > 0 then begin
+              let order = get_order mt cr i in
+              Tup_tbl.iter
+                (fun tup () ->
+                  with_match mt env ca.ca_args tup (fun () ->
+                      eval_elems mt cr env order ~vis_of:(fun _ -> Cur) ~emit:(fun () ->
+                          Vec.push buffer (cr.cr_head, head_tuple mt cr env))))
+                d.d_ins;
+              flush_buffer ()
+            end
+          end)
+        cr.cr_atoms)
+    cs.cs_rules;
+  let cursor = ref 0 in
+  while !cursor < Vec.length prop do
+    let p, tup = Vec.get prop !cursor in
+    incr cursor;
+    Array.iter
+      (fun cr ->
+        Array.iteri
+          (fun i ca ->
+            if ca.ca_pred = p then begin
+              let order = get_order mt cr i in
+              with_match mt env ca.ca_args tup (fun () ->
+                  eval_elems mt cr env order ~vis_of:(fun _ -> Cur) ~emit:(fun () ->
+                      Vec.push buffer (cr.cr_head, head_tuple mt cr env)));
+              flush_buffer ()
+            end)
+          cr.cr_atoms)
+      cs.cs_rules
+  done
+
+(* --- recursive min/max aggregate strata: monotone insert propagation --- *)
+
+let aggrec_insert_pass mt cs =
+  let stratum = cs.cs_stratum in
+  let in_stratum p = List.mem p stratum.Analysis.preds in
+  let env : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let prop = Vec.create () in
+  let buffer = Vec.create () in
+  let merge p tup =
+    let ps = get_pred mt p in
+    match ps.ps_body with
+    | Pplain counts ->
+      if not (Tup_tbl.mem counts tup) then begin
+        Tup_tbl.replace counts tup 1;
+        visible_insert mt ps tup;
+        Vec.push prop (p, tup)
+      end
+    | Pagg a -> (
+      let g = group_of a tup in
+      let v = tup.(a.a_pos) in
+      let improves =
+        match Tup_tbl.find_opt a.a_best g with
+        | None -> true
+        | Some cur -> (
+          match a.a_kind with
+          | Ast.Min -> v < cur
+          | Ast.Max -> v > cur
+          | Ast.Count | Ast.Sum -> invalid_arg "Maintain: non-monotone aggregate insert")
+      in
+      if improves then begin
+        (match Tup_tbl.find_opt a.a_best g with
+        | Some cur ->
+          Tup_tbl.remove a.a_best g;
+          visible_remove mt ps (assemble a g cur)
+        | None -> ());
+        Tup_tbl.replace a.a_best g v;
+        visible_insert mt ps tup;
+        Vec.push prop (p, tup)
+      end)
+  in
+  let flush_buffer () =
+    Vec.iter (fun (p, h) -> merge p h) buffer;
+    Vec.clear buffer
+  in
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          if not (in_stratum ca.ca_pred) then begin
+            let d = (get_pred mt ca.ca_pred).ps_delta in
+            if Tup_tbl.length d.d_ins > 0 then begin
+              let order = get_order mt cr i in
+              Tup_tbl.iter
+                (fun tup () ->
+                  with_match mt env ca.ca_args tup (fun () ->
+                      eval_elems mt cr env order ~vis_of:(fun _ -> Cur) ~emit:(fun () ->
+                          Vec.push buffer (cr.cr_head, head_tuple mt cr env))))
+                d.d_ins;
+              flush_buffer ()
+            end
+          end)
+        cr.cr_atoms)
+    cs.cs_rules;
+  let cursor = ref 0 in
+  while !cursor < Vec.length prop do
+    let p, tup = Vec.get prop !cursor in
+    incr cursor;
+    Array.iter
+      (fun cr ->
+        Array.iteri
+          (fun i ca ->
+            if ca.ca_pred = p then begin
+              let order = get_order mt cr i in
+              with_match mt env ca.ca_args tup (fun () ->
+                  eval_elems mt cr env order ~vis_of:(fun _ -> Cur) ~emit:(fun () ->
+                      Vec.push buffer (cr.cr_head, head_tuple mt cr env)));
+              flush_buffer ()
+            end)
+          cr.cr_atoms)
+      cs.cs_rules
+  done
+
+(* --- stratum recompute through the parallel engine --- *)
+
+let collect_syms rules =
+  let acc = Hashtbl.create 16 in
+  let term = function
+    | Ast.Sym s -> Hashtbl.replace acc s ()
+    | Ast.Int _ | Ast.Var _ -> ()
+  in
+  let rec expr = function
+    | Ast.Term t -> term t
+    | Ast.Binop (_, a, b) ->
+      expr a;
+      expr b
+    | Ast.Neg e -> expr e
+  in
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter
+        (fun (ha : Ast.head_arg) ->
+          match ha with
+          | Ast.Plain t -> term t
+          | Ast.Agg (_, ts) -> List.iter term ts)
+        r.Ast.head_args;
+      List.iter
+        (fun lit ->
+          match lit with
+          | Ast.Pos a | Ast.Neg_lit a -> List.iter term a.Ast.args
+          | Ast.Cmp (_, l, r') ->
+            expr l;
+            expr r')
+        r.Ast.body)
+    rules;
+  Hashtbl.fold (fun s () l -> s :: l) acc []
+
+let sub_plan mt cs =
+  match cs.cs_sub with
+  | Some p -> p
+  | None ->
+    let rules = cs.cs_stratum.Analysis.base_rules @ cs.cs_stratum.Analysis.recursive_rules in
+    let program = { Ast.rules } in
+    let info =
+      match Analysis.analyze program with
+      | Ok i -> i
+      | Error e -> invalid_arg ("Maintain: sub-program analysis failed: " ^ e)
+    in
+    (* resolve every symbolic constant against the session plan's table
+       so interned ids agree with the maintained tuples *)
+    let params =
+      List.fold_left
+        (fun acc s ->
+          if List.mem_assoc s acc then acc
+          else (s, Dcd_util.Symbol.intern mt.plan.Physical.symbols s) :: acc)
+        mt.plan.Physical.params (collect_syms rules)
+    in
+    let plan =
+      match Physical.compile ~params info with
+      | Ok p -> p
+      | Error e -> invalid_arg ("Maintain: sub-program compile failed: " ^ e)
+    in
+    cs.cs_sub <- Some plan;
+    plan
+
+let visible_vec_of mt p =
+  let v = Vec.create () in
+  iter_vis_cur (get_pred mt p) (fun tup -> Vec.push v tup);
+  v
+
+let recompute mt cs =
+  mt.cur_recomputed <- mt.cur_recomputed + 1;
+  let sub = sub_plan mt cs in
+  let edb = List.map (fun p -> (p, visible_vec_of mt p)) sub.Physical.info.Analysis.edb in
+  let config =
+    {
+      mt.config with
+      Parallel.fault = None;
+      checkpoint_every = 0;
+      max_recoveries = 0;
+      coord = Coord.default_config;
+    }
+  in
+  let result = Parallel.run ?runtime:mt.runtime sub ~edb ~config in
+  List.iter
+    (fun p ->
+      let ps = get_pred mt p in
+      let newvec = Parallel.relation_vec result p in
+      match ps.ps_body with
+      | Pplain counts ->
+        let newset = Tup_tbl.create (max 16 (Vec.length newvec)) in
+        Vec.iter (fun tup -> Tup_tbl.replace newset tup ()) newvec;
+        let stale = ref [] in
+        Tup_tbl.iter
+          (fun tup _ -> if not (Tup_tbl.mem newset tup) then stale := tup :: !stale)
+          counts;
+        List.iter
+          (fun tup ->
+            Tup_tbl.remove counts tup;
+            visible_remove mt ps tup)
+          !stale;
+        Tup_tbl.iter
+          (fun tup () ->
+            if not (Tup_tbl.mem counts tup) then begin
+              Tup_tbl.replace counts tup 1;
+              visible_insert mt ps tup
+            end)
+          newset
+      | Pagg a ->
+        let newbest = Tup_tbl.create 64 in
+        Vec.iter (fun tup -> Tup_tbl.replace newbest (group_of a tup) tup.(a.a_pos)) newvec;
+        let stale = ref [] in
+        Tup_tbl.iter
+          (fun g v ->
+            match Tup_tbl.find_opt newbest g with
+            | Some v' when v' = v -> ()
+            | _ -> stale := (g, v) :: !stale)
+          a.a_best;
+        List.iter
+          (fun (g, v) ->
+            Tup_tbl.remove a.a_best g;
+            visible_remove mt ps (assemble a g v))
+          !stale;
+        Tup_tbl.iter
+          (fun g v ->
+            if not (Tup_tbl.mem a.a_best g) then begin
+              Tup_tbl.replace a.a_best g v;
+              visible_insert mt ps (assemble a g v)
+            end)
+          newbest)
+    cs.cs_stratum.Analysis.preds
+
+(* --- construction --- *)
+
+let new_ps name arity body =
+  {
+    ps_name = name;
+    ps_arity = arity;
+    ps_body = body;
+    ps_indexes = [];
+    ps_delta = { d_ins = Tup_tbl.create 16; d_del = Tup_tbl.create 16; d_overlays = [] };
+    ps_ranks = Tup_tbl.create 16;
+    ps_supports = Tup_tbl.create 16;
+  }
+
+let arity_of info p =
+  match List.assoc_opt p info.Analysis.arities with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Maintain: unknown arity for %s" p)
+
+let create ~plan ~config ?runtime ~catalog () =
+  if config.Parallel.max_iterations > 0 then
+    invalid_arg "Maintain: bounded-iteration programs cannot be incrementally maintained";
+  (match runtime with
+  | Some rt when rt.Parallel.rt_workers <> config.Parallel.workers ->
+    invalid_arg "Maintain: runtime/config worker mismatch"
+  | _ -> ());
+  let mt =
+    {
+      plan;
+      config;
+      runtime;
+      preds = Hashtbl.create 32;
+      edb = Hashtbl.create 16;
+      strata = [];
+      recording = false;
+      rank_counter = 1;
+      cur_overdeleted = 0;
+      cur_rederived = 0;
+      cur_recomputed = 0;
+    }
+  in
+  let info = plan.Physical.info in
+  List.iter
+    (fun pred ->
+      let counts = Tup_tbl.create 64 in
+      (match Catalog.find catalog pred with
+      | Some rel -> Relation.iter (fun tup -> Tup_tbl.replace counts tup 1) rel
+      | None -> ());
+      Hashtbl.replace mt.preds pred (new_ps pred (arity_of info pred) (Pplain counts));
+      Hashtbl.replace mt.edb pred ())
+    info.Analysis.edb;
+  mt.strata <-
+    List.map
+      (fun (st : Analysis.stratum) ->
+        let rules = st.Analysis.base_rules @ st.Analysis.recursive_rules in
+        let has_neg =
+          List.exists
+            (fun (r : Ast.rule) ->
+              List.exists
+                (function
+                  | Ast.Neg_lit _ -> true
+                  | Ast.Pos _ | Ast.Cmp _ -> false)
+                r.Ast.body)
+            rules
+        in
+        let agg_preds =
+          List.filter (fun p -> List.mem_assoc p info.Analysis.aggregated) st.Analysis.preds
+        in
+        let mode =
+          if has_neg then M_subrun
+          else if st.Analysis.kind = Analysis.Nonrecursive then M_counting
+          else if agg_preds <> [] then M_aggrec
+          else M_dred
+        in
+        let insert_ok =
+          List.for_all
+            (fun p ->
+              match List.assoc p info.Analysis.aggregated with
+              | _, (Ast.Min | Ast.Max) -> true
+              | _, (Ast.Count | Ast.Sum) -> false)
+            agg_preds
+        in
+        let body_preds =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (r : Ast.rule) ->
+                 List.filter_map
+                   (function
+                     | Ast.Pos a | Ast.Neg_lit a ->
+                       if List.mem a.Ast.pred st.Analysis.preds then None else Some a.Ast.pred
+                     | Ast.Cmp _ -> None)
+                   r.Ast.body)
+               rules)
+        in
+        List.iter
+          (fun p ->
+            let body =
+              match List.assoc_opt p info.Analysis.aggregated with
+              | Some (pos, kind) ->
+                Pagg
+                  {
+                    a_pos = pos;
+                    a_kind = kind;
+                    a_best = Tup_tbl.create 64;
+                    a_support = (if mode = M_counting then Some (Tup_tbl.create 64) else None);
+                  }
+              | None -> Pplain (Tup_tbl.create 64)
+            in
+            Hashtbl.replace mt.preds p (new_ps p (arity_of info p) body))
+          st.Analysis.preds;
+        let cs =
+          {
+            cs_stratum = st;
+            cs_mode = mode;
+            cs_insert_ok = insert_ok;
+            cs_body_preds = body_preds;
+            cs_rules = Array.of_list (List.map compile_rule rules);
+            cs_sub = None;
+          }
+        in
+        (match mode with
+        | M_counting ->
+          (* rebuild the support from scratch (one pass: the bodies are
+             all lower-stratum), then verify the visible set reproduces
+             the engine's materialization exactly *)
+          let env : (string, int) Hashtbl.t = Hashtbl.create 32 in
+          Array.iter
+            (fun cr ->
+              let order = get_order mt cr (-1) in
+              eval_elems mt cr env order ~vis_of:(fun _ -> Cur) ~emit:(fun () ->
+                  emit_counting mt cr env 1))
+            cs.cs_rules;
+          List.iter
+            (fun p ->
+              let ps = get_pred mt p in
+              let rel = Catalog.find catalog p in
+              let rel_len = match rel with Some r -> Relation.length r | None -> 0 in
+              let vis_len = visible_count_ps ps in
+              let ok =
+                rel_len = vis_len
+                &&
+                match rel with
+                | None -> true
+                | Some r ->
+                  let good = ref true in
+                  Relation.iter (fun tup -> if not (mem_cur ps tup) then good := false) r;
+                  !good
+              in
+              if not ok then
+                invalid_arg
+                  (Printf.sprintf
+                     "Maintain: support interpreter diverged from the engine on %s (engine %d \
+                      tuples, interpreter %d)"
+                     p rel_len vis_len))
+            st.Analysis.preds
+        | M_dred | M_aggrec | M_subrun ->
+          (* adopt the engine's fixpoint as the maintained state *)
+          List.iter
+            (fun p ->
+              let ps = get_pred mt p in
+              match Catalog.find catalog p with
+              | None -> ()
+              | Some rel -> (
+                match ps.ps_body with
+                | Pplain counts -> Relation.iter (fun tup -> Tup_tbl.replace counts tup 1) rel
+                | Pagg a ->
+                  Relation.iter
+                    (fun tup -> Tup_tbl.replace a.a_best (group_of a tup) tup.(a.a_pos))
+                    rel))
+            st.Analysis.preds;
+          if mode = M_dred then build_ranks mt cs);
+        cs)
+      info.Analysis.strata;
+  mt.recording <- true;
+  mt
+
+(* --- batch application --- *)
+
+let apply mt updates =
+  (* validate (and defensively copy) the whole batch before any
+     mutation: user errors must not tear the resident state *)
+  let norm =
+    List.map
+      (fun u ->
+        let name, tup, ins =
+          match u with
+          | Insert (n, t) -> (n, t, true)
+          | Delete (n, t) -> (n, t, false)
+        in
+        let ps =
+          match Hashtbl.find_opt mt.preds name with
+          | Some ps -> ps
+          | None -> invalid_arg (Printf.sprintf "Maintain: unknown relation %s" name)
+        in
+        if not (Hashtbl.mem mt.edb name) then
+          invalid_arg (Printf.sprintf "Maintain: %s is derived, not a base relation" name);
+        if Array.length tup <> ps.ps_arity then
+          invalid_arg
+            (Printf.sprintf "Maintain: arity mismatch for %s (expected %d, got %d)" name
+               ps.ps_arity (Array.length tup));
+        (ps, Array.copy tup, ins))
+      updates
+  in
+  mt.cur_overdeleted <- 0;
+  mt.cur_rederived <- 0;
+  mt.cur_recomputed <- 0;
+  List.iter
+    (fun (ps, tup, ins) ->
+      let counts =
+        match ps.ps_body with
+        | Pplain c -> c
+        | Pagg _ -> assert false
+      in
+      if ins then begin
+        if not (Tup_tbl.mem counts tup) then begin
+          Tup_tbl.replace counts tup 1;
+          visible_insert mt ps tup
+        end
+      end
+      else if Tup_tbl.mem counts tup then begin
+        Tup_tbl.remove counts tup;
+        visible_remove mt ps tup
+      end)
+    norm;
+  List.iter
+    (fun cs ->
+      let changed =
+        List.exists
+          (fun p ->
+            let d = (get_pred mt p).ps_delta in
+            Tup_tbl.length d.d_ins > 0 || Tup_tbl.length d.d_del > 0)
+          cs.cs_body_preds
+      in
+      if changed then
+        match cs.cs_mode with
+        | M_counting -> counting_pass mt cs
+        | M_dred -> dred_pass mt cs
+        | M_subrun -> recompute mt cs
+        | M_aggrec ->
+          let has_del =
+            List.exists
+              (fun p -> Tup_tbl.length (get_pred mt p).ps_delta.d_del > 0)
+              cs.cs_body_preds
+          in
+          if cs.cs_insert_ok && not has_del then aggrec_insert_pass mt cs
+          else recompute mt cs)
+    mt.strata;
+  let changed = ref [] in
+  let deltas = ref [] in
+  let base_i = ref 0
+  and base_d = ref 0
+  and der_i = ref 0
+  and der_d = ref 0 in
+  Hashtbl.iter
+    (fun name ps ->
+      let d = ps.ps_delta in
+      let i = Tup_tbl.length d.d_ins and r = Tup_tbl.length d.d_del in
+      if i > 0 || r > 0 then begin
+        changed := (name, i, r) :: !changed;
+        (* the tuple arrays outlive the delta reset below; nothing in
+           this module mutates a tuple once stored *)
+        deltas :=
+          ( name,
+            Tup_tbl.fold (fun t () acc -> t :: acc) d.d_ins [],
+            Tup_tbl.fold (fun t () acc -> t :: acc) d.d_del [] )
+          :: !deltas;
+        if Hashtbl.mem mt.edb name then begin
+          base_i := !base_i + i;
+          base_d := !base_d + r
+        end
+        else begin
+          der_i := !der_i + i;
+          der_d := !der_d + r
+        end
+      end)
+    mt.preds;
+  let report =
+    {
+      br_base_inserted = !base_i;
+      br_base_deleted = !base_d;
+      br_derived_inserted = !der_i;
+      br_derived_deleted = !der_d;
+      br_overdeleted = mt.cur_overdeleted;
+      br_rederived = mt.cur_rederived;
+      br_recomputed_strata = mt.cur_recomputed;
+      br_changed = List.sort compare !changed;
+      br_deltas = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !deltas;
+    }
+  in
+  Hashtbl.iter
+    (fun _ ps ->
+      let d = ps.ps_delta in
+      Tup_tbl.reset d.d_ins;
+      Tup_tbl.reset d.d_del;
+      d.d_overlays <- [])
+    mt.preds;
+  report
+
+(* --- read access for the session layer --- *)
+
+let visible mt name f = iter_vis_cur (get_pred mt name) f
+
+let visible_count mt name = visible_count_ps (get_pred mt name)
+
+let arity mt name = (get_pred mt name).ps_arity
+
+let predicates mt = List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) mt.preds [])
+
+let is_base mt name = Hashtbl.mem mt.edb name

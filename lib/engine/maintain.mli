@@ -1,0 +1,88 @@
+(** Incremental maintenance of a materialized fixpoint under batched
+    base-relation updates (ISSUE 9; Ajileye–Motik–Horrocks-style
+    incremental materialisation).
+
+    A {!t} mirrors the engine's catalog after an initial {!Parallel.run}
+    and keeps it at the exact fixpoint across {!apply} batches without
+    recomputing from scratch:
+
+    - non-recursive strata maintain per-tuple derivation counts
+      (counting / GMS) and per-group aggregate support, updated by
+      signed delta rules with mixed old/new visibility;
+    - recursive plain strata run DRed (overdelete w.r.t. the old
+      database, goal-directed rederive, semi-naive insert propagation);
+    - recursive min/max-aggregate strata propagate inserts monotonically
+      and recompute on deletions;
+    - strata with negation or recursive count/sum recompute through
+      {!Parallel.run}, on the resident {!Parallel.runtime} if one is
+      supplied.
+
+    Every maintained state is verified against (or adopted from) the
+    engine's own materialization at {!create} time, and the differential
+    suite checks {!apply} against a cold naive-oracle recompute.
+
+    Not thread-safe: callers serialize {!apply}, and must not read
+    through {!visible} concurrently with it (the {!Dcdatalog.Session}
+    layer publishes copy-on-write snapshots for that). *)
+
+type t
+
+type update =
+  | Insert of string * Dcd_storage.Tuple.t
+  | Delete of string * Dcd_storage.Tuple.t
+
+(** What one {!apply} did, for stats and the serve front door.
+    [br_changed] lists [(pred, inserted, deleted)] for every predicate
+    whose visible set changed, sorted by name. *)
+type batch_report = {
+  br_base_inserted : int;
+  br_base_deleted : int;
+  br_derived_inserted : int;
+  br_derived_deleted : int;
+  br_overdeleted : int;  (** DRed overdeletion marks physically removed *)
+  br_rederived : int;  (** overdeleted tuples that rederived *)
+  br_recomputed_strata : int;  (** strata that fell back to a sub-run *)
+  br_changed : (string * int * int) list;
+  br_deltas : (string * Dcd_storage.Tuple.t list * Dcd_storage.Tuple.t list) list;
+      (** [(pred, inserted, deleted)] with the actual net tuples, same
+          predicates and order as [br_changed] — what the session layer
+          folds into its published snapshot overlays.  The arrays are
+          immutable and remain valid across later batches. *)
+}
+
+val create :
+  plan:Dcd_planner.Physical.t ->
+  config:Parallel.config ->
+  ?runtime:Parallel.runtime ->
+  catalog:Catalog.t ->
+  unit ->
+  t
+(** Builds the maintenance state from a finished run's catalog.  The
+    counting strata rebuild their support from scratch and verify the
+    result against the catalog tuple-for-tuple; the other strata adopt
+    the engine fixpoint as-is.
+    @raise Invalid_argument if [config.max_iterations > 0] (a bounded
+    fixpoint is not a model and cannot be maintained), if the runtime's
+    worker count disagrees with [config.workers], or if the counting
+    interpreter diverges from the engine's materialization. *)
+
+val apply : t -> update list -> batch_report
+(** Applies one batch of base-relation updates and restores the exact
+    fixpoint.  Set semantics: inserting a present tuple or deleting an
+    absent one is a no-op.  The whole batch is validated before any
+    mutation, so a raised [Invalid_argument] (unknown predicate, derived
+    target, arity mismatch) leaves the state untouched; any other escape
+    (e.g. {!Engine_error.Error} from a recompute sub-run) may leave the
+    state torn and must be treated as fatal to this [t]. *)
+
+val visible : t -> string -> (Dcd_storage.Tuple.t -> unit) -> unit
+(** Iterates the current visible tuples of a predicate. *)
+
+val visible_count : t -> string -> int
+
+val arity : t -> string -> int
+
+val predicates : t -> string list
+(** All maintained predicates (base and derived), sorted. *)
+
+val is_base : t -> string -> bool

@@ -59,6 +59,24 @@ type result = {
   stats : Run_stats.t;
 }
 
+(* --- resident runtime --- *)
+
+type runtime = {
+  rt_workers : int;
+  rt_pool : Domain_pool.t;
+  rt_scratches : Worker.scratch array;
+}
+
+let create_runtime ~workers =
+  if workers < 1 then invalid_arg "Parallel.create_runtime: workers must be >= 1";
+  {
+    rt_workers = workers;
+    rt_pool = Domain_pool.create ~workers;
+    rt_scratches = Array.init workers (fun _ -> Worker.make_scratch ~workers ());
+  }
+
+let destroy_runtime rt = Domain_pool.shutdown rt.rt_pool
+
 (* --- shared helpers --- *)
 
 let arity_of (plan : Physical.t) pred =
@@ -415,9 +433,15 @@ let eval_stratum (plan : Physical.t) catalog (sp : Physical.stratum_plan) config
 
 (* --- top level --- *)
 
-let run (plan : Physical.t) ~edb ~config =
+let run ?runtime (plan : Physical.t) ~edb ~config =
   if config.workers < 1 then invalid_arg "Parallel.run: workers must be >= 1";
   if config.morsel_tuples < 1 then invalid_arg "Parallel.run: morsel_tuples must be >= 1";
+  (match runtime with
+  | Some rt when rt.rt_workers <> config.workers ->
+    invalid_arg
+      (Printf.sprintf "Parallel.run: runtime has %d workers but config wants %d" rt.rt_workers
+         config.workers)
+  | _ -> ());
   (* One token guards the whole run (every stratum): caller-supplied or
      internal, with the timeout folded in as an absolute deadline. *)
   let token =
@@ -449,8 +473,11 @@ let run (plan : Physical.t) ~edb ~config =
      across strata; one fault schedule and at most one guardian domain
      per run. *)
   let n = config.workers in
-  let pool = Domain_pool.create ~workers:n in
-  let scratches = Array.init n (fun _ -> Worker.make_scratch ~workers:n ()) in
+  let owned, pool, scratches =
+    match runtime with
+    | Some rt -> (false, rt.rt_pool, rt.rt_scratches)
+    | None -> (true, Domain_pool.create ~workers:n, Array.init n (fun _ -> Worker.make_scratch ~workers:n ()))
+  in
   let fault = Option.map (Fault.create ~workers:n) config.fault in
   let monitor : monitor option Atomic.t = Atomic.make None in
   let stall_diag : Engine_error.stall_diagnostic option ref = ref None in
@@ -484,7 +511,7 @@ let run (plan : Physical.t) ~edb ~config =
   Fun.protect
     ~finally:(fun () ->
       Option.iter Watchdog.stop guardian;
-      Domain_pool.shutdown pool)
+      if owned then Domain_pool.shutdown pool)
     (fun () ->
       List.iter
         (fun (sp : Physical.stratum_plan) ->

@@ -110,7 +110,28 @@ type result = {
   stats : Run_stats.t;
 }
 
+(** A resident worker runtime: the persistent domain pool plus the
+    per-worker scratch, created once and shared across many {!run}
+    calls.  This is what keeps a serving {!Dcd_engine} session from
+    re-spawning domains on every incremental recompute.  The caller owns
+    it: {!run} with [?runtime] never shuts the pool down, and
+    {!destroy_runtime} must be called exactly once when done.  Not
+    thread-safe — at most one [run] may use a runtime at a time. *)
+type runtime = {
+  rt_workers : int;
+  rt_pool : Dcd_concurrent.Domain_pool.t;
+  rt_scratches : Worker.scratch array;
+}
+
+val create_runtime : workers:int -> runtime
+(** Spawns the [workers] domains and allocates their scratch. *)
+
+val destroy_runtime : runtime -> unit
+(** Joins the pool's domains.  Idempotence follows
+    {!Dcd_concurrent.Domain_pool.shutdown}. *)
+
 val run :
+  ?runtime:runtime ->
   Dcd_planner.Physical.t ->
   edb:(string * Dcd_storage.Tuple.t Dcd_util.Vec.t) list ->
   config:config ->
@@ -118,7 +139,12 @@ val run :
 (** Evaluates the program over the given EDB.  Relation names absent
     from [edb] but used as base tables evaluate as empty.  Spawns the
     worker pool (and the guardian, if any run guard is armed) once, and
-    always tears both down before returning or raising.
+    always tears both down before returning or raising — unless a
+    [runtime] is supplied, in which case its pool and scratches are
+    reused and left alive (its worker count must equal
+    [config.workers]; a crash that exhausts [max_recoveries] may leave
+    the shared pool with parked domains, so a caller sharing a runtime
+    should treat an escaping error as fatal to the runtime).
     @raise Invalid_argument on arity mismatches in [edb].
     @raise Engine_error.Error when the run is cancelled (deadline or
     token), a worker crashes (the error names the faulting worker, with

@@ -35,10 +35,23 @@ type stratum = {
   workers : worker array;
 }
 
+type maintenance = {
+  mutable batches : int;
+  mutable base_inserted : int;
+  mutable base_deleted : int;
+  mutable inserted : int;
+  mutable deleted : int;
+  mutable overdeleted : int;
+  mutable rederived : int;
+  mutable recomputed_strata : int;
+  mutable maintain_s : float;
+}
+
 type t = {
   mutable strata : stratum list;
   mutable total_wall : float;
   recovery : recovery;
+  maintenance : maintenance;
 }
 
 let create () =
@@ -46,6 +59,18 @@ let create () =
     strata = [];
     total_wall = 0.;
     recovery = { recoveries = 0; epochs_cut = 0; rolled_back_tuples = 0; rerun_iterations = 0 };
+    maintenance =
+      {
+        batches = 0;
+        base_inserted = 0;
+        base_deleted = 0;
+        inserted = 0;
+        deleted = 0;
+        overdeleted = 0;
+        rederived = 0;
+        recomputed_strata = 0;
+        maintain_s = 0.;
+      };
   }
 
 let fresh_worker () =
@@ -160,6 +185,13 @@ let pp fmt t =
       "  recovery: %d recoveries, %d epochs cut (%.3fs checkpointing), %d tuples rolled back, %d \
        iterations re-run@."
       r.recoveries r.epochs_cut (total_checkpoint_time t) r.rolled_back_tuples r.rerun_iterations;
+  let m = t.maintenance in
+  if m.batches > 0 then
+    Format.fprintf fmt
+      "  maintenance: %d batches in %.3fs, base +%d/-%d, derived +%d/-%d, %d overdeleted, %d \
+       rederived, %d strata recomputed@."
+      m.batches m.maintain_s m.base_inserted m.base_deleted m.inserted m.deleted m.overdeleted
+      m.rederived m.recomputed_strata;
   List.iter
     (fun s ->
       Format.fprintf fmt

@@ -70,10 +70,26 @@ type stratum = {
   workers : worker array;
 }
 
+(** Per-session incremental-maintenance counters, folded in by the
+    {!Dcdatalog.Session} layer after each update batch (all zero on a
+    one-shot run). *)
+type maintenance = {
+  mutable batches : int; (** update batches applied *)
+  mutable base_inserted : int; (** base tuples actually added *)
+  mutable base_deleted : int; (** base tuples actually removed *)
+  mutable inserted : int; (** derived tuples that became visible *)
+  mutable deleted : int; (** derived tuples that became invisible *)
+  mutable overdeleted : int; (** DRed overdeletion marks removed *)
+  mutable rederived : int; (** overdeleted tuples that rederived *)
+  mutable recomputed_strata : int; (** stratum fallback recomputes *)
+  mutable maintain_s : float; (** seconds inside {!Maintain.apply} *)
+}
+
 type t = {
   mutable strata : stratum list; (** in evaluation order *)
   mutable total_wall : float;
   recovery : recovery;
+  maintenance : maintenance;
 }
 
 val create : unit -> t

@@ -1,0 +1,234 @@
+module D = Dcdatalog
+module Clock = Dcd_util.Clock
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* --- request parsing --- *)
+
+(* "pred(1,2,3)" or bare "pred"; integers only — the protocol speaks
+   the engine's interned tuple space directly *)
+let parse_atom s =
+  let s = String.trim s in
+  if s = "" then bad "empty atom";
+  match String.index_opt s '(' with
+  | None -> (s, None)
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then bad "missing ')' in %s" s;
+    let name = String.trim (String.sub s 0 i) in
+    if name = "" then bad "missing predicate name in %s" s;
+    let inside = String.sub s (i + 1) (String.length s - i - 2) in
+    if String.trim inside = "" then (name, Some [||])
+    else
+      let fields = String.split_on_char ',' inside in
+      let args =
+        List.map
+          (fun f ->
+            match int_of_string_opt (String.trim f) with
+            | Some v -> v
+            | None -> bad "non-integer argument %s in %s" (String.trim f) s)
+          fields
+      in
+      (name, Some (Array.of_list args))
+
+let parse_update tok =
+  if String.length tok < 2 then bad "malformed update %s" tok;
+  let rest = String.sub tok 1 (String.length tok - 1) in
+  let name, args = parse_atom rest in
+  let tup =
+    match args with
+    | Some a -> a
+    | None -> bad "update needs explicit arguments: %s" tok
+  in
+  match tok.[0] with
+  | '+' -> D.Maintain.Insert (name, tup)
+  | '-' -> D.Maintain.Delete (name, tup)
+  | _ -> bad "update atoms start with + or -: %s" tok
+
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> String.trim w <> "")
+
+let tuple_line name tup =
+  Printf.sprintf "%s(%s)" name
+    (String.concat "," (Array.to_list (Array.map string_of_int tup)))
+
+let help_lines =
+  [
+    "version                     current snapshot version";
+    "count <pred>                cardinality of a relation";
+    "lookup <pred>(a,b,...)      point membership (full arity)";
+    "scan <pred>                 all tuples, sorted";
+    "scan <pred>(a,...)          tuples matching a column prefix";
+    "update +p(...) -q(...) ...  apply one insert/delete batch";
+    "predicates                  served relations with arity and kind";
+    "stats                       cumulative run + maintenance statistics";
+    "help                        this text";
+    "quit                        close the connection";
+    "";
+    "replies: 'ok ...' or 'err <reason>'; multi-line replies state their";
+    "line count (count=N / lines=N) so clients know how much to read.";
+    "every data reply names the snapshot version it was computed from.";
+  ]
+
+(* --- request evaluation --- *)
+
+(* One request line -> response lines.  Every data response is computed
+   against a single published snapshot and says which one; [deadline]
+   (absolute seconds) bounds scans and gates update admission. *)
+let handle session ?deadline line =
+  match
+    match words line with
+    | [] -> [ "ok" ]
+    | [ "version" ] -> [ Printf.sprintf "ok version=%d" (D.Session.version session) ]
+    | [ "count"; atom ] -> (
+      match parse_atom atom with
+      | name, None ->
+        let ver, n = D.Session.count session name in
+        [ Printf.sprintf "ok version=%d count=%d" ver n ]
+      | _ -> bad "count takes a bare predicate name")
+    | [ "lookup"; atom ] -> (
+      match parse_atom atom with
+      | name, Some tup ->
+        let ver, present = D.Session.lookup session name tup in
+        [ Printf.sprintf "ok version=%d present=%b" ver present ]
+      | _, None -> bad "lookup needs explicit arguments, e.g. lookup tc(1,3)")
+    | [ "scan"; atom ] ->
+      let name, prefix = parse_atom atom in
+      let prefix = Option.value ~default:[||] prefix in
+      let ver, tuples = D.Session.scan session ?deadline ~prefix name in
+      Printf.sprintf "ok version=%d count=%d" ver (List.length tuples)
+      :: List.map (tuple_line name) tuples
+    | "update" :: toks ->
+      if toks = [] then bad "empty update batch";
+      let batch = List.map parse_update toks in
+      let report = D.Session.apply_batch session ?deadline batch in
+      [
+        Printf.sprintf "ok version=%d base=+%d/-%d derived=+%d/-%d overdeleted=%d rederived=%d"
+          (D.Session.version session) report.D.Maintain.br_base_inserted
+          report.D.Maintain.br_base_deleted report.D.Maintain.br_derived_inserted
+          report.D.Maintain.br_derived_deleted report.D.Maintain.br_overdeleted
+          report.D.Maintain.br_rederived;
+      ]
+    | [ "predicates" ] ->
+      let preds = D.Session.predicates session in
+      Printf.sprintf "ok lines=%d" (List.length preds)
+      :: List.map
+           (fun p ->
+             Printf.sprintf "%s/%d %s" p (D.Session.arity session p)
+               (if D.Session.is_base session p then "base" else "derived"))
+           preds
+    | [ "stats" ] ->
+      let text = Format.asprintf "%a" D.Run_stats.pp (D.Session.stats session) in
+      let lines =
+        String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+      in
+      Printf.sprintf "ok lines=%d" (List.length lines) :: lines
+    | [ "help" ] -> (Printf.sprintf "ok lines=%d" (List.length help_lines)) :: help_lines
+    | cmd :: _ -> bad "unknown command %s (try: help)" cmd
+  with
+  | lines -> lines
+  | exception Bad msg -> [ "err " ^ msg ]
+  | exception Invalid_argument msg -> [ "err " ^ msg ]
+  | exception D.Engine_error.Error e -> [ "err " ^ D.Engine_error.to_string e ]
+
+(* --- REPL --- *)
+
+let deadline_of request_timeout =
+  Option.map (fun t -> Clock.now () +. t) request_timeout
+
+let repl ?request_timeout ?(prompt = false) session ic oc =
+  let quit = ref false in
+  while not !quit do
+    if prompt then begin
+      output_string oc "> ";
+      flush oc
+    end;
+    match input_line ic with
+    | exception End_of_file -> quit := true
+    | line ->
+      if String.trim line = "quit" then begin
+        output_string oc "ok bye\n";
+        flush oc;
+        quit := true
+      end
+      else begin
+        let deadline = deadline_of request_timeout in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          (handle session ?deadline line);
+        flush oc
+      end
+  done
+
+(* --- Unix-socket server --- *)
+
+type server = {
+  srv_path : string;
+  srv_sock : Unix.file_descr;
+  srv_accept : Thread.t;
+  srv_stop : bool Atomic.t;
+  srv_clients : (Thread.t * Unix.file_descr) list ref;
+  srv_mutex : Mutex.t;
+}
+
+let client_loop ?request_timeout session fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try repl ?request_timeout session ic oc with
+  | End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen_unix ?request_timeout session ~path =
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  let stop = Atomic.make false in
+  let clients = ref [] in
+  let mutex = Mutex.create () in
+  let accept_loop () =
+    let live = ref true in
+    while !live do
+      match Unix.accept sock with
+      | exception Unix.Unix_error _ -> live := false
+      | fd, _ ->
+        if Atomic.get stop then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          live := false
+        end
+        else begin
+          let t = Thread.create (fun fd -> client_loop ?request_timeout session fd) fd in
+          Mutex.protect mutex (fun () -> clients := (t, fd) :: !clients)
+        end
+    done
+  in
+  {
+    srv_path = path;
+    srv_sock = sock;
+    srv_accept = Thread.create accept_loop ();
+    srv_stop = stop;
+    srv_clients = clients;
+    srv_mutex = mutex;
+  }
+
+let stop srv =
+  if not (Atomic.exchange srv.srv_stop true) then begin
+    (* wake the accept loop with a throwaway connection, then close *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX srv.srv_path) with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    Thread.join srv.srv_accept;
+    (try Unix.close srv.srv_sock with Unix.Unix_error _ -> ());
+    (try Unix.unlink srv.srv_path with Unix.Unix_error _ | Sys_error _ -> ());
+    let clients = Mutex.protect srv.srv_mutex (fun () -> !(srv.srv_clients)) in
+    (* unblock clients parked in input_line, then reap their threads *)
+    List.iter
+      (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      clients;
+    List.iter (fun (t, _) -> Thread.join t) clients
+  end

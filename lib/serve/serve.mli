@@ -1,0 +1,55 @@
+(** The serving front door: a line-oriented request protocol over a
+    resident {!Dcdatalog.Session}, exposed as a stdin REPL and as a
+    Unix-socket server admitting concurrent clients.
+
+    {b Protocol.}  One request per line; replies start with [ok] or
+    [err <reason>].  Multi-line replies announce their size
+    ([count=N] / [lines=N]) so stream clients know how much to read,
+    and every data reply carries the snapshot [version=N] it was
+    computed from — two reads reporting the same version saw the very
+    same fixpoint.  See [help] (or {!handle} ["help"]) for the command
+    list.
+
+    Reads run lock-free against the session's published snapshot, so
+    any number of clients query while an [update] batch applies;
+    updates serialize inside the session. *)
+
+exception Bad of string
+(** Request syntax error (caught by {!handle}; escapes only from the
+    low-level parsers). *)
+
+val parse_atom : string -> string * int array option
+(** ["pred(1,2)"] → [("pred", Some [|1;2|])]; ["pred"] → [("pred", None)].
+    @raise Bad on malformed syntax. *)
+
+val handle : Dcdatalog.Session.t -> ?deadline:float -> string -> string list
+(** Evaluates one request line to its response lines.  Never raises:
+    syntax errors, unknown relations, deadline expiry and engine errors
+    all come back as a single [err ...] line.  [deadline] (absolute
+    {!Dcd_util.Clock.now} seconds) bounds scans and gates update
+    admission. *)
+
+val repl :
+  ?request_timeout:float ->
+  ?prompt:bool ->
+  Dcdatalog.Session.t ->
+  in_channel ->
+  out_channel ->
+  unit
+(** Reads request lines until EOF or [quit], writing each response.
+    [request_timeout] (relative seconds) arms a fresh deadline per
+    request.  [prompt] prints ["> "] before each read (interactive
+    use). *)
+
+type server
+
+val listen_unix : ?request_timeout:float -> Dcdatalog.Session.t -> path:string -> server
+(** Binds a Unix-domain stream socket at [path] (unlinking any stale
+    one), and serves each accepted connection a {!repl} on its own
+    thread.  Returns immediately; run {!stop} to shut down.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val stop : server -> unit
+(** Stops accepting, disconnects the remaining clients, joins every
+    thread, and removes the socket file.  Idempotent.  Does not close
+    the session. *)

@@ -123,6 +123,29 @@ let indexes t = t.indexes
 let find_sorted_index t ~cols =
   List.find_map (fun si -> if si.si_cols = cols then Some si.si_tree else None) t.sorted
 
+(* Prefix scan for the serving read path: through the identity-order
+   sorted trie when one has been built (one seek + a leaf walk), else a
+   filtered full scan.  Sessions pre-build the trie on served
+   relations, so the fallback only covers ad-hoc reads. *)
+let iter_prefix t ~prefix f =
+  let k = Array.length prefix in
+  if k > t.arity then invalid_arg "Relation.iter_prefix: prefix longer than arity";
+  if k = 0 then iter f t
+  else begin
+    let identity = Array.init t.arity (fun i -> i) in
+    match find_sorted_index t ~cols:identity with
+    | Some tree -> Bptree.iter_prefix tree ~prefix (fun key () -> f key)
+    | None ->
+      iter
+        (fun tup ->
+          let ok = ref true in
+          for i = 0 to k - 1 do
+            if tup.(i) <> prefix.(i) then ok := false
+          done;
+          if !ok then f tup)
+        t
+  end
+
 let ensure_sorted_index t ~cols =
   if Array.length cols <> t.arity then invalid_arg "Relation.ensure_sorted_index";
   match find_sorted_index t ~cols with

@@ -67,3 +67,11 @@ val ensure_sorted_index : t -> cols:int array -> unit Dcd_btree.Bptree.t
     @raise Invalid_argument if [cols] is not of full arity. *)
 
 val find_sorted_index : t -> cols:int array -> unit Dcd_btree.Bptree.t option
+
+val iter_prefix : t -> prefix:Tuple.t -> (Tuple.t -> unit) -> unit
+(** [iter_prefix t ~prefix f] calls [f] on every tuple whose first
+    [Array.length prefix] columns equal [prefix].  Runs off the
+    identity-order sorted index when one exists (ascending order, one
+    tree seek); falls back to a filtered scan (insertion order)
+    otherwise.  An empty prefix iterates everything.
+    @raise Invalid_argument if the prefix is longer than the arity. *)

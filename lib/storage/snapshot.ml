@@ -1,0 +1,17 @@
+type 'a t = (int * 'a) Atomic.t
+
+let create v = Atomic.make (0, v)
+
+let read t = Atomic.get t
+
+let version t = fst (Atomic.get t)
+
+let value t = snd (Atomic.get t)
+
+let publish t v =
+  (* single-writer: the serving session holds the update mutex, so a
+     plain read-increment-set is race-free and readers never retry *)
+  let ver, _ = Atomic.get t in
+  let ver' = ver + 1 in
+  Atomic.set t (ver', v);
+  ver'

@@ -1,0 +1,30 @@
+(** A version-stamped published value: the snapshot cell under the
+    serving session's read path.
+
+    The writer prepares a complete immutable state off to the side
+    (copy-on-write — published relations are never mutated again) and
+    {!publish}es it with one atomic store; readers {!read} the
+    (version, state) pair with one atomic load and then work off their
+    pair without further coordination.  Reads are wait-free and never
+    observe a torn state: every response is attributable to exactly one
+    published version — the consistency contract the concurrency suite
+    checks.
+
+    Single writer (enforced by the session's update mutex), any number
+    of readers, any domain or thread. *)
+
+type 'a t
+
+val create : 'a -> 'a t
+(** Version 0 holds the initial value. *)
+
+val read : 'a t -> int * 'a
+(** The current (version, value) pair, atomically. *)
+
+val version : 'a t -> int
+
+val value : 'a t -> 'a
+
+val publish : 'a t -> 'a -> int
+(** Replaces the value, bumps the version, returns the new version.
+    Must only be called by the single writer. *)

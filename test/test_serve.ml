@@ -1,0 +1,196 @@
+(* The serving front door: protocol units over [handle], the
+   concurrent-reads-during-batch consistency check (every response must
+   match the complete fixpoint of the exact version it reports — never a
+   torn mix), and a Unix-socket smoke test with live clients. *)
+
+module D = Dcdatalog
+module Serve = Dcd_serve.Serve
+
+let prepare src =
+  match D.prepare src with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let tc_session ?(config = { D.default_config with workers = 2 }) edges =
+  let edb = [ ("arc", D.Vec.of_list (List.map (fun (a, b) -> [| a; b |]) edges)) ] in
+  D.open_session (prepare D.Queries.tc.source) ~edb ~config ()
+
+(* --- protocol units --- *)
+
+let test_parse_atom () =
+  Alcotest.(check (pair string (option (array int)))) "bare" ("tc", None)
+    (Serve.parse_atom "tc");
+  Alcotest.(check (pair string (option (array int)))) "args" ("arc", Some [| 1; 2 |])
+    (Serve.parse_atom " arc( 1 , 2 ) ");
+  Alcotest.(check (pair string (option (array int)))) "nullary" ("p", Some [||])
+    (Serve.parse_atom "p()");
+  List.iter
+    (fun s ->
+      match Serve.parse_atom s with
+      | exception Serve.Bad _ -> ()
+      | _ -> Alcotest.failf "parse_atom accepted %S" s)
+    [ ""; "p(1"; "(1)"; "p(x)" ]
+
+let expect_lines session req want =
+  Alcotest.(check (list string)) req want (Serve.handle session req)
+
+let test_handle () =
+  let s = tc_session [ (1, 2); (2, 3) ] in
+  expect_lines s "version" [ "ok version=0" ];
+  expect_lines s "count tc" [ "ok version=0 count=3" ];
+  expect_lines s "lookup tc(1,3)" [ "ok version=0 present=true" ];
+  expect_lines s "scan tc(2)" [ "ok version=0 count=1"; "tc(2,3)" ];
+  expect_lines s "update +arc(3,4)"
+    [ "ok version=1 base=+1/-0 derived=+3/-0 overdeleted=0 rederived=0" ];
+  expect_lines s "lookup tc(1,4)" [ "ok version=1 present=true" ];
+  (* error paths come back as err lines, never exceptions *)
+  expect_lines s "frobnicate" [ "err unknown command frobnicate (try: help)" ];
+  expect_lines s "lookup nosuch(1)" [ "err Session: unknown relation nosuch" ];
+  expect_lines s "update +tc(1,9)" [ "err Maintain: tc is derived, not a base relation" ];
+  expect_lines s "lookup tc(1)" [ "err Session: arity mismatch for tc" ];
+  expect_lines s "update +arc(x,y)" [ "err non-integer argument x in arc(x,y)" ];
+  (match Serve.handle s "stats" with
+  | first :: rest ->
+    Alcotest.(check string) "stats header" (Printf.sprintf "ok lines=%d" (List.length rest)) first
+  | [] -> Alcotest.fail "empty stats reply");
+  (match Serve.handle s "predicates" with
+  | [ header; l1; l2 ] ->
+    Alcotest.(check string) "predicates header" "ok lines=2" header;
+    Alcotest.(check (list string)) "predicates body" [ "arc/2 base"; "tc/2 derived" ] [ l1; l2 ]
+  | other -> Alcotest.failf "unexpected predicates reply (%d lines)" (List.length other));
+  D.Session.close s;
+  expect_lines s "update +arc(7,8)" [ "err Session: closed" ]
+
+(* --- concurrent reads during batch application --- *)
+
+(* N reader threads hammer scan/count/lookup while the main thread
+   applies a known schedule of update batches.  Every reply names the
+   snapshot version it read; it must equal that version's full expected
+   fixpoint.  A read served from a half-applied batch would mismatch
+   whichever version it claims. *)
+let test_concurrent_reads () =
+  let initial = [ (1, 2); (2, 3); (3, 4); (4, 5); (10, 11) ] in
+  let batches =
+    [
+      [ D.Maintain.Insert ("arc", [| 5; 6 |]); D.Maintain.Insert ("arc", [| 6; 7 |]) ];
+      [ D.Maintain.Delete ("arc", [| 2; 3 |]) ];
+      [ D.Maintain.Insert ("arc", [| 2; 3 |]); D.Maintain.Delete ("arc", [| 3; 4 |]) ];
+      [ D.Maintain.Insert ("arc", [| 11; 12 |]); D.Maintain.Insert ("arc", [| 3; 4 |]) ];
+      [ D.Maintain.Delete ("arc", [| 1; 2 |]) ];
+      [ D.Maintain.Insert ("arc", [| 1; 2 |]) ];
+    ]
+  in
+  (* expected tc fixpoint per version, from the naive oracle *)
+  let base = Hashtbl.create 32 in
+  List.iter (fun (a, b) -> Hashtbl.replace base [ a; b ] ()) initial;
+  let oracle_now () =
+    let arc = Hashtbl.fold (fun row () acc -> Array.of_list row :: acc) base [] in
+    match List.assoc_opt "tc" (D.Naive.run (D.Parser.parse_program D.Queries.tc.source) ~edb:[ ("arc", arc) ]) with
+    | Some rows -> List.sort compare (List.map Array.to_list rows)
+    | None -> []
+  in
+  let expected = Array.make (List.length batches + 1) [] in
+  expected.(0) <- oracle_now ();
+  List.iteri
+    (fun i batch ->
+      List.iter
+        (function
+          | D.Maintain.Insert (_, t) -> Hashtbl.replace base (Array.to_list t) ()
+          | D.Maintain.Delete (_, t) -> Hashtbl.remove base (Array.to_list t))
+        batch;
+      expected.(i + 1) <- oracle_now ())
+    batches;
+  let s = tc_session initial in
+  let stop = Atomic.make false in
+  let failures = Atomic.make 0 in
+  let reads = Atomic.make 0 in
+  let reader () =
+    while not (Atomic.get stop) do
+      let ver, rows = D.Session.scan s "tc" in
+      let got = List.sort compare (List.map Array.to_list rows) in
+      if got <> expected.(ver) then Atomic.incr failures;
+      let ver, n = D.Session.count s "tc" in
+      if n <> List.length expected.(ver) then Atomic.incr failures;
+      (* protocol-level read as well: version and count must agree *)
+      (match Serve.handle s "count tc" with
+      | [ line ] -> (
+        match Scanf.sscanf_opt line "ok version=%d count=%d" (fun v c -> (v, c)) with
+        | Some (v, c) when c = List.length expected.(v) -> ()
+        | _ -> Atomic.incr failures)
+      | _ -> Atomic.incr failures);
+      Atomic.incr reads
+    done
+  in
+  let readers = List.init 4 (fun _ -> Thread.create reader ()) in
+  List.iter
+    (fun batch ->
+      ignore (D.Session.apply_batch s batch);
+      (* let readers observe each published version a little *)
+      Thread.yield ())
+    batches;
+  (* keep reading a moment at the final version *)
+  Thread.delay 0.05;
+  Atomic.set stop true;
+  List.iter Thread.join readers;
+  D.Session.close s;
+  Alcotest.(check int) "no torn or stale-claimed reads" 0 (Atomic.get failures);
+  Alcotest.(check bool) "readers actually overlapped the batches" true (Atomic.get reads > 0)
+
+(* --- Unix-socket server --- *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let send oc line =
+  output_string oc (line ^ "\n");
+  flush oc
+
+let test_socket_server () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "dcd_test_serve.sock" in
+  let s = tc_session [ (1, 2); (2, 3) ] in
+  let server = Serve.listen_unix s ~path in
+  let fd1, ic1, oc1 = connect path in
+  let fd2, ic2, oc2 = connect path in
+  send oc1 "count tc";
+  Alcotest.(check string) "client 1 count" "ok version=0 count=3" (input_line ic1);
+  (* client 2 updates; client 1 then reads the new version *)
+  send oc2 "update +arc(3,4)";
+  Alcotest.(check string) "client 2 update"
+    "ok version=1 base=+1/-0 derived=+3/-0 overdeleted=0 rederived=0" (input_line ic2);
+  send oc1 "lookup tc(1,4)";
+  Alcotest.(check string) "client 1 sees the update" "ok version=1 present=true"
+    (input_line ic1);
+  send oc1 "scan tc(1)";
+  Alcotest.(check string) "scan header" "ok version=1 count=3" (input_line ic1);
+  let l1 = input_line ic1 in
+  let l2 = input_line ic1 in
+  let l3 = input_line ic1 in
+  Alcotest.(check (list string)) "scan body" [ "tc(1,2)"; "tc(1,3)"; "tc(1,4)" ] [ l1; l2; l3 ];
+  send oc1 "quit";
+  Alcotest.(check string) "quit ack" "ok bye" (input_line ic1);
+  (try Unix.close fd1 with Unix.Unix_error _ -> ());
+  (* stopping the server must disconnect the lingering client 2 *)
+  Serve.stop server;
+  Serve.stop server;
+  (match input_line ic2 with
+  | exception End_of_file -> ()
+  | line -> Alcotest.failf "client 2 still connected, read %S" line);
+  (try Unix.close fd2 with Unix.Unix_error _ -> ());
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists path);
+  D.Session.close s
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse_atom" `Quick test_parse_atom;
+          Alcotest.test_case "handle round-trips" `Quick test_handle;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "reads stay consistent during batches" `Quick test_concurrent_reads ] );
+      ( "socket",
+        [ Alcotest.test_case "two clients over a Unix socket" `Quick test_socket_server ] );
+    ]
