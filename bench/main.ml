@@ -1910,6 +1910,182 @@ let serve_bench () =
       "(1 hardware thread: the >=5x incremental-speedup gate is informational only on this \
        machine)\n"
 
+(* ------------------------------------------------------------------ *)
+(* serve scaling: maintain_workers x batch size                         *)
+
+(* The parallel-maintenance grid: the same TC rmat-400 session repaired
+   under mixed batches of 20 / 200 / 2000 arcs with maintain_workers 1
+   (the sequential interpreted ablation), 2, and 4.  Every cell's
+   post-batch fixpoint must be identical across maintain_workers and
+   match a cold recompute of the post-batch EDB; multi-core, the
+   compiled+parallel path at 4 maintenance workers must beat the
+   sequential interpreter >= 2x on the 200-arc batch. *)
+let serve_scaling_bench () =
+  let reps = bench_reps ~default:3 in
+  let spec = D.Queries.tc in
+  let dataset = "rmat-400" in
+  let g = D.Datasets.rmat 400 in
+  let edb = D.Queries.arc_edb g in
+  let arcs =
+    match edb with
+    | [ (_, v) ] -> v
+    | _ -> failwith "bench-serve-scaling: unexpected arc EDB shape"
+  in
+  let maxv = D.Graph.max_vertex g in
+  (* a mixed batch: half deletes of existing distinct arcs, half fresh
+     inserts; self-inverse restorable so every cell starts from the
+     same base state *)
+  let mk_batch seed size =
+    let present = Hashtbl.create (D.Vec.length arcs) in
+    D.Vec.iter (fun t -> Hashtbl.replace present (t.(0), t.(1)) ()) arcs;
+    let rng = Dcd_util.Rng.create seed in
+    let distinct = Array.of_seq (Hashtbl.to_seq_keys present) in
+    Dcd_util.Rng.shuffle rng distinct;
+    let n_del = min (size / 2) (Array.length distinct) in
+    let deletes = Array.sub distinct 0 n_del in
+    let inserts = ref [] and n_ins = ref 0 in
+    while !n_ins < size - n_del do
+      let a = Dcd_util.Rng.int rng (maxv + 1) in
+      let b = Dcd_util.Rng.int rng (maxv + 1) in
+      if a <> b && not (Hashtbl.mem present (a, b)) then begin
+        Hashtbl.replace present (a, b) ();
+        inserts := (a, b) :: !inserts;
+        incr n_ins
+      end
+    done;
+    Array.to_list (Array.map (fun (a, b) -> D.Maintain.Delete ("arc", [| a; b |])) deletes)
+    @ List.map (fun (a, b) -> D.Maintain.Insert ("arc", [| a; b |])) !inserts
+  in
+  let inverse_of batch =
+    List.rev_map
+      (function
+        | D.Maintain.Insert (p, t) -> D.Maintain.Delete (p, t)
+        | D.Maintain.Delete (p, t) -> D.Maintain.Insert (p, t))
+      batch
+  in
+  let sizes = [ 20; 200; 2000 ] in
+  let mws = [ 1; 2; 4 ] in
+  let batches = List.map (fun s -> (s, mk_batch (0xace0 + s) s)) sizes in
+  let prepared = prepare_spec spec in
+  (* (mw, size) -> (best seconds, post-batch fixpoint) *)
+  let cells = Hashtbl.create 16 in
+  List.iter
+    (fun mw ->
+      let cfg =
+        {
+          (config D.Coord.dws) with
+          D.workers = 4;
+          D.maintain_workers = mw;
+          D.max_iterations = spec.max_iterations;
+        }
+      in
+      let session = D.open_session prepared ~edb ~config:cfg () in
+      List.iter
+        (fun (size, batch) ->
+          let inverse = inverse_of batch in
+          let times = ref [] in
+          for _ = 1 to reps do
+            let (), secs =
+              Clock.time (fun () -> ignore (D.Session.apply_batch session batch))
+            in
+            times := secs :: !times;
+            ignore (D.Session.apply_batch session inverse)
+          done;
+          (* capture the post-batch fixpoint for the equality check,
+             then restore the shared base state *)
+          ignore (D.Session.apply_batch session batch);
+          let _, rows = D.Session.scan session spec.output in
+          let fixpoint = List.sort compare (List.map Array.to_list rows) in
+          ignore (D.Session.apply_batch session inverse);
+          let best, _, _ = sample_stats !times in
+          Hashtbl.replace cells (mw, size) (best, fixpoint))
+        batches;
+      D.Session.close session)
+    mws;
+  (* cold recompute of each post-batch EDB: the external truth *)
+  let cold_of size batch =
+    let upd = Hashtbl.create (D.Vec.length arcs) in
+    D.Vec.iter (fun t -> Hashtbl.replace upd (t.(0), t.(1)) ()) arcs;
+    List.iter
+      (function
+        | D.Maintain.Delete (_, t) -> Hashtbl.remove upd (t.(0), t.(1))
+        | D.Maintain.Insert (_, t) -> Hashtbl.replace upd (t.(0), t.(1)) ())
+      batch;
+    let updated_edb =
+      [ ("arc", D.Vec.of_list (Hashtbl.fold (fun (a, b) () acc -> [| a; b |] :: acc) upd [])) ]
+    in
+    let cfg = { (config D.Coord.dws) with D.max_iterations = spec.max_iterations } in
+    let result, secs = time_run prepared updated_edb cfg in
+    ignore size;
+    (D.relation result spec.output, secs)
+  in
+  let t =
+    Report.create
+      ~title:
+        (Printf.sprintf "Maintenance scaling — TC %s, 4 workers, best of %d" dataset reps)
+      ~header:
+        [ "batch"; "mw=1 (s)"; "mw=2 (s)"; "mw=4 (s)"; "par4 speedup"; "vs recompute" ]
+  in
+  let json_rows = ref [] in
+  List.iter
+    (fun (size, batch) ->
+      let time_of mw = fst (Hashtbl.find cells (mw, size)) in
+      let fix_of mw = snd (Hashtbl.find cells (mw, size)) in
+      let cold, cold_s = cold_of size batch in
+      List.iter
+        (fun mw ->
+          if fix_of mw <> cold then begin
+            Printf.eprintf
+              "bench-serve-scaling: maintain_workers=%d batch=%d fixpoint differs from cold \
+               recompute (%d vs %d tuples)\n"
+              mw size
+              (List.length (fix_of mw))
+              (List.length cold);
+            exit 1
+          end)
+        mws;
+      let t1 = time_of 1 and t2 = time_of 2 and t4 = time_of 4 in
+      let par_speedup = t1 /. Float.max 1e-9 t4 in
+      let vs_recompute = cold_s /. Float.max 1e-9 t4 in
+      Report.add_row t
+        [ Printf.sprintf "%d arcs" size; Report.cell_time t1; Report.cell_time t2;
+          Report.cell_time t4; Report.cell_speedup par_speedup;
+          Report.cell_speedup vs_recompute ];
+      json_rows :=
+        Printf.sprintf
+          "{\"batch\": %d, \"mw1_s\": %.6f, \"mw2_s\": %.6f, \"mw4_s\": %.6f,\n\
+          \     \"par_speedup\": %.2f, \"cold_s\": %.6f, \"vs_recompute\": %.2f}"
+          size t1 t2 t4 par_speedup cold_s vs_recompute
+        :: !json_rows)
+    batches;
+  Report.print t;
+  add_json_block "serve_scaling"
+    (Printf.sprintf
+       "{\"dataset\": \"%s\", \"workers\": 4, \"reps\": %d, \"cores\": %d,\n\
+       \    \"rows\": [%s]}"
+       dataset reps
+       (Domain.recommended_domain_count ())
+       (String.concat ",\n     " (List.rev !json_rows)));
+  let t1 = fst (Hashtbl.find cells (1, 200)) in
+  let t4 = fst (Hashtbl.find cells (4, 200)) in
+  let gate = t1 /. Float.max 1e-9 t4 in
+  Printf.printf
+    "all fixpoints identical across maintain_workers and == cold recompute; parallel \
+     maintenance speedup %.2fx at 200-arc batch\n"
+    gate;
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 2 then begin
+    if gate < 2.0 then begin
+      Printf.eprintf
+        "bench-serve-scaling: parallel maintenance speedup %.2fx below the 2x bar\n" gate;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "(1 hardware thread: the >=2x parallel-maintenance gate is informational only on this \
+       machine)\n"
+
 let experiments =
   [
     ("fig1", fig1, "Figure 1: SSSP engine comparison");
@@ -1928,7 +2104,11 @@ let experiments =
     ("gj", gj, "Generic join vs binary pipeline on triangle and SG");
     ("merge", merge_bench, "Batch-sorted delta merge vs per-tuple inserts");
     ("recover", recover_bench, "Checkpoint overhead + seeded crash-recovery demonstration");
-    ("serve", serve_bench, "Resident session: incremental maintenance vs full recompute");
+    ( "serve",
+      (fun () ->
+        serve_bench ();
+        serve_scaling_bench ()),
+      "Resident session: incremental maintenance vs full recompute + scaling grid" );
     ("sweep", sweep, "Knob grid (workers/strategy/steal/batch/morsel) + data-scaling curve");
     ("smoke", smoke, "CI smoke: tiny workload per coordination strategy");
   ]

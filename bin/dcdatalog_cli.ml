@@ -105,6 +105,13 @@ let no_steal_arg =
          ~doc:"Disable intra-iteration morsel work stealing (on by default); with stealing \
                off the engine behaves exactly as before the morsel board existed.")
 
+let maintain_workers_arg =
+  Arg.(value & opt int D.default_config.maintain_workers
+       & info [ "maintain-workers" ] ~docv:"N"
+           ~doc:"Workers for incremental maintenance rounds in $(b,repl)/$(b,serve) \
+                 (0 = same as --workers, the default; 1 = the sequential interpreted \
+                 path; capped at --workers).")
+
 let unopt_arg =
   Arg.(value & flag & info [ "unoptimized" ]
          ~doc:"Disable the \xc2\xa76.2 optimizations (aggregate index, existence cache).")
@@ -366,8 +373,9 @@ let request_timeout_arg =
 (* Same input assembly as `run`, ending in a resident session instead of
    a one-shot evaluation. *)
 let open_serving_session query program dataset rmat edges_file edb_files workers strategy
-    no_steal unopt merge params k =
+    no_steal unopt merge maintain_workers params k =
   if workers < 1 then input_error "--workers must be at least 1"
+  else if maintain_workers < 0 then input_error "--maintain-workers must be non-negative"
   else
   match (resolve_source query program, load_graph dataset rmat edges_file) with
   | Error e, _ | _, Error e -> input_error e
@@ -413,6 +421,7 @@ let open_serving_session query program dataset rmat edges_file edb_files workers
               strategy;
               steal = not no_steal;
               merge;
+              maintain_workers;
               store_opts =
                 (if unopt then D.Rec_store.unoptimized_opts else D.Rec_store.default_opts);
             }
@@ -432,9 +441,9 @@ let open_serving_session query program dataset rmat edges_file edb_files workers
             Fun.protect ~finally:(fun () -> D.Session.close session) (fun () -> k session)))))
 
 let repl_cmd query program dataset rmat edges_file edb_files workers strategy no_steal unopt
-    merge params request_timeout =
+    merge maintain_workers params request_timeout =
   open_serving_session query program dataset rmat edges_file edb_files workers strategy
-    no_steal unopt merge params (fun session ->
+    no_steal unopt merge maintain_workers params (fun session ->
       let tty = Unix.isatty Unix.stdin in
       if tty then begin
         Printf.printf "dcdatalog repl — %d relations resident, version %d. 'help' lists commands.\n"
@@ -446,9 +455,9 @@ let repl_cmd query program dataset rmat edges_file edb_files workers strategy no
       0)
 
 let serve_cmd query program dataset rmat edges_file edb_files workers strategy no_steal unopt
-    merge params socket request_timeout =
+    merge maintain_workers params socket request_timeout =
   open_serving_session query program dataset rmat edges_file edb_files workers strategy
-    no_steal unopt merge params (fun session ->
+    no_steal unopt merge maintain_workers params (fun session ->
       let server = Dcd_serve.Serve.listen_unix ?request_timeout session ~path:socket in
       Printf.printf "serving on %s (version %d; EOF on stdin shuts down)\n" socket
         (D.Session.version session);
@@ -505,14 +514,14 @@ let explain_term = Term.(const explain_cmd $ query_arg $ program_arg $ params_ar
 let repl_term =
   Term.(
     const repl_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
-    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg $ params_arg
-    $ request_timeout_arg)
+    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg
+    $ maintain_workers_arg $ params_arg $ request_timeout_arg)
 
 let serve_term =
   Term.(
     const serve_cmd $ query_arg $ program_arg $ dataset_arg $ rmat_arg $ edges_arg $ edb_arg
-    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg $ params_arg
-    $ socket_arg $ request_timeout_arg)
+    $ workers_arg $ strategy_arg $ no_steal_arg $ unopt_arg $ merge_arg
+    $ maintain_workers_arg $ params_arg $ socket_arg $ request_timeout_arg)
 
 let list_term = Term.(const list_cmd $ const ())
 

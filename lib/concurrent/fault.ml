@@ -8,6 +8,7 @@ type site =
   | Steal
   | Checkpoint
   | Recover
+  | Maintain
 
 let site_to_string = function
   | Loop -> "loop"
@@ -17,6 +18,7 @@ let site_to_string = function
   | Steal -> "steal"
   | Checkpoint -> "checkpoint"
   | Recover -> "recover"
+  | Maintain -> "maintain"
 
 let site_of_string = function
   | "loop" -> Some Loop
@@ -26,6 +28,7 @@ let site_of_string = function
   | "steal" -> Some Steal
   | "checkpoint" -> Some Checkpoint
   | "recover" -> Some Recover
+  | "maintain" -> Some Maintain
   | _ -> None
 
 type spec = {
@@ -44,7 +47,7 @@ let off =
   {
     seed = 0;
     crash_prob = 0.;
-    crash_sites = [ Loop; Flush; Merge; Quiesce; Steal; Checkpoint; Recover ];
+    crash_sites = [ Loop; Flush; Merge; Quiesce; Steal; Checkpoint; Recover; Maintain ];
     crash_workers = [];
     max_crashes = 1;
     delay_prob = 0.;

@@ -14,6 +14,9 @@
     - [Checkpoint]: while a worker is cutting an epoch — a crash here
       must leave the previously committed epoch intact (double-banked
       slots),
+    - [Maintain]: in a worker's morsel loop of a parallel incremental-
+      maintenance round ({!Dcd_engine.Maintain}) — a crash here must
+      poison the owning session, never tear its resident state,
     - [Recover]: during rollback itself.  Unlike the other sites this
       one is evaluated by the {e orchestrator} on the rolled-back
       worker's lane (the worker's domain is being replaced at that
@@ -41,6 +44,7 @@ type site =
   | Steal
   | Checkpoint
   | Recover
+  | Maintain
 
 val site_to_string : site -> string
 

@@ -46,6 +46,7 @@ type config = Parallel.config = {
   fault : Fault.spec option;
   checkpoint_every : int;
   max_recoveries : int;
+  maintain_workers : int;
 }
 
 let default_config = Parallel.default_config

@@ -85,6 +85,10 @@ type config = Parallel.config = {
   max_recoveries : int;
       (** worker crashes one run may recover from by rolling back to
           the last epoch and re-running ([0] = fail fast) *)
+  maintain_workers : int;
+      (** workers for incremental-maintenance delta joins in a
+          {!Session} ([0] = same as [workers], [1] = sequential
+          interpreter) *)
 }
 
 val default_config : config

@@ -14,8 +14,11 @@
     read racing {!apply_batch} sees either the entire pre-batch or the
     entire post-batch fixpoint — never a torn mix (snapshots are
     copy-on-write and published with a single atomic store).  Writes
-    ({!apply_batch}, {!close}) serialize on an internal mutex, one batch
-    at a time.  Any number of threads or domains may call anything. *)
+    ({!apply_batch}, {!close}) serialize on an internal mutex; callers
+    that queue up behind a running maintenance round are {e coalesced} —
+    their batches merge, in arrival order, into one maintenance round
+    (see {!apply_batch}).  Any number of threads or domains may call
+    anything. *)
 
 type t
 
@@ -35,17 +38,30 @@ val open_session :
 val apply_batch :
   t -> ?deadline:float -> Dcd_engine.Maintain.update list -> Dcd_engine.Maintain.batch_report
 (** Applies one update batch, restores the fixpoint, publishes the next
-    snapshot version, and folds the counters into
-    [stats.maintenance].  [deadline] (absolute,
-    {!Dcd_util.Clock.now} seconds) gates {e admission} only — a batch
-    already admitted runs to completion, because no reader-visible state
-    exists between "admitted" and "published".
+    snapshot version, and folds the counters into [stats.maintenance].
+
+    {b Writer coalescing.}  Callers that arrive while another caller's
+    round is running enqueue; when the round finishes, one queued caller
+    becomes the leader and applies {e every} queued batch as a single
+    merged maintenance round (batches concatenate in arrival order, so
+    the resulting fixpoint is the one serial application would reach).
+    All callers of a merged round receive the same {!Maintain.batch_report}
+    — the report of the merged round, not of their slice.  Each batch is
+    validated {e before} it enqueues, so a malformed batch raises on its
+    own caller and never contaminates a merged round.
+
+    [deadline] (absolute, {!Dcd_util.Clock.now} seconds) gates
+    {e admission} only — a batch already admitted runs to completion,
+    because no reader-visible state exists between "admitted" and
+    "published".  Time spent queued counts: the deadline is re-checked
+    when the merged round forms.
     @raise Dcd_engine.Engine_error.Error [(Cancelled Deadline)] when the
     deadline passed while queued.
     @raise Invalid_argument on a malformed batch (state untouched) or a
-    closed/poisoned session.  Any other escape poisons the session:
-    reads keep serving the last published snapshot, further writes are
-    refused. *)
+    closed session.  Any other escape poisons the session: reads keep
+    serving the last published snapshot, and every later write re-raises
+    the {e original} poisoning exception verbatim, so callers can tell
+    what actually went wrong rather than a generic "session poisoned". *)
 
 val lookup : t -> string -> Dcd_storage.Tuple.t -> int * bool
 (** [(version, present)] against the current snapshot. *)

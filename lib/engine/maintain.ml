@@ -33,6 +33,10 @@ module Analysis = Dcd_datalog.Analysis
 module Tuple = Dcd_storage.Tuple
 module Relation = Dcd_storage.Relation
 module Vec = Dcd_util.Vec
+module Arena = Dcd_storage.Arena
+module Clock = Dcd_util.Clock
+module Fault = Dcd_concurrent.Fault
+module Domain_pool = Dcd_concurrent.Domain_pool
 
 module Tup_tbl = Hashtbl.Make (struct
   type t = Tuple.t
@@ -55,6 +59,9 @@ type batch_report = {
   br_recomputed_strata : int;
   br_changed : (string * int * int) list;
   br_deltas : (string * Dcd_storage.Tuple.t list * Dcd_storage.Tuple.t list) list;
+  br_workers : (float * int * int * int) list;
+      (* per maintenance worker: (join seconds, morsels executed,
+         steals, tuples stolen) — empty on the sequential path *)
 }
 
 (* --- state --- *)
@@ -114,6 +121,26 @@ type pred_state = {
          costs a rederivation check, never a wrong fixpoint. *)
 }
 
+(* --- compiled delta kernels --- *)
+
+(* One worker's private half of a compiled maintenance kernel: its
+   {!Maintain_kernel.instance} (register file, head/contrib scratch)
+   plus, for DRed decrement kernels, a filler per same-stratum non-delta
+   atom so the emit closure can look up that atom's derivation rank
+   without a boxed environment. *)
+type mk_inst = {
+  mi_pipe : Maintain_kernel.instance;
+  mi_atoms : (pred_state * int array * (unit -> unit)) array;
+}
+
+type mkernel = {
+  mk_insts : mk_inst array; (* one per maintenance worker *)
+  mk_rank_reg : int; (* cascade kernels: register of the scan rank column, -1 if none *)
+  mk_prewarm : (unit -> unit) list;
+      (* forces lazily built per-batch structures (delete overlays)
+         on the coordinator before a parallel round reads them *)
+}
+
 (* --- compiled rules --- *)
 
 type catom = {
@@ -136,6 +163,11 @@ type crule = {
   mutable cr_orders : (int * oelem list) list;
       (* greedy orderings cached by scan key: the delta atom index,
          [-1] = full evaluation, [-2] = head-bound (rederive check) *)
+  mutable cr_kernels : (int * mkernel) list;
+      (* compiled pipelines cached by phase key (see [kcount] etc.);
+         valid across batches — they close over the persistent
+         pred_state tables and maintained indexes, never over
+         batch-local data *)
 }
 
 type mode =
@@ -159,6 +191,20 @@ type t = {
   runtime : Parallel.runtime option;
   preds : (string, pred_state) Hashtbl.t;
   edb : (string, unit) Hashtbl.t;
+  m_workers : int;
+      (* effective maintenance parallelism: 1 without a runtime (or as
+         the explicit ablation), else config.maintain_workers clamped
+         to [1, workers] with 0 meaning "same as workers" *)
+  m_steal : Steal.t option; (* morsel board for parallel rounds (m_workers > 1) *)
+  m_fault : Fault.t option; (* injection schedule for the Maintain site *)
+  m_bufs : (Tuple.t * Tuple.t) Vec.t array;
+      (* per-worker (head, contrib) emission buffers, drained
+         sequentially by the coordinator after each round's barrier *)
+  m_arenas : (int, Arena.t) Hashtbl.t; (* scratch scan arenas by arity *)
+  m_wjoin : float array; (* per-batch, per-worker round-execution seconds *)
+  m_wmorsels : int array;
+  m_wsteals : int array;
+  m_wstolen : int array;
   mutable strata : cstratum list;
   mutable recording : bool;
   mutable rank_counter : int;
@@ -499,6 +545,7 @@ let compile_rule (r : Ast.rule) =
     cr_atoms = atoms;
     cr_others = others;
     cr_orders = [];
+    cr_kernels = [];
   }
 
 (* Orders the remaining body for a given scan key: drain every
@@ -606,6 +653,392 @@ let get_order mt cr key =
     let o = compute_order mt cr key in
     cr.cr_orders <- (key, o) :: cr.cr_orders;
     o
+
+(* --- kernel compilation (parallel maintenance) --- *)
+
+(* Phase keys for the per-rule kernel cache.  For delta/scan atom [i]:
+   counting uses [4i] (positions < i New, > i Old), DRed seeding
+   [4i+1] (same-stratum Cur, lower Old, decrement extras), the DRed
+   cascade [4i+2] (all Cur, a trailing rank column on the scan row) and
+   insert propagation [4i+3] (all Cur); [-2] is the head-bound
+   rederivation probe. *)
+let kcount i = 4 * i
+let kseed i = (4 * i) + 1
+let kcasc i = (4 * i) + 2
+let kprop i = (4 * i) + 3
+let krederive = -2
+
+(* Compiles one cached ordering of [cr] into a {!Maintain_kernel.spec}
+   and instantiates it once per maintenance worker.  Variables become
+   integer registers; each body atom becomes a membership probe (fully
+   bound), a keyed bucket scan against a persistent [ensure_index]
+   (partially bound, with the per-batch delete overlay layered on for
+   Old visibility) or a full visible scan.  The iteration closures read
+   the maintenance tables but never write them — a parallel round keeps
+   every mutation in the per-worker emission buffers. *)
+let build_mkernel mt cr ~order ~scan ~vis_of ~with_rank ~datom_idx ~in_stratum =
+  let nregs = ref 0 in
+  let vars : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let reg_of v =
+    match Hashtbl.find_opt vars v with
+    | Some r -> r
+    | None ->
+      let r = !nregs in
+      incr nregs;
+      Hashtbl.add vars v r;
+      r
+  in
+  let src_of = function
+    | Ast.Int i -> Physical.Const i
+    | Ast.Sym s -> Physical.Const (sym_value mt s)
+    | Ast.Var v -> (
+      match Hashtbl.find_opt vars v with
+      | Some r -> Physical.Reg r
+      | None -> invalid_arg (Printf.sprintf "Maintain: unbound kernel variable %s" v))
+  in
+  let rec code_of = function
+    | Ast.Term t -> (
+      match src_of t with
+      | Physical.Const c -> Physical.C_const c
+      | Physical.Reg r -> Physical.C_reg r)
+    | Ast.Binop (op, a, b) ->
+      let ca = code_of a in
+      let cb = code_of b in
+      Physical.C_bin (op, ca, cb)
+    | Ast.Neg e -> Physical.C_neg (code_of e)
+  in
+  (* scan row: first occurrence of a variable binds its register,
+     repeats and constants become residual checks *)
+  let scan_terms =
+    match scan with
+    | `Atom i -> cr.cr_atoms.(i).ca_args
+    | `Head ->
+      Array.of_list
+        (List.map
+           (function
+             | Ast.Plain t -> t
+             | Ast.Agg _ -> invalid_arg "Maintain: aggregate head in rederive kernel")
+           cr.cr_rule.Ast.head_args)
+  in
+  let sbinds = ref [] and schecks = ref [] in
+  Array.iteri
+    (fun c t ->
+      match t with
+      | Ast.Var v when not (Hashtbl.mem vars v) -> sbinds := (c, reg_of v) :: !sbinds
+      | t -> schecks := (c, src_of t) :: !schecks)
+    scan_terms;
+  let rank_reg =
+    if with_rank then begin
+      let r = !nregs in
+      incr nregs;
+      sbinds := (Array.length scan_terms, r) :: !sbinds;
+      r
+    end
+    else -1
+  in
+  let prewarm = ref [] in
+  let steps =
+    List.map
+      (fun el ->
+        match el with
+        | O_atom j ->
+          let ca = cr.cr_atoms.(j) in
+          let ps = get_pred mt ca.ca_pred in
+          let vis = vis_of j in
+          let arity = Array.length ca.ca_args in
+          let newly : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+          let cols = ref [] and ksrc = ref [] and binds = ref [] and checks = ref [] in
+          Array.iteri
+            (fun c t ->
+              match t with
+              | Ast.Var v when Hashtbl.mem newly v ->
+                checks := (c, Physical.Reg (Hashtbl.find vars v)) :: !checks
+              | Ast.Var v when not (Hashtbl.mem vars v) ->
+                Hashtbl.add newly v ();
+                binds := (c, reg_of v) :: !binds
+              | t ->
+                cols := c :: !cols;
+                ksrc := src_of t :: !ksrc)
+            ca.ca_args;
+          let cols = Array.of_list (List.rev !cols) in
+          let ksrc = Array.of_list (List.rev !ksrc) in
+          if Array.length cols = arity then
+            Maintain_kernel.S_mem
+              { sm_key_src = ksrc; sm_mem = (fun key -> mem_vis ps vis key); sm_negated = false }
+          else begin
+            let iter =
+              if Array.length cols = 0 then fun _key f -> iter_vis ps vis (fun tup -> f tup 0)
+              else begin
+                (* built (from the current visible set) at compile time,
+                   then maintained forever by visible_insert/remove —
+                   capturing it here stays correct across batches *)
+                let ix = ensure_index ps cols in
+                match vis with
+                | Cur ->
+                  fun key f -> (
+                    match Tup_tbl.find_opt ix.ix_buckets key with
+                    | Some b -> Tup_tbl.iter (fun tup () -> f tup 0) b
+                    | None -> ())
+                | Old ->
+                  prewarm := (fun () -> ignore (overlay ps cols)) :: !prewarm;
+                  let d = ps.ps_delta in
+                  fun key f ->
+                    (match Tup_tbl.find_opt ix.ix_buckets key with
+                    | Some b ->
+                      Tup_tbl.iter
+                        (fun tup () -> if not (Tup_tbl.mem d.d_ins tup) then f tup 0)
+                        b
+                    | None -> ());
+                    (match Tup_tbl.find_opt (overlay ps cols) key with
+                    | Some b -> Tup_tbl.iter (fun tup () -> f tup 0) b
+                    | None -> ())
+              end
+            in
+            Maintain_kernel.S_atom
+              {
+                sa_key_src = ksrc;
+                sa_binds = Array.of_list (List.rev !binds);
+                sa_checks = Array.of_list (List.rev !checks);
+                sa_iter = iter;
+              }
+          end
+        | O_neg a ->
+          let ps = get_pred mt a.Ast.pred in
+          let ksrc = Array.of_list (List.map src_of a.Ast.args) in
+          Maintain_kernel.S_mem
+            { sm_key_src = ksrc; sm_mem = (fun key -> mem_vis ps Cur key); sm_negated = true }
+        | O_filter (op, lhs, rhs) ->
+          let cl = code_of lhs in
+          let crr = code_of rhs in
+          Maintain_kernel.S_filter (op, cl, crr)
+        | O_assign (x, e) ->
+          let c = code_of e in
+          Maintain_kernel.S_compute (reg_of x, c))
+      order
+  in
+  let head_srcs =
+    Array.of_list
+      (List.map
+         (fun (arg : Ast.head_arg) ->
+           match arg with
+           | Ast.Plain t -> src_of t
+           | Ast.Agg (Ast.Count, _) -> Physical.Const 0
+           | Ast.Agg ((Ast.Min | Ast.Max), [ t ]) -> src_of t
+           | Ast.Agg (Ast.Sum, ts) -> src_of (List.nth ts (List.length ts - 1))
+           | Ast.Agg _ -> invalid_arg "Maintain: malformed aggregate")
+         cr.cr_rule.Ast.head_args)
+  in
+  let contrib_srcs =
+    Array.of_list
+      (List.concat_map
+         (fun (arg : Ast.head_arg) ->
+           match arg with
+           | Ast.Agg (Ast.Count, ts) -> List.map src_of ts
+           | Ast.Agg (Ast.Sum, ts) ->
+             List.map src_of (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+           | Ast.Agg ((Ast.Min | Ast.Max), _) | Ast.Plain _ -> [])
+         cr.cr_rule.Ast.head_args)
+  in
+  let datoms =
+    match datom_idx with
+    | None -> [||]
+    | Some skip ->
+      let acc = ref [] in
+      Array.iteri
+        (fun j ca ->
+          if j <> skip && in_stratum ca.ca_pred then
+            acc := (get_pred mt ca.ca_pred, Array.map src_of ca.ca_args) :: !acc)
+        cr.cr_atoms;
+      Array.of_list (List.rev !acc)
+  in
+  let spec =
+    {
+      Maintain_kernel.sp_nregs = !nregs;
+      sp_scan_binds = Array.of_list (List.rev !sbinds);
+      sp_scan_checks = Array.of_list (List.rev !schecks);
+      sp_steps = steps;
+      sp_head = head_srcs;
+      sp_contrib = contrib_srcs;
+    }
+  in
+  let insts =
+    Array.init mt.m_workers (fun _ ->
+        let pipe = Maintain_kernel.instantiate spec in
+        let regs = Maintain_kernel.regs pipe in
+        let atoms =
+          Array.map
+            (fun (ps, srcs) ->
+              let buf = Array.make (Array.length srcs) 0 in
+              (ps, buf, Kernel.filler srcs ~regs ~buf))
+            datoms
+        in
+        { mi_pipe = pipe; mi_atoms = atoms })
+  in
+  { mk_insts = insts; mk_rank_reg = rank_reg; mk_prewarm = !prewarm }
+
+let get_kernel mt cs cr key =
+  match List.assoc_opt key cr.cr_kernels with
+  | Some mk -> mk
+  | None ->
+    let in_stratum p = List.mem p cs.cs_stratum.Analysis.preds in
+    let mk =
+      if key = krederive then
+        build_mkernel mt cr ~order:(get_order mt cr (-2)) ~scan:`Head ~vis_of:(fun _ -> Cur)
+          ~with_rank:false ~datom_idx:None ~in_stratum
+      else begin
+        let i = key / 4 in
+        let order = get_order mt cr i in
+        let scan = `Atom i in
+        match key mod 4 with
+        | 0 ->
+          build_mkernel mt cr ~order ~scan
+            ~vis_of:(fun j -> if j < i then Cur else Old)
+            ~with_rank:false ~datom_idx:None ~in_stratum
+        | 1 ->
+          build_mkernel mt cr ~order ~scan
+            ~vis_of:(fun j -> if in_stratum cr.cr_atoms.(j).ca_pred then Cur else Old)
+            ~with_rank:false ~datom_idx:(Some i) ~in_stratum
+        | 2 ->
+          build_mkernel mt cr ~order ~scan ~vis_of:(fun _ -> Cur) ~with_rank:true
+            ~datom_idx:(Some i) ~in_stratum
+        | _ ->
+          build_mkernel mt cr ~order ~scan ~vis_of:(fun _ -> Cur) ~with_rank:false
+            ~datom_idx:None ~in_stratum
+      end
+    in
+    cr.cr_kernels <- (key, mk) :: cr.cr_kernels;
+    mk
+
+(* --- parallel round execution --- *)
+
+(* Rounds smaller than this run inline on the coordinator: a morsel
+   round costs a pool submit and a barrier, which only pays for itself
+   on scans of a few hundred tuples and up. *)
+let par_threshold = 256
+
+let default_morsel mi _w arena ~first ~len = Maintain_kernel.run_range mi.mi_pipe arena ~first ~len
+
+let set_emits mk make =
+  Array.iteri (fun w mi -> Maintain_kernel.set_emit mi.mi_pipe (make w mi)) mk.mk_insts
+
+(* The standard emit: buffer a copy of the head (and aggregate
+   contributors, if any) for the post-barrier apply. *)
+let push_emit mt w mi =
+  let buf = mt.m_bufs.(w) in
+  let h = Maintain_kernel.head mi.mi_pipe in
+  let c = Maintain_kernel.contrib mi.mi_pipe in
+  if Array.length c = 0 then fun () -> Vec.push buf (Array.copy h, [||])
+  else fun () -> Vec.push buf (Array.copy h, Array.copy c)
+
+let raise_worker_crash (failures : Domain_pool.failure list) =
+  match failures with
+  | [] -> assert false
+  | first :: rest ->
+    raise
+      (Engine_error.Error
+         (Engine_error.Worker_crashed
+            {
+              worker = first.Domain_pool.index;
+              error = first.Domain_pool.error;
+              backtrace = first.Domain_pool.backtrace;
+              others =
+                List.map
+                  (fun (f : Domain_pool.failure) ->
+                    {
+                      Engine_error.worker = f.Domain_pool.index;
+                      error = f.Domain_pool.error;
+                      backtrace = f.Domain_pool.backtrace;
+                    })
+                  rest;
+            }))
+
+(* One buffered maintenance round over [arena].  Below the threshold
+   (or with one effective worker) the coordinator runs instance 0
+   inline; above it each pool worker publishes its stripe of the range
+   as morsels on the steal board, drains its own deque LIFO, then
+   claims from loaded peers, executing every morsel through its private
+   kernel instance with all emissions buffered.  The maintenance state
+   is strictly read-only between the prewarm and the barrier, so the
+   concurrent hash-table reads are safe; [apply] then drains the
+   buffers sequentially.  Every pass only uses rounds whose
+   applications commute within the round (signed counting updates of
+   one sign, support decrements, idempotent inserts, monotone merges),
+   which is what keeps the result bit-identical to the sequential
+   interpreter. *)
+let run_round mt mk ~arena ~morsel ~apply =
+  let n = Arena.length arena in
+  if n > 0 then begin
+    let mw = mt.m_workers in
+    match (mt.m_steal, mt.runtime) with
+    | Some steal, Some rt when n >= par_threshold && mw > 1 ->
+      List.iter (fun f -> f ()) mk.mk_prewarm;
+      Steal.reset steal;
+      let body me =
+        if me < mw then begin
+          let t0 = Clock.now () in
+          let lo = n * me / mw and hi = n * (me + 1) / mw in
+          if hi > lo then
+            Steal.publish_range steal ~me ~kind:Steal.Delta ~gid:0 ~arena ~first:lo
+              ~len:(hi - lo);
+          let mi = mk.mk_insts.(me) in
+          let exec stolen (m : Steal.morsel) =
+            (match mt.m_fault with
+            | Some fa -> Fault.hit fa Fault.Maintain ~worker:me
+            | None -> ());
+            morsel mi me m.Steal.m_arena ~first:m.Steal.m_first ~len:m.Steal.m_len;
+            Steal.complete steal m;
+            mt.m_wmorsels.(me) <- mt.m_wmorsels.(me) + 1;
+            if stolen then begin
+              mt.m_wsteals.(me) <- mt.m_wsteals.(me) + 1;
+              mt.m_wstolen.(me) <- mt.m_wstolen.(me) + m.Steal.m_len
+            end
+          in
+          let rec drain () =
+            match Steal.pop_own steal ~me with
+            | Some m ->
+              exec false m;
+              drain ()
+            | None ->
+              if Steal.enabled steal then (
+                match Steal.try_claim steal ~me with
+                | Some m ->
+                  exec true m;
+                  drain ()
+                | None -> ())
+          in
+          drain ();
+          mt.m_wjoin.(me) <- mt.m_wjoin.(me) +. (Clock.now () -. t0)
+        end
+      in
+      (match Domain_pool.submit rt.Parallel.rt_pool body with
+      | Ok () -> ()
+      | Error failures -> raise_worker_crash failures);
+      for w = 0 to mw - 1 do
+        let buf = mt.m_bufs.(w) in
+        Vec.iter apply buf;
+        Vec.clear buf
+      done
+    | _ ->
+      morsel mk.mk_insts.(0) 0 arena ~first:0 ~len:n;
+      let buf = mt.m_bufs.(0) in
+      Vec.iter apply buf;
+      Vec.clear buf
+  end
+
+let scratch_arena mt ~arity =
+  match Hashtbl.find_opt mt.m_arenas arity with
+  | Some a ->
+    Arena.clear a;
+    a
+  | None ->
+    let a = Arena.create ~arity () in
+    Hashtbl.add mt.m_arenas arity a;
+    a
+
+let arena_of_tbl mt tbl ~arity =
+  let a = scratch_arena mt ~arity in
+  Tup_tbl.iter (fun tup () -> ignore (Arena.push a tup)) tbl;
+  a
 
 (* --- evaluation --- *)
 
@@ -759,6 +1192,41 @@ let counting_pass mt cs =
         cr.cr_atoms)
     cs.cs_rules
 
+(* Compiled/parallel counting: one buffered round per (rule, delta
+   atom, sign).  Within a round every application carries the same
+   sign, and same-sign support updates commute (counts never cross the
+   zero boundary out of order: deletions run first, exactly as the
+   interpreter schedules them), so the morsel execution order cannot
+   change the resulting state. *)
+let counting_pass_par mt cs =
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          let dps = get_pred mt ca.ca_pred in
+          let d = dps.ps_delta in
+          if Tup_tbl.length d.d_ins > 0 || Tup_tbl.length d.d_del > 0 then begin
+            let mk = get_kernel mt cs cr (kcount i) in
+            set_emits mk (push_emit mt);
+            let hps = get_pred mt cr.cr_head in
+            let apply sign (tuple, contrib) =
+              match (hps.ps_body, cr.cr_agg) with
+              | Pplain counts, None -> plain_add mt hps counts tuple sign
+              | Pagg a, Some _ -> agg_support_add mt hps a tuple contrib sign
+              | _ -> invalid_arg "Maintain: aggregate/plain mismatch"
+            in
+            let run tbl sign =
+              if Tup_tbl.length tbl > 0 then
+                run_round mt mk
+                  ~arena:(arena_of_tbl mt tbl ~arity:dps.ps_arity)
+                  ~morsel:default_morsel ~apply:(apply sign)
+            in
+            run d.d_del (-1);
+            run d.d_ins 1
+          end)
+        cr.cr_atoms)
+    cs.cs_rules
+
 (* --- recursive plain strata (DRed) --- *)
 
 (* Binds [tup] against the rule head, extending [env]; false when the
@@ -889,6 +1357,30 @@ let build_ranks mt cs =
       mt.rank_counter <- m + 1)
     stratum.Analysis.preds
 
+(* Phase 2 of DRed, shared by the interpreted and compiled paths:
+   physically remove the dead set from stores, ranks, supports and
+   indexes. *)
+let dred_remove_dead mt dsets =
+  List.iter
+    (fun (p, ds) ->
+      let ps = get_pred mt p in
+      let counts =
+        match ps.ps_body with
+        | Pplain c -> c
+        | Pagg _ -> invalid_arg "Maintain: aggregate in DRed stratum"
+      in
+      Tup_tbl.iter
+        (fun tup () ->
+          if Tup_tbl.mem counts tup then begin
+            Tup_tbl.remove counts tup;
+            Tup_tbl.remove ps.ps_ranks tup;
+            Tup_tbl.remove ps.ps_supports tup;
+            visible_remove mt ps tup
+          end)
+        ds;
+      mt.cur_overdeleted <- mt.cur_overdeleted + Tup_tbl.length ds)
+    dsets
+
 let dred_pass mt cs =
   let stratum = cs.cs_stratum in
   let in_stratum p = List.mem p stratum.Analysis.preds in
@@ -995,25 +1487,7 @@ let dred_pass mt cs =
       cs.cs_rules
   done;
   (* phase 2: physically remove the dead set *)
-  List.iter
-    (fun (p, ds) ->
-      let ps = get_pred mt p in
-      let counts =
-        match ps.ps_body with
-        | Pplain c -> c
-        | Pagg _ -> invalid_arg "Maintain: aggregate in DRed stratum"
-      in
-      Tup_tbl.iter
-        (fun tup () ->
-          if Tup_tbl.mem counts tup then begin
-            Tup_tbl.remove counts tup;
-            Tup_tbl.remove ps.ps_ranks tup;
-            Tup_tbl.remove ps.ps_supports tup;
-            visible_remove mt ps tup
-          end)
-        ds;
-      mt.cur_overdeleted <- mt.cur_overdeleted + Tup_tbl.length ds)
-    dsets;
+  dred_remove_dead mt dsets;
   (* phases 3 and 4: goal-directed rederivation of the overdeleted
      tuples, then worklist insert propagation — rederived tuples and
      lower-stratum insertions enter the same semi-naive frontier.
@@ -1096,6 +1570,252 @@ let dred_pass mt cs =
       cs.cs_rules
   done
 
+(* Compiled/parallel DRed.  Same four phases as [dred_pass], with the
+   per-tuple interpreter loops replaced by buffered morsel rounds:
+
+   - seed and cascade rounds evaluate the decrement body through a
+     compiled kernel whose emit replays the rank conditions worker-side
+     (sound: ranks and current-visibility are frozen until phase 2,
+     and supports — which do change — are only read at apply time);
+     the dead-set dedup and the support counter itself stay on the
+     sequential apply side, so a head killed early in a round's apply
+     order absorbs no further decrements, exactly as the interpreter;
+   - the cascade drains the dead list in segments, one scan arena per
+     predicate with the dying tuple's rank as a trailing column;
+   - rederivation runs one existence round per (predicate, rule) over
+     the candidate set, with insertions flushed per predicate in dsets
+     order — the interpreter's flush points;
+   - insert propagation seeds from the lower-stratum d_ins sets and
+     drains the worklist in per-predicate segments.  Tuples are made
+     visible before they enter the worklist, so any derivation needing
+     two same-segment tuples is found from either scan side; inserts
+     are idempotent, which makes the round order immaterial. *)
+let dred_pass_par mt cs =
+  let stratum = cs.cs_stratum in
+  let in_stratum p = List.mem p stratum.Analysis.preds in
+  let dsets = List.map (fun p -> (p, Tup_tbl.create 64)) stratum.Analysis.preds in
+  let dset p = List.assoc p dsets in
+  let dead = Vec.create () in
+  let kill p tup =
+    let ds = dset p in
+    if not (Tup_tbl.mem ds tup) then begin
+      let r =
+        match Tup_tbl.find_opt (get_pred mt p).ps_ranks tup with
+        | Some r -> r
+        | None -> 0
+      in
+      Tup_tbl.add ds tup ();
+      Vec.push dead (p, tup, r)
+    end
+  in
+  let apply_decrement cr (h, _) =
+    let head_ps = get_pred mt cr.cr_head in
+    if not (Tup_tbl.mem (dset cr.cr_head) h) then begin
+      let s = Option.value ~default:0 (Tup_tbl.find_opt head_ps.ps_supports h) in
+      if s <= 1 then kill cr.cr_head h else Tup_tbl.replace head_ps.ps_supports h (s - 1)
+    end
+  in
+  let decrement_emit mk cr w mi =
+    let head_ps = get_pred mt cr.cr_head in
+    let buf = mt.m_bufs.(w) in
+    let h = Maintain_kernel.head mi.mi_pipe in
+    let regs = Maintain_kernel.regs mi.mi_pipe in
+    let rank_reg = mk.mk_rank_reg in
+    fun () ->
+      if mem_cur head_ps h then
+        match Tup_tbl.find_opt head_ps.ps_ranks h with
+        | None -> ()
+        | Some hr ->
+          if rank_reg < 0 || regs.(rank_reg) < hr then begin
+            let ok = ref true in
+            Array.iter
+              (fun (aps, _abuf, fill) ->
+                if !ok then begin
+                  fill ();
+                  match Tup_tbl.find_opt aps.ps_ranks _abuf with
+                  | Some r -> if r >= hr then ok := false
+                  | None -> ok := false
+                end)
+              mi.mi_atoms;
+            if !ok then Vec.push buf (Array.copy h, [||])
+          end
+  in
+  (* phase 1a: derivations lost to lower-stratum deletions *)
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          if not (in_stratum ca.ca_pred) then begin
+            let dps = get_pred mt ca.ca_pred in
+            let d = dps.ps_delta in
+            if Tup_tbl.length d.d_del > 0 then begin
+              let mk = get_kernel mt cs cr (kseed i) in
+              set_emits mk (decrement_emit mk cr);
+              run_round mt mk
+                ~arena:(arena_of_tbl mt d.d_del ~arity:dps.ps_arity)
+                ~morsel:default_morsel ~apply:(apply_decrement cr)
+            end
+          end)
+        cr.cr_atoms)
+    cs.cs_rules;
+  (* phase 1b: the cascade, in dead-list segments *)
+  let cursor = ref 0 in
+  while !cursor < Vec.length dead do
+    let upto = Vec.length dead in
+    let by_pred : (string, (Tuple.t * int) Vec.t) Hashtbl.t = Hashtbl.create 4 in
+    for k = !cursor to upto - 1 do
+      let p, tup, r = Vec.get dead k in
+      let l =
+        match Hashtbl.find_opt by_pred p with
+        | Some l -> l
+        | None ->
+          let l = Vec.create () in
+          Hashtbl.add by_pred p l;
+          l
+      in
+      Vec.push l (tup, r)
+    done;
+    cursor := upto;
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt by_pred p with
+        | None -> ()
+        | Some entries ->
+          let arity = (get_pred mt p).ps_arity in
+          let arena = scratch_arena mt ~arity:(arity + 1) in
+          let row = Array.make (arity + 1) 0 in
+          Vec.iter
+            (fun (tup, r) ->
+              Array.blit tup 0 row 0 arity;
+              row.(arity) <- r;
+              ignore (Arena.push arena row))
+            entries;
+          Array.iter
+            (fun cr ->
+              Array.iteri
+                (fun i ca ->
+                  if ca.ca_pred = p then begin
+                    let mk = get_kernel mt cs cr (kcasc i) in
+                    set_emits mk (decrement_emit mk cr);
+                    run_round mt mk ~arena ~morsel:default_morsel
+                      ~apply:(apply_decrement cr)
+                  end)
+                cr.cr_atoms)
+            cs.cs_rules)
+      stratum.Analysis.preds
+  done;
+  (* phase 2: physically remove the dead set *)
+  dred_remove_dead mt dsets;
+  (* phases 3 and 4: rederive, then worklist insert propagation *)
+  let prop = Vec.create () in
+  let try_insert p tup =
+    let ps = get_pred mt p in
+    let counts =
+      match ps.ps_body with
+      | Pplain c -> c
+      | Pagg _ -> assert false
+    in
+    if not (Tup_tbl.mem counts tup) then begin
+      Tup_tbl.replace counts tup 1;
+      Tup_tbl.replace ps.ps_ranks tup mt.rank_counter;
+      Tup_tbl.replace ps.ps_supports tup 1;
+      mt.rank_counter <- mt.rank_counter + 1;
+      visible_insert mt ps tup;
+      if Tup_tbl.mem (dset p) tup then mt.cur_rederived <- mt.cur_rederived + 1;
+      Vec.push prop (p, tup)
+    end
+  in
+  List.iter
+    (fun (p, ds) ->
+      if Tup_tbl.length ds > 0 then begin
+        let ps = get_pred mt p in
+        let arena = arena_of_tbl mt ds ~arity:ps.ps_arity in
+        let seen = Tup_tbl.create 64 in
+        let matched = Vec.create () in
+        Array.iter
+          (fun cr ->
+            if cr.cr_head = p then begin
+              let mk = get_kernel mt cs cr krederive in
+              set_emits mk (fun _w _mi () -> raise Maintain_kernel.Stop);
+              let morsel mi w a ~first ~len =
+                let data = Arena.data a in
+                let k = Arena.arity a in
+                let buf = mt.m_bufs.(w) in
+                for s = first to first + len - 1 do
+                  if Maintain_kernel.run_row mi.mi_pipe data (s * k) then begin
+                    let tup = Array.make k 0 in
+                    Array.blit data (s * k) tup 0 k;
+                    Vec.push buf (tup, [||])
+                  end
+                done
+              in
+              run_round mt mk ~arena ~morsel ~apply:(fun (tup, _) ->
+                  if not (Tup_tbl.mem seen tup) then begin
+                    Tup_tbl.add seen tup ();
+                    Vec.push matched tup
+                  end)
+            end)
+          cs.cs_rules;
+        Vec.iter (fun tup -> try_insert p tup) matched
+      end)
+    dsets;
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          if not (in_stratum ca.ca_pred) then begin
+            let dps = get_pred mt ca.ca_pred in
+            let d = dps.ps_delta in
+            if Tup_tbl.length d.d_ins > 0 then begin
+              let mk = get_kernel mt cs cr (kprop i) in
+              set_emits mk (push_emit mt);
+              run_round mt mk
+                ~arena:(arena_of_tbl mt d.d_ins ~arity:dps.ps_arity)
+                ~morsel:default_morsel
+                ~apply:(fun (h, _) -> try_insert cr.cr_head h)
+            end
+          end)
+        cr.cr_atoms)
+    cs.cs_rules;
+  let cursor = ref 0 in
+  while !cursor < Vec.length prop do
+    let upto = Vec.length prop in
+    let by_pred : (string, Tuple.t Vec.t) Hashtbl.t = Hashtbl.create 4 in
+    for k = !cursor to upto - 1 do
+      let p, tup = Vec.get prop k in
+      let l =
+        match Hashtbl.find_opt by_pred p with
+        | Some l -> l
+        | None ->
+          let l = Vec.create () in
+          Hashtbl.add by_pred p l;
+          l
+      in
+      Vec.push l tup
+    done;
+    cursor := upto;
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt by_pred p with
+        | None -> ()
+        | Some entries ->
+          let arena = scratch_arena mt ~arity:(get_pred mt p).ps_arity in
+          Vec.iter (fun tup -> ignore (Arena.push arena tup)) entries;
+          Array.iter
+            (fun cr ->
+              Array.iteri
+                (fun i ca ->
+                  if ca.ca_pred = p then begin
+                    let mk = get_kernel mt cs cr (kprop i) in
+                    set_emits mk (push_emit mt);
+                    run_round mt mk ~arena ~morsel:default_morsel
+                      ~apply:(fun (h, _) -> try_insert cr.cr_head h)
+                  end)
+                cr.cr_atoms)
+            cs.cs_rules)
+      stratum.Analysis.preds
+  done
+
 (* --- recursive min/max aggregate strata: monotone insert propagation --- *)
 
 let aggrec_insert_pass mt cs =
@@ -1176,6 +1896,104 @@ let aggrec_insert_pass mt cs =
             end)
           cr.cr_atoms)
       cs.cs_rules
+  done
+
+(* Compiled/parallel monotone insert propagation: the same seed +
+   worklist shape as the DRed insert phases, with [merge] as the apply.
+   Merging keeps the best value per group whatever the order, and any
+   improvement re-enters the worklist, so segment rounds reach the same
+   monotone fixpoint as the per-tuple interpreter. *)
+let aggrec_insert_pass_par mt cs =
+  let stratum = cs.cs_stratum in
+  let in_stratum p = List.mem p stratum.Analysis.preds in
+  let prop = Vec.create () in
+  let merge p tup =
+    let ps = get_pred mt p in
+    match ps.ps_body with
+    | Pplain counts ->
+      if not (Tup_tbl.mem counts tup) then begin
+        Tup_tbl.replace counts tup 1;
+        visible_insert mt ps tup;
+        Vec.push prop (p, tup)
+      end
+    | Pagg a -> (
+      let g = group_of a tup in
+      let v = tup.(a.a_pos) in
+      let improves =
+        match Tup_tbl.find_opt a.a_best g with
+        | None -> true
+        | Some cur -> (
+          match a.a_kind with
+          | Ast.Min -> v < cur
+          | Ast.Max -> v > cur
+          | Ast.Count | Ast.Sum -> invalid_arg "Maintain: non-monotone aggregate insert")
+      in
+      if improves then begin
+        (match Tup_tbl.find_opt a.a_best g with
+        | Some cur ->
+          Tup_tbl.remove a.a_best g;
+          visible_remove mt ps (assemble a g cur)
+        | None -> ());
+        Tup_tbl.replace a.a_best g v;
+        visible_insert mt ps tup;
+        Vec.push prop (p, tup)
+      end)
+  in
+  Array.iter
+    (fun cr ->
+      Array.iteri
+        (fun i ca ->
+          if not (in_stratum ca.ca_pred) then begin
+            let dps = get_pred mt ca.ca_pred in
+            let d = dps.ps_delta in
+            if Tup_tbl.length d.d_ins > 0 then begin
+              let mk = get_kernel mt cs cr (kprop i) in
+              set_emits mk (push_emit mt);
+              run_round mt mk
+                ~arena:(arena_of_tbl mt d.d_ins ~arity:dps.ps_arity)
+                ~morsel:default_morsel
+                ~apply:(fun (h, _) -> merge cr.cr_head h)
+            end
+          end)
+        cr.cr_atoms)
+    cs.cs_rules;
+  let cursor = ref 0 in
+  while !cursor < Vec.length prop do
+    let upto = Vec.length prop in
+    let by_pred : (string, Tuple.t Vec.t) Hashtbl.t = Hashtbl.create 4 in
+    for k = !cursor to upto - 1 do
+      let p, tup = Vec.get prop k in
+      let l =
+        match Hashtbl.find_opt by_pred p with
+        | Some l -> l
+        | None ->
+          let l = Vec.create () in
+          Hashtbl.add by_pred p l;
+          l
+      in
+      Vec.push l tup
+    done;
+    cursor := upto;
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt by_pred p with
+        | None -> ()
+        | Some entries ->
+          let arena = scratch_arena mt ~arity:(get_pred mt p).ps_arity in
+          Vec.iter (fun tup -> ignore (Arena.push arena tup)) entries;
+          Array.iter
+            (fun cr ->
+              Array.iteri
+                (fun i ca ->
+                  if ca.ca_pred = p then begin
+                    let mk = get_kernel mt cs cr (kprop i) in
+                    set_emits mk (push_emit mt);
+                    run_round mt mk ~arena ~morsel:default_morsel
+                      ~apply:(fun (h, _) -> merge cr.cr_head h)
+                  end)
+                cr.cr_atoms)
+            cs.cs_rules)
+      stratum.Analysis.preds
   done
 
 (* --- stratum recompute through the parallel engine --- *)
@@ -1332,6 +2150,18 @@ let create ~plan ~config ?runtime ~catalog () =
   | Some rt when rt.Parallel.rt_workers <> config.Parallel.workers ->
     invalid_arg "Maintain: runtime/config worker mismatch"
   | _ -> ());
+  if config.Parallel.maintain_workers < 0 then
+    invalid_arg "Maintain: maintain_workers must be >= 0";
+  let m_workers =
+    match runtime with
+    | None -> 1
+    | Some _ ->
+      let req =
+        if config.Parallel.maintain_workers = 0 then config.Parallel.workers
+        else config.Parallel.maintain_workers
+      in
+      max 1 (min req config.Parallel.workers)
+  in
   let mt =
     {
       plan;
@@ -1339,6 +2169,23 @@ let create ~plan ~config ?runtime ~catalog () =
       runtime;
       preds = Hashtbl.create 32;
       edb = Hashtbl.create 16;
+      m_workers;
+      m_steal =
+        (if m_workers > 1 then
+           Some
+             (Steal.create ~workers:m_workers ~enabled:config.Parallel.steal
+                ~morsel_tuples:(max 1 config.Parallel.morsel_tuples))
+         else None);
+      m_fault =
+        (match config.Parallel.fault with
+        | Some spec when m_workers > 1 -> Some (Fault.create ~workers:m_workers spec)
+        | _ -> None);
+      m_bufs = Array.init m_workers (fun _ -> Vec.create ());
+      m_arenas = Hashtbl.create 8;
+      m_wjoin = Array.make m_workers 0.;
+      m_wmorsels = Array.make m_workers 0;
+      m_wsteals = Array.make m_workers 0;
+      m_wstolen = Array.make m_workers 0;
       strata = [];
       recording = false;
       rank_counter = 1;
@@ -1484,11 +2331,10 @@ let create ~plan ~config ?runtime ~catalog () =
 
 (* --- batch application --- *)
 
-let apply mt updates =
-  (* validate (and defensively copy) the whole batch before any
-     mutation: user errors must not tear the resident state *)
-  let norm =
-    List.map
+(* Validates (and defensively copies) a whole batch before any
+   mutation: user errors must not tear the resident state. *)
+let validate_norm mt updates =
+  List.map
       (fun u ->
         let name, tup, ins =
           match u with
@@ -1507,11 +2353,20 @@ let apply mt updates =
             (Printf.sprintf "Maintain: arity mismatch for %s (expected %d, got %d)" name
                ps.ps_arity (Array.length tup));
         (ps, Array.copy tup, ins))
-      updates
-  in
+    updates
+
+let validate mt updates = ignore (validate_norm mt updates)
+
+let apply mt updates =
+  let norm = validate_norm mt updates in
   mt.cur_overdeleted <- 0;
   mt.cur_rederived <- 0;
   mt.cur_recomputed <- 0;
+  Array.fill mt.m_wjoin 0 mt.m_workers 0.;
+  Array.fill mt.m_wmorsels 0 mt.m_workers 0;
+  Array.fill mt.m_wsteals 0 mt.m_workers 0;
+  Array.fill mt.m_wstolen 0 mt.m_workers 0;
+  Array.iter Vec.clear mt.m_bufs;
   List.iter
     (fun (ps, tup, ins) ->
       let counts =
@@ -1539,10 +2394,13 @@ let apply mt updates =
             Tup_tbl.length d.d_ins > 0 || Tup_tbl.length d.d_del > 0)
           cs.cs_body_preds
       in
-      if changed then
+      if changed then begin
+        (* maintain_workers = 1 (or no runtime) is the ablation: the
+           interpreted per-tuple path, bit-for-bit the PR 9 behavior *)
+        let par = mt.m_workers > 1 in
         match cs.cs_mode with
-        | M_counting -> counting_pass mt cs
-        | M_dred -> dred_pass mt cs
+        | M_counting -> if par then counting_pass_par mt cs else counting_pass mt cs
+        | M_dred -> if par then dred_pass_par mt cs else dred_pass mt cs
         | M_subrun -> recompute mt cs
         | M_aggrec ->
           let has_del =
@@ -1550,8 +2408,10 @@ let apply mt updates =
               (fun p -> Tup_tbl.length (get_pred mt p).ps_delta.d_del > 0)
               cs.cs_body_preds
           in
-          if cs.cs_insert_ok && not has_del then aggrec_insert_pass mt cs
-          else recompute mt cs)
+          if cs.cs_insert_ok && not has_del then
+            if par then aggrec_insert_pass_par mt cs else aggrec_insert_pass mt cs
+          else recompute mt cs
+      end)
     mt.strata;
   let changed = ref [] in
   let deltas = ref [] in
@@ -1593,6 +2453,11 @@ let apply mt updates =
       br_recomputed_strata = mt.cur_recomputed;
       br_changed = List.sort compare !changed;
       br_deltas = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !deltas;
+      br_workers =
+        (if mt.m_workers > 1 then
+           List.init mt.m_workers (fun w ->
+               (mt.m_wjoin.(w), mt.m_wmorsels.(w), mt.m_wsteals.(w), mt.m_wstolen.(w)))
+         else []);
     }
   in
   Hashtbl.iter

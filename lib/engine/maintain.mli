@@ -21,6 +21,17 @@
     engine's own materialization at {!create} time, and the differential
     suite checks {!apply} against a cold naive-oracle recompute.
 
+    With a resident {!Parallel.runtime} and
+    [config.maintain_workers <> 1], the delta joins of every pass
+    compile to monomorphic {!Maintain_kernel} pipelines (registers,
+    {!Kernel} binder/checker/filler closures) and scans above a small
+    threshold execute as steal-enabled morsel rounds on the resident
+    pool: workers run the kernels read-only against the frozen state
+    and buffer their emissions, which the coordinator applies
+    sequentially after the round barrier — the fixpoints are identical
+    to the interpreted path, which [maintain_workers = 1] preserves
+    verbatim as the ablation baseline.
+
     Not thread-safe: callers serialize {!apply}, and must not read
     through {!visible} concurrently with it (the {!Dcdatalog.Session}
     layer publishes copy-on-write snapshots for that). *)
@@ -48,6 +59,12 @@ type batch_report = {
           predicates and order as [br_changed] — what the session layer
           folds into its published snapshot overlays.  The arrays are
           immutable and remain valid across later batches. *)
+  br_workers : (float * int * int * int) list;
+      (** per maintenance worker: (join seconds, morsels executed,
+          steals, tuples stolen).  Empty on the sequential interpreted
+          path ([maintain_workers = 1] or no runtime); when parallelism
+          is armed it always has [maintain_workers] entries — all zero
+          if every round stayed below the inline threshold. *)
 }
 
 val create :
@@ -65,6 +82,14 @@ val create :
     fixpoint is not a model and cannot be maintained), if the runtime's
     worker count disagrees with [config.workers], or if the counting
     interpreter diverges from the engine's materialization. *)
+
+val validate : t -> update list -> unit
+(** The validation prefix of {!apply} alone: raises [Invalid_argument]
+    on an unknown predicate, a derived target or an arity mismatch, and
+    is guaranteed to mutate nothing.  The session layer runs it before
+    admitting a batch to the writer-coalescing queue, so a malformed
+    batch fails fast on its own caller instead of poisoning a merged
+    maintenance round. *)
 
 val apply : t -> update list -> batch_report
 (** Applies one batch of base-relation updates and restores the exact

@@ -34,6 +34,7 @@ type config = {
   fault : Fault.spec option;
   checkpoint_every : int;
   max_recoveries : int;
+  maintain_workers : int;
 }
 
 let default_config =
@@ -52,6 +53,7 @@ let default_config =
     fault = None;
     checkpoint_every = 0;
     max_recoveries = 0;
+    maintain_workers = 0;
   }
 
 type result = {

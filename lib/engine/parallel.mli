@@ -98,6 +98,13 @@ type config = {
           stratum's base state) and re-running on a repaired pool.  [0]
           (the default) keeps the historical fail-fast behavior:
           {!Engine_error.Worker_crashed} on the first crash. *)
+  maintain_workers : int;
+      (** workers for incremental-maintenance delta joins ({!Maintain}):
+          large seed scans and cascade sweeps dispatch onto the resident
+          pool as steal-enabled morsel rounds.  [0] (the default) means
+          "same as [workers]"; [1] forces the sequential interpreted
+          path (the ablation baseline); values above [workers] are
+          clamped.  Ignored by {!run} itself. *)
 }
 
 val default_config : config

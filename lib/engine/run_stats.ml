@@ -35,6 +35,13 @@ type stratum = {
   workers : worker array;
 }
 
+type maintain_worker = {
+  mutable mw_join_s : float;
+  mutable mw_morsels : int;
+  mutable mw_steals : int;
+  mutable mw_stolen : int;
+}
+
 type maintenance = {
   mutable batches : int;
   mutable base_inserted : int;
@@ -45,7 +52,20 @@ type maintenance = {
   mutable rederived : int;
   mutable recomputed_strata : int;
   mutable maintain_s : float;
+  mutable coalesced : int;
+  mutable mworkers : maintain_worker array;
 }
+
+let fresh_maintain_worker () = { mw_join_s = 0.; mw_morsels = 0; mw_steals = 0; mw_stolen = 0 }
+
+(* Grows the per-maintenance-worker array on demand: the session layer
+   folds whatever width {!Maintain.batch_report.br_workers} reports. *)
+let maintain_worker m i =
+  let n = Array.length m.mworkers in
+  if i >= n then
+    m.mworkers <-
+      Array.init (i + 1) (fun j -> if j < n then m.mworkers.(j) else fresh_maintain_worker ());
+  m.mworkers.(i)
 
 type t = {
   mutable strata : stratum list;
@@ -70,6 +90,8 @@ let create () =
         rederived = 0;
         recomputed_strata = 0;
         maintain_s = 0.;
+        coalesced = 0;
+        mworkers = [||];
       };
   }
 
@@ -186,12 +208,22 @@ let pp fmt t =
        iterations re-run@."
       r.recoveries r.epochs_cut (total_checkpoint_time t) r.rolled_back_tuples r.rerun_iterations;
   let m = t.maintenance in
-  if m.batches > 0 then
+  if m.batches > 0 then begin
     Format.fprintf fmt
       "  maintenance: %d batches in %.3fs, base +%d/-%d, derived +%d/-%d, %d overdeleted, %d \
        rederived, %d strata recomputed@."
       m.batches m.maintain_s m.base_inserted m.base_deleted m.inserted m.deleted m.overdeleted
       m.rederived m.recomputed_strata;
+    if m.coalesced > 0 then
+      Format.fprintf fmt "    coalesced: %d caller batches merged into shared rounds@."
+        m.coalesced;
+    Array.iteri
+      (fun i w ->
+        if w.mw_morsels > 0 || w.mw_join_s > 0. then
+          Format.fprintf fmt "    mw%d: %d morsels (%d stolen, %d tuples), join %.3fs@." i
+            w.mw_morsels w.mw_steals w.mw_stolen w.mw_join_s)
+      m.mworkers
+  end;
   List.iter
     (fun s ->
       Format.fprintf fmt

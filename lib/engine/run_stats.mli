@@ -70,6 +70,17 @@ type stratum = {
   workers : worker array;
 }
 
+(** Per-maintenance-worker counters accumulated across batches (the
+    maintenance pool reuses the resident evaluation domains, but its
+    rounds are separate from stratum evaluation, so the breakdown is
+    kept apart from {!worker}). *)
+type maintain_worker = {
+  mutable mw_join_s : float; (** seconds inside maintenance delta joins *)
+  mutable mw_morsels : int; (** maintenance morsels executed, own + stolen *)
+  mutable mw_steals : int; (** maintenance morsels stolen from other workers *)
+  mutable mw_stolen : int; (** scan tuples in the stolen morsels *)
+}
+
 (** Per-session incremental-maintenance counters, folded in by the
     {!Dcdatalog.Session} layer after each update batch (all zero on a
     one-shot run). *)
@@ -83,6 +94,14 @@ type maintenance = {
   mutable rederived : int; (** overdeleted tuples that rederived *)
   mutable recomputed_strata : int; (** stratum fallback recomputes *)
   mutable maintain_s : float; (** seconds inside {!Maintain.apply} *)
+  mutable coalesced : int;
+      (** caller batches that rode along in another caller's maintenance
+          round via writer coalescing (each merged group of [n] queued
+          batches counts [n - 1]) *)
+  mutable mworkers : maintain_worker array;
+      (** per-maintenance-worker breakdown; empty until a parallel
+          maintenance round runs, then grown to the maintenance worker
+          count by {!maintain_worker} *)
 }
 
 type t = {
@@ -95,6 +114,10 @@ type t = {
 val create : unit -> t
 
 val fresh_worker : unit -> worker
+
+val maintain_worker : maintenance -> int -> maintain_worker
+(** [maintain_worker m i] is the accumulator for maintenance worker [i],
+    growing [m.mworkers] with zeroed entries as needed. *)
 
 val add_stratum : t -> stratum -> unit
 

@@ -1,0 +1,285 @@
+(* Parallel incremental maintenance (compiled kernels + pool-resident
+   delta joins + writer coalescing): differential grids that pit the
+   parallel maintenance path against both the sequential interpreted
+   path (maintain_workers = 1, the ablation baseline) and a cold
+   naive-oracle recompute; a concurrency property for writer
+   coalescing; and the poisoned-session regression. *)
+
+module D = Dcdatalog
+module Fault = Dcd_concurrent.Fault
+
+let reachstats_src =
+  "reach(Y) <- src(Y).\n\
+   reach(Y) <- reach(X), arc(X, Y).\n\
+   deg(X, count<Y>) <- reach(X), arc(X, Y).\n\
+   busiest(max<N>) <- deg(X, N)."
+
+let prepare src =
+  match D.prepare src with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let rows_of_tuples ts = List.sort compare (List.map Array.to_list ts)
+
+let oracle_fixpoint src base outputs =
+  let oracle = D.Naive.run (D.Parser.parse_program src) ~edb:base in
+  List.map
+    (fun out ->
+      match List.assoc_opt out oracle with
+      | Some rows -> (out, rows_of_tuples rows)
+      | None -> (out, []))
+    outputs
+
+let session_fixpoint session outputs =
+  List.map (fun out -> (out, rows_of_tuples (snd (D.Session.scan session out)))) outputs
+
+(* Mixed batches big enough to push the delta arenas past the morsel
+   threshold, so the grid actually exercises pool rounds rather than the
+   inline compiled path alone.  Deletes are biased toward tuples known
+   present so DRed overdeletion cascades fire. *)
+let gen_batches rng ~preds ~nodes ~batches ~ops =
+  let present = Hashtbl.create 256 in
+  List.init batches (fun _ ->
+      List.init ops (fun _ ->
+          let pred, arity = List.nth preds (Dcd_util.Rng.int rng (List.length preds)) in
+          let tup () = Array.init arity (fun _ -> Dcd_util.Rng.int rng nodes) in
+          if Dcd_util.Rng.int rng 3 = 0 && Hashtbl.length present > 0 then begin
+            let victim =
+              Hashtbl.fold (fun k () acc -> if acc = None then Some k else acc) present None
+            in
+            match victim with
+            | Some ((p, row) as k) ->
+              Hashtbl.remove present k;
+              D.Maintain.Delete (p, Array.of_list row)
+            | None -> D.Maintain.Insert (pred, tup ())
+          end
+          else begin
+            let t = tup () in
+            Hashtbl.replace present (pred, Array.to_list t) ();
+            D.Maintain.Insert (pred, t)
+          end))
+
+(* One cell: the parallel session and the sequential ablation session
+   apply the same schedule; after every batch both fixpoints must agree
+   with each other and with the oracle's cold recompute. *)
+let run_cell ~src ~outputs ~initial ~batches ~config =
+  let prepared = prepare src in
+  let edb () = List.map (fun (n, rows) -> (n, D.Vec.of_list rows)) initial in
+  let par = D.open_session prepared ~edb:(edb ()) ~config () in
+  let seq =
+    D.open_session prepared ~edb:(edb ())
+      ~config:{ config with D.maintain_workers = 1 }
+      ()
+  in
+  let base = Hashtbl.create 256 in
+  List.iter
+    (fun (n, rows) -> List.iter (fun r -> Hashtbl.replace base (n, Array.to_list r) ()) rows)
+    initial;
+  let fail = ref None in
+  List.iteri
+    (fun bi batch ->
+      if !fail = None then begin
+        List.iter
+          (fun u ->
+            match u with
+            | D.Maintain.Insert (n, t) -> Hashtbl.replace base (n, Array.to_list t) ()
+            | D.Maintain.Delete (n, t) -> Hashtbl.remove base (n, Array.to_list t))
+          batch;
+        ignore (D.Session.apply_batch par batch);
+        ignore (D.Session.apply_batch seq batch);
+        let got_par = session_fixpoint par outputs in
+        let got_seq = session_fixpoint seq outputs in
+        if got_par <> got_seq then
+          fail := Some (Printf.sprintf "batch %d: parallel diverged from sequential" bi)
+        else begin
+          let cur_base =
+            List.map
+              (fun (n, _) ->
+                ( n,
+                  Hashtbl.fold
+                    (fun (n', row) () acc -> if n' = n then Array.of_list row :: acc else acc)
+                    base [] ))
+              initial
+          in
+          if got_par <> oracle_fixpoint src cur_base outputs then
+            fail := Some (Printf.sprintf "batch %d: parallel diverged from cold oracle" bi)
+        end
+      end)
+    batches;
+  D.Session.close par;
+  D.Session.close seq;
+  match !fail with
+  | Some msg -> failwith msg
+  | None -> ()
+
+let grid_cells =
+  List.concat_map
+    (fun strategy ->
+      List.concat_map
+        (fun steal -> List.map (fun mw -> (strategy, steal, mw)) [ 1; 4 ])
+        [ false; true ])
+    [ D.Coord.Global; D.Coord.Ssp 2; D.Coord.dws ]
+
+let mk_edges rng n m = List.init m (fun _ -> [| Dcd_util.Rng.int rng n; Dcd_util.Rng.int rng n |])
+
+let diff_case name src outputs initial preds seed () =
+  let rng = Dcd_util.Rng.create seed in
+  List.iter
+    (fun (strategy, steal, mw) ->
+      let batches = gen_batches rng ~preds ~nodes:40 ~batches:2 ~ops:320 in
+      try
+        run_cell ~src ~outputs ~initial ~batches
+          ~config:{ D.default_config with strategy; steal; workers = 4; maintain_workers = mw }
+      with Failure msg ->
+        Alcotest.failf "%s: %s (strategy=%s steal=%b maintain_workers=%d)" name msg
+          (D.Coord.to_string strategy) steal mw)
+    grid_cells
+
+let tc_grid () =
+  let rng = Dcd_util.Rng.create 31 in
+  diff_case "tc" D.Queries.tc.source [ "tc" ] [ ("arc", mk_edges rng 40 80) ] [ ("arc", 2) ] 211 ()
+
+let cc_grid () =
+  let rng = Dcd_util.Rng.create 37 in
+  diff_case "cc" D.Queries.cc.source [ "cc2"; "cc" ]
+    [ ("arc", mk_edges rng 40 80) ]
+    [ ("arc", 2) ]
+    223 ()
+
+let reachstats_grid () =
+  let rng = Dcd_util.Rng.create 41 in
+  diff_case "reachstats" reachstats_src
+    [ "reach"; "deg"; "busiest" ]
+    [ ("arc", mk_edges rng 40 80); ("src", [ [| 0 |]; [| 3 |] ]) ]
+    [ ("arc", 2); ("src", 1) ]
+    227 ()
+
+(* --- writer coalescing: concurrent callers = serialized application --- *)
+
+(* Each caller domain owns a disjoint node range, so the final base
+   state is independent of the interleaving; the concurrent callers
+   (some of which will coalesce into shared maintenance rounds) must
+   leave the session at exactly the oracle fixpoint of that final
+   base.  Every caller must also get a well-formed report back. *)
+let prop_coalesced_callers =
+  QCheck.Test.make ~name:"concurrent coalesced apply_batch = serialized" ~count:8
+    (QCheck.make
+       QCheck.Gen.(
+         let* seed = int_range 1 1_000_000 in
+         let* callers = int_range 2 4 in
+         return (seed, callers)))
+    (fun (seed, callers) ->
+      let rng = Dcd_util.Rng.create seed in
+      let span = 12 in
+      let initial = [ ("arc", mk_edges rng span 20) ] in
+      let prepared = prepare D.Queries.tc.source in
+      let edb = List.map (fun (n, rows) -> (n, D.Vec.of_list rows)) initial in
+      let s =
+        D.open_session prepared ~edb ~config:{ D.default_config with workers = 2 } ()
+      in
+      (* per-caller batch over its own disjoint node range (offset past
+         the initial span so deletes can't collide across callers) *)
+      let batches =
+        List.init callers (fun c ->
+            let lo = span + (c * span) in
+            let rng = Dcd_util.Rng.create (seed + c) in
+            List.init 40 (fun _ ->
+                let t = [| lo + Dcd_util.Rng.int rng span; lo + Dcd_util.Rng.int rng span |] in
+                if Dcd_util.Rng.int rng 4 = 0 then D.Maintain.Delete ("arc", t)
+                else D.Maintain.Insert ("arc", t)))
+      in
+      let domains =
+        List.map (fun b -> Domain.spawn (fun () -> D.Session.apply_batch s b)) batches
+      in
+      let reports = List.map Domain.join domains in
+      let base = Hashtbl.create 256 in
+      List.iter
+        (fun (n, rows) ->
+          List.iter (fun r -> Hashtbl.replace base (n, Array.to_list r) ()) rows)
+        initial;
+      List.iter
+        (List.iter (fun u ->
+             match u with
+             | D.Maintain.Insert (n, t) -> Hashtbl.replace base (n, Array.to_list t) ()
+             | D.Maintain.Delete (n, t) -> Hashtbl.remove base (n, Array.to_list t)))
+        batches;
+      let cur_base =
+        [ ( "arc",
+            Hashtbl.fold
+              (fun (n, row) () acc -> if n = "arc" then Array.of_list row :: acc else acc)
+              base [] ) ]
+      in
+      let want = oracle_fixpoint D.Queries.tc.source cur_base [ "tc" ] in
+      let got = session_fixpoint s [ "tc" ] in
+      let m = (D.Session.stats s).D.Run_stats.maintenance in
+      (* batches + coalesced always accounts for every caller, however
+         the rounds happened to merge *)
+      let accounted = m.D.Run_stats.batches + m.D.Run_stats.coalesced in
+      D.Session.close s;
+      got = want
+      && accounted = callers
+      && List.for_all (fun r -> r.D.Maintain.br_base_inserted >= 0) reports)
+
+(* --- poisoned session: the original error is re-raised verbatim --- *)
+
+let test_poison_original_error () =
+  let prepared = prepare D.Queries.tc.source in
+  let rng = Dcd_util.Rng.create 53 in
+  let edb = [ ("arc", D.Vec.of_list (mk_edges rng 64 64)) ] in
+  let s =
+    D.open_session prepared ~edb
+      ~config:
+        {
+          D.default_config with
+          workers = 2;
+          maintain_workers = 2;
+          (* the Maintain site only fires inside a parallel maintenance
+             round, so the initial fixpoint run is untouched *)
+          fault =
+            Some
+              {
+                Fault.off with
+                seed = 5;
+                crash_prob = 1.0;
+                crash_sites = [ Fault.Maintain ];
+                max_crashes = 1;
+              };
+        }
+      ()
+  in
+  (* a batch big enough to cross the morsel threshold and trigger a
+     pool round, where the injected crash fires *)
+  let big =
+    List.init 400 (fun i -> D.Maintain.Insert ("arc", [| 100 + (i mod 37); 100 + (i / 37) |]))
+  in
+  let e1 =
+    match D.Session.apply_batch s big with
+    | _ -> Alcotest.fail "expected the injected crash to escape"
+    | exception (D.Engine_error.Error (D.Engine_error.Worker_crashed _) as e) -> e
+    | exception e -> Alcotest.failf "wrong poison: %s" (Printexc.to_string e)
+  in
+  Alcotest.(check bool) "session reports closed/poisoned" true (D.Session.closed s);
+  (* reads keep serving the last published snapshot *)
+  let _, present = D.Session.lookup s "tc" [| 100; 100 |] in
+  Alcotest.(check bool) "poisoned batch never published" false present;
+  (* the regression: a later write must re-raise the ORIGINAL poisoning
+     error, not a generic "session poisoned" Invalid_argument *)
+  (match D.Session.apply_batch s [ D.Maintain.Insert ("arc", [| 1; 2 |]) ] with
+  | _ -> Alcotest.fail "poisoned session accepted a write"
+  | exception e2 ->
+    Alcotest.(check bool) "same exception value re-raised" true (e1 == e2));
+  D.Session.close s
+
+let () =
+  Alcotest.run "maintain_par"
+    [
+      ( "parallel vs sequential vs oracle",
+        [
+          Alcotest.test_case "tc grid" `Slow tc_grid;
+          Alcotest.test_case "cc grid" `Slow cc_grid;
+          Alcotest.test_case "reachstats grid" `Slow reachstats_grid;
+        ] );
+      ("writer coalescing", [ QCheck_alcotest.to_alcotest prop_coalesced_callers ]);
+      ( "poisoning",
+        [ Alcotest.test_case "original error re-raised" `Quick test_poison_original_error ] );
+    ]
